@@ -1,0 +1,28 @@
+//! The paper's three application problems, as real task generators.
+//!
+//! Each function produces a [`rips_taskgraph::Workload`] whose task
+//! structure and grain sizes come from actually running the underlying
+//! algorithm (not from synthetic distributions):
+//!
+//! * [`nqueens()`](nqueens()) — exhaustive N-Queens search (bitmask backtracking).
+//!   Tasks are the valid board prefixes at a split depth; leaf grains
+//!   are the *exact* node counts of the subtrees they stand for.
+//!   "The number of tasks generated and the computation amount in each
+//!   task are unpredictable."
+//! * [`puzzle()`](puzzle()) — iterative-deepening A\* on the 15-puzzle (Manhattan
+//!   heuristic, adaptive frontier splitting). One workload round per IDA\*
+//!   iteration — the global synchronisation the paper blames for this
+//!   problem's lower efficiency — with per-task grains equal to the
+//!   measured bounded-DFS node counts.
+//! * [`gromos()`](gromos()) — a GROMOS-like molecular-dynamics force workload on a
+//!   synthetic 6968-atom SOD stand-in (see DESIGN.md §2): fixed task
+//!   count independent of the cutoff radius, spatially correlated
+//!   nonuniform grains from real cell-list neighbour counting.
+
+pub mod gromos;
+pub mod nqueens;
+pub mod puzzle;
+
+pub use gromos::{gromos, GromosConfig};
+pub use nqueens::{nqueens, NQueensConfig};
+pub use puzzle::{puzzle, PuzzleConfig};

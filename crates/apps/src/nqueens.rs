@@ -1,0 +1,266 @@
+//! Exhaustive N-Queens search (bitmask backtracking) and its task
+//! decomposition.
+//!
+//! A task is a valid placement of queens in the first `split_depth`
+//! rows. Interior tasks (depth < split_depth) *generate* their valid
+//! extensions as child tasks — the dynamic task creation RIPS
+//! reschedules incrementally — and leaf tasks carry the exact node
+//! count of the subtree they enumerate, converted to virtual time.
+
+use rips_taskgraph::{TaskForest, Workload};
+
+/// Parameters for the N-Queens workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NQueensConfig {
+    /// Board size (13, 14, 15 in the paper's Table I).
+    pub n: u32,
+    /// Rows fixed per task; the paper's task counts (7 579 / 11 166 /
+    /// 15 941 for 13/14/15 queens) match a split depth of 4.
+    pub split_depth: u32,
+    /// Depth of the *root* tasks. The top of the prefix tree is cheap
+    /// and deterministic, so an SPMD program expands it redundantly on
+    /// every node ("we rely on a uniform code image accessible at each
+    /// processor") and each node takes its block of the depth-`root`
+    /// prefixes — the initial tasks the first system phase schedules.
+    pub root_depth: u32,
+    /// Nanoseconds of virtual time per search-tree node. Calibrated in
+    /// EXPERIMENTS.md to the paper's i860-era speed: 13-queens ≈ 8.5 s
+    /// and 15-queens ≈ 330 s of sequential work, keeping the paper's
+    /// task-grain-to-message-latency ratio.
+    pub ns_per_node: u64,
+}
+
+impl NQueensConfig {
+    /// Paper-faithful configuration for `n` queens.
+    pub fn paper(n: u32) -> Self {
+        NQueensConfig {
+            n,
+            split_depth: 4,
+            root_depth: 2,
+            ns_per_node: 1800,
+        }
+    }
+}
+
+/// Fully enumerates the `n`-queens search tree, returning
+/// `(nodes, solutions)` for the subtree under the given bitmask state.
+/// `cols`/`diag1`/`diag2` are the standard occupied-column and
+/// occupied-diagonal masks; a "node" is a placed queen.
+fn enumerate(n: u32, row: u32, cols: u32, diag1: u32, diag2: u32) -> (u64, u64) {
+    if row == n {
+        return (0, 1);
+    }
+    let full = (1u32 << n) - 1;
+    let mut free = full & !(cols | diag1 | diag2);
+    let mut nodes = 0u64;
+    let mut sols = 0u64;
+    while free != 0 {
+        let bit = free & free.wrapping_neg();
+        free ^= bit;
+        let (sub_nodes, sub_sols) = enumerate(
+            n,
+            row + 1,
+            cols | bit,
+            (diag1 | bit) << 1,
+            (diag2 | bit) >> 1,
+        );
+        nodes += 1 + sub_nodes;
+        sols += sub_sols;
+    }
+    (nodes, sols)
+}
+
+/// Sequential solver: `(search_nodes, solutions)` for `n` queens.
+pub fn solve(n: u32) -> (u64, u64) {
+    assert!((1..=16).contains(&n), "board size out of range");
+    enumerate(n, 0, 0, 0, 0)
+}
+
+struct Builder {
+    n: u32,
+    split_depth: u32,
+    ns_per_node: u64,
+    forest: TaskForest,
+}
+
+impl Builder {
+    /// Recursively adds the task for the prefix reaching `row` with the
+    /// given masks under `parent` (or as a root), returning its id.
+    fn build(
+        &mut self,
+        parent: Option<rips_taskgraph::TaskId>,
+        row: u32,
+        cols: u32,
+        diag1: u32,
+        diag2: u32,
+    ) {
+        let full = (1u32 << self.n) - 1;
+        if row == self.split_depth {
+            // Leaf task: grain = exact subtree node count.
+            let (nodes, _) = enumerate(self.n, row, cols, diag1, diag2);
+            let grain = ((nodes.max(1)) * self.ns_per_node).div_ceil(1000).max(1);
+            match parent {
+                Some(p) => self.forest.add_child(p, grain),
+                None => self.forest.add_root(grain),
+            };
+            return;
+        }
+        // Interior task: expanding one row costs ~one node per child
+        // probe; its children are the valid extensions.
+        let mut free = full & !(cols | diag1 | diag2);
+        let expansion_cost = ((self.n as u64) * self.ns_per_node).div_ceil(1000).max(1);
+        let id = match parent {
+            Some(p) => self.forest.add_child(p, expansion_cost),
+            None => self.forest.add_root(expansion_cost),
+        };
+        while free != 0 {
+            let bit = free & free.wrapping_neg();
+            free ^= bit;
+            self.build(
+                Some(id),
+                row + 1,
+                cols | bit,
+                (diag1 | bit) << 1,
+                (diag2 | bit) >> 1,
+            );
+        }
+    }
+}
+
+/// Builds the N-Queens workload: a single round whose roots are the
+/// first-row placements; tasks expand until `split_depth`, where leaf
+/// grains carry the measured subtree sizes.
+pub fn nqueens(cfg: NQueensConfig) -> Workload {
+    assert!((1..=16).contains(&cfg.n), "board size out of range");
+    assert!(cfg.split_depth >= 1 && cfg.split_depth <= cfg.n);
+    assert!(cfg.root_depth <= cfg.split_depth, "roots below the split");
+    let mut b = Builder {
+        n: cfg.n,
+        split_depth: cfg.split_depth,
+        ns_per_node: cfg.ns_per_node,
+        forest: TaskForest::new(),
+    };
+    // Enumerate the valid prefixes at `root_depth`; each becomes a root
+    // task that expands (dynamically) down to the split depth.
+    let full = (1u32 << cfg.n) - 1;
+    let mut stack = vec![(0u32, 0u32, 0u32, 0u32)];
+    for _ in 0..cfg.root_depth {
+        let mut next = Vec::with_capacity(stack.len() * cfg.n as usize);
+        for (row, cols, d1, d2) in stack {
+            let mut free = full & !(cols | d1 | d2);
+            while free != 0 {
+                let bit = free & free.wrapping_neg();
+                free ^= bit;
+                next.push((row + 1, cols | bit, (d1 | bit) << 1, (d2 | bit) >> 1));
+            }
+        }
+        stack = next;
+    }
+    for (row, cols, d1, d2) in stack {
+        b.build(None, row, cols, d1, d2);
+    }
+    let w = Workload::single(format!("{}-queens", cfg.n), b.forest);
+    debug_assert!(w.validate().is_ok());
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_solution_counts() {
+        // OEIS A000170.
+        assert_eq!(solve(1).1, 1);
+        assert_eq!(solve(4).1, 2);
+        assert_eq!(solve(6).1, 4);
+        assert_eq!(solve(8).1, 92);
+        assert_eq!(solve(10).1, 724);
+    }
+
+    #[test]
+    fn node_count_matches_sum_of_leaf_subtrees() {
+        // The forest's leaf grains must add up to the sequential node
+        // count (modulo the per-node→µs rounding, so compare in nodes
+        // by using ns_per_node = 1000 for exact µs = nodes).
+        let cfg = NQueensConfig {
+            n: 8,
+            split_depth: 3,
+            root_depth: 2,
+            ns_per_node: 1000,
+        };
+        let w = nqueens(cfg);
+        let (total_nodes, _) = solve(8);
+        let f = &w.rounds[0];
+        // Interior tasks cost n nodes each (expansion probes); count
+        // leaves only: tasks with no children.
+        let leaf_work: u64 = (0..f.len() as u32)
+            .filter(|&id| f.task(id).children.is_empty())
+            .map(|id| f.task(id).grain_us)
+            .sum();
+        // Leaf subtrees exclude the first `split_depth` placed queens;
+        // the prefix nodes are 1 (root expansion) + valid 1-prefixes +
+        // valid 2-prefixes + valid 3-prefixes.
+        let mut prefix_nodes = 0u64;
+        fn count_prefixes(n: u32, row: u32, depth: u32, cols: u32, d1: u32, d2: u32) -> u64 {
+            if row == depth {
+                return 0;
+            }
+            let full = (1u32 << n) - 1;
+            let mut free = full & !(cols | d1 | d2);
+            let mut c = 0;
+            while free != 0 {
+                let bit = free & free.wrapping_neg();
+                free ^= bit;
+                c += 1 + count_prefixes(
+                    n,
+                    row + 1,
+                    depth,
+                    cols | bit,
+                    (d1 | bit) << 1,
+                    (d2 | bit) >> 1,
+                );
+            }
+            c
+        }
+        prefix_nodes += count_prefixes(8, 0, 3, 0, 0, 0);
+        assert_eq!(leaf_work + prefix_nodes, total_nodes);
+    }
+
+    #[test]
+    fn forest_is_valid_and_deterministic() {
+        let cfg = NQueensConfig::paper(9);
+        let a = nqueens(cfg);
+        let b = nqueens(cfg);
+        assert_eq!(a, b);
+        assert!(a.validate().is_ok());
+    }
+
+    #[test]
+    fn task_count_grows_with_board() {
+        let t9 = nqueens(NQueensConfig::paper(9)).stats().tasks;
+        let t10 = nqueens(NQueensConfig::paper(10)).stats().tasks;
+        assert!(t10 > t9, "{t10} <= {t9}");
+    }
+
+    #[test]
+    fn grain_variance_is_large() {
+        // The paper: "the computation amount in each task are
+        // unpredictable" — leaf grains should spread widely.
+        let w = nqueens(NQueensConfig::paper(10));
+        let f = &w.rounds[0];
+        let leaves: Vec<u64> = (0..f.len() as u32)
+            .filter(|&id| f.task(id).children.is_empty())
+            .map(|id| f.task(id).grain_us)
+            .collect();
+        let max = *leaves.iter().max().unwrap();
+        let min = *leaves.iter().min().unwrap();
+        assert!(max >= min * 4, "grains too uniform: {min}..{max}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oversized_board_rejected() {
+        solve(17);
+    }
+}

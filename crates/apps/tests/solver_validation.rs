@@ -1,0 +1,90 @@
+//! Cross-validation of the application solvers against independent
+//! reference implementations.
+
+use rips_apps::puzzle::{ida_star, successors, Board};
+
+/// Breadth-first search: the independent ground truth for optimal
+/// 15-puzzle solution lengths (tiny scrambles only — BFS explodes).
+fn bfs_optimal(start: &Board) -> u32 {
+    use std::collections::{HashMap, VecDeque};
+    if start.is_goal() {
+        return 0;
+    }
+    let mut dist: HashMap<Board, u32> = HashMap::new();
+    dist.insert(*start, 0);
+    let mut q = VecDeque::from([*start]);
+    while let Some(b) = q.pop_front() {
+        let d = dist[&b];
+        for nb in successors(&b) {
+            if let std::collections::hash_map::Entry::Vacant(slot) = dist.entry(nb) {
+                if nb.is_goal() {
+                    return d + 1;
+                }
+                slot.insert(d + 1);
+                q.push_back(nb);
+            }
+        }
+    }
+    unreachable!("15-puzzle state space is connected within a parity class");
+}
+
+#[test]
+fn ida_star_matches_bfs_on_short_scrambles() {
+    for (len, seed) in [(4u32, 1u64), (6, 2), (8, 3), (10, 4), (12, 5)] {
+        let b = Board::scrambled(len, seed);
+        let (ida, _, _) = ida_star(&b);
+        let bfs = bfs_optimal(&b);
+        assert_eq!(ida, bfs, "len={len} seed={seed}");
+    }
+}
+
+#[test]
+fn manhattan_never_overestimates_bfs() {
+    for seed in 0..8u64 {
+        let b = Board::scrambled(10, seed);
+        assert!(b.manhattan() <= bfs_optimal(&b), "seed={seed}");
+    }
+}
+
+mod gromos_physics {
+    use rips_apps::gromos::{half_pair_counts, synthetic_protein};
+
+    /// The synthetic globule's pair counts must match the analytic
+    /// estimate for a uniform sphere: a bulk atom sees
+    /// `ρ · (4/3)π r³` neighbours (half-shell halves it); surface
+    /// effects lower the mean, so check a generous band.
+    #[test]
+    fn pair_counts_match_uniform_density_estimate() {
+        let n = 3000;
+        let atoms = synthetic_protein(n, 7);
+        let r_max = atoms
+            .iter()
+            .map(|a| (a[0] * a[0] + a[1] * a[1] + a[2] * a[2]).sqrt())
+            .fold(0.0f64, f64::max);
+        let density = n as f64 / (4.0 / 3.0 * std::f64::consts::PI * r_max.powi(3));
+        for cutoff in [6.0, 9.0] {
+            let pairs = half_pair_counts(&atoms, cutoff);
+            let total: u64 = pairs.iter().sum();
+            let mean_half = total as f64 / n as f64;
+            let bulk_half = density * (4.0 / 3.0) * std::f64::consts::PI * cutoff.powi(3) / 2.0;
+            assert!(
+                mean_half > bulk_half * 0.5 && mean_half < bulk_half * 1.05,
+                "cutoff {cutoff}: mean {mean_half:.1} vs bulk {bulk_half:.1}"
+            );
+        }
+    }
+
+    /// Pair counting is symmetric in aggregate: Σ half-pairs equals the
+    /// exact number of unordered in-range pairs, which must be
+    /// monotone in the cutoff.
+    #[test]
+    fn totals_monotone_in_cutoff() {
+        let atoms = synthetic_protein(1200, 3);
+        let mut last = 0;
+        for cutoff in [4.0, 6.0, 8.0, 12.0] {
+            let total: u64 = half_pair_counts(&atoms, cutoff).iter().sum();
+            assert!(total >= last, "not monotone at {cutoff}");
+            last = total;
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Machinery shared by the three baseline programs: the execute loop,
+//! round barriers, and the common message vocabulary.
+
+use rips_desim::{Ctx, Time, WorkKind};
+use rips_runtime::{NodeExec, Oracle, TaskInstance};
+use rips_topology::NodeId;
+
+/// Messages exchanged by the baseline balancers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Msg {
+    /// Migrated task instances. The sender's current load rides along
+    /// so receivers refresh their load tables for free (RID uses this;
+    /// others ignore it).
+    Tasks(Vec<TaskInstance>, i64),
+    /// Next round starts (sent by the node that completed the last
+    /// task of the previous round, after the modelled barrier delay).
+    RoundStart(u32),
+    /// RID: sender's current load.
+    LoadInfo(i64),
+    /// RID: request for up to this many tasks.
+    TaskRequest(i64),
+    /// Gradient model: sender's proximity value.
+    Proximity(u32),
+}
+
+/// Timer tags used by all baseline programs.
+pub(crate) const TAG_EXEC: u64 = 0;
+pub(crate) const TAG_ROUND: u64 = 1;
+
+/// Common per-node state: queue, counters, and the exec-loop latch.
+pub(crate) struct Base {
+    pub me: NodeId,
+    pub oracle: Oracle,
+    pub exec: NodeExec,
+    /// `true` while an EXEC timer is pending, so task arrivals don't
+    /// double-schedule the loop.
+    exec_scheduled: bool,
+}
+
+impl Base {
+    pub fn new(me: NodeId, oracle: Oracle) -> Self {
+        Base {
+            me,
+            oracle,
+            exec: NodeExec::default(),
+            exec_scheduled: false,
+        }
+    }
+
+    /// Current queue length (every balancer's notion of "load").
+    pub fn load(&self) -> i64 {
+        self.exec.queue.len() as i64
+    }
+
+    /// Seeds this node's block of the round's roots and kicks the loop.
+    /// An empty round is announced as complete right away (by node 0).
+    pub fn seed_round(&mut self, ctx: &mut Ctx<'_, Msg>, round: u32) {
+        let seeds = self.oracle.seed_for(self.me, round);
+        ctx.compute(
+            self.oracle.costs.spawn_us * seeds.len() as Time,
+            WorkKind::Overhead,
+        );
+        self.exec.queue.extend(seeds);
+        if self.oracle.outstanding() == 0 && self.me == 0 {
+            ctx.set_timer(self.oracle.round_barrier_delay(), TAG_ROUND);
+            return;
+        }
+        self.kick(ctx);
+    }
+
+    /// Ensures an EXEC timer is pending if there is work to do.
+    pub fn kick(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        if !self.exec_scheduled && !self.exec.queue.is_empty() {
+            ctx.set_timer(0, TAG_EXEC);
+            self.exec_scheduled = true;
+        }
+    }
+
+    /// Runs one task off the queue front: dispatch overhead + grain.
+    /// Returns the instance (for the caller to place its children) or
+    /// `None` if the queue is empty. Re-arms the loop afterwards.
+    ///
+    /// Call only from the `TAG_EXEC` timer handler.
+    pub fn run_one(&mut self, ctx: &mut Ctx<'_, Msg>) -> Option<TaskInstance> {
+        self.exec_scheduled = false;
+        let inst = self.exec.queue.pop_front()?;
+        ctx.compute(self.oracle.costs.dispatch_us, WorkKind::Overhead);
+        ctx.compute(inst.grain_us, WorkKind::User);
+        self.exec.record(&inst, self.me);
+        Some(inst)
+    }
+
+    /// Bookkeeping after a task (and its children) are fully handled:
+    /// decrements the round counter and, on the round's last task,
+    /// schedules the barrier announcement on this node. Then re-arms
+    /// the exec loop.
+    pub fn after_task(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        if self.oracle.task_done() {
+            ctx.set_timer(self.oracle.round_barrier_delay(), TAG_ROUND);
+        }
+        self.kick(ctx);
+    }
+
+    /// Schedules the round-barrier announcement on this node.
+    pub fn announce_round(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        ctx.set_timer(self.oracle.round_barrier_delay(), TAG_ROUND);
+    }
+
+    /// Handles the barrier timer: advance to the next round (telling
+    /// everyone) or halt the machine.
+    pub fn on_round_timer(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        match self.oracle.advance_round() {
+            Some(next) => {
+                ctx.send_all(Msg::RoundStart(next), self.oracle.costs.ctl_bytes);
+                self.seed_round(ctx, next);
+            }
+            None => ctx.halt(),
+        }
+    }
+
+    /// Accepts migrated tasks.
+    pub fn accept_tasks(&mut self, ctx: &mut Ctx<'_, Msg>, tasks: Vec<TaskInstance>) {
+        ctx.compute(
+            self.oracle.costs.spawn_us * tasks.len() as Time,
+            WorkKind::Overhead,
+        );
+        self.exec.queue.extend(tasks);
+        self.kick(ctx);
+    }
+}

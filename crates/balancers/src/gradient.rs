@@ -1,0 +1,220 @@
+//! The gradient model (Lin & Keller): proximity propagation plus
+//! one-hop task pushes down the gradient.
+//!
+//! Idle nodes advertise proximity 0; every other node's proximity is
+//! `1 + min(neighbour proximities)`, capped at `diameter + 1` ("no idle
+//! node known"). An overloaded node pushes a task to its
+//! lowest-proximity neighbour; intermediate loaded nodes forward it
+//! further downhill. The paper's verdict — "it cannot balance the load
+//! well, since the load is spread slowly. In addition, the system
+//! overhead is large because information and tasks are frequently
+//! exchanged" — emerges from exactly these rules.
+
+use std::rc::Rc;
+use std::sync::Arc;
+
+use rips_desim::{Ctx, Engine, LatencyModel, Program};
+use rips_runtime::{Costs, Oracle, RunOutcome};
+use rips_taskgraph::Workload;
+use rips_topology::{NodeId, Topology};
+
+use crate::base::{Base, Msg, TAG_EXEC, TAG_ROUND};
+
+/// Timer tag for the coalesced proximity notification.
+const TAG_NOTIFY: u64 = 2;
+
+/// Tuning knobs for the gradient model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GradientParams {
+    /// A node pushes tasks away while its queue is longer than this.
+    pub high_mark: i64,
+    /// Proximity changes are batched and sent to neighbours at most
+    /// once per this interval (µs) — the gradient surface is always a
+    /// little stale, which is intrinsic to the model.
+    pub update_interval_us: u64,
+}
+
+impl Default for GradientParams {
+    fn default() -> Self {
+        GradientParams {
+            high_mark: 1,
+            update_interval_us: 150,
+        }
+    }
+}
+
+struct GradientProg {
+    base: Base,
+    params: GradientParams,
+    neighbors: Vec<NodeId>,
+    nb_prox: Vec<u32>,
+    my_prox: u32,
+    /// Last proximity actually sent to neighbours.
+    advertised: Option<u32>,
+    /// A coalescing notification timer is pending.
+    notify_pending: bool,
+    /// Proximity saturation value: "no idle node reachable".
+    cap: u32,
+}
+
+impl GradientProg {
+    fn min_nb_prox(&self) -> u32 {
+        self.nb_prox.iter().copied().min().unwrap_or(self.cap)
+    }
+
+    /// Recomputes own proximity and ensures the periodic gradient tick
+    /// is armed whenever there is something to advertise or push.
+    fn refresh_proximity(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        self.my_prox = if self.base.load() == 0 {
+            0
+        } else {
+            self.cap.min(1 + self.min_nb_prox())
+        };
+        let must_advertise = self.advertised != Some(self.my_prox);
+        let can_push = self.base.load() > self.params.high_mark && self.min_nb_prox() < self.cap;
+        if (must_advertise || can_push) && !self.notify_pending {
+            self.notify_pending = true;
+            ctx.set_timer(self.params.update_interval_us, TAG_NOTIFY);
+        }
+    }
+
+    /// One gradient tick: advertise a changed proximity, push a small
+    /// burst of tasks downhill, and re-arm while pressure remains —
+    /// the continuous task flow of the gradient model.
+    fn gradient_tick(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        self.notify_pending = false;
+        self.my_prox = if self.base.load() == 0 {
+            0
+        } else {
+            self.cap.min(1 + self.min_nb_prox())
+        };
+        if self.advertised != Some(self.my_prox) {
+            self.advertised = Some(self.my_prox);
+            let prox = self.my_prox;
+            for i in 0..self.neighbors.len() {
+                let nb = self.neighbors[i];
+                ctx.send(nb, Msg::Proximity(prox), self.base.oracle.costs.ctl_bytes);
+            }
+        }
+        self.push_one(ctx);
+        self.refresh_proximity(ctx);
+    }
+
+    /// Pushes one task downhill if overloaded and an idle node is
+    /// known somewhere.
+    fn push_one(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        if self.base.load() <= self.params.high_mark || self.min_nb_prox() >= self.cap {
+            return;
+        }
+        let target_idx = (0..self.neighbors.len())
+            .min_by_key(|&i| (self.nb_prox[i], self.neighbors[i]))
+            .expect("push with no neighbours");
+        // Ship the most recently generated task (back of the queue):
+        // freshly spawned work is the cheapest to move.
+        let task = self.base.exec.queue.pop_back().expect("load > high_mark");
+        let load = self.base.load();
+        ctx.send(
+            self.neighbors[target_idx],
+            Msg::Tasks(vec![task], load),
+            self.base.oracle.costs.task_bytes,
+        );
+    }
+}
+
+impl Program for GradientProg {
+    type Msg = Msg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        self.base.seed_round(ctx, 0);
+        self.refresh_proximity(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, msg: Msg) {
+        match msg {
+            Msg::Tasks(tasks, _) => {
+                self.base.accept_tasks(ctx, tasks);
+                self.refresh_proximity(ctx);
+            }
+            Msg::Proximity(p) => {
+                let idx = self
+                    .neighbors
+                    .iter()
+                    .position(|&nb| nb == from)
+                    .expect("proximity from non-neighbour");
+                self.nb_prox[idx] = p;
+                self.refresh_proximity(ctx);
+            }
+            Msg::RoundStart(round) => {
+                self.base.seed_round(ctx, round);
+                self.refresh_proximity(ctx);
+            }
+            other => unreachable!("gradient model got {other:?}"),
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, tag: u64) {
+        match tag {
+            TAG_EXEC => {
+                if let Some(inst) = self.base.run_one(ctx) {
+                    // Children stay local; the gradient moves them
+                    // later if pressure builds.
+                    let children = self.base.oracle.children_of(&inst, self.base.me);
+                    let spawn = children.len() as u64 * self.base.oracle.costs.spawn_us;
+                    ctx.compute(spawn, rips_desim::WorkKind::Overhead);
+                    self.base.exec.queue.extend(children);
+                    self.base.after_task(ctx);
+                    self.refresh_proximity(ctx);
+                }
+            }
+            TAG_ROUND => self.base.on_round_timer(ctx),
+            TAG_NOTIFY => self.gradient_tick(ctx),
+            _ => unreachable!("unknown timer {tag}"),
+        }
+    }
+}
+
+/// Runs `workload` under the gradient model.
+pub fn gradient(
+    workload: Rc<Workload>,
+    topo: Arc<dyn Topology>,
+    latency: LatencyModel,
+    costs: Costs,
+    seed: u64,
+    params: GradientParams,
+) -> RunOutcome {
+    assert!(
+        latency.alpha_us > 0 || latency.per_hop_us > 0,
+        "gradient model needs nonzero message latency to converge"
+    );
+    if workload.rounds.is_empty() {
+        return RunOutcome::empty(topo.len());
+    }
+    let oracle = Oracle::new(Rc::clone(&workload), topo.as_ref(), costs);
+    let cap = topo.diameter() as u32 + 1;
+    let topo2 = Arc::clone(&topo);
+    let engine = Engine::new(topo, latency, seed, move |me| {
+        let neighbors = topo2.neighbors(me);
+        GradientProg {
+            base: Base::new(me, oracle.clone()),
+            params,
+            nb_prox: vec![cap; neighbors.len()],
+            neighbors,
+            my_prox: cap,
+            advertised: None,
+            notify_pending: false,
+            cap,
+        }
+    });
+    let mut engine = engine;
+    engine.record_timeline(costs.record_timeline);
+    engine.enable_contention(costs.contention);
+    let (progs, stats) = engine.run();
+    let executed: Vec<u64> = progs.iter().map(|p| p.base.exec.executed).collect();
+    let nonlocal = progs.iter().map(|p| p.base.exec.nonlocal_executed).sum();
+    RunOutcome {
+        stats,
+        executed,
+        nonlocal,
+        system_phases: 0,
+    }
+}

@@ -1,0 +1,36 @@
+//! The three dynamic load-balancing baselines of Table I.
+//!
+//! * [`random`] — **randomized allocation**: every newly generated task
+//!   is shipped to a uniformly random processor. Statistically balanced
+//!   but with near-zero locality (the paper's low-overhead baseline).
+//! * [`gradient`] — the **gradient model** (Lin–Keller): idle nodes set
+//!   a proximity of 0, others propagate `1 + min(neighbour proximity)`,
+//!   and overloaded nodes push tasks down the gradient one hop at a
+//!   time. Spreads load slowly and chats constantly — the paper finds
+//!   it both poorly balanced and expensive.
+//! * [`rid`] — **receiver-initiated diffusion** (Willebeek-LeMair &
+//!   Reeves): underloaded nodes (`load < L_LOW`) request work from
+//!   their most-loaded neighbour; load information is exchanged between
+//!   neighbours when a node's load drifts by the update factor `u`.
+//!   The paper uses `L_LOW = 2`, `L_threshold = 1`, `u = 0.4` (and
+//!   `u = 0.7` for IDA\* on ≥ 64 processors).
+//!
+//! A fourth baseline, [`sid`] (sender-initiated diffusion), is the
+//! related-work counterpart the paper cites via Eager et al. — not in
+//! Table I, but measured by the `sid_vs_rid` bench.
+//!
+//! All of them run on the same engine, workload harness, and cost model
+//! as the RIPS runtime in `rips-core`, so Table I's columns are
+//! measured identically for every row.
+
+mod base;
+mod gradient;
+mod random;
+mod rid;
+mod sid;
+
+pub use base::Msg;
+pub use gradient::{gradient, GradientParams};
+pub use random::random;
+pub use rid::{rid, RidParams};
+pub use sid::{sid, SidParams};

@@ -1,0 +1,127 @@
+//! Randomized allocation: each newly generated task is shipped to a
+//! uniformly random processor.
+
+use std::rc::Rc;
+use std::sync::Arc;
+
+use rand::RngExt;
+use rips_desim::{Ctx, Engine, LatencyModel, Program};
+use rips_runtime::{Costs, Oracle, RunOutcome, TaskInstance};
+use rips_taskgraph::Workload;
+use rips_topology::{NodeId, Topology};
+
+use crate::base::{Base, Msg, TAG_EXEC, TAG_ROUND};
+
+struct RandomProg {
+    base: Base,
+}
+
+impl RandomProg {
+    /// Ships `children` to uniformly random nodes, batching per
+    /// destination; local picks stay in the queue.
+    fn place_children(&mut self, ctx: &mut Ctx<'_, Msg>, children: Vec<TaskInstance>) {
+        if children.is_empty() {
+            return;
+        }
+        let n = ctx.num_nodes();
+        let mut per_dest: Vec<Vec<TaskInstance>> = vec![Vec::new(); n];
+        for child in children {
+            let dest = ctx.rng().random_range(0..n);
+            per_dest[dest].push(child);
+        }
+        let me = self.base.me;
+        let load = self.base.load();
+        for (dest, batch) in per_dest.into_iter().enumerate() {
+            if batch.is_empty() {
+                continue;
+            }
+            if dest == me {
+                self.base.exec.queue.extend(batch);
+            } else {
+                let bytes = self.base.oracle.costs.task_bytes * batch.len();
+                ctx.send(dest, Msg::Tasks(batch, load), bytes);
+            }
+        }
+    }
+}
+
+impl RandomProg {
+    /// Seeds this node's block of the round and immediately scatters it:
+    /// randomized allocation assigns *every* task — initial ones
+    /// included — to a uniformly random processor. (This is why the
+    /// paper's Table I shows ~(N−1)/N of even the flat GROMOS task set
+    /// as non-local under random allocation.)
+    fn seed_scattered(&mut self, ctx: &mut Ctx<'_, Msg>, round: u32) {
+        let seeds = self.base.oracle.seed_for(self.base.me, round);
+        ctx.compute(
+            self.base.oracle.costs.spawn_us * seeds.len() as u64,
+            rips_desim::WorkKind::Overhead,
+        );
+        self.place_children(ctx, seeds);
+        if self.base.oracle.outstanding() == 0 && self.base.me == 0 {
+            self.base.announce_round(ctx);
+            return;
+        }
+        self.base.kick(ctx);
+    }
+}
+
+impl Program for RandomProg {
+    type Msg = Msg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        self.seed_scattered(ctx, 0);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, _from: NodeId, msg: Msg) {
+        match msg {
+            Msg::Tasks(tasks, _) => self.base.accept_tasks(ctx, tasks),
+            Msg::RoundStart(round) => self.seed_scattered(ctx, round),
+            other => unreachable!("random allocation got {other:?}"),
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, tag: u64) {
+        match tag {
+            TAG_EXEC => {
+                if let Some(inst) = self.base.run_one(ctx) {
+                    let children = self.base.oracle.children_of(&inst, self.base.me);
+                    self.place_children(ctx, children);
+                    self.base.after_task(ctx);
+                }
+            }
+            TAG_ROUND => self.base.on_round_timer(ctx),
+            _ => unreachable!("unknown timer {tag}"),
+        }
+    }
+}
+
+/// Runs `workload` under randomized allocation. Deterministic under
+/// `seed`.
+pub fn random(
+    workload: Rc<Workload>,
+    topo: Arc<dyn Topology>,
+    latency: LatencyModel,
+    costs: Costs,
+    seed: u64,
+) -> RunOutcome {
+    if workload.rounds.is_empty() {
+        return RunOutcome::empty(topo.len());
+    }
+    let oracle = Oracle::new(Rc::clone(&workload), topo.as_ref(), costs);
+    let engine = Engine::new(topo, latency, seed, |me| RandomProg {
+        base: Base::new(me, oracle.clone()),
+    });
+    let mut engine = engine;
+    engine.record_timeline(costs.record_timeline);
+    engine.enable_contention(costs.contention);
+    let (progs, stats) = engine.run();
+    let executed: Vec<u64> = progs.iter().map(|p| p.base.exec.executed).collect();
+    let nonlocal = progs.iter().map(|p| p.base.exec.nonlocal_executed).sum();
+    RunOutcome {
+        stats,
+        executed,
+        nonlocal,
+        system_phases: 0,
+    }
+}

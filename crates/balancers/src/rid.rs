@@ -1,0 +1,247 @@
+//! Receiver-initiated diffusion (Willebeek-LeMair & Reeves 1993).
+//!
+//! Nodes keep approximate neighbour loads, refreshed whenever a node's
+//! own load drifts by more than the update factor `u` since its last
+//! broadcast. A node whose load falls below `L_LOW` requests work from
+//! its most-loaded known neighbour; the donor ships up to half its
+//! surplus above `L_threshold`. Receiver-initiated schemes "do not do
+//! well in a lightly-loaded system" (§5) — visible in the IDA\* rows.
+
+use std::rc::Rc;
+use std::sync::Arc;
+
+use rips_desim::{Ctx, Engine, LatencyModel, Program, WorkKind};
+use rips_runtime::{Costs, Oracle, RunOutcome, TaskInstance};
+use rips_taskgraph::Workload;
+use rips_topology::{NodeId, Topology};
+
+use crate::base::{Base, Msg, TAG_EXEC, TAG_ROUND};
+
+/// Timer tag for the outstanding-request timeout.
+const TAG_REQ_TIMEOUT: u64 = 3;
+
+/// RID tuning parameters (paper §5).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RidParams {
+    /// Request threshold: ask for work when `load < l_low`.
+    pub l_low: i64,
+    /// Donation floor: donors keep at least this much.
+    pub l_threshold: i64,
+    /// Load-information update factor; larger ⇒ more frequent
+    /// broadcasts (the paper found 0.9 too chatty and settled on 0.4,
+    /// raising it to 0.7 for IDA\* on large machines).
+    pub u: f64,
+    /// How long a requester waits for donations before it may ask
+    /// again. Refusals are silent (a donor with nothing to spare sends
+    /// nothing), so a node begging stale-loaded neighbours simply idles
+    /// out the timeout — the lightly-loaded weakness of
+    /// receiver-initiated schemes the paper leans on for its IDA\*
+    /// comparison.
+    pub request_timeout_us: u64,
+}
+
+impl Default for RidParams {
+    fn default() -> Self {
+        RidParams {
+            l_low: 2,
+            l_threshold: 1,
+            u: 0.4,
+            request_timeout_us: 10_000,
+        }
+    }
+}
+
+struct RidProg {
+    base: Base,
+    params: RidParams,
+    neighbors: Vec<NodeId>,
+    nb_load: Vec<i64>,
+    last_broadcast: i64,
+    /// Outstanding request replies; wait for all of them (each reply
+    /// is a `Tasks` message, possibly empty) before asking again.
+    pending_replies: u32,
+}
+
+impl RidProg {
+    fn nb_index(&self, nb: NodeId) -> usize {
+        self.neighbors
+            .iter()
+            .position(|&x| x == nb)
+            .expect("message from non-neighbour")
+    }
+
+    /// Broadcasts own load to neighbours when it drifted enough.
+    fn maybe_broadcast(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let load = self.base.load();
+        let threshold = (((1.0 - self.params.u) * self.last_broadcast.max(0) as f64) as i64).max(1);
+        if (load - self.last_broadcast).abs() >= threshold {
+            self.last_broadcast = load;
+            for &nb in &self.neighbors {
+                ctx.send(nb, Msg::LoadInfo(load), self.base.oracle.costs.ctl_bytes);
+            }
+        }
+    }
+
+    /// Requests work when underloaded: the deficit to the neighbourhood
+    /// average is split over the above-average neighbours in proportion
+    /// to their excess — the proportional-hunk rule of Willebeek-LeMair
+    /// & Reeves' RID.
+    fn maybe_request(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        if self.pending_replies > 0
+            || self.base.load() >= self.params.l_low
+            || self.neighbors.is_empty()
+        {
+            return;
+        }
+        let load = self.base.load();
+        let avg = (self.nb_load.iter().sum::<i64>() + load) / (self.nb_load.len() as i64 + 1);
+        let deficit = (avg - load).max(1);
+        let excess: Vec<i64> = self
+            .nb_load
+            .iter()
+            .map(|&l| (l - avg.max(self.params.l_threshold)).max(0))
+            .collect();
+        let total_excess: i64 = excess.iter().sum();
+        if total_excess == 0 {
+            return; // nobody worth asking
+        }
+        for (idx, &e) in excess.iter().enumerate() {
+            if e == 0 {
+                continue;
+            }
+            let share = ((deficit * e + total_excess - 1) / total_excess).max(1);
+            self.pending_replies += 1;
+            ctx.send(
+                self.neighbors[idx],
+                Msg::TaskRequest(share),
+                self.base.oracle.costs.ctl_bytes,
+            );
+        }
+        if self.pending_replies > 0 {
+            ctx.set_timer(self.params.request_timeout_us, TAG_REQ_TIMEOUT);
+        }
+    }
+
+    /// Donates up to `amount` tasks, keeping `l_threshold` for itself.
+    /// A donor with nothing to spare stays silent — the requester finds
+    /// out by timing out.
+    fn donate(&mut self, ctx: &mut Ctx<'_, Msg>, to: NodeId, amount: i64) {
+        let surplus = (self.base.load() - self.params.l_threshold).max(0);
+        let give = surplus.min(amount).min(self.base.exec.queue.len() as i64);
+        if give == 0 {
+            return;
+        }
+        let mut batch: Vec<TaskInstance> = Vec::with_capacity(give as usize);
+        for _ in 0..give {
+            batch.push(self.base.exec.queue.pop_back().expect("give <= len"));
+        }
+        ctx.compute(
+            self.base.oracle.costs.spawn_us * batch.len() as u64,
+            WorkKind::Overhead,
+        );
+        let load = self.base.load();
+        let bytes = self.base.oracle.costs.task_bytes * batch.len();
+        ctx.send(to, Msg::Tasks(batch, load), bytes);
+        self.maybe_broadcast(ctx);
+    }
+}
+
+impl Program for RidProg {
+    type Msg = Msg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        self.base.seed_round(ctx, 0);
+        self.maybe_broadcast(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, msg: Msg) {
+        match msg {
+            Msg::Tasks(tasks, sender_load) => {
+                let idx = self.nb_index(from);
+                self.nb_load[idx] = sender_load;
+                self.pending_replies = self.pending_replies.saturating_sub(1);
+                self.base.accept_tasks(ctx, tasks);
+                self.maybe_broadcast(ctx);
+                self.maybe_request(ctx);
+            }
+            Msg::LoadInfo(load) => {
+                let idx = self.nb_index(from);
+                self.nb_load[idx] = load;
+                self.maybe_request(ctx);
+            }
+            Msg::TaskRequest(amount) => self.donate(ctx, from, amount),
+            Msg::RoundStart(round) => {
+                self.pending_replies = 0;
+                self.base.seed_round(ctx, round);
+                self.maybe_broadcast(ctx);
+            }
+            other => unreachable!("RID got {other:?}"),
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, tag: u64) {
+        match tag {
+            TAG_EXEC => {
+                if let Some(inst) = self.base.run_one(ctx) {
+                    let children = self.base.oracle.children_of(&inst, self.base.me);
+                    let spawn = children.len() as u64 * self.base.oracle.costs.spawn_us;
+                    ctx.compute(spawn, WorkKind::Overhead);
+                    self.base.exec.queue.extend(children);
+                    self.base.after_task(ctx);
+                    self.maybe_broadcast(ctx);
+                    self.maybe_request(ctx);
+                }
+            }
+            TAG_ROUND => self.base.on_round_timer(ctx),
+            TAG_REQ_TIMEOUT => {
+                // Whatever was still outstanding is treated as refused.
+                self.pending_replies = 0;
+                self.maybe_request(ctx);
+            }
+            _ => unreachable!("unknown timer {tag}"),
+        }
+    }
+}
+
+/// Runs `workload` under receiver-initiated diffusion.
+pub fn rid(
+    workload: Rc<Workload>,
+    topo: Arc<dyn Topology>,
+    latency: LatencyModel,
+    costs: Costs,
+    seed: u64,
+    params: RidParams,
+) -> RunOutcome {
+    assert!(
+        (0.0..1.0).contains(&params.u),
+        "update factor must be in [0,1)"
+    );
+    if workload.rounds.is_empty() {
+        return RunOutcome::empty(topo.len());
+    }
+    let oracle = Oracle::new(Rc::clone(&workload), topo.as_ref(), costs);
+    let topo2 = Arc::clone(&topo);
+    let engine = Engine::new(topo, latency, seed, move |me| {
+        let neighbors = topo2.neighbors(me);
+        RidProg {
+            base: Base::new(me, oracle.clone()),
+            params,
+            nb_load: vec![0; neighbors.len()],
+            neighbors,
+            last_broadcast: 0,
+            pending_replies: 0,
+        }
+    });
+    let mut engine = engine;
+    engine.record_timeline(costs.record_timeline);
+    engine.enable_contention(costs.contention);
+    let (progs, stats) = engine.run();
+    let executed: Vec<u64> = progs.iter().map(|p| p.base.exec.executed).collect();
+    let nonlocal = progs.iter().map(|p| p.base.exec.nonlocal_executed).sum();
+    RunOutcome {
+        stats,
+        executed,
+        nonlocal,
+        system_phases: 0,
+    }
+}

@@ -1,0 +1,208 @@
+//! Sender-initiated diffusion — the counterpart the paper's related
+//! work weighs against RID ("Eager et al. compared the sender-initiated
+//! algorithm and receiver-initiated algorithm", §4).
+//!
+//! Overloaded nodes push work to their least-loaded known neighbour;
+//! load information diffuses with the same update-factor rule as RID.
+//! The classic result — senders win under light load (work spreads
+//! without anyone having to beg), receivers win under heavy load
+//! (pushes then chase moving targets) — is measured by the
+//! `sid_vs_rid` bench.
+
+use std::rc::Rc;
+use std::sync::Arc;
+
+use rips_desim::{Ctx, Engine, LatencyModel, Program, WorkKind};
+use rips_runtime::{Costs, Oracle, RunOutcome, TaskInstance};
+use rips_taskgraph::Workload;
+use rips_topology::{NodeId, Topology};
+
+use crate::base::{Base, Msg, TAG_EXEC, TAG_ROUND};
+
+/// SID tuning parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SidParams {
+    /// Push work away while `load > l_high`.
+    pub l_high: i64,
+    /// Never push below this floor of own load.
+    pub l_threshold: i64,
+    /// Minimum pairwise difference before a push fires — the
+    /// hysteresis that keeps stale load tables from causing task
+    /// hot-potato storms.
+    pub min_diff: i64,
+    /// Load-information update factor, as in RID.
+    pub u: f64,
+}
+
+impl Default for SidParams {
+    fn default() -> Self {
+        SidParams {
+            l_high: 2,
+            l_threshold: 1,
+            min_diff: 4,
+            u: 0.4,
+        }
+    }
+}
+
+struct SidProg {
+    base: Base,
+    params: SidParams,
+    neighbors: Vec<NodeId>,
+    nb_load: Vec<i64>,
+    last_broadcast: i64,
+}
+
+impl SidProg {
+    fn nb_index(&self, nb: NodeId) -> usize {
+        self.neighbors
+            .iter()
+            .position(|&x| x == nb)
+            .expect("message from non-neighbour")
+    }
+
+    /// Broadcasts own load to neighbours when it drifted enough.
+    fn maybe_broadcast(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let load = self.base.load();
+        let threshold = (((1.0 - self.params.u) * self.last_broadcast.max(0) as f64) as i64).max(1);
+        if (load - self.last_broadcast).abs() >= threshold {
+            self.last_broadcast = load;
+            for &nb in &self.neighbors {
+                ctx.send(nb, Msg::LoadInfo(load), self.base.oracle.costs.ctl_bytes);
+            }
+        }
+    }
+
+    /// Pushes surplus to the least-loaded known neighbour when
+    /// overloaded: half the pairwise difference, keeping at least
+    /// `l_threshold` for ourselves.
+    fn maybe_push(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        if self.base.load() <= self.params.l_high || self.neighbors.is_empty() {
+            return;
+        }
+        let (idx, &least) = self
+            .nb_load
+            .iter()
+            .enumerate()
+            .min_by_key(|&(i, &l)| (l, i))
+            .expect("nonempty neighbours");
+        let mine = self.base.load();
+        if mine - least < self.params.min_diff {
+            return; // not worth moving on possibly-stale information
+        }
+        let give = ((mine - least) / 2)
+            .min(mine - self.params.l_threshold)
+            .min(self.base.exec.queue.len() as i64);
+        if give <= 0 {
+            return;
+        }
+        let mut batch: Vec<TaskInstance> = Vec::with_capacity(give as usize);
+        for _ in 0..give {
+            batch.push(self.base.exec.queue.pop_back().expect("give <= len"));
+        }
+        ctx.compute(
+            self.base.oracle.costs.spawn_us * batch.len() as u64,
+            WorkKind::Overhead,
+        );
+        // Optimistically assume the neighbour absorbs the batch so we
+        // don't re-push to it on stale information.
+        self.nb_load[idx] += give;
+        let load = self.base.load();
+        let bytes = self.base.oracle.costs.task_bytes * batch.len();
+        ctx.send(self.neighbors[idx], Msg::Tasks(batch, load), bytes);
+        self.maybe_broadcast(ctx);
+    }
+}
+
+impl Program for SidProg {
+    type Msg = Msg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        self.base.seed_round(ctx, 0);
+        self.maybe_broadcast(ctx);
+        self.maybe_push(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, msg: Msg) {
+        match msg {
+            Msg::Tasks(tasks, sender_load) => {
+                let idx = self.nb_index(from);
+                self.nb_load[idx] = sender_load;
+                self.base.accept_tasks(ctx, tasks);
+                self.maybe_broadcast(ctx);
+                self.maybe_push(ctx); // an overloaded receiver diffuses onward
+            }
+            Msg::LoadInfo(load) => {
+                let idx = self.nb_index(from);
+                self.nb_load[idx] = load;
+                self.maybe_push(ctx);
+            }
+            Msg::RoundStart(round) => {
+                self.base.seed_round(ctx, round);
+                self.maybe_broadcast(ctx);
+                self.maybe_push(ctx);
+            }
+            other => unreachable!("SID got {other:?}"),
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, tag: u64) {
+        match tag {
+            TAG_EXEC => {
+                if let Some(inst) = self.base.run_one(ctx) {
+                    let children = self.base.oracle.children_of(&inst, self.base.me);
+                    let spawn = children.len() as u64 * self.base.oracle.costs.spawn_us;
+                    ctx.compute(spawn, WorkKind::Overhead);
+                    self.base.exec.queue.extend(children);
+                    self.base.after_task(ctx);
+                    self.maybe_broadcast(ctx);
+                    self.maybe_push(ctx);
+                }
+            }
+            TAG_ROUND => self.base.on_round_timer(ctx),
+            _ => unreachable!("unknown timer {tag}"),
+        }
+    }
+}
+
+/// Runs `workload` under sender-initiated diffusion.
+pub fn sid(
+    workload: Rc<Workload>,
+    topo: Arc<dyn Topology>,
+    latency: LatencyModel,
+    costs: Costs,
+    seed: u64,
+    params: SidParams,
+) -> RunOutcome {
+    assert!(
+        (0.0..1.0).contains(&params.u),
+        "update factor must be in [0,1)"
+    );
+    if workload.rounds.is_empty() {
+        return RunOutcome::empty(topo.len());
+    }
+    let oracle = Oracle::new(Rc::clone(&workload), topo.as_ref(), costs);
+    let topo2 = Arc::clone(&topo);
+    let engine = Engine::new(topo, latency, seed, move |me| {
+        let neighbors = topo2.neighbors(me);
+        SidProg {
+            base: Base::new(me, oracle.clone()),
+            params,
+            nb_load: vec![0; neighbors.len()],
+            neighbors,
+            last_broadcast: 0,
+        }
+    });
+    let mut engine = engine;
+    engine.record_timeline(costs.record_timeline);
+    engine.enable_contention(costs.contention);
+    let (progs, stats) = engine.run();
+    let executed: Vec<u64> = progs.iter().map(|p| p.base.exec.executed).collect();
+    let nonlocal = progs.iter().map(|p| p.base.exec.nonlocal_executed).sum();
+    RunOutcome {
+        stats,
+        executed,
+        nonlocal,
+        system_phases: 0,
+    }
+}

@@ -1,0 +1,91 @@
+//! Property tests: every baseline balancer executes every task of an
+//! arbitrary dynamic workload exactly once, deterministically, on
+//! arbitrary machines.
+
+use std::rc::Rc;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use rips_balancers::{gradient, random, rid, sid, GradientParams, RidParams, SidParams};
+use rips_desim::LatencyModel;
+use rips_runtime::Costs;
+use rips_taskgraph::{TaskForest, Workload};
+use rips_topology::{Mesh2D, Topology};
+
+fn arb_workload() -> impl Strategy<Value = Workload> {
+    let forest = (
+        proptest::collection::vec(1u64..3_000, 1..20),
+        proptest::collection::vec((0usize..20, 1u64..2_000), 0..15),
+    )
+        .prop_map(|(roots, children)| {
+            let mut f = TaskForest::new();
+            let ids: Vec<_> = roots.into_iter().map(|g| f.add_root(g)).collect();
+            let mut all = ids.clone();
+            for (parent_pick, grain) in children {
+                let parent = all[parent_pick % all.len()];
+                all.push(f.add_child(parent, grain));
+            }
+            f
+        });
+    proptest::collection::vec(forest, 1..=2).prop_map(|rounds| Workload {
+        name: "arb".into(),
+        rounds,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_balancer_completes_arbitrary_workloads(
+        w in arb_workload(),
+        nodes in 1usize..=12,
+        seed in 0u64..50,
+    ) {
+        let w = Rc::new(w);
+        let total = w.stats().tasks as u64;
+        let lat = LatencyModel::paragon();
+        let costs = Costs::default();
+        let mesh = Mesh2D::near_square(nodes);
+        let topo = || -> Arc<dyn Topology> { Arc::new(mesh.clone()) };
+
+        prop_assert_eq!(
+            random(Rc::clone(&w), topo(), lat, costs, seed).total_executed(),
+            total
+        );
+        prop_assert_eq!(
+            gradient(Rc::clone(&w), topo(), lat, costs, seed, GradientParams::default())
+                .total_executed(),
+            total
+        );
+        prop_assert_eq!(
+            rid(Rc::clone(&w), topo(), lat, costs, seed, RidParams::default())
+                .total_executed(),
+            total
+        );
+        prop_assert_eq!(
+            sid(Rc::clone(&w), topo(), lat, costs, seed, SidParams::default())
+                .total_executed(),
+            total
+        );
+    }
+
+    /// Work conservation: total user time equals the workload's work,
+    /// for every balancer.
+    #[test]
+    fn user_time_equals_total_work(w in arb_workload(), seed in 0u64..50) {
+        let w = Rc::new(w);
+        let want = w.stats().total_work_us;
+        let lat = LatencyModel::paragon();
+        let costs = Costs::default();
+        let mesh = Mesh2D::near_square(6);
+        let topo = || -> Arc<dyn Topology> { Arc::new(mesh.clone()) };
+        for out in [
+            random(Rc::clone(&w), topo(), lat, costs, seed),
+            rid(Rc::clone(&w), topo(), lat, costs, seed, RidParams::default()),
+            sid(Rc::clone(&w), topo(), lat, costs, seed, SidParams::default()),
+        ] {
+            prop_assert_eq!(out.stats.total_user_us(), want);
+        }
+    }
+}

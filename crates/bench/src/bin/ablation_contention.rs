@@ -1,0 +1,72 @@
+//! Ablation: contention-free vs store-and-forward network.
+//!
+//! The default simulator charges each message its full route latency up
+//! front (links never queue). Real meshes serialize per link; bursts
+//! toward the same region slow each other down. This bench measures
+//! how much each scheduler depends on the contention-free assumption:
+//! randomized allocation sprays long-haul traffic constantly, while
+//! RIPS packs its migrations into a few neighbour-structured bursts per
+//! phase.
+
+use std::rc::Rc;
+use std::sync::Arc;
+
+use rips_balancers::random;
+use rips_bench::{arg_usize, App};
+use rips_core::{rips, Machine, RipsConfig};
+use rips_desim::LatencyModel;
+use rips_metrics::Table;
+use rips_runtime::Costs;
+use rips_topology::{Mesh2D, Topology};
+
+fn main() {
+    let nodes = arg_usize("--nodes", 32);
+    println!("Network-contention ablation, 13-Queens ({nodes} processors)\n");
+    let w = Rc::new(App::Queens(13).build());
+    let mesh = Mesh2D::near_square(nodes);
+    let lat = LatencyModel::paragon();
+
+    let mut table = Table::new(vec!["scheduler", "network", "T (s)", "mu", "slowdown"]);
+    for (name, is_rips) in [("Random", false), ("RIPS", true)] {
+        let mut base_t = 0.0;
+        for contention in [false, true] {
+            let costs = Costs {
+                contention,
+                ..Costs::default()
+            };
+            let (t, mu) = if is_rips {
+                let out = rips(
+                    Rc::clone(&w),
+                    Machine::Mesh(mesh.clone()),
+                    lat,
+                    costs,
+                    1,
+                    RipsConfig::default(),
+                );
+                out.run.verify_complete(&w).expect("complete");
+                (out.run.exec_time_s(), out.run.efficiency())
+            } else {
+                let topo: Arc<dyn Topology> = Arc::new(mesh.clone());
+                let out = random(Rc::clone(&w), topo, lat, costs, 1);
+                out.verify_complete(&w).expect("complete");
+                (out.exec_time_s(), out.efficiency())
+            };
+            if !contention {
+                base_t = t;
+            }
+            table.row(vec![
+                name.to_string(),
+                if contention {
+                    "store-and-forward"
+                } else {
+                    "contention-free"
+                }
+                .to_string(),
+                format!("{t:.3}"),
+                format!("{:.0}%", mu * 100.0),
+                format!("{:.2}x", t / base_t),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+}

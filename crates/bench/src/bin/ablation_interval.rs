@@ -1,0 +1,61 @@
+//! Ablation: the naive periodic transfer-condition test (paper §2).
+//!
+//! "A naive implementation periodically invokes a global reduction
+//! operation. … An interval that is too short increases communication
+//! overhead, and an interval that is too long may result in unnecessary
+//! processor idle. The optimal length of the interval is to be
+//! determined by empirical study." — this is that empirical study,
+//! with the event-driven ANY policy as the reference.
+
+use rips_bench::{arg_usize, run_rips_with, App};
+use rips_core::{GlobalPolicy, LocalPolicy};
+use rips_metrics::Table;
+
+fn main() {
+    let nodes = arg_usize("--nodes", 32);
+    println!("Periodic transfer-test interval sweep, 13-Queens ({nodes} processors)\n");
+    let w = App::Queens(13).build();
+    let intervals_ms = [0.5f64, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0];
+
+    let mut table = Table::new(vec!["policy", "phases", "Th (s)", "Ti (s)", "T (s)", "mu"]);
+    for &ms in &intervals_ms {
+        let us = (ms * 1000.0) as u64;
+        let row = run_rips_with(
+            &w,
+            nodes,
+            rips_core::RipsConfig {
+                local: LocalPolicy::Lazy,
+                global: GlobalPolicy::Periodic(us),
+                ..rips_core::RipsConfig::default()
+            },
+            1,
+        );
+        table.row(vec![
+            format!("periodic {ms} ms"),
+            row.outcome.system_phases.to_string(),
+            format!("{:.2}", row.outcome.overhead_s()),
+            format!("{:.2}", row.outcome.idle_s()),
+            format!("{:.2}", row.outcome.exec_time_s()),
+            format!("{:.0}%", row.outcome.efficiency() * 100.0),
+        ]);
+    }
+    let any = run_rips_with(
+        &w,
+        nodes,
+        rips_core::RipsConfig {
+            local: LocalPolicy::Lazy,
+            global: GlobalPolicy::Any,
+            ..rips_core::RipsConfig::default()
+        },
+        1,
+    );
+    table.row(vec![
+        "event-driven ANY".to_string(),
+        any.outcome.system_phases.to_string(),
+        format!("{:.2}", any.outcome.overhead_s()),
+        format!("{:.2}", any.outcome.idle_s()),
+        format!("{:.2}", any.outcome.exec_time_s()),
+        format!("{:.0}%", any.outcome.efficiency() * 100.0),
+    ]);
+    println!("{}", table.render());
+}

@@ -1,0 +1,71 @@
+//! Ablation: the 2×2 transfer-policy matrix (paper §2).
+//!
+//! Eager/Lazy × ALL/ANY over one instance of each application family.
+//! The paper (citing its reference \[24\]) reports ANY-Lazy as the best
+//! combination; this bench shows where each policy's time goes.
+
+use rips_bench::{arg_usize, App};
+use rips_core::{GlobalPolicy, LocalPolicy};
+use rips_metrics::Table;
+
+fn main() {
+    let nodes = arg_usize("--nodes", 32);
+    println!("RIPS transfer-policy ablation ({nodes} processors)\n");
+    let apps = [App::Queens(13), App::Ida(1), App::Gromos(8.0)];
+    let mk = |local, global, eureka| rips_core::RipsConfig {
+        local,
+        global,
+        eureka,
+        ..rips_core::RipsConfig::default()
+    };
+    let combos = [
+        (
+            "ALL-Eager",
+            mk(LocalPolicy::Eager, GlobalPolicy::All, false),
+        ),
+        ("ALL-Lazy", mk(LocalPolicy::Lazy, GlobalPolicy::All, false)),
+        (
+            "ANY-Eager",
+            mk(LocalPolicy::Eager, GlobalPolicy::Any, false),
+        ),
+        ("ANY-Lazy", mk(LocalPolicy::Lazy, GlobalPolicy::Any, false)),
+        (
+            "ANY-Lazy+eureka",
+            mk(LocalPolicy::Lazy, GlobalPolicy::Any, true),
+        ),
+    ];
+    let mut table = Table::new(vec![
+        "workload", "policy", "phases", "nonlocal", "Th (s)", "Ti (s)", "T (s)", "mu",
+    ]);
+    let mut rows: Vec<Option<Vec<Vec<String>>>> = (0..apps.len()).map(|_| None).collect();
+    crossbeam::thread::scope(|scope| {
+        for (slot, &app) in rows.iter_mut().zip(&apps) {
+            let combos = &combos;
+            scope.spawn(move |_| {
+                let w = app.build();
+                let mut out = Vec::new();
+                for &(name, cfg) in combos {
+                    let row = rips_bench::run_rips_with(&w, nodes, cfg, 1);
+                    out.push(vec![
+                        app.label(),
+                        name.to_string(),
+                        row.outcome.system_phases.to_string(),
+                        row.outcome.nonlocal.to_string(),
+                        format!("{:.2}", row.outcome.overhead_s()),
+                        format!("{:.2}", row.outcome.idle_s()),
+                        format!("{:.2}", row.outcome.exec_time_s()),
+                        format!("{:.0}%", row.outcome.efficiency() * 100.0),
+                    ]);
+                }
+                *slot = Some(out);
+            });
+        }
+    })
+    .expect("ablation worker panicked");
+    for group in rows {
+        for row in group.expect("slot filled") {
+            table.row(row);
+        }
+    }
+    println!("{}", table.render());
+}

@@ -1,0 +1,88 @@
+//! Figure 4: normalized communication cost of MWA against the optimal
+//! (min-cost max-flow) scheduler.
+//!
+//! "In this test set, the load at each processor is randomly generated,
+//! with the mean equal to the specified average number of tasks. The
+//! average number of tasks in each processor varies from 2 to 100. …
+//! The mesh organization is either M × M or M × M/2. Each data
+//! presented here is the average of 100 different test cases."
+//!
+//! Output: one aligned series per panel — (a) 8/16/32 processors,
+//! (b) 64/128/256 processors — with the mean of
+//! `(C_MWA − C_OPT) / C_OPT` per weight. `--trials K` overrides the
+//! 100-case default.
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use rips_bench::arg_usize;
+use rips_flow::optimal_rebalance;
+use rips_metrics::{Aggregate, Series};
+use rips_sched::mwa;
+use rips_topology::Mesh2D;
+
+const WEIGHTS: [i64; 6] = [2, 5, 10, 20, 50, 100];
+
+fn normalized_cost(mesh: &Mesh2D, weight: i64, trials: usize, seed: u64) -> Aggregate {
+    use rips_topology::Topology;
+    let mut agg = Aggregate::new();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    for _ in 0..trials {
+        // Uniform in [0, 2w]: mean w, matching the paper's setup.
+        let loads: Vec<i64> = (0..mesh.len())
+            .map(|_| rng.random_range(0..=2 * weight))
+            .collect();
+        let (plan, _) = mwa(mesh, &loads);
+        let opt = optimal_rebalance(mesh, &loads);
+        let c_mwa = plan.edge_cost();
+        let c_opt = opt.cost;
+        debug_assert!(c_mwa >= c_opt);
+        if c_opt > 0 {
+            agg.push((c_mwa - c_opt) as f64 / c_opt as f64);
+        } else {
+            debug_assert_eq!(c_mwa, 0);
+            agg.push(0.0);
+        }
+    }
+    agg
+}
+
+fn panel(title: &str, sizes: &[usize], trials: usize) {
+    let names: Vec<String> = sizes.iter().map(|n| format!("{n} procs")).collect();
+    let mut series = Series::new(
+        "weight".to_string(),
+        names.iter().map(|s| s.to_string()).collect(),
+    );
+    // One thread per (size, weight) cell; MCMF on 256 nodes x 100
+    // trials is the slow corner.
+    let mut cells: Vec<Vec<Aggregate>> = vec![vec![Aggregate::new(); sizes.len()]; WEIGHTS.len()];
+    crossbeam::thread::scope(|scope| {
+        for (wi, row) in cells.iter_mut().enumerate() {
+            for (si, slot) in row.iter_mut().enumerate() {
+                let n = sizes[si];
+                scope.spawn(move |_| {
+                    let mesh = Mesh2D::near_square(n);
+                    let seed = 0xF1640 + (wi * 16 + si) as u64;
+                    *slot = normalized_cost(&mesh, WEIGHTS[wi], trials, seed);
+                });
+            }
+        }
+    })
+    .expect("fig4 worker panicked");
+    for (wi, row) in cells.iter().enumerate() {
+        series.point(
+            WEIGHTS[wi].to_string(),
+            row.iter().map(|a| a.mean()).collect(),
+        );
+    }
+    println!("{title}");
+    println!("{}", series.render());
+    println!();
+}
+
+fn main() {
+    let trials = arg_usize("--trials", 100);
+    println!("Figure 4: normalized communication cost (C_MWA - C_OPT) / C_OPT");
+    println!("mean over {trials} random load vectors per point\n");
+    panel("(a) 8, 16, and 32 processors", &[8, 16, 32], trials);
+    panel("(b) 64, 128, and 256 processors", &[64, 128, 256], trials);
+}

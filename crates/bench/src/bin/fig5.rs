@@ -1,0 +1,74 @@
+//! Figure 5: normalized quality factors.
+//!
+//! For each scheduler `g`, `(µ_opt − µ_rand) / (µ_opt − µ_g)`: the
+//! randomized baseline scores 1; better schedulers score higher. One
+//! panel per application family, as in the paper. `--nodes N` defaults
+//! to 32.
+
+use rips_bench::{arg_usize, run_table, App, SCHEDULERS};
+use rips_metrics::{optimal_efficiency, quality_factor, Series};
+
+fn main() {
+    let nodes = arg_usize("--nodes", 32);
+    println!("Figure 5: normalized quality factors ({nodes} processors)");
+    println!("(mu_opt - mu_rand) / (mu_opt - mu_g); random == 1; larger is better\n");
+
+    let results = run_table(&App::paper_set(), nodes, 1);
+
+    // µ_opt per workload (rebuilding the workloads is cheaper than
+    // plumbing them out of the parallel table runner).
+    let apps = App::paper_set();
+    let mut mu_opt: Vec<Option<f64>> = (0..apps.len()).map(|_| None).collect();
+    crossbeam::thread::scope(|scope| {
+        for (slot, &app) in mu_opt.iter_mut().zip(&apps) {
+            scope.spawn(move |_| {
+                *slot = Some(optimal_efficiency(&app.build(), nodes));
+            });
+        }
+    })
+    .expect("fig5 worker panicked");
+    let mu_opt: Vec<f64> = mu_opt.into_iter().map(|m| m.expect("filled")).collect();
+
+    type Filter = Box<dyn Fn(&App) -> bool>;
+    let panels: [(&str, Filter); 3] = [
+        (
+            "(a) Exhaustive Search",
+            Box::new(|a| matches!(a, App::Queens(_))),
+        ),
+        (
+            "(b) IDA* Search (15-puzzle)",
+            Box::new(|a| matches!(a, App::Ida(_))),
+        ),
+        ("(c) GROMOS", Box::new(|a| matches!(a, App::Gromos(_)))),
+    ];
+    for (title, filter) in panels {
+        let mut series = Series::new(
+            "workload".to_string(),
+            SCHEDULERS.iter().map(|s| s.to_string()).collect(),
+        );
+        for (i, (app, rows)) in results.iter().enumerate() {
+            if !filter(app) {
+                continue;
+            }
+            let mu_rand = rows
+                .iter()
+                .find(|r| r.scheduler == "Random")
+                .expect("random row")
+                .outcome
+                .efficiency();
+            let values: Vec<f64> = rows
+                .iter()
+                .map(|r| {
+                    // Clamp into the valid domain: simulated µ can
+                    // graze µ_opt on easy instances.
+                    let mu_g = r.outcome.efficiency().min(mu_opt[i] - 1e-6);
+                    quality_factor(mu_opt[i], mu_rand.min(mu_opt[i] - 1e-6), mu_g)
+                })
+                .collect();
+            series.point(app.label(), values);
+        }
+        println!("{title}");
+        println!("{}", series.render());
+        println!();
+    }
+}

@@ -1,0 +1,51 @@
+//! §5's system-phase anatomy for 15-Queens on the 8×4 mesh.
+//!
+//! The paper narrates: "Execution of this problem takes 8 system
+//! phases. There are about 1000 non-local tasks and an average of 125
+//! non-local tasks per system phase. … each system phase takes about
+//! 12 ms for task migration. The total time for task migration of 8
+//! system phases is about 96 ms. It is a small fraction of the total
+//! system overhead, which is 510 ms." This binary prints the same
+//! breakdown for the reproduction.
+
+use rips_bench::{arg_usize, run_scheduler, App};
+use rips_desim::Time;
+
+fn main() {
+    let nodes = arg_usize("--nodes", 32);
+    let w = App::Queens(15).build();
+    let row = run_scheduler("RIPS", &w, nodes, 0.4, 1);
+    let out = &row.outcome;
+
+    println!("15-Queens under RIPS on {nodes} processors (8x4 mesh at 32)\n");
+    println!("system phases:        {}", out.system_phases);
+    println!("total tasks:          {}", row.tasks);
+    println!("non-local tasks:      {}", out.nonlocal);
+    if out.system_phases > 0 {
+        println!(
+            "non-local per phase:  {:.0}",
+            out.nonlocal as f64 / out.system_phases as f64
+        );
+    }
+    let mig_bytes: u64 = out.stats.net.bytes;
+    println!(
+        "migration traffic:    {} messages, {} bytes",
+        out.stats.net.msgs, mig_bytes
+    );
+    println!("mean overhead Th:     {:.3} s", out.overhead_s());
+    println!("mean idle Ti:         {:.3} s", out.idle_s());
+    println!("execution time T:     {:.3} s", out.exec_time_s());
+    let ts: Time = out.stats.total_user_us();
+    println!(
+        "speedup:              {:.1}",
+        ts as f64 / out.stats.end_time as f64
+    );
+    println!("efficiency:           {:.0}%", out.efficiency() * 100.0);
+    println!("\nper-phase log:");
+    for p in &row.phases {
+        println!(
+            "  phase {:3}: {:6} tasks queued, {:5} migrated, edge cost {:6}",
+            p.phase, p.total_tasks, p.migrated, p.edge_cost
+        );
+    }
+}

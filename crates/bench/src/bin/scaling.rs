@@ -1,0 +1,57 @@
+//! Scalability sweep: "parallel scheduling is fast and scalable" (§6).
+//!
+//! Speedup and efficiency of RIPS vs randomized allocation across
+//! machine sizes on one workload (14-Queens by default; `--queens 15`
+//! for the paper's largest instance).
+
+use rips_bench::{arg_usize, run_scheduler, App};
+use rips_metrics::{speedup, Table};
+
+fn main() {
+    let n = arg_usize("--queens", 14) as u32;
+    let app = App::Queens(n);
+    println!(
+        "Scaling sweep: {} under RIPS vs random allocation\n",
+        app.label()
+    );
+    let workload = app.build();
+    let ts = workload.stats().total_work_us;
+    println!(
+        "sequential work Ts = {:.2} s over {} tasks\n",
+        ts as f64 / 1e6,
+        workload.stats().tasks
+    );
+
+    let sizes = [8usize, 16, 32, 64, 128];
+    let mut table = Table::new(vec![
+        "procs",
+        "RIPS speedup",
+        "RIPS mu",
+        "random speedup",
+        "random mu",
+        "RIPS phases",
+    ]);
+    let mut rows: Vec<Option<Vec<String>>> = (0..sizes.len()).map(|_| None).collect();
+    crossbeam::thread::scope(|scope| {
+        for (slot, &nodes) in rows.iter_mut().zip(&sizes) {
+            let workload = &workload;
+            scope.spawn(move |_| {
+                let rips = run_scheduler("RIPS", workload, nodes, 0.4, 1);
+                let rand = run_scheduler("Random", workload, nodes, 0.4, 1);
+                *slot = Some(vec![
+                    nodes.to_string(),
+                    format!("{:.1}", speedup(ts, rips.outcome.stats.end_time)),
+                    format!("{:.0}%", rips.outcome.efficiency() * 100.0),
+                    format!("{:.1}", speedup(ts, rand.outcome.stats.end_time)),
+                    format!("{:.0}%", rand.outcome.efficiency() * 100.0),
+                    rips.outcome.system_phases.to_string(),
+                ]);
+            });
+        }
+    })
+    .expect("scaling worker panicked");
+    for row in rows {
+        table.row(row.expect("slot filled"));
+    }
+    println!("{}", table.render());
+}

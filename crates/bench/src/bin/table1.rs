@@ -1,0 +1,62 @@
+//! Table I: comparison of scheduling algorithms on 32 processors.
+//!
+//! Columns as in the paper: number of tasks, non-local tasks, overhead
+//! time `Th`, idle time `Ti`, execution time `T` (all seconds of
+//! virtual machine time), and efficiency `µ`. `--nodes N` changes the
+//! machine size; `--verbose` appends the RIPS per-phase log.
+
+use rips_bench::{arg_flag, arg_usize, run_table, App};
+use rips_metrics::Table;
+
+fn main() {
+    let nodes = arg_usize("--nodes", 32);
+    let verbose = arg_flag("--verbose");
+    println!("Table I: comparison of scheduling algorithms on {nodes} processors\n");
+    let results = run_table(&App::paper_set(), nodes, 1);
+
+    let mut table = Table::new(vec![
+        "workload",
+        "scheduler",
+        "# tasks",
+        "# nonlocal",
+        "Th (s)",
+        "Ti (s)",
+        "T (s)",
+        "mu",
+    ]);
+    for (app, rows) in &results {
+        for row in rows {
+            table.row(vec![
+                app.label(),
+                row.scheduler.to_string(),
+                row.tasks.to_string(),
+                row.outcome.nonlocal.to_string(),
+                format!("{:.2}", row.outcome.overhead_s()),
+                format!("{:.2}", row.outcome.idle_s()),
+                format!("{:.2}", row.outcome.exec_time_s()),
+                format!("{:.0}%", row.outcome.efficiency() * 100.0),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+
+    if verbose {
+        for (app, rows) in &results {
+            let rips = rows
+                .iter()
+                .find(|r| r.scheduler == "RIPS")
+                .expect("RIPS row");
+            println!(
+                "\n{}: {} system phases",
+                app.label(),
+                rips.outcome.system_phases
+            );
+            for p in &rips.phases {
+                println!(
+                    "  phase {:3} round {:2}: {:6} tasks queued, {:5} migrated, edge cost {:6}",
+                    p.phase, p.round, p.total_tasks, p.migrated, p.edge_cost
+                );
+            }
+        }
+    }
+}

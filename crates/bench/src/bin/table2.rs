@@ -1,0 +1,32 @@
+//! Table II: optimal efficiencies for the test problems.
+//!
+//! "An optimal efficiency is calculated assuming (1) optimal
+//! scheduling; and (2) no overhead." Computed by zero-overhead LPT
+//! list scheduling over each workload's precedence-constrained task
+//! forest, with round barriers. `--nodes N` defaults to the paper's 32.
+
+use rips_bench::{arg_usize, App};
+use rips_metrics::{optimal_efficiency, Table};
+
+fn main() {
+    let nodes = arg_usize("--nodes", 32);
+    println!("Table II: optimal efficiencies for the test problems ({nodes} processors)\n");
+    let apps = App::paper_set();
+    let mut rows: Vec<Option<(String, f64)>> = (0..apps.len()).map(|_| None).collect();
+    crossbeam::thread::scope(|scope| {
+        for (slot, &app) in rows.iter_mut().zip(&apps) {
+            scope.spawn(move |_| {
+                let w = app.build();
+                *slot = Some((app.label(), optimal_efficiency(&w, nodes)));
+            });
+        }
+    })
+    .expect("table2 worker panicked");
+
+    let mut table = Table::new(vec!["workload", "optimal efficiency"]);
+    for row in rows {
+        let (label, mu) = row.expect("slot filled");
+        table.row(vec![label, format!("{:.1}%", mu * 100.0)]);
+    }
+    println!("{}", table.render());
+}

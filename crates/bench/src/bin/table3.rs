@@ -1,0 +1,29 @@
+//! Table III: speedup comparison on 64 and 128 processors.
+//!
+//! Speedup = `Ts / Tp` with `Ts` the workload's total sequential work.
+//! The largest instance of each family, as in the paper: 15-Queens,
+//! IDA\* configuration #3, GROMOS at 16 Å. RID's update factor follows
+//! the paper's adjustment (0.7 for IDA\* at these sizes, 0.4 elsewhere).
+
+use rips_bench::{run_table, App};
+use rips_metrics::{speedup, Table};
+
+fn main() {
+    println!("Table III: speedup comparison on 64 and 128 processors\n");
+    let apps = App::table3_set();
+    let mut table = Table::new(vec!["workload", "scheduler", "64 procs", "128 procs"]);
+    let results64 = run_table(&apps, 64, 1);
+    let results128 = run_table(&apps, 128, 1);
+    for ((app, rows64), (_, rows128)) in results64.iter().zip(&results128) {
+        for (r64, r128) in rows64.iter().zip(rows128) {
+            let ts = r64.outcome.stats.total_user_us();
+            table.row(vec![
+                app.label(),
+                r64.scheduler.to_string(),
+                format!("{:.1}", speedup(ts, r64.outcome.stats.end_time)),
+                format!("{:.1}", speedup(ts, r128.outcome.stats.end_time)),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+}

@@ -1,0 +1,273 @@
+//! Shared experiment drivers behind the table/figure regenerators.
+//!
+//! Every binary in `src/bin/` prints the rows or series of one paper
+//! artifact (see DESIGN.md §4 for the index):
+//!
+//! | binary              | paper artifact |
+//! |---------------------|----------------|
+//! | `fig4`              | Figure 4 (a)+(b): MWA normalized communication cost |
+//! | `table1`            | Table I: scheduler comparison on 32 processors |
+//! | `table2`            | Table II: optimal efficiencies |
+//! | `fig5`              | Figure 5 (a)–(c): normalized quality factors |
+//! | `table3`            | Table III: speedups on 64 and 128 processors |
+//! | `ablation_policies` | eager/lazy × ALL/ANY (± eureka) policy matrix (paper §2, ref \[24\]) |
+//! | `ablation_interval` | periodic transfer-test interval sweep (paper §2) |
+//! | `ablation_weighted` | task-count vs estimated-weight load metric |
+//! | `ablation_contention` | contention-free vs store-and-forward network |
+//! | `sid_vs_rid`        | sender- vs receiver-initiated diffusion (ref \[11\]) |
+//! | `scaling`           | speedup/efficiency across machine sizes (§6) |
+//! | `timeline`          | per-node utilization Gantt charts |
+//! | `phase_anatomy`     | §5's 15-Queens system-phase breakdown |
+
+use std::rc::Rc;
+use std::sync::Arc;
+
+use rips_apps::{gromos, nqueens, puzzle, GromosConfig, NQueensConfig, PuzzleConfig};
+use rips_balancers::{gradient, random, rid, GradientParams, RidParams};
+use rips_core::{rips, Machine, PhaseLog, RipsConfig};
+use rips_desim::LatencyModel;
+use rips_runtime::{Costs, RunOutcome};
+use rips_taskgraph::Workload;
+use rips_topology::{Mesh2D, Topology};
+
+/// The nine Table I workloads.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum App {
+    /// Exhaustive N-Queens search.
+    Queens(u32),
+    /// IDA\* 15-puzzle, paper configuration 1–3.
+    Ida(u32),
+    /// GROMOS-like MD at the given cutoff (Å).
+    Gromos(f64),
+}
+
+impl App {
+    /// Table I's rows, in paper order.
+    pub fn paper_set() -> Vec<App> {
+        vec![
+            App::Queens(13),
+            App::Queens(14),
+            App::Queens(15),
+            App::Ida(1),
+            App::Ida(2),
+            App::Ida(3),
+            App::Gromos(8.0),
+            App::Gromos(12.0),
+            App::Gromos(16.0),
+        ]
+    }
+
+    /// Table III's subset: the largest instance of each family.
+    pub fn table3_set() -> Vec<App> {
+        vec![App::Queens(15), App::Ida(3), App::Gromos(16.0)]
+    }
+
+    /// Paper row label.
+    pub fn label(&self) -> String {
+        match self {
+            App::Queens(n) => format!("{n}-Queens"),
+            App::Ida(c) => format!("IDA* config #{c}"),
+            App::Gromos(r) => format!("GROMOS ({r} A)"),
+        }
+    }
+
+    /// Builds the workload (expensive: runs the real application).
+    pub fn build(&self) -> Workload {
+        match *self {
+            App::Queens(n) => nqueens(NQueensConfig::paper(n)),
+            App::Ida(c) => puzzle(PuzzleConfig::paper(c)),
+            App::Gromos(r) => gromos(GromosConfig::paper(r)),
+        }
+    }
+
+    /// The RID load-update factor the paper uses for this app/machine
+    /// size: 0.4 everywhere except IDA\* on ≥ 64 processors (0.7).
+    pub fn rid_u(&self, nodes: usize) -> f64 {
+        match self {
+            App::Ida(_) if nodes >= 64 => 0.7,
+            _ => 0.4,
+        }
+    }
+}
+
+/// One scheduler's measured Table I row.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Scheduler name as printed.
+    pub scheduler: &'static str,
+    /// Total tasks in the workload.
+    pub tasks: u64,
+    /// The measured outcome.
+    pub outcome: RunOutcome,
+    /// RIPS phase log (empty for the baselines).
+    pub phases: Vec<PhaseLog>,
+}
+
+/// The four Table I schedulers, in paper order.
+pub const SCHEDULERS: [&str; 4] = ["Random", "Gradient", "RID", "RIPS"];
+
+/// Runs one scheduler on `workload` over a near-square mesh of
+/// `nodes` processors.
+pub fn run_scheduler(
+    scheduler: &'static str,
+    workload: &Workload,
+    nodes: usize,
+    rid_u: f64,
+    seed: u64,
+) -> Row {
+    let mesh = Mesh2D::near_square(nodes);
+    let topo: Arc<dyn Topology> = Arc::new(mesh.clone());
+    let w = Rc::new(workload.clone());
+    let costs = Costs::default();
+    let lat = LatencyModel::paragon();
+    let tasks = workload.stats().tasks as u64;
+    let (outcome, phases) = match scheduler {
+        "Random" => (random(w, topo, lat, costs, seed), Vec::new()),
+        "Gradient" => (
+            gradient(w, topo, lat, costs, seed, GradientParams::default()),
+            Vec::new(),
+        ),
+        "RID" => (
+            rid(
+                w,
+                topo,
+                lat,
+                costs,
+                seed,
+                RidParams {
+                    u: rid_u,
+                    ..RidParams::default()
+                },
+            ),
+            Vec::new(),
+        ),
+        "RIPS" => {
+            let out = rips(
+                w,
+                Machine::Mesh(mesh),
+                lat,
+                costs,
+                seed,
+                RipsConfig::default(),
+            );
+            (out.run, out.phases)
+        }
+        other => panic!("unknown scheduler {other}"),
+    };
+    outcome
+        .verify_complete(workload)
+        .unwrap_or_else(|e| panic!("{scheduler} on {}: {e}", workload.name));
+    Row {
+        scheduler,
+        tasks,
+        outcome,
+        phases,
+    }
+}
+
+/// Runs the full Table I grid: every workload × every scheduler, with
+/// workloads processed on parallel OS threads (each thread builds its
+/// own workload; the simulations themselves are single-threaded and
+/// deterministic).
+pub fn run_table(apps: &[App], nodes: usize, seed: u64) -> Vec<(App, Vec<Row>)> {
+    let mut results: Vec<Option<(App, Vec<Row>)>> = (0..apps.len()).map(|_| None).collect();
+    crossbeam::thread::scope(|scope| {
+        for (slot, &app) in results.iter_mut().zip(apps) {
+            scope.spawn(move |_| {
+                let workload = app.build();
+                let rows = SCHEDULERS
+                    .iter()
+                    .map(|&s| run_scheduler(s, &workload, nodes, app.rid_u(nodes), seed))
+                    .collect();
+                *slot = Some((app, rows));
+            });
+        }
+    })
+    .expect("experiment thread panicked");
+    results
+        .into_iter()
+        .map(|r| r.expect("slot filled"))
+        .collect()
+}
+
+/// Runs RIPS with an explicit configuration (ablation support).
+pub fn run_rips_with(workload: &Workload, nodes: usize, cfg: RipsConfig, seed: u64) -> Row {
+    let mesh = Mesh2D::near_square(nodes);
+    let w = Rc::new(workload.clone());
+    let out = rips(
+        w,
+        Machine::Mesh(mesh),
+        LatencyModel::paragon(),
+        Costs::default(),
+        seed,
+        cfg,
+    );
+    out.run
+        .verify_complete(workload)
+        .unwrap_or_else(|e| panic!("RIPS {cfg:?}: {e}"));
+    Row {
+        scheduler: "RIPS",
+        tasks: workload.stats().tasks as u64,
+        outcome: out.run,
+        phases: out.phases,
+    }
+}
+
+/// `--nodes N` style flag parsing for the report binaries.
+pub fn arg_usize(name: &str, default: usize) -> usize {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == name {
+            return args
+                .next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("{name} needs an integer"));
+        }
+    }
+    default
+}
+
+/// `--flag` presence check.
+pub fn arg_flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_set_has_nine_rows() {
+        assert_eq!(App::paper_set().len(), 9);
+    }
+
+    #[test]
+    fn rid_u_follows_paper_rules() {
+        assert_eq!(App::Queens(15).rid_u(128), 0.4);
+        assert_eq!(App::Ida(3).rid_u(32), 0.4);
+        assert_eq!(App::Ida(3).rid_u(64), 0.7);
+    }
+
+    #[test]
+    fn labels_match_paper_wording() {
+        assert_eq!(App::Queens(13).label(), "13-Queens");
+        assert_eq!(App::Ida(2).label(), "IDA* config #2");
+        assert_eq!(App::Gromos(16.0).label(), "GROMOS (16 A)");
+    }
+
+    #[test]
+    fn small_grid_runs_end_to_end() {
+        // A miniature Table I cell: tiny queens instance, all four
+        // schedulers, 8 nodes.
+        let w = nqueens(NQueensConfig {
+            n: 9,
+            split_depth: 3,
+            root_depth: 2,
+            ns_per_node: 1800,
+        });
+        for s in SCHEDULERS {
+            let row = run_scheduler(s, &w, 8, 0.4, 1);
+            assert_eq!(row.outcome.total_executed(), w.stats().tasks as u64);
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Closed-form communication-step counts used by the runtimes to charge
+//! system-phase time without re-simulating each collective.
+
+use rips_topology::Mesh2D;
+
+/// Communication steps of one full Mesh Walking Algorithm invocation on
+/// an `n1 × n2` mesh: `3(n1 + n2)` (paper §3: step 1 ≈ n2, step 2 ≈ n1,
+/// broadcast/spread ≈ n1 + n2, steps 4–5 ≤ n1 + n2).
+pub fn mwa_steps(mesh: &Mesh2D) -> usize {
+    3 * (mesh.rows() + mesh.cols())
+}
+
+/// Communication steps of the dimension-exchange method on a
+/// `d`-dimensional hypercube: one exchange per dimension.
+pub fn dem_steps(dim: usize) -> usize {
+    dim
+}
+
+/// Communication steps of the tree walking algorithm on an `n`-node
+/// tree: an up sweep plus a down sweep, `O(log n)` on a balanced tree —
+/// `2 · height` exactly.
+pub fn twa_steps(height: usize) -> usize {
+    2 * height
+}
+
+/// Steps for a flood broadcast from the worst-placed root: the topology
+/// diameter.
+pub fn broadcast_steps(diameter: usize) -> usize {
+    diameter
+}
+
+/// Steps for a convergecast reduce to the worst-placed root: the
+/// topology diameter.
+pub fn reduce_steps(diameter: usize) -> usize {
+    diameter
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_mwa_steps() {
+        // The paper's Table I machine: 32 processors as an 8x4 mesh
+        // gives 3 * (8 + 4) = 36 steps per system phase.
+        assert_eq!(mwa_steps(&Mesh2D::new(8, 4)), 36);
+    }
+
+    #[test]
+    fn dem_is_logarithmic() {
+        assert_eq!(dem_steps(5), 5); // 32 nodes
+        assert_eq!(dem_steps(7), 7); // 128 nodes
+    }
+
+    #[test]
+    fn twa_is_two_sweeps() {
+        assert_eq!(twa_steps(5), 10);
+    }
+}

@@ -1,0 +1,28 @@
+//! Synchronous (BSP-style) collective operations with communication-step
+//! accounting.
+//!
+//! The paper's system phase is *synchronous*: "parallel scheduling is
+//! stable because of its synchronous operation" (§1), and MWA's cost is
+//! stated in **communication steps** — synchronized rounds in which every
+//! node may exchange one message with a direct neighbour (`3(n1+n2)`
+//! steps total, §3).
+//!
+//! This crate provides:
+//!
+//! * [`BspMachine`] — a deterministic lock-step executor for per-node
+//!   state machines restricted to neighbour communication, which counts
+//!   rounds and messages;
+//! * the collective operations the Mesh Walking Algorithm is built from
+//!   (row scan, scan-with-sum, broadcast, row spread, reduce,
+//!   or-barrier), each implemented *as* a BSP program and each checked
+//!   against its sequential specification;
+//! * closed-form step-count formulas used by the RIPS runtime to charge
+//!   system-phase time to the simulator clock.
+
+mod bsp;
+mod cost;
+mod ops;
+
+pub use bsp::{BspMachine, BspOutcome, BspProgram};
+pub use cost::{broadcast_steps, dem_steps, mwa_steps, reduce_steps, twa_steps};
+pub use ops::{broadcast, or_barrier, reduce_sum, row_prefix_scan, scan_with_sum};

@@ -1,0 +1,453 @@
+//! The collective operations the paper's system phase is built from,
+//! each realised as a [`BspProgram`] so its communication-step cost is
+//! *measured*, not asserted.
+
+use rips_topology::{Mesh2D, NodeId, Topology};
+
+use crate::bsp::{BspMachine, BspOutcome, BspProgram};
+
+// ---------------------------------------------------------------------
+// Row prefix scan (MWA step 1)
+// ---------------------------------------------------------------------
+
+struct RowScanProg {
+    w: i64,
+    cols: usize,
+    prefix: Vec<i64>,
+}
+
+impl BspProgram for RowScanProg {
+    type Msg = Vec<i64>;
+
+    fn round(
+        &mut self,
+        me: NodeId,
+        round: usize,
+        inbox: Vec<(NodeId, Vec<i64>)>,
+        outbox: &mut Vec<(NodeId, Vec<i64>)>,
+    ) {
+        let col = me % self.cols;
+        if round == 0 && col == 0 {
+            self.prefix = vec![self.w];
+            if self.cols > 1 {
+                outbox.push((me + 1, self.prefix.clone()));
+            }
+        }
+        for (_, mut v) in inbox {
+            v.push(self.w);
+            self.prefix = v;
+            if col + 1 < self.cols {
+                outbox.push((me + 1, self.prefix.clone()));
+            }
+        }
+    }
+}
+
+/// MWA step 1: scan the partial load vector `w` along each mesh row, so
+/// node `(i, j)` ends up holding `w_{i,0..=j}`.
+///
+/// Returns the per-node prefix vectors (indexed by node id) and the
+/// measured outcome (`n2 - 1` communication steps).
+pub fn row_prefix_scan(mesh: &Mesh2D, w: &[i64]) -> (Vec<Vec<i64>>, BspOutcome) {
+    assert_eq!(w.len(), mesh.len(), "one weight per node required");
+    let cols = mesh.cols();
+    let machine = BspMachine::new(mesh, |id| RowScanProg {
+        w: w[id],
+        cols,
+        prefix: Vec::new(),
+    });
+    let (nodes, out) = machine.run(mesh.len() + 2);
+    (nodes.into_iter().map(|p| p.prefix).collect(), out)
+}
+
+// ---------------------------------------------------------------------
+// Scan-with-sum down the last column (MWA step 2)
+// ---------------------------------------------------------------------
+
+struct ColScanProg {
+    s: i64,
+    rows: usize,
+    cols: usize,
+    /// `(t_{i-1}, t_i)`: the running total before and after this row.
+    t: Option<(i64, i64)>,
+}
+
+impl BspProgram for ColScanProg {
+    type Msg = i64;
+
+    fn round(
+        &mut self,
+        me: NodeId,
+        round: usize,
+        inbox: Vec<(NodeId, i64)>,
+        outbox: &mut Vec<(NodeId, i64)>,
+    ) {
+        let (row, col) = (me / self.cols, me % self.cols);
+        if col + 1 != self.cols {
+            return; // only the last column participates
+        }
+        if round == 0 && row == 0 {
+            self.t = Some((0, self.s));
+            if self.rows > 1 {
+                outbox.push((me + self.cols, self.s));
+            }
+        }
+        for (_, prev) in inbox {
+            self.t = Some((prev, prev + self.s));
+            if row + 1 < self.rows {
+                outbox.push((me + self.cols, prev + self.s));
+            }
+        }
+    }
+}
+
+/// MWA step 2: nodes `(i, n2-1)` hold row sums `s_i`; a scan-with-sum
+/// down the last column yields `t_i = Σ_{k≤i} s_k` (and `t_{i-1}`).
+///
+/// Returns per-row `(t_{i-1}, t_i)` pairs and the measured outcome
+/// (`n1 - 1` communication steps).
+pub fn scan_with_sum(mesh: &Mesh2D, s: &[i64]) -> (Vec<(i64, i64)>, BspOutcome) {
+    assert_eq!(s.len(), mesh.rows(), "one partial sum per row required");
+    let (rows, cols) = (mesh.rows(), mesh.cols());
+    let machine = BspMachine::new(mesh, |id| ColScanProg {
+        s: if id % cols == cols - 1 {
+            s[id / cols]
+        } else {
+            0
+        },
+        rows,
+        cols,
+        t: None,
+    });
+    let (nodes, out) = machine.run(mesh.len() + 2);
+    let per_row = (0..rows)
+        .map(|i| {
+            nodes[i * cols + cols - 1]
+                .t
+                .expect("column scan must reach every row")
+        })
+        .collect();
+    (per_row, out)
+}
+
+// ---------------------------------------------------------------------
+// Broadcast (flood)
+// ---------------------------------------------------------------------
+
+/// Blind flood: forward to every neighbour except the sender on first
+/// receipt. Used by the or-barrier, where the initiator is unknown in
+/// advance; informs everyone within `ecc(initiator)` steps but may spend
+/// one extra tail round on duplicate suppression.
+struct FloodProg<V: Clone> {
+    value: Option<V>,
+    neighbors: Vec<NodeId>,
+}
+
+impl<V: Clone> BspProgram for FloodProg<V> {
+    type Msg = V;
+
+    fn round(
+        &mut self,
+        _me: NodeId,
+        round: usize,
+        inbox: Vec<(NodeId, V)>,
+        outbox: &mut Vec<(NodeId, V)>,
+    ) {
+        if round == 0 {
+            if let Some(v) = &self.value {
+                for &nb in &self.neighbors {
+                    outbox.push((nb, v.clone()));
+                }
+            }
+            return;
+        }
+        if self.value.is_some() {
+            return; // already informed; drop duplicates
+        }
+        if let Some((from, v)) = inbox.into_iter().next() {
+            self.value = Some(v.clone());
+            for &nb in &self.neighbors {
+                if nb != from {
+                    outbox.push((nb, v.clone()));
+                }
+            }
+        }
+    }
+}
+
+/// Directed flood used for rooted broadcast: since SPMD nodes know the
+/// topology and the root, each node forwards only to neighbours strictly
+/// farther from the root, finishing in exactly `ecc(root)` steps with
+/// one message per BFS-tree-ish edge.
+struct RootedFloodProg<V: Clone> {
+    value: Option<V>,
+    downhill: Vec<NodeId>,
+}
+
+impl<V: Clone> BspProgram for RootedFloodProg<V> {
+    type Msg = V;
+
+    fn round(
+        &mut self,
+        _me: NodeId,
+        round: usize,
+        inbox: Vec<(NodeId, V)>,
+        outbox: &mut Vec<(NodeId, V)>,
+    ) {
+        if round == 0 {
+            if let Some(v) = &self.value {
+                for &nb in &self.downhill {
+                    outbox.push((nb, v.clone()));
+                }
+            }
+            return;
+        }
+        if self.value.is_some() {
+            return;
+        }
+        if let Some((_, v)) = inbox.into_iter().next() {
+            self.value = Some(v.clone());
+            for &nb in &self.downhill {
+                outbox.push((nb, v.clone()));
+            }
+        }
+    }
+}
+
+/// Broadcast `value` from `root` to every node. Returns the received
+/// value at each node and the measured outcome (exactly the
+/// eccentricity of `root` in communication steps).
+pub fn broadcast<V: Clone>(topo: &dyn Topology, root: NodeId, value: V) -> (Vec<V>, BspOutcome) {
+    let machine = BspMachine::new(topo, |id| RootedFloodProg {
+        value: (id == root).then(|| value.clone()),
+        downhill: topo
+            .neighbors(id)
+            .into_iter()
+            .filter(|&nb| crate::ops::hopdist(topo, root, nb) > crate::ops::hopdist(topo, root, id))
+            .collect(),
+    });
+    let (nodes, out) = machine.run(topo.len() + 2);
+    (
+        nodes
+            .into_iter()
+            .map(|p| p.value.expect("flood must reach every node"))
+            .collect(),
+        out,
+    )
+}
+
+// ---------------------------------------------------------------------
+// Reduce (convergecast on a BFS tree)
+// ---------------------------------------------------------------------
+
+struct ReduceProg {
+    acc: i64,
+    parent: Option<NodeId>,
+    pending_children: usize,
+    sent: bool,
+}
+
+impl BspProgram for ReduceProg {
+    type Msg = i64;
+
+    fn round(
+        &mut self,
+        _me: NodeId,
+        _round: usize,
+        inbox: Vec<(NodeId, i64)>,
+        outbox: &mut Vec<(NodeId, i64)>,
+    ) {
+        for (_, v) in inbox {
+            self.acc += v;
+            self.pending_children -= 1;
+        }
+        if !self.sent && self.pending_children == 0 {
+            if let Some(p) = self.parent {
+                outbox.push((p, self.acc));
+                self.sent = true;
+            }
+        }
+    }
+}
+
+/// Sum-reduce `values` to `root` along a BFS spanning tree. Returns the
+/// total (as held by the root) and the measured outcome.
+pub fn reduce_sum(topo: &dyn Topology, values: &[i64], root: NodeId) -> (i64, BspOutcome) {
+    assert_eq!(values.len(), topo.len());
+    let (parent, child_count) = bfs_tree(topo, root);
+    let machine = BspMachine::new(topo, |id| ReduceProg {
+        acc: values[id],
+        parent: parent[id],
+        pending_children: child_count[id],
+        sent: false,
+    });
+    let (nodes, out) = machine.run(topo.len() + 2);
+    (nodes[root].acc, out)
+}
+
+/// Shortest-path hop distance (delegates to the topology's metric).
+fn hopdist(topo: &dyn Topology, a: NodeId, b: NodeId) -> usize {
+    topo.distance(a, b)
+}
+
+/// BFS spanning tree: per-node parent (None at root) and child count.
+fn bfs_tree(topo: &dyn Topology, root: NodeId) -> (Vec<Option<NodeId>>, Vec<usize>) {
+    use std::collections::VecDeque;
+    let n = topo.len();
+    let mut parent = vec![None; n];
+    let mut seen = vec![false; n];
+    let mut child_count = vec![0usize; n];
+    seen[root] = true;
+    let mut q = VecDeque::from([root]);
+    while let Some(u) = q.pop_front() {
+        for v in topo.neighbors(u) {
+            if !seen[v] {
+                seen[v] = true;
+                parent[v] = Some(u);
+                child_count[u] += 1;
+                q.push_back(v);
+            }
+        }
+    }
+    assert!(seen.iter().all(|&s| s), "topology must be connected");
+    (parent, child_count)
+}
+
+// ---------------------------------------------------------------------
+// Or-barrier ("eureka", Cray T3D style)
+// ---------------------------------------------------------------------
+
+/// Or-barrier: nodes whose `flags` entry is set flood a eureka token;
+/// returns whether any flag was set and the measured outcome (0 steps
+/// when no flag is set; otherwise at most the topology diameter).
+pub fn or_barrier(topo: &dyn Topology, flags: &[bool]) -> (bool, BspOutcome) {
+    assert_eq!(flags.len(), topo.len());
+    let machine = BspMachine::new(topo, |id| FloodProg {
+        value: flags[id].then_some(()),
+        neighbors: topo.neighbors(id),
+    });
+    let any = flags.iter().any(|&f| f);
+    let (nodes, out) = machine.run(topo.len() + 2);
+    if any {
+        assert!(
+            nodes.iter().all(|p| p.value.is_some()),
+            "eureka must reach every node"
+        );
+    }
+    (any, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rips_topology::{bfs_distance, BinaryTree, Hypercube};
+
+    fn eccentricity(topo: &dyn Topology, root: NodeId) -> usize {
+        (0..topo.len())
+            .map(|b| bfs_distance(topo, root, b))
+            .max()
+            .unwrap()
+    }
+
+    #[test]
+    fn row_scan_matches_sequential_prefixes() {
+        let mesh = Mesh2D::new(3, 4);
+        let w: Vec<i64> = (0..12).map(|x| (x * x % 7) as i64).collect();
+        let (prefixes, out) = row_prefix_scan(&mesh, &w);
+        for i in 0..3 {
+            for j in 0..4 {
+                let id = mesh.id(i, j);
+                let expect: Vec<i64> = (0..=j).map(|k| w[mesh.id(i, k)]).collect();
+                assert_eq!(prefixes[id], expect, "node ({i},{j})");
+            }
+        }
+        assert_eq!(out.comm_steps, 3); // n2 - 1
+    }
+
+    #[test]
+    fn row_scan_single_column() {
+        let mesh = Mesh2D::new(4, 1);
+        let w = vec![5, 6, 7, 8];
+        let (prefixes, out) = row_prefix_scan(&mesh, &w);
+        assert_eq!(prefixes, vec![vec![5], vec![6], vec![7], vec![8]]);
+        assert_eq!(out.comm_steps, 0);
+    }
+
+    #[test]
+    fn column_scan_running_totals() {
+        let mesh = Mesh2D::new(4, 3);
+        let s = vec![10, 20, 30, 40];
+        let (t, out) = scan_with_sum(&mesh, &s);
+        assert_eq!(t, vec![(0, 10), (10, 30), (30, 60), (60, 100)]);
+        assert_eq!(out.comm_steps, 3); // n1 - 1
+    }
+
+    #[test]
+    fn broadcast_reaches_all_in_eccentricity_steps() {
+        for topo in [
+            Box::new(Mesh2D::new(4, 5)) as Box<dyn Topology>,
+            Box::new(BinaryTree::new(13)),
+            Box::new(Hypercube::new(4)),
+        ] {
+            let (values, out) = broadcast(topo.as_ref(), 0, 0xC0FFEEu64);
+            assert!(values.iter().all(|&v| v == 0xC0FFEE));
+            assert_eq!(
+                out.comm_steps,
+                eccentricity(topo.as_ref(), 0),
+                "{}",
+                topo.label()
+            );
+        }
+    }
+
+    #[test]
+    fn reduce_sums_to_root() {
+        let topo = Mesh2D::new(3, 3);
+        let values: Vec<i64> = (1..=9).collect();
+        let (total, out) = reduce_sum(&topo, &values, 4);
+        assert_eq!(total, 45);
+        // Convergecast from the centre of a 3x3 mesh: 2 steps.
+        assert_eq!(out.comm_steps, 2);
+    }
+
+    #[test]
+    fn reduce_on_single_node() {
+        let topo = Mesh2D::new(1, 1);
+        let (total, out) = reduce_sum(&topo, &[17], 0);
+        assert_eq!(total, 17);
+        assert_eq!(out.comm_steps, 0);
+    }
+
+    #[test]
+    fn or_barrier_silent_when_unset() {
+        let topo = Mesh2D::new(4, 4);
+        let (any, out) = or_barrier(&topo, &[false; 16]);
+        assert!(!any);
+        assert_eq!(out.comm_steps, 0);
+    }
+
+    #[test]
+    fn or_barrier_floods_from_initiator() {
+        let topo = Mesh2D::new(4, 4);
+        let mut flags = [false; 16];
+        flags[5] = true;
+        let (any, out) = or_barrier(&topo, &flags);
+        assert!(any);
+        // Blind flood informs everyone in ecc steps; duplicate
+        // suppression may cost one extra tail round.
+        let ecc = eccentricity(&topo, 5);
+        assert!(out.comm_steps == ecc || out.comm_steps == ecc + 1);
+    }
+
+    #[test]
+    fn or_barrier_multiple_initiators_is_faster() {
+        let topo = Mesh2D::new(1, 9);
+        let mut one = [false; 9];
+        one[0] = true;
+        let mut two = one;
+        two[8] = true;
+        let (_, slow) = or_barrier(&topo, &one);
+        let (_, fast) = or_barrier(&topo, &two);
+        assert!(fast.comm_steps < slow.comm_steps);
+    }
+}

@@ -1,0 +1,76 @@
+//! Property tests: every collective equals its sequential
+//! specification on arbitrary meshes and load vectors, with the step
+//! counts the paper's cost model assumes.
+
+use proptest::prelude::*;
+use rips_collectives::{broadcast, or_barrier, reduce_sum, row_prefix_scan, scan_with_sum};
+use rips_topology::{Mesh2D, Topology};
+
+fn mesh_and_values() -> impl Strategy<Value = (Mesh2D, Vec<i64>)> {
+    ((1usize..=6), (1usize..=6)).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-50i64..=50, r * c).prop_map(move |v| (Mesh2D::new(r, c), v))
+    })
+}
+
+proptest! {
+    /// Row scan: node (i, j) holds exactly w[i][0..=j], in n2−1 steps.
+    #[test]
+    fn row_scan_specification((mesh, w) in mesh_and_values()) {
+        let (prefixes, out) = row_prefix_scan(&mesh, &w);
+        for i in 0..mesh.rows() {
+            for j in 0..mesh.cols() {
+                let expect: Vec<i64> = (0..=j).map(|k| w[mesh.id(i, k)]).collect();
+                prop_assert_eq!(&prefixes[mesh.id(i, j)], &expect);
+            }
+        }
+        prop_assert_eq!(out.comm_steps, mesh.cols() - 1);
+    }
+
+    /// Column scan-with-sum: running totals of the row sums, in n1−1
+    /// steps.
+    #[test]
+    fn scan_with_sum_specification((mesh, w) in mesh_and_values()) {
+        let s: Vec<i64> = (0..mesh.rows())
+            .map(|i| (0..mesh.cols()).map(|j| w[mesh.id(i, j)]).sum())
+            .collect();
+        let (t, out) = scan_with_sum(&mesh, &s);
+        let mut run = 0;
+        for i in 0..mesh.rows() {
+            prop_assert_eq!(t[i].0, run);
+            run += s[i];
+            prop_assert_eq!(t[i].1, run);
+        }
+        prop_assert_eq!(out.comm_steps, mesh.rows() - 1);
+    }
+
+    /// Reduce: the root ends with the exact total.
+    #[test]
+    fn reduce_specification((mesh, w) in mesh_and_values(), root_pick in 0usize..36) {
+        let root = root_pick % mesh.len();
+        let (total, _) = reduce_sum(&mesh, &w, root);
+        prop_assert_eq!(total, w.iter().sum::<i64>());
+    }
+
+    /// Broadcast: every node gets the value in ecc(root) steps exactly.
+    #[test]
+    fn broadcast_specification((mesh, _) in mesh_and_values(), root_pick in 0usize..36) {
+        let root = root_pick % mesh.len();
+        let (values, out) = broadcast(&mesh, root, 0xBEEFu64);
+        prop_assert!(values.iter().all(|&v| v == 0xBEEF));
+        let ecc = (0..mesh.len()).map(|b| mesh.distance(root, b)).max().unwrap();
+        prop_assert_eq!(out.comm_steps, ecc);
+    }
+
+    /// Or-barrier: true iff any flag is set; silent when none are.
+    #[test]
+    fn or_barrier_specification(
+        (mesh, w) in mesh_and_values(),
+    ) {
+        let flags: Vec<bool> = w.iter().map(|&x| x > 25).collect();
+        let (any, out) = or_barrier(&mesh, &flags);
+        prop_assert_eq!(any, flags.iter().any(|&f| f));
+        if !any {
+            prop_assert_eq!(out.comm_steps, 0);
+        }
+    }
+}

@@ -1,0 +1,82 @@
+use rips_core::{rips, Machine, RipsConfig};
+use rips_desim::LatencyModel;
+use rips_runtime::Costs;
+use rips_topology::Mesh2D;
+use std::rc::Rc;
+use std::sync::Arc;
+
+fn main() {
+    let w = Rc::new(rips_apps::nqueens(rips_apps::NQueensConfig::paper(13)));
+    let s = w.stats();
+    println!(
+        "13-queens: {} tasks, Ts={:.2}s",
+        s.tasks,
+        s.total_work_us as f64 / 1e6
+    );
+    let mesh = Mesh2D::new(8, 4);
+    let t0 = std::time::Instant::now();
+    let out = rips(
+        Rc::clone(&w),
+        Machine::Mesh(mesh.clone()),
+        LatencyModel::paragon(),
+        Costs::default(),
+        1,
+        RipsConfig::default(),
+    );
+    println!(
+        "RIPS:  nonlocal={} Th={:.3} Ti={:.3} T={:.3} mu={:.1}% phases={} (wall {:?})",
+        out.run.nonlocal,
+        out.run.overhead_s(),
+        out.run.idle_s(),
+        out.run.exec_time_s(),
+        out.run.efficiency() * 100.0,
+        out.run.system_phases,
+        t0.elapsed()
+    );
+    out.run.verify_complete(&w).unwrap();
+    for ph in &out.phases {
+        println!(
+            "  phase {:2} round {} total={:6} migrated={:5} cost={:6}",
+            ph.phase, ph.round, ph.total_tasks, ph.migrated, ph.edge_cost
+        );
+    }
+    for (name, f) in [("Random", 0), ("Gradient", 1), ("RID", 2)] {
+        let t0 = std::time::Instant::now();
+        let topo: Arc<dyn rips_topology::Topology> = Arc::new(mesh.clone());
+        let o = match f {
+            0 => rips_balancers::random(
+                Rc::clone(&w),
+                topo,
+                LatencyModel::paragon(),
+                Costs::default(),
+                1,
+            ),
+            1 => rips_balancers::gradient(
+                Rc::clone(&w),
+                topo,
+                LatencyModel::paragon(),
+                Costs::default(),
+                1,
+                Default::default(),
+            ),
+            _ => rips_balancers::rid(
+                Rc::clone(&w),
+                topo,
+                LatencyModel::paragon(),
+                Costs::default(),
+                1,
+                Default::default(),
+            ),
+        };
+        println!(
+            "{name}: nonlocal={} Th={:.3} Ti={:.3} T={:.3} mu={:.1}% (wall {:?})",
+            o.nonlocal,
+            o.overhead_s(),
+            o.idle_s(),
+            o.exec_time_s(),
+            o.efficiency() * 100.0,
+            t0.elapsed()
+        );
+        o.verify_complete(&w).unwrap();
+    }
+}

@@ -1,0 +1,34 @@
+//! **RIPS — Runtime Incremental Parallel Scheduling**, the paper's
+//! primary contribution.
+//!
+//! Execution alternates between *user phases* (task execution and
+//! dynamic task generation) and *system phases* (all processors
+//! cooperatively collect global load information, run a parallel
+//! scheduling algorithm, and migrate tasks). A run starts with a system
+//! phase that schedules the initial tasks (paper Figure 1).
+//!
+//! Policies (paper §2):
+//!
+//! * **local**: [`LocalPolicy::Eager`] keeps two queues — tasks
+//!   generated during a user phase enter the ready-to-schedule (RTS)
+//!   queue and may only execute after a system phase moves them to the
+//!   ready-to-execute (RTE) queue; [`LocalPolicy::Lazy`] uses a single
+//!   RTE queue, so tasks can run where they were generated without
+//!   ever being scheduled.
+//! * **global**: [`GlobalPolicy::Any`] lets the first processor whose
+//!   RTE queue empties broadcast an *init* signal (redundant initiators
+//!   suppressed by the phase-index variable); [`GlobalPolicy::All`]
+//!   aggregates *ready* signals up a logical spanning tree and only the
+//!   root initiates. The paper finds **ANY-Lazy** best.
+//!
+//! The system phase runs a parallel scheduling algorithm from
+//! `rips-sched` — MWA on meshes (the paper's machine), TWA on trees,
+//! DEM on hypercubes — charging `comm_step × steps` of wall-clock time
+//! and per-node CPU overhead, then migrates tasks as real simulator
+//! messages packed per (source, destination) pair.
+
+mod program;
+
+pub use program::{
+    rips, GlobalPolicy, LoadMetric, LocalPolicy, Machine, PhaseLog, RipsConfig, RipsOutcome,
+};

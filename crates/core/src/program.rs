@@ -1,0 +1,812 @@
+//! The per-node RIPS program and its driver.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
+use std::sync::Arc;
+
+use rips_collectives::{dem_steps, mwa_steps, twa_steps};
+use rips_desim::{Ctx, Engine, LatencyModel, Program, Time, WorkKind};
+use rips_runtime::{Costs, NodeExec, Oracle, RunOutcome, TaskInstance};
+use rips_sched::TransferPlan;
+use rips_taskgraph::Workload;
+use rips_topology::{BinaryTree, Hypercube, Mesh2D, NodeId, Topology};
+
+/// Local transfer policy (paper §2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LocalPolicy {
+    /// Two queues; every task is scheduled before execution.
+    Eager,
+    /// One queue; tasks may execute where they were generated.
+    Lazy,
+}
+
+/// Global transfer policy (paper §2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GlobalPolicy {
+    /// First locally-ready processor broadcasts *init*.
+    Any,
+    /// Ready signals aggregate up a logical spanning tree; the root
+    /// initiates once every processor is ready.
+    All,
+    /// The paper's "naive implementation": a global reduction every
+    /// `interval` µs tests the transfer condition; each test charges
+    /// every node a reduction's worth of overhead whether or not it
+    /// fires. "An interval that is too short increases communication
+    /// overhead, and an interval that is too long may result in
+    /// unnecessary processor idle" — swept by the `ablation_interval`
+    /// bench.
+    Periodic(Time),
+}
+
+/// What a processor reports as its "load" in a system phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadMetric {
+    /// Number of queued tasks — the paper's choice: "each task is
+    /// presumed to require the equal execution time … the inaccuracy
+    /// due to the grain-size variation can be corrected in the next
+    /// system phase."
+    TaskCount,
+    /// Sum of the queued tasks' estimated grains (µs) — the
+    /// programmer/compiler estimation the paper mentions as the
+    /// alternative. Balances *work* instead of *count*; the
+    /// `ablation_weighted` bench measures what that buys.
+    EstimatedWeight,
+}
+
+/// RIPS policy configuration. The paper's best combination — and the
+/// one behind its Table I numbers — is ANY-Lazy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RipsConfig {
+    /// Local transfer policy.
+    pub local: LocalPolicy,
+    /// Global transfer policy.
+    pub global: GlobalPolicy,
+    /// Per-node CPU charged per communication step of the parallel
+    /// scheduling algorithm (µs).
+    pub plan_cpu_per_step_us: Time,
+    /// Use hardware or-barrier signalling ("the eureka mode in Cray
+    /// T3D") for the ANY policy's init broadcast: the initiator pays no
+    /// per-recipient CPU and the signal carries no payload. Only
+    /// meaningful under [`GlobalPolicy::Any`].
+    pub eureka: bool,
+    /// What counts as "load" when the system phase balances.
+    ///
+    /// Caution: under [`GlobalPolicy::Any`] with µs-granularity weights,
+    /// a node whose weight quota is unfillable by indivisible tasks is
+    /// permanently "idle enough" to initiate, which degenerates into
+    /// one system phase per executed task on large machines. Pair
+    /// [`LoadMetric::EstimatedWeight`] with [`GlobalPolicy::Periodic`]
+    /// or set [`RipsConfig::min_phase_gap_us`].
+    pub metric: LoadMetric,
+    /// Plan system phases with the *distributed* SPMD algorithm where
+    /// one exists (mesh MWA, tree TWA): the phase's wall-clock charge
+    /// becomes the BSP machine's measured communication-step count
+    /// instead of the closed-form bound. Flows are identical either
+    /// way (property-tested); this only refines the cost model.
+    pub distributed_planning: bool,
+    /// Minimum virtual time between an ANY-policy node returning to
+    /// its user phase and it initiating the next system phase (µs).
+    /// 0 (the paper's behaviour) lets an idle node initiate
+    /// immediately; a small gap suppresses phase storms when quotas
+    /// are unfillable (see [`RipsConfig::metric`]).
+    pub min_phase_gap_us: Time,
+}
+
+impl Default for RipsConfig {
+    fn default() -> Self {
+        RipsConfig {
+            local: LocalPolicy::Lazy,
+            global: GlobalPolicy::Any,
+            plan_cpu_per_step_us: 25,
+            eureka: false,
+            metric: LoadMetric::TaskCount,
+            distributed_planning: false,
+            min_phase_gap_us: 0,
+        }
+    }
+}
+
+/// The machine RIPS runs on, which fixes the parallel scheduling
+/// algorithm of the system phase: MWA on meshes (the paper's machine),
+/// TWA on trees, DEM on hypercubes — "RIPS is a general method and
+/// applies to different topologies" (§4).
+#[derive(Debug, Clone)]
+pub enum Machine {
+    /// 2-D mesh scheduled by the Mesh Walking Algorithm.
+    Mesh(Mesh2D),
+    /// Binary tree scheduled by the Tree Walking Algorithm.
+    Tree(BinaryTree),
+    /// Hypercube scheduled by the Dimension Exchange Method.
+    Cube(Hypercube),
+}
+
+impl Machine {
+    /// The underlying topology.
+    pub fn topology(&self) -> Arc<dyn Topology> {
+        match self {
+            Machine::Mesh(m) => Arc::new(m.clone()),
+            Machine::Tree(t) => Arc::new(t.clone()),
+            Machine::Cube(c) => Arc::new(c.clone()),
+        }
+    }
+
+    /// Runs the machine's scheduling algorithm, returning the plan and
+    /// the communication steps to charge for it (`None` = use the
+    /// closed-form step bound).
+    fn plan(&self, loads: &[i64], distributed: bool) -> (TransferPlan, Option<usize>) {
+        match (self, distributed) {
+            (Machine::Mesh(m), false) => (rips_sched::mwa(m, loads).0, None),
+            (Machine::Mesh(m), true) => {
+                let (plan, steps) = rips_sched::mwa_distributed(m, loads);
+                (plan, Some(steps))
+            }
+            (Machine::Tree(t), false) => (rips_sched::twa(t, loads), None),
+            (Machine::Tree(t), true) => {
+                let (plan, steps) = rips_sched::twa_distributed(t, loads);
+                (plan, Some(steps))
+            }
+            (Machine::Cube(c), false) => (rips_sched::dem(c, loads), None),
+            (Machine::Cube(c), true) => {
+                let (plan, steps) = rips_sched::dem_distributed(c, loads);
+                (plan, Some(steps))
+            }
+        }
+    }
+
+    /// Communication steps one system-phase scheduling run takes.
+    fn steps(&self) -> usize {
+        match self {
+            Machine::Mesh(m) => mwa_steps(m),
+            Machine::Tree(t) => twa_steps(t.height().max(1)),
+            Machine::Cube(c) => dem_steps(c.dim().max(1)),
+        }
+    }
+}
+
+/// One system phase, as recorded for the paper's §5 overhead anecdote
+/// (8 phases for 15-Queens, ~125 nonlocal tasks per phase, …).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseLog {
+    /// Phase index (1-based; phase 1 schedules the initial tasks).
+    pub phase: u32,
+    /// Round during which the phase ran.
+    pub round: u32,
+    /// Total tasks in all queues when the phase ran.
+    pub total_tasks: i64,
+    /// Tasks that ended on a different node than they started.
+    pub migrated: i64,
+    /// Σ eₖ of the transfer plan.
+    pub edge_cost: i64,
+}
+
+/// RIPS run result: the common outcome plus the per-phase log.
+#[derive(Debug, Clone)]
+pub struct RipsOutcome {
+    /// The Table I columns.
+    pub run: RunOutcome,
+    /// One entry per system phase that scheduled tasks (termination
+    /// phases with zero tasks are not logged).
+    pub phases: Vec<PhaseLog>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum RipsMsg {
+    /// Enter system phase `p`.
+    Init(u32),
+    /// ALL policy: this subtree is ready for phase `p`.
+    Ready(u32),
+    /// Phase `p`'s plan is computed; migrate and resume.
+    PlanReady(u32),
+    /// Migrated tasks of phase `p`.
+    Tasks(u32, Vec<TaskInstance>),
+    /// Round `r` begins; enter system phase `p` right after seeding.
+    RoundStart(u32, u32),
+}
+
+const TAG_EXEC: u64 = 0;
+const TAG_PLAN: u64 = 2;
+const TAG_ROUNDSTART: u64 = 3;
+const TAG_POLL: u64 = 4;
+const TAG_RECHECK: u64 = 5;
+
+/// Per-phase rendezvous state shared by one engine's programs.
+#[derive(Default)]
+struct Shared {
+    /// Periodic policy: some node's local condition is set and waiting
+    /// for the next poll.
+    want_phase: bool,
+    /// Loads reported per phase.
+    entries: HashMap<u32, Entry>,
+    /// Computed plans per phase.
+    plans: HashMap<u32, PhasePlan>,
+    /// Completed system phases.
+    phases: u32,
+    /// Per-phase log.
+    logs: Vec<PhaseLog>,
+}
+
+struct Entry {
+    reported: Vec<Option<i64>>,
+    entered: usize,
+}
+
+struct PhasePlan {
+    /// Per-source `(dst, count)` transfers.
+    outgoing: Vec<Vec<(NodeId, i64)>>,
+    /// Per-destination expected task count.
+    expected_in: Vec<i64>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Executing the user phase.
+    User,
+    /// Told to enter the system phase but still owed migrations from
+    /// the previous one.
+    WaitingEntry(u32),
+    /// Reported load; waiting for the plan.
+    Entered,
+}
+
+struct RipsProg {
+    me: NodeId,
+    cfg: RipsConfig,
+    oracle: Oracle,
+    machine: Rc<Machine>,
+    shared: Rc<RefCell<Shared>>,
+    exec: NodeExec,
+    /// Eager policy's ready-to-schedule queue (unused under Lazy).
+    rts: VecDeque<TaskInstance>,
+    exec_scheduled: bool,
+    mode: Mode,
+    phase_index: u32,
+    /// Cumulative count of migration *messages* ever expected (one per
+    /// planned source→destination pair, whatever the load metric). Kept
+    /// cumulative (never reset) together with `received_in` so that a
+    /// migration arriving *before* this node has processed the
+    /// corresponding plan — possible, because a broadcast serialises
+    /// per-recipient send costs and can be overtaken — is never lost.
+    expected_in: i64,
+    /// Cumulative count of migration messages received.
+    received_in: i64,
+    /// An init that arrived while this node was still inside the
+    /// previous system phase (possible when init signalling is faster
+    /// than the plan broadcast, e.g. under eureka); processed right
+    /// after the plan is applied.
+    pending_init: Option<u32>,
+    /// When this node last returned to the user phase (for the ANY
+    /// initiation gap).
+    user_phase_since: Time,
+    /// A deferred ANY-initiation check is already scheduled.
+    recheck_armed: bool,
+    // ALL-policy spanning tree state.
+    tree: BinaryTree,
+    local_ready_for: Option<u32>,
+    ready_sent_for: Option<u32>,
+    children_ready: HashMap<u32, u32>,
+}
+
+impl RipsProg {
+    fn costs(&self) -> Costs {
+        self.oracle.costs
+    }
+
+    /// This node's load under the configured metric.
+    fn load(&self) -> i64 {
+        match self.cfg.metric {
+            LoadMetric::TaskCount => (self.exec.queue.len() + self.rts.len()) as i64,
+            LoadMetric::EstimatedWeight => self
+                .exec
+                .queue
+                .iter()
+                .chain(self.rts.iter())
+                .map(|t| t.grain_us as i64)
+                .sum(),
+        }
+    }
+
+    fn kick(&mut self, ctx: &mut Ctx<'_, RipsMsg>) {
+        if !self.exec_scheduled && !self.exec.queue.is_empty() && self.mode == Mode::User {
+            ctx.set_timer(0, TAG_EXEC);
+            self.exec_scheduled = true;
+        }
+    }
+
+    /// Local transfer condition (paper §2): the RTE queue is empty —
+    /// and no migration from the previous system phase is still owed.
+    fn local_condition(&self) -> bool {
+        self.mode == Mode::User
+            && self.exec.queue.is_empty()
+            && self.received_in == self.expected_in
+    }
+
+    /// Acts on a satisfied local condition according to the global
+    /// policy.
+    fn check_transfer(&mut self, ctx: &mut Ctx<'_, RipsMsg>) {
+        if !self.local_condition() {
+            return;
+        }
+        let next = self.phase_index + 1;
+        match self.cfg.global {
+            GlobalPolicy::Any => {
+                // Respect the minimum gap since this node resumed its
+                // user phase (0 by default = the paper's behaviour).
+                let eligible_at = self.user_phase_since + self.cfg.min_phase_gap_us;
+                if ctx.now() < eligible_at {
+                    if !self.recheck_armed {
+                        self.recheck_armed = true;
+                        ctx.set_timer(eligible_at - ctx.now(), TAG_RECHECK);
+                    }
+                    return;
+                }
+                // Become the initiator: broadcast init and enter.
+                self.phase_index = next;
+                if self.cfg.eureka {
+                    ctx.signal_all(RipsMsg::Init(next));
+                } else {
+                    ctx.send_all(RipsMsg::Init(next), self.costs().ctl_bytes);
+                }
+                self.enter_system(ctx, next);
+            }
+            GlobalPolicy::All => {
+                self.local_ready_for = Some(next);
+                self.try_send_ready(ctx, next);
+            }
+            GlobalPolicy::Periodic(_) => {
+                // Flag it; node 0's next poll turns it into an init.
+                self.shared.borrow_mut().want_phase = true;
+            }
+        }
+    }
+
+    /// ALL policy: forward the ready signal once this node and all its
+    /// logical-tree children are ready; the root initiates instead.
+    fn try_send_ready(&mut self, ctx: &mut Ctx<'_, RipsMsg>, phase: u32) {
+        if self.local_ready_for != Some(phase) || self.ready_sent_for == Some(phase) {
+            return;
+        }
+        let kids = self.tree.children(self.me).len() as u32;
+        if self.children_ready.get(&phase).copied().unwrap_or(0) < kids {
+            return;
+        }
+        self.ready_sent_for = Some(phase);
+        match self.tree.parent(self.me) {
+            Some(parent) => ctx.send(parent, RipsMsg::Ready(phase), self.costs().ctl_bytes),
+            None => {
+                // Root: the global ALL condition holds; initiate.
+                self.phase_index = phase;
+                ctx.send_all(RipsMsg::Init(phase), self.costs().ctl_bytes);
+                self.enter_system(ctx, phase);
+            }
+        }
+    }
+
+    /// Reports the load for phase `p`; the last reporter computes the
+    /// plan (or detects round termination).
+    fn enter_system(&mut self, ctx: &mut Ctx<'_, RipsMsg>, p: u32) {
+        if std::env::var_os("RIPS_DEBUG").is_some() {
+            eprintln!(
+                "[t={}] node {} enter phase {} mode {:?} load {}",
+                ctx.now(),
+                self.me,
+                p,
+                self.mode,
+                self.load()
+            );
+        }
+        debug_assert_eq!(self.phase_index, p);
+        if self.received_in != self.expected_in {
+            // Owed migrations: defer until they arrive.
+            if std::env::var_os("RIPS_DEBUG").is_some() {
+                eprintln!(
+                    "[t={}] node {} DEFER phase {p}: received {}/{}",
+                    ctx.now(),
+                    self.me,
+                    self.received_in,
+                    self.expected_in
+                );
+            }
+            self.mode = Mode::WaitingEntry(p);
+            return;
+        }
+        self.mode = Mode::Entered;
+        self.children_ready.remove(&p);
+        let n = self.oracle.num_nodes();
+        let load = self.load();
+        let mut shared = self.shared.borrow_mut();
+        let entry = shared.entries.entry(p).or_insert_with(|| Entry {
+            reported: vec![None; n],
+            entered: 0,
+        });
+        debug_assert!(entry.reported[self.me].is_none(), "double entry");
+        entry.reported[self.me] = Some(load);
+        entry.entered += 1;
+        if entry.entered < n {
+            return;
+        }
+        // Last to enter: run the parallel scheduling algorithm.
+        let loads: Vec<i64> = entry
+            .reported
+            .iter()
+            .map(|r| r.expect("all reported"))
+            .collect();
+        let total: i64 = loads.iter().sum();
+        if std::env::var_os("RIPS_DEBUG").is_some() {
+            eprintln!(
+                "[t={}] node {} COMPUTES phase {p} total={total}",
+                ctx.now(),
+                self.me
+            );
+        }
+        shared.phases += 1;
+        if p >= 2 {
+            shared.entries.remove(&(p - 2));
+            shared.plans.remove(&(p - 2));
+        }
+        if total == 0 {
+            // No work anywhere: the round (and possibly the job) ended.
+            drop(shared);
+            ctx.set_timer(self.oracle.round_barrier_delay(), TAG_ROUNDSTART);
+            return;
+        }
+        let (plan, measured_steps) = self.machine.plan(&loads, self.cfg.distributed_planning);
+        let transfers = plan.net_transfers(&loads);
+        let mut outgoing: Vec<Vec<(NodeId, i64)>> = vec![Vec::new(); n];
+        let mut expected_in = vec![0i64; n];
+        let mut migrated = 0;
+        for &(src, dst, amount) in &transfers {
+            outgoing[src].push((dst, amount));
+            expected_in[dst] += 1; // one packed message per pair
+            migrated += amount;
+        }
+        shared.logs.push(PhaseLog {
+            phase: p,
+            round: self.oracle.round(),
+            total_tasks: total,
+            migrated,
+            edge_cost: plan.edge_cost(),
+        });
+        shared.plans.insert(
+            p,
+            PhasePlan {
+                outgoing,
+                expected_in,
+            },
+        );
+        drop(shared);
+        // The algorithm's synchronous steps take wall-clock time before
+        // anyone can act on the plan.
+        let steps = measured_steps.unwrap_or_else(|| self.machine.steps());
+        let delay = steps as Time * self.costs().comm_step_us;
+        ctx.set_timer(delay, TAG_PLAN);
+    }
+
+    /// Executes this node's part of phase `p`'s plan and returns to the
+    /// user phase.
+    fn apply_plan(&mut self, ctx: &mut Ctx<'_, RipsMsg>, p: u32) {
+        if std::env::var_os("RIPS_DEBUG").is_some() {
+            eprintln!(
+                "[t={}] node {} APPLY plan {p} mode {:?}",
+                ctx.now(),
+                self.me,
+                self.mode
+            );
+        }
+        debug_assert_eq!(self.mode, Mode::Entered);
+        debug_assert_eq!(self.phase_index, p);
+        // Per-node share of the collective algorithm's CPU.
+        ctx.compute(
+            self.machine.steps() as Time * self.cfg.plan_cpu_per_step_us,
+            WorkKind::Overhead,
+        );
+        // Everything reported is now scheduled: the RTS queue drains
+        // into the RTE queue ("the system phase schedules tasks in all
+        // RTS queues and distributes them evenly to the RTE queues").
+        let rts = std::mem::take(&mut self.rts);
+        self.exec.queue.extend(rts);
+        let shared = self.shared.borrow();
+        let plan = shared.plans.get(&p).expect("plan must exist");
+        let outgoing = plan.outgoing[self.me].clone();
+        let expected = plan.expected_in[self.me];
+        drop(shared);
+        for (dst, amount) in outgoing {
+            if std::env::var_os("RIPS_DEBUG").is_some() {
+                eprintln!(
+                    "[t={}] node {} SEND {amount} -> {dst} (phase {p}, have {})",
+                    ctx.now(),
+                    self.me,
+                    self.exec.queue.len()
+                );
+            }
+            let mut batch = Vec::new();
+            match self.cfg.metric {
+                LoadMetric::TaskCount => {
+                    for _ in 0..amount {
+                        batch.push(
+                            self.exec
+                                .queue
+                                .pop_back()
+                                .expect("plan cannot overdraw a reported queue"),
+                        );
+                    }
+                }
+                LoadMetric::EstimatedWeight => {
+                    // Tasks are indivisible: pick tasks (newest first)
+                    // whose grain brings the moved weight closer to the
+                    // plan — taking `g` helps iff `g ≤ 2·remaining` —
+                    // so a whale is only shipped when the plan really
+                    // asks for that much work. Whatever error remains
+                    // is corrected by the next incremental phase.
+                    let mut remaining = amount;
+                    let mut idx = self.exec.queue.len();
+                    while idx > 0 && remaining > 0 {
+                        idx -= 1;
+                        let g = self.exec.queue[idx].grain_us as i64;
+                        if g <= 2 * remaining {
+                            let task = self.exec.queue.remove(idx).expect("idx in range");
+                            batch.push(task);
+                            remaining -= g;
+                        }
+                    }
+                }
+            }
+            ctx.compute(
+                self.costs().spawn_us * batch.len() as Time,
+                WorkKind::Overhead,
+            );
+            let bytes = self.costs().task_bytes * batch.len();
+            ctx.send(dst, RipsMsg::Tasks(p, batch), bytes);
+        }
+        self.expected_in += expected;
+        self.mode = Mode::User;
+        self.user_phase_since = ctx.now();
+        // Commit to the first task of the new user phase *within this
+        // handler*: returning to the event loop first would let an
+        // already-queued init/poll event preempt an all-idle machine
+        // into an endless chain of zero-progress system phases. Running
+        // one task inline guarantees every phase advances the
+        // computation — the paper's "every processor finishes the
+        // current task execution".
+        self.exec_next(ctx);
+        self.check_transfer(ctx);
+        if let Some(next) = self.pending_init.take() {
+            if next > self.phase_index {
+                self.phase_index = next;
+                self.enter_system(ctx, next);
+            }
+        }
+    }
+
+    /// Seeds a round's block of roots and synchronously enters the
+    /// round-opening system phase ("a RIPS system starts with a system
+    /// phase which schedules initial tasks").
+    fn start_round(&mut self, ctx: &mut Ctx<'_, RipsMsg>, round: u32, phase: u32) {
+        let seeds = self.oracle.seed_for(self.me, round);
+        ctx.compute(
+            self.costs().spawn_us * seeds.len() as Time,
+            WorkKind::Overhead,
+        );
+        self.exec.queue.extend(seeds);
+        self.mode = Mode::User;
+        self.phase_index = phase;
+        self.enter_system(ctx, phase);
+    }
+
+    /// Executes the next queued task (if any): dispatch overhead +
+    /// grain, spawn children per the local policy, then re-arm the loop
+    /// and re-check the transfer condition.
+    fn exec_next(&mut self, ctx: &mut Ctx<'_, RipsMsg>) {
+        debug_assert_eq!(self.mode, Mode::User);
+        let Some(inst) = self.exec.queue.pop_front() else {
+            return;
+        };
+        ctx.compute(self.costs().dispatch_us, WorkKind::Overhead);
+        ctx.compute(inst.grain_us, WorkKind::User);
+        self.exec.record(&inst, self.me);
+        let children = self.oracle.children_of(&inst, self.me);
+        self.spawn_children(ctx, children);
+        // Round-completion accounting: under RIPS the empty system
+        // phase detects termination, so the "last task" signal is
+        // unused — but the counter must still drop.
+        let _ = self.oracle.task_done();
+        self.kick(ctx);
+        self.check_transfer(ctx);
+    }
+
+    /// Places freshly generated children according to the local policy.
+    fn spawn_children(&mut self, ctx: &mut Ctx<'_, RipsMsg>, children: Vec<TaskInstance>) {
+        ctx.compute(
+            self.costs().spawn_us * children.len() as Time,
+            WorkKind::Overhead,
+        );
+        match self.cfg.local {
+            LocalPolicy::Lazy => self.exec.queue.extend(children),
+            LocalPolicy::Eager => self.rts.extend(children),
+        }
+    }
+}
+
+impl Program for RipsProg {
+    type Msg = RipsMsg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, RipsMsg>) {
+        if let GlobalPolicy::Periodic(interval) = self.cfg.global {
+            // Only node 0 polls; everyone else just flags its local
+            // condition in the shared reduction state.
+            if self.me == 0 {
+                ctx.set_timer(interval, TAG_POLL);
+            }
+        }
+        self.start_round(ctx, 0, 1);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, RipsMsg>, from: NodeId, msg: RipsMsg) {
+        match msg {
+            RipsMsg::Init(p) => {
+                if p <= self.phase_index {
+                    return; // redundant initiator, dropped by phase index
+                }
+                debug_assert_eq!(p, self.phase_index + 1, "init skipped a phase");
+                if self.mode == Mode::Entered {
+                    // Still waiting for the previous phase's plan: act
+                    // on the init once that plan has been applied.
+                    self.pending_init = Some(p);
+                    return;
+                }
+                self.phase_index = p;
+                self.enter_system(ctx, p);
+            }
+            RipsMsg::Ready(p) => {
+                debug_assert_eq!(self.cfg.global, GlobalPolicy::All);
+                debug_assert!(self.tree.children(self.me).contains(&from));
+                *self.children_ready.entry(p).or_insert(0) += 1;
+                self.try_send_ready(ctx, p);
+            }
+            RipsMsg::PlanReady(p) => self.apply_plan(ctx, p),
+            RipsMsg::Tasks(_p, tasks) => {
+                if std::env::var_os("RIPS_DEBUG").is_some() {
+                    eprintln!(
+                        "[t={}] node {} RECV {} tasks (phase {_p}) mode {:?} recv {}/{}",
+                        ctx.now(),
+                        self.me,
+                        tasks.len(),
+                        self.mode,
+                        self.received_in,
+                        self.expected_in
+                    );
+                }
+                self.received_in += 1;
+                ctx.compute(
+                    self.costs().spawn_us * tasks.len() as Time,
+                    WorkKind::Overhead,
+                );
+                self.exec.queue.extend(tasks);
+                if self.received_in == self.expected_in {
+                    if let Mode::WaitingEntry(p) = self.mode {
+                        self.mode = Mode::User;
+                        self.enter_system(ctx, p);
+                        return;
+                    }
+                }
+                self.kick(ctx);
+            }
+            RipsMsg::RoundStart(round, phase) => self.start_round(ctx, round, phase),
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, RipsMsg>, tag: u64) {
+        match tag {
+            TAG_RECHECK => {
+                self.recheck_armed = false;
+                self.check_transfer(ctx);
+            }
+            TAG_POLL => {
+                let GlobalPolicy::Periodic(interval) = self.cfg.global else {
+                    unreachable!("poll timer without periodic policy");
+                };
+                // Every node pays for its share of the reduction.
+                ctx.compute(self.costs().comm_step_us / 4, WorkKind::Overhead);
+                // Keep exactly one poll chain alive; it dies with the
+                // machine when the final phase halts the engine.
+                ctx.set_timer(interval, TAG_POLL);
+                let fire = self.shared.borrow().want_phase && self.mode == Mode::User;
+                if fire && self.received_in == self.expected_in {
+                    self.shared.borrow_mut().want_phase = false;
+                    let next = self.phase_index + 1;
+                    self.phase_index = next;
+                    ctx.send_all(RipsMsg::Init(next), self.costs().ctl_bytes);
+                    self.enter_system(ctx, next);
+                }
+            }
+            TAG_EXEC => {
+                self.exec_scheduled = false;
+                if self.mode != Mode::User {
+                    return; // an init arrived while this fire was queued
+                }
+                self.exec_next(ctx);
+            }
+            TAG_PLAN => {
+                // Only the plan-computing node runs this: distribute
+                // and apply.
+                let p = self.phase_index;
+                ctx.send_all(RipsMsg::PlanReady(p), self.costs().ctl_bytes);
+                self.apply_plan(ctx, p);
+            }
+            TAG_ROUNDSTART => match self.oracle.advance_round() {
+                Some(round) => {
+                    let phase = self.phase_index + 1;
+                    ctx.send_all(RipsMsg::RoundStart(round, phase), self.costs().ctl_bytes);
+                    self.start_round(ctx, round, phase);
+                }
+                None => ctx.halt(),
+            },
+            _ => unreachable!("unknown timer {tag}"),
+        }
+    }
+}
+
+/// Runs `workload` under RIPS on `machine`. Deterministic under `seed`
+/// (RIPS itself is deterministic; the seed only affects the engine's
+/// unused per-node RNGs).
+pub fn rips(
+    workload: Rc<Workload>,
+    machine: Machine,
+    latency: LatencyModel,
+    costs: Costs,
+    seed: u64,
+    cfg: RipsConfig,
+) -> RipsOutcome {
+    let topo = machine.topology();
+    let n = topo.len();
+    if workload.rounds.is_empty() {
+        return RipsOutcome {
+            run: RunOutcome::empty(n),
+            phases: Vec::new(),
+        };
+    }
+    let oracle = Oracle::new(Rc::clone(&workload), topo.as_ref(), costs);
+    let machine = Rc::new(machine);
+    let shared = Rc::new(RefCell::new(Shared::default()));
+    let shared2 = Rc::clone(&shared);
+    let engine = Engine::new(topo, latency, seed, move |me| RipsProg {
+        me,
+        cfg,
+        oracle: oracle.clone(),
+        machine: Rc::clone(&machine),
+        shared: Rc::clone(&shared2),
+        exec: NodeExec::default(),
+        rts: VecDeque::new(),
+        exec_scheduled: false,
+        mode: Mode::User,
+        phase_index: 0,
+        expected_in: 0,
+        received_in: 0,
+        pending_init: None,
+        user_phase_since: 0,
+        recheck_armed: false,
+        tree: BinaryTree::new(n),
+        local_ready_for: None,
+        ready_sent_for: None,
+        children_ready: HashMap::new(),
+    });
+    let mut engine = engine;
+    engine.record_timeline(costs.record_timeline);
+    engine.enable_contention(costs.contention);
+    let (progs, stats) = engine.run();
+    let executed: Vec<u64> = progs.iter().map(|p| p.exec.executed).collect();
+    let nonlocal = progs.iter().map(|p| p.exec.nonlocal_executed).sum();
+    drop(progs); // release the programs' handles on `shared`
+    let shared = Rc::try_unwrap(shared)
+        .unwrap_or_else(|_| panic!("shared state still referenced"))
+        .into_inner();
+    RipsOutcome {
+        run: RunOutcome {
+            stats,
+            executed,
+            nonlocal,
+            system_phases: shared.phases,
+        },
+        phases: shared.logs,
+    }
+}

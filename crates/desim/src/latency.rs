@@ -1,0 +1,101 @@
+//! Message cost model.
+
+use crate::Time;
+
+/// Cost model for point-to-point messages.
+///
+/// A message of `bytes` payload travelling `hops` links arrives after
+/// `alpha_us + bytes * per_byte_ns / 1000 + hops * per_hop_us`
+/// microseconds. Independently, the *sender* CPU is occupied for
+/// `send_cpu_us` and the *receiver* CPU for `recv_cpu_us`; both are
+/// charged as system overhead — this is what makes chatty protocols
+/// (e.g. the gradient model) show large `Th` in Table I, matching the
+/// paper's observation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyModel {
+    /// Fixed network startup latency per message (µs).
+    pub alpha_us: Time,
+    /// Per-byte transfer cost (ns/byte).
+    pub per_byte_ns: Time,
+    /// Per-hop switching cost (µs/hop).
+    pub per_hop_us: Time,
+    /// CPU time the sender spends injecting a message (µs).
+    pub send_cpu_us: Time,
+    /// CPU time the receiver spends extracting a message (µs).
+    pub recv_cpu_us: Time,
+}
+
+impl LatencyModel {
+    /// Paragon-like calibration (see EXPERIMENTS.md): a one-hop task
+    /// migration packet costs on the order of the paper's "about 1 ms
+    /// per communication step" once payload and per-hop terms are
+    /// included.
+    pub fn paragon() -> Self {
+        LatencyModel {
+            alpha_us: 120,
+            per_byte_ns: 40,
+            per_hop_us: 60,
+            send_cpu_us: 40,
+            recv_cpu_us: 40,
+        }
+    }
+
+    /// Zero-cost network: messages arrive instantly and consume no CPU.
+    /// Used by idealised baselines (Table II's "no overhead" optimum)
+    /// and by unit tests that check pure protocol logic.
+    pub fn ideal() -> Self {
+        LatencyModel {
+            alpha_us: 0,
+            per_byte_ns: 0,
+            per_hop_us: 0,
+            send_cpu_us: 0,
+            recv_cpu_us: 0,
+        }
+    }
+
+    /// Wire latency (excluding CPU costs) of a message.
+    pub fn wire_latency(&self, bytes: usize, hops: usize) -> Time {
+        self.alpha_us + (bytes as Time * self.per_byte_ns) / 1000 + hops as Time * self.per_hop_us
+    }
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel::paragon()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_latency_formula() {
+        let m = LatencyModel {
+            alpha_us: 100,
+            per_byte_ns: 500,
+            per_hop_us: 10,
+            send_cpu_us: 0,
+            recv_cpu_us: 0,
+        };
+        assert_eq!(m.wire_latency(0, 0), 100);
+        assert_eq!(m.wire_latency(2000, 0), 100 + 1000);
+        assert_eq!(m.wire_latency(0, 12), 100 + 120);
+    }
+
+    #[test]
+    fn ideal_is_free() {
+        let m = LatencyModel::ideal();
+        assert_eq!(m.wire_latency(1 << 20, 100), 0);
+    }
+
+    #[test]
+    fn paragon_step_is_order_1ms() {
+        // The paper: "Each communication step to migrate tasks takes
+        // about 1 ms." A migration packet carrying ~16 task descriptors
+        // of 64 bytes over a few hops should land in [0.2 ms, 2 ms].
+        let m = LatencyModel::paragon();
+        let t = m.wire_latency(16 * 64, 6) + m.send_cpu_us + m.recv_cpu_us;
+        assert!((200..2000).contains(&t), "got {t} µs");
+    }
+}

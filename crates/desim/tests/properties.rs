@@ -1,0 +1,131 @@
+//! Property tests for the simulation engine: conservation of messages,
+//! accounting consistency, and determinism under arbitrary traffic
+//! patterns.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use rips_desim::{Ctx, Engine, LatencyModel, Program, WorkKind};
+use rips_topology::{Mesh2D, NodeId, Topology};
+
+/// A node that forwards a token a fixed number of times along a
+/// scripted path, consuming scripted compute along the way.
+struct Scripted {
+    hops: Vec<(NodeId, u64)>,
+    received: u64,
+}
+
+impl Program for Scripted {
+    type Msg = u32;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, u32>) {
+        if ctx.me() == 0 {
+            ctx.send(0, 0, 8); // self-send bootstraps the token walk
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, u32>, _from: NodeId, hop: u32) {
+        self.received += 1;
+        if let Some(&(next, work)) = self.hops.get(hop as usize) {
+            ctx.compute(work, WorkKind::User);
+            ctx.send(next, hop + 1, 8);
+        }
+    }
+}
+
+fn arb_script(n: usize) -> impl Strategy<Value = Vec<(usize, u64)>> {
+    proptest::collection::vec((0..n, 0u64..500), 0..40)
+}
+
+proptest! {
+    /// Exactly one message per scripted hop (plus the bootstrap) is
+    /// delivered, regardless of latency model or path.
+    #[test]
+    fn message_conservation(
+        script in arb_script(12),
+        alpha in 0u64..500,
+        per_hop in 0u64..100,
+    ) {
+        let topo: Arc<dyn Topology> = Arc::new(Mesh2D::new(3, 4));
+        let lat = LatencyModel {
+            alpha_us: alpha,
+            per_byte_ns: 10,
+            per_hop_us: per_hop,
+            send_cpu_us: 5,
+            recv_cpu_us: 5,
+        };
+        let script2 = script.clone();
+        // Every node shares the global script: the walk visits
+        // whichever node currently holds the token.
+        let engine = Engine::new(topo, lat, 1, move |_| Scripted {
+            hops: script2.clone(),
+            received: 0,
+        });
+        let (progs, stats) = engine.run();
+        let delivered: u64 = progs.iter().map(|p| p.received).sum();
+        prop_assert_eq!(delivered, script.len() as u64 + 1);
+        prop_assert_eq!(stats.net.msgs, script.len() as u64 + 1);
+    }
+
+    /// Per-node accounting never exceeds the run's end time, and the
+    /// end time covers every consumed microsecond.
+    #[test]
+    fn accounting_fits_inside_end_time(script in arb_script(9)) {
+        let topo: Arc<dyn Topology> = Arc::new(Mesh2D::new(3, 3));
+        let script2 = script.clone();
+        let engine = Engine::new(topo, LatencyModel::paragon(), 2, move |_| Scripted {
+            hops: script2.clone(),
+            received: 0,
+        });
+        let (_, stats) = engine.run();
+        for node in &stats.nodes {
+            prop_assert!(node.user_us + node.overhead_us <= stats.end_time);
+        }
+        let max_busy = stats
+            .nodes
+            .iter()
+            .map(|n| n.user_us + n.overhead_us)
+            .max()
+            .unwrap_or(0);
+        prop_assert!(stats.end_time >= max_busy);
+    }
+
+    /// Same seed and script ⇒ identical statistics.
+    #[test]
+    fn runs_are_reproducible(script in arb_script(12), seed in 0u64..1000) {
+        let run = |script: Vec<(usize, u64)>, seed| {
+            let topo: Arc<dyn Topology> = Arc::new(Mesh2D::new(4, 3));
+            let engine = Engine::new(topo, LatencyModel::paragon(), seed, move |_| Scripted {
+                hops: script.clone(),
+                received: 0,
+            });
+            let (_, stats) = engine.run();
+            (stats.end_time, stats.net, stats.events)
+        };
+        prop_assert_eq!(run(script.clone(), seed), run(script, seed));
+    }
+
+    /// Hop accounting matches the topology's distance metric.
+    #[test]
+    fn hop_counting_matches_distance(script in arb_script(12)) {
+        let mesh = Mesh2D::new(3, 4);
+        let expected: u64 = {
+            // Replay the walk: token starts at 0 (self-send, 0 hops).
+            let mut at = 0usize;
+            let mut hops = 0u64;
+            for &(next, _) in &script {
+                hops += mesh.distance(at, next) as u64;
+                at = next;
+            }
+            hops
+        };
+        let topo: Arc<dyn Topology> = Arc::new(mesh);
+        let script2 = script.clone();
+        let engine = Engine::new(topo, LatencyModel::ideal(), 3, move |_| Scripted {
+            hops: script2.clone(),
+            received: 0,
+        });
+        let (_, stats) = engine.run();
+        prop_assert_eq!(stats.net.hops, expected);
+    }
+}

@@ -1,0 +1,93 @@
+//! Evaluation metrics and report rendering.
+//!
+//! * [`optimal_makespan`] / [`optimal_efficiency`] — the paper's Table
+//!   II idealisation: "an optimal efficiency is calculated assuming (1)
+//!   optimal scheduling; and (2) no overhead". Computed by
+//!   longest-processing-time list scheduling with zero overhead,
+//!   respecting task precedence and round barriers.
+//! * [`quality_factor`] — Figure 5's normalized quality factor
+//!   `(µ_opt − µ_rand) / (µ_opt − µ_g)`: 1 for the randomized baseline,
+//!   larger for better schedulers.
+//! * [`speedup`] — Table III's `Ts / Tp`.
+//! * [`Table`] and [`Series`] — fixed-width text rendering for the
+//!   bench binaries that regenerate the paper's tables and figures.
+//! * [`utilization_chart`] — an ASCII Gantt view of a simulation's
+//!   per-node timelines (user work / system overhead / idle).
+//! * [`Aggregate`] — mean/min/max/stddev across repeated trials.
+
+mod optimal;
+mod render;
+mod stats;
+mod timeline;
+
+pub use optimal::{optimal_efficiency, optimal_makespan};
+pub use render::{Series, Table};
+pub use stats::Aggregate;
+pub use timeline::utilization_chart;
+
+/// Figure 5's normalized quality factor of scheduler `g`:
+/// `(µ_opt − µ_rand) / (µ_opt − µ_g)`.
+///
+/// Equal to 1 for the randomized-allocation baseline; > 1 for
+/// schedulers that close more of the gap to the ideal. If `mu_g`
+/// reaches `mu_opt` the factor is unbounded; this returns `f64::INFINITY`
+/// in that case (and the caller typically clamps for display).
+///
+/// # Panics
+/// Panics if any efficiency is outside `(0, 1]` or `mu_opt` is not the
+/// largest.
+pub fn quality_factor(mu_opt: f64, mu_rand: f64, mu_g: f64) -> f64 {
+    for (name, v) in [("mu_opt", mu_opt), ("mu_rand", mu_rand), ("mu_g", mu_g)] {
+        assert!(v > 0.0 && v <= 1.0, "{name} = {v} out of range");
+    }
+    assert!(
+        mu_opt >= mu_rand && mu_opt >= mu_g,
+        "optimal efficiency must dominate ({mu_opt} vs {mu_rand}/{mu_g})"
+    );
+    let denom = mu_opt - mu_g;
+    if denom == 0.0 {
+        return f64::INFINITY;
+    }
+    (mu_opt - mu_rand) / denom
+}
+
+/// Table III's speedup `Ts / Tp` (both in the same unit).
+pub fn speedup(ts_us: u64, tp_us: u64) -> f64 {
+    assert!(tp_us > 0, "zero parallel time");
+    ts_us as f64 / tp_us as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quality_factor_baseline_is_one() {
+        assert_eq!(quality_factor(0.99, 0.65, 0.65), 1.0);
+    }
+
+    #[test]
+    fn quality_factor_orders_schedulers() {
+        let better = quality_factor(0.99, 0.65, 0.95);
+        let worse = quality_factor(0.99, 0.65, 0.25);
+        assert!(better > 1.0);
+        assert!(worse < 1.0);
+        assert!(better > worse);
+    }
+
+    #[test]
+    fn quality_factor_saturates_at_optimum() {
+        assert!(quality_factor(0.99, 0.65, 0.99).is_infinite());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn quality_factor_rejects_garbage() {
+        quality_factor(1.4, 0.5, 0.5);
+    }
+
+    #[test]
+    fn speedup_simple() {
+        assert_eq!(speedup(1000, 100), 10.0);
+    }
+}

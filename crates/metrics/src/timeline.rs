@@ -1,0 +1,141 @@
+//! ASCII utilization chart from recorded busy spans.
+
+// Indexed loops below mirror the paper's per-column vector algebra;
+// iterator rewrites would obscure the correspondence.
+#![allow(clippy::needless_range_loop)]
+use rips_desim::{BusySpan, RunStats, WorkKind};
+
+/// Renders the run as one row of `width` buckets per node:
+/// `#` mostly user work, `+` mostly system overhead, `.` mostly idle —
+/// "mostly" meaning the plurality of the bucket's virtual time.
+///
+/// Requires the engine to have run with timeline recording
+/// (`Costs::record_timeline` / `Engine::record_timeline`); returns an
+/// explanatory placeholder otherwise.
+pub fn utilization_chart(stats: &RunStats, width: usize) -> String {
+    assert!(width > 0, "chart width must be positive");
+    let Some(timelines) = &stats.timelines else {
+        return "(no timeline recorded: enable Costs::record_timeline)".to_string();
+    };
+    if stats.end_time == 0 {
+        return "(empty run)".to_string();
+    }
+    let end = stats.end_time as f64;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "utilization over {:.3} s  (#: user  +: overhead  .: idle)\n",
+        end / 1e6
+    ));
+    for (node, spans) in timelines.iter().enumerate() {
+        let mut user = vec![0.0f64; width];
+        let mut over = vec![0.0f64; width];
+        for span in spans {
+            bucketize(span, end, width, &mut user, &mut over);
+        }
+        let bucket_len = end / width as f64;
+        out.push_str(&format!("{node:4} "));
+        for b in 0..width {
+            let idle = bucket_len - user[b] - over[b];
+            let ch = if user[b] >= over[b] && user[b] >= idle {
+                '#'
+            } else if over[b] >= idle {
+                '+'
+            } else {
+                '.'
+            };
+            out.push(ch);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Distributes one span's duration over the buckets it overlaps.
+fn bucketize(span: &BusySpan, end: f64, width: usize, user: &mut [f64], over: &mut [f64]) {
+    let bucket_len = end / width as f64;
+    let target = match span.kind {
+        WorkKind::User => user,
+        WorkKind::Overhead => over,
+    };
+    let (s, e) = (span.start as f64, span.end as f64);
+    let first = ((s / bucket_len) as usize).min(width - 1);
+    let last = ((e / bucket_len) as usize).min(width - 1);
+    for b in first..=last {
+        let b_start = b as f64 * bucket_len;
+        let b_end = b_start + bucket_len;
+        let overlap = (e.min(b_end) - s.max(b_start)).max(0.0);
+        target[b] += overlap;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rips_desim::{NetStats, NodeStats};
+
+    fn stats_with(spans: Vec<Vec<BusySpan>>, end: u64) -> RunStats {
+        RunStats {
+            end_time: end,
+            nodes: vec![NodeStats::default(); spans.len()],
+            net: NetStats::default(),
+            events: 0,
+            timelines: Some(spans),
+        }
+    }
+
+    #[test]
+    fn fully_busy_node_renders_hashes() {
+        let stats = stats_with(
+            vec![vec![BusySpan {
+                start: 0,
+                end: 1000,
+                kind: WorkKind::User,
+            }]],
+            1000,
+        );
+        let chart = utilization_chart(&stats, 10);
+        let row = chart.lines().nth(1).unwrap();
+        assert!(row.ends_with("##########"), "{row}");
+    }
+
+    #[test]
+    fn idle_second_half_renders_dots() {
+        let stats = stats_with(
+            vec![vec![BusySpan {
+                start: 0,
+                end: 500,
+                kind: WorkKind::User,
+            }]],
+            1000,
+        );
+        let chart = utilization_chart(&stats, 10);
+        let row = chart.lines().nth(1).unwrap();
+        assert!(row.ends_with("#####....."), "{row}");
+    }
+
+    #[test]
+    fn overhead_renders_plus() {
+        let stats = stats_with(
+            vec![vec![BusySpan {
+                start: 0,
+                end: 1000,
+                kind: WorkKind::Overhead,
+            }]],
+            1000,
+        );
+        let chart = utilization_chart(&stats, 4);
+        assert!(chart.lines().nth(1).unwrap().ends_with("++++"));
+    }
+
+    #[test]
+    fn missing_timeline_is_explained() {
+        let stats = RunStats {
+            end_time: 10,
+            nodes: vec![],
+            net: NetStats::default(),
+            events: 0,
+            timelines: None,
+        };
+        assert!(utilization_chart(&stats, 5).contains("no timeline"));
+    }
+}

@@ -1,0 +1,422 @@
+//! Shared harness for executing a [`rips_taskgraph::Workload`] on the
+//! simulated multicomputer.
+//!
+//! Every scheduler in this reproduction — the RIPS runtime
+//! (`rips-core`) and the three dynamic baselines (`rips-balancers`) —
+//! executes the same workloads under the same rules:
+//!
+//! * root tasks of each round are **block-distributed** over the nodes
+//!   (the natural SPMD data decomposition; spatially correlated
+//!   imbalance is exactly what load balancers must fix);
+//! * completing a task *generates* its children on the executing node;
+//! * rounds are separated by a barrier (modelled as a convergecast +
+//!   broadcast over the topology, see [`Oracle::round_barrier_delay`]);
+//! * per-task dispatch costs a fixed overhead, and task descriptors
+//!   have a fixed wire size ([`Costs`]).
+//!
+//! The [`Oracle`] is shared mutable state between the per-node programs
+//! of one engine. It plays the role of *instantaneously observable
+//! global state* for two purposes only: detecting "all tasks of this
+//! round are done" (a real system would run distributed termination
+//! detection; we charge its latency via the barrier model but skip its
+//! implementation) and carrying scheduler-specific rendezvous data
+//! (e.g. the MWA plan of a RIPS system phase). It never short-circuits
+//! the costs that the paper measures.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use rips_desim::Time;
+use rips_taskgraph::{TaskId, Workload};
+use rips_topology::{NodeId, Topology};
+
+/// One schedulable task instance travelling through the system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskInstance {
+    /// Task within its round's forest.
+    pub task: TaskId,
+    /// Round index.
+    pub round: u32,
+    /// Execution time (µs).
+    pub grain_us: u64,
+    /// Node where the task was generated — an execution elsewhere makes
+    /// it *non-local* (Table I's locality column).
+    pub origin: NodeId,
+}
+
+/// Cost constants shared by all schedulers (calibrated in
+/// EXPERIMENTS.md).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Costs {
+    /// CPU overhead to dispatch one task from the local queue (µs).
+    pub dispatch_us: Time,
+    /// CPU overhead to create/enqueue one generated task (µs).
+    pub spawn_us: Time,
+    /// Wire size of one task descriptor (bytes). "A uniform code image
+    /// is accessible at each processor and only data are transferred."
+    pub task_bytes: usize,
+    /// Wire size of a small control message (bytes).
+    pub ctl_bytes: usize,
+    /// Modelled duration of one synchronous communication step inside
+    /// a collective (µs). These are small control messages (a scan or
+    /// broadcast hop ≈ one short-message latency); the paper's "about
+    /// 1 ms" step applies to *task migration*, which this simulator
+    /// charges separately through real task messages.
+    pub comm_step_us: Time,
+    /// Record per-node busy spans during the run (costs memory on long
+    /// runs; used by the `timeline` visualisation).
+    pub record_timeline: bool,
+    /// Simulate store-and-forward link contention (directed links
+    /// serialize transmissions). Off by default; the `ablation_contention`
+    /// bench measures its effect on each scheduler.
+    pub contention: bool,
+}
+
+impl Default for Costs {
+    fn default() -> Self {
+        Costs {
+            dispatch_us: 250,
+            spawn_us: 150,
+            task_bytes: 48,
+            ctl_bytes: 16,
+            comm_step_us: 100,
+            record_timeline: false,
+            contention: false,
+        }
+    }
+}
+
+/// Shared per-engine state (see module docs for the rules of use).
+pub struct Oracle {
+    inner: Rc<RefCell<OracleState>>,
+    /// The workload being executed (immutable, shared).
+    pub workload: Rc<Workload>,
+    /// Cost constants.
+    pub costs: Costs,
+    n: usize,
+    diameter: usize,
+}
+
+struct OracleState {
+    round: u32,
+    outstanding: u64,
+    round_announced: bool,
+    /// Scratch space for scheduler-specific rendezvous (e.g. loads
+    /// reported to a RIPS system phase).
+    pub scratch: SchedScratch,
+}
+
+/// Scheduler-specific rendezvous data living inside the oracle.
+#[derive(Default)]
+pub struct SchedScratch {
+    /// Loads reported by nodes that entered the current system phase
+    /// (RIPS), `None` where not yet reported.
+    pub reported_loads: Vec<Option<i64>>,
+    /// Count of nodes that entered the current system phase.
+    pub entered: usize,
+    /// Per-source outgoing transfers `(dst, count)` of the current
+    /// system phase plan.
+    pub outgoing: Vec<Vec<(NodeId, i64)>>,
+    /// Per-destination expected incoming task count.
+    pub expected_in: Vec<i64>,
+}
+
+impl Clone for Oracle {
+    fn clone(&self) -> Self {
+        Oracle {
+            inner: Rc::clone(&self.inner),
+            workload: Rc::clone(&self.workload),
+            costs: self.costs,
+            n: self.n,
+            diameter: self.diameter,
+        }
+    }
+}
+
+impl Oracle {
+    /// Creates the oracle for one engine run.
+    pub fn new(workload: Rc<Workload>, topo: &dyn Topology, costs: Costs) -> Self {
+        let first_round = workload.rounds.first().map_or(0, |r| r.len() as u64);
+        Oracle {
+            inner: Rc::new(RefCell::new(OracleState {
+                round: 0,
+                outstanding: first_round,
+                round_announced: false,
+                scratch: SchedScratch::default(),
+            })),
+            workload,
+            costs,
+            n: topo.len(),
+            diameter: topo.diameter(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Current round index.
+    pub fn round(&self) -> u32 {
+        self.inner.borrow().round
+    }
+
+    /// Unexecuted tasks remaining in the current round (including tasks
+    /// not yet generated — children count from the start, because the
+    /// forest is known to the oracle; what matters is that it reaches
+    /// zero exactly when the round's last task finishes).
+    pub fn outstanding(&self) -> u64 {
+        self.inner.borrow().outstanding
+    }
+
+    /// Root task instances of round `round` owned by `node` under the
+    /// block distribution.
+    pub fn seed_for(&self, node: NodeId, round: u32) -> Vec<TaskInstance> {
+        let forest = &self.workload.rounds[round as usize];
+        let roots = forest.roots();
+        let per = roots.len().div_ceil(self.n.max(1)).max(1);
+        let lo = (node * per).min(roots.len());
+        let hi = ((node + 1) * per).min(roots.len());
+        roots[lo..hi]
+            .iter()
+            .map(|&id| TaskInstance {
+                task: id,
+                round,
+                grain_us: forest.task(id).grain_us,
+                origin: node,
+            })
+            .collect()
+    }
+
+    /// Marks one task of the current round executed. Returns `true`
+    /// exactly once per round: to the caller that completed the round's
+    /// last task (the node that then announces the barrier).
+    pub fn task_done(&self) -> bool {
+        let mut st = self.inner.borrow_mut();
+        assert!(st.outstanding > 0, "task_done underflow");
+        st.outstanding -= 1;
+        st.outstanding == 0 && !std::mem::replace(&mut st.round_announced, true)
+    }
+
+    /// Child instances generated by completing `inst` on `node`.
+    pub fn children_of(&self, inst: &TaskInstance, node: NodeId) -> Vec<TaskInstance> {
+        let forest = &self.workload.rounds[inst.round as usize];
+        forest
+            .task(inst.task)
+            .children
+            .iter()
+            .map(|&c| TaskInstance {
+                task: c,
+                round: inst.round,
+                grain_us: forest.task(c).grain_us,
+                origin: node,
+            })
+            .collect()
+    }
+
+    /// Advances to the next round, resetting the outstanding counter.
+    /// Returns the new round index, or `None` if the workload is
+    /// complete.
+    pub fn advance_round(&self) -> Option<u32> {
+        let mut st = self.inner.borrow_mut();
+        debug_assert_eq!(st.outstanding, 0, "advancing with work outstanding");
+        let next = st.round + 1;
+        if (next as usize) >= self.workload.rounds.len() {
+            return None;
+        }
+        st.round = next;
+        st.outstanding = self.workload.rounds[next as usize].len() as u64;
+        st.round_announced = false;
+        st.scratch = SchedScratch::default();
+        Some(next)
+    }
+
+    /// Modelled latency of the inter-round barrier: a convergecast plus
+    /// a broadcast across the topology.
+    pub fn round_barrier_delay(&self) -> Time {
+        2 * self.diameter as Time * self.costs.comm_step_us
+    }
+
+    /// Mutable access to the scheduler scratch space.
+    pub fn scratch_mut(&self) -> std::cell::RefMut<'_, SchedScratch> {
+        std::cell::RefMut::map(self.inner.borrow_mut(), |st| &mut st.scratch)
+    }
+}
+
+/// Per-node execution bookkeeping shared by every scheduler program.
+#[derive(Debug, Default)]
+pub struct NodeExec {
+    /// Ready-to-execute queue.
+    pub queue: VecDeque<TaskInstance>,
+    /// Tasks executed by this node.
+    pub executed: u64,
+    /// Executed tasks whose origin was another node.
+    pub nonlocal_executed: u64,
+}
+
+impl NodeExec {
+    /// Records the execution of `inst` on `me`.
+    pub fn record(&mut self, inst: &TaskInstance, me: NodeId) {
+        self.executed += 1;
+        if inst.origin != me {
+            self.nonlocal_executed += 1;
+        }
+    }
+}
+
+/// Outcome of one scheduler run, aggregating the engine statistics with
+/// the scheduler-level counters — the columns of the paper's Table I.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// Raw engine statistics.
+    pub stats: rips_desim::RunStats,
+    /// Tasks executed per node.
+    pub executed: Vec<u64>,
+    /// Non-local tasks (executed off their origin node), total.
+    pub nonlocal: u64,
+    /// Number of system phases (RIPS) or 0 for dynamic baselines.
+    pub system_phases: u32,
+}
+
+impl RunOutcome {
+    /// Outcome of running nothing on `n` nodes — the degenerate result
+    /// every scheduler driver returns for a workload with no rounds.
+    pub fn empty(n: usize) -> Self {
+        RunOutcome {
+            stats: rips_desim::RunStats {
+                end_time: 0,
+                nodes: vec![Default::default(); n],
+                net: Default::default(),
+                events: 0,
+                timelines: None,
+            },
+            executed: vec![0; n],
+            nonlocal: 0,
+            system_phases: 0,
+        }
+    }
+
+    /// Total tasks executed.
+    pub fn total_executed(&self) -> u64 {
+        self.executed.iter().sum()
+    }
+
+    /// Parallel execution time `T` in seconds.
+    pub fn exec_time_s(&self) -> f64 {
+        self.stats.end_time as f64 / 1e6
+    }
+
+    /// Mean per-node overhead `Th` in seconds.
+    pub fn overhead_s(&self) -> f64 {
+        self.stats.mean_overhead_us() / 1e6
+    }
+
+    /// Mean per-node idle `Ti` in seconds.
+    pub fn idle_s(&self) -> f64 {
+        self.stats.mean_idle_us() / 1e6
+    }
+
+    /// Efficiency `µ = Ts / (Tp · N)`.
+    pub fn efficiency(&self) -> f64 {
+        self.stats.efficiency()
+    }
+
+    /// Sanity check: every task of the workload ran exactly once.
+    pub fn verify_complete(&self, workload: &Workload) -> Result<(), String> {
+        let expect: u64 = workload.rounds.iter().map(|r| r.len() as u64).sum();
+        let got = self.total_executed();
+        if expect == got {
+            Ok(())
+        } else {
+            Err(format!("executed {got} of {expect} tasks"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rips_taskgraph::flat_uniform;
+    use rips_topology::Mesh2D;
+
+    fn oracle(tasks: usize, nodes: usize) -> Oracle {
+        let w = Rc::new(flat_uniform(tasks, 5, 10, 1));
+        let topo = Mesh2D::near_square(nodes);
+        Oracle::new(w, &topo, Costs::default())
+    }
+
+    #[test]
+    fn block_distribution_covers_all_roots_once() {
+        let o = oracle(10, 4);
+        let mut seen = vec![0u32; 10];
+        for node in 0..4 {
+            for inst in o.seed_for(node, 0) {
+                seen[inst.task as usize] += 1;
+                assert_eq!(inst.origin, node);
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1), "{seen:?}");
+    }
+
+    #[test]
+    fn uneven_block_distribution() {
+        let o = oracle(7, 4);
+        let counts: Vec<usize> = (0..4).map(|n| o.seed_for(n, 0).len()).collect();
+        assert_eq!(counts.iter().sum::<usize>(), 7);
+        assert_eq!(counts, vec![2, 2, 2, 1]);
+    }
+
+    #[test]
+    fn task_done_fires_once_at_zero() {
+        let o = oracle(3, 2);
+        assert!(!o.task_done());
+        assert!(!o.task_done());
+        assert!(o.task_done());
+        assert_eq!(o.outstanding(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn task_done_underflow_detected() {
+        let o = oracle(1, 1);
+        o.task_done();
+        o.task_done();
+    }
+
+    #[test]
+    fn advance_round_exhausts() {
+        let w = Rc::new(rips_taskgraph::Workload {
+            name: "two-round".into(),
+            rounds: vec![
+                flat_uniform(2, 1, 1, 0).rounds[0].clone(),
+                flat_uniform(3, 1, 1, 0).rounds[0].clone(),
+            ],
+        });
+        let topo = Mesh2D::new(1, 2);
+        let o = Oracle::new(w, &topo, Costs::default());
+        o.task_done();
+        o.task_done();
+        assert_eq!(o.advance_round(), Some(1));
+        assert_eq!(o.outstanding(), 3);
+        for _ in 0..3 {
+            o.task_done();
+        }
+        assert_eq!(o.advance_round(), None);
+    }
+
+    #[test]
+    fn nonlocal_counting() {
+        let mut exec = NodeExec::default();
+        let inst = TaskInstance {
+            task: 0,
+            round: 0,
+            grain_us: 5,
+            origin: 3,
+        };
+        exec.record(&inst, 3);
+        exec.record(&inst, 1);
+        assert_eq!(exec.executed, 2);
+        assert_eq!(exec.nonlocal_executed, 1);
+    }
+}

@@ -1,0 +1,39 @@
+//! Parallel scheduling algorithms (the paper's §3).
+//!
+//! A *parallel scheduling algorithm* takes the per-node task counts
+//! `w` and produces a [`TransferPlan`]: an ordered list of
+//! neighbour-to-neighbour task movements after which every node holds
+//! its quota (`⌊T/N⌋`, the first `T mod N` nodes one more). All
+//! processors execute it cooperatively in a bounded number of
+//! communication steps.
+//!
+//! Implemented algorithms:
+//!
+//! * [`mwa`] — the **Mesh Walking Algorithm** of Figure 3, the paper's
+//!   contribution: 5 steps, `3(n1+n2)` communication steps, per-node
+//!   final loads within one task of each other (Theorem 1), the
+//!   minimum possible number of non-local tasks (Theorem 2), and
+//!   optimal `Σ eₖ` on ≤ 4 processors (Lemma 2).
+//! * [`twa`] — the **Tree Walking Algorithm** (reference \[25\]): on a
+//!   tree every edge's net flow is forced, so the plan is optimal in
+//!   `Σ eₖ`; `2·height` communication steps.
+//! * [`dem`] — the **Dimension Exchange Method** (Cybenko; the related
+//!   work the paper positions against): pairwise averaging across each
+//!   hypercube dimension; `d` steps but redundant communication and a
+//!   final imbalance of up to `d` tasks with integer loads.
+
+mod ddem;
+mod dem;
+mod dmwa;
+mod dtwa;
+mod mwa;
+mod plan;
+mod twa;
+
+pub use ddem::dem_distributed;
+pub use dem::dem;
+pub use dmwa::mwa_distributed;
+pub use dtwa::twa_distributed;
+pub use mwa::{mwa, MwaTrace};
+pub use plan::{min_nonlocal_tasks, Move, TransferPlan};
+pub use twa::twa;

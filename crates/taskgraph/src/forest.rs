@@ -1,0 +1,278 @@
+//! Task forests and workloads.
+
+/// Index of a task within its [`TaskForest`].
+pub type TaskId = u32;
+
+/// One unit of schedulable work.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Task {
+    /// Execution time on whichever node runs it (virtual µs).
+    pub grain_us: u64,
+    /// Tasks released when this one completes ("newly generated").
+    pub children: Vec<TaskId>,
+}
+
+/// A forest of dynamically generated tasks: the roots are available at
+/// the start of the round; children appear as their parents complete.
+///
+/// ```
+/// use rips_taskgraph::TaskForest;
+///
+/// let mut f = TaskForest::new();
+/// let root = f.add_root(100);
+/// f.add_child(root, 250);
+/// assert_eq!(f.total_work_us(), 350);
+/// assert_eq!(f.critical_path_us(), 350); // chain: root then child
+/// assert!(f.validate().is_ok());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TaskForest {
+    tasks: Vec<Task>,
+    roots: Vec<TaskId>,
+}
+
+impl TaskForest {
+    /// Empty forest.
+    pub fn new() -> Self {
+        TaskForest::default()
+    }
+
+    /// Adds a root task, returning its id.
+    pub fn add_root(&mut self, grain_us: u64) -> TaskId {
+        let id = self.push(grain_us);
+        self.roots.push(id);
+        id
+    }
+
+    /// Adds a task released by `parent`'s completion.
+    ///
+    /// # Panics
+    /// Panics if `parent` does not exist.
+    pub fn add_child(&mut self, parent: TaskId, grain_us: u64) -> TaskId {
+        assert!((parent as usize) < self.tasks.len(), "no such parent");
+        let id = self.push(grain_us);
+        self.tasks[parent as usize].children.push(id);
+        id
+    }
+
+    fn push(&mut self, grain_us: u64) -> TaskId {
+        let id = u32::try_from(self.tasks.len()).expect("forest too large");
+        self.tasks.push(Task {
+            grain_us,
+            children: Vec::new(),
+        });
+        id
+    }
+
+    /// Task lookup.
+    pub fn task(&self, id: TaskId) -> &Task {
+        &self.tasks[id as usize]
+    }
+
+    /// Root tasks available at round start.
+    pub fn roots(&self) -> &[TaskId] {
+        &self.roots
+    }
+
+    /// Number of tasks in the forest.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// `true` when the forest holds no tasks.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Total work (Σ grains) in µs.
+    pub fn total_work_us(&self) -> u64 {
+        self.tasks.iter().map(|t| t.grain_us).sum()
+    }
+
+    /// Largest single grain in µs.
+    pub fn max_grain_us(&self) -> u64 {
+        self.tasks.iter().map(|t| t.grain_us).max().unwrap_or(0)
+    }
+
+    /// Length (in µs) of the longest dependency chain: a lower bound on
+    /// any schedule's makespan regardless of processor count.
+    pub fn critical_path_us(&self) -> u64 {
+        let mut memo = vec![u64::MAX; self.tasks.len()];
+        fn depth(forest: &TaskForest, id: TaskId, memo: &mut [u64]) -> u64 {
+            if memo[id as usize] != u64::MAX {
+                return memo[id as usize];
+            }
+            let t = forest.task(id);
+            let below = t
+                .children
+                .iter()
+                .map(|&c| depth(forest, c, memo))
+                .max()
+                .unwrap_or(0);
+            memo[id as usize] = t.grain_us + below;
+            memo[id as usize]
+        }
+        self.roots
+            .iter()
+            .map(|&r| depth(self, r, &mut memo))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Checks the forest is a true forest: every non-root task has
+    /// exactly one parent and no task is reachable twice.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut indegree = vec![0u32; self.tasks.len()];
+        for t in &self.tasks {
+            for &c in &t.children {
+                if c as usize >= self.tasks.len() {
+                    return Err(format!("dangling child id {c}"));
+                }
+                indegree[c as usize] += 1;
+            }
+        }
+        for &r in &self.roots {
+            if indegree[r as usize] != 0 {
+                return Err(format!("root {r} has a parent"));
+            }
+        }
+        let mut root_set = vec![false; self.tasks.len()];
+        for &r in &self.roots {
+            if std::mem::replace(&mut root_set[r as usize], true) {
+                return Err(format!("duplicate root {r}"));
+            }
+        }
+        for (id, &deg) in indegree.iter().enumerate() {
+            if deg > 1 {
+                return Err(format!("task {id} has {deg} parents"));
+            }
+            if deg == 0 && !root_set[id] {
+                return Err(format!("task {id} unreachable"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A complete application run: one forest per round, with a global
+/// barrier between rounds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Workload {
+    /// Human-readable name (e.g. `"15-queens"`, `"gromos 16A"`).
+    pub name: String,
+    /// The rounds, executed in order with a barrier after each.
+    pub rounds: Vec<TaskForest>,
+}
+
+/// Aggregate statistics over a workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkloadStats {
+    /// Total number of tasks across all rounds.
+    pub tasks: usize,
+    /// Total work in µs (the sequential execution time `Ts`).
+    pub total_work_us: u64,
+    /// Largest grain.
+    pub max_grain_us: u64,
+    /// Sum over rounds of each round's critical path: a lower bound on
+    /// infinite-processor makespan.
+    pub critical_path_us: u64,
+}
+
+impl Workload {
+    /// Single-round workload.
+    pub fn single(name: impl Into<String>, forest: TaskForest) -> Self {
+        Workload {
+            name: name.into(),
+            rounds: vec![forest],
+        }
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> WorkloadStats {
+        WorkloadStats {
+            tasks: self.rounds.iter().map(|r| r.len()).sum(),
+            total_work_us: self.rounds.iter().map(|r| r.total_work_us()).sum(),
+            max_grain_us: self
+                .rounds
+                .iter()
+                .map(|r| r.max_grain_us())
+                .max()
+                .unwrap_or(0),
+            critical_path_us: self.rounds.iter().map(|r| r.critical_path_us()).sum(),
+        }
+    }
+
+    /// Validates every round.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, r) in self.rounds.iter().enumerate() {
+            r.validate().map_err(|e| format!("round {i}: {e}"))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamondless_tree() -> TaskForest {
+        let mut f = TaskForest::new();
+        let root = f.add_root(10);
+        let a = f.add_child(root, 20);
+        f.add_child(root, 5);
+        f.add_child(a, 7);
+        f
+    }
+
+    #[test]
+    fn totals_and_max() {
+        let f = diamondless_tree();
+        assert_eq!(f.len(), 4);
+        assert_eq!(f.total_work_us(), 42);
+        assert_eq!(f.max_grain_us(), 20);
+    }
+
+    #[test]
+    fn critical_path_follows_longest_chain() {
+        let f = diamondless_tree();
+        // 10 (root) + 20 (a) + 7 (a's child) = 37.
+        assert_eq!(f.critical_path_us(), 37);
+    }
+
+    #[test]
+    fn validate_accepts_forest() {
+        assert_eq!(diamondless_tree().validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_double_parent() {
+        let mut f = TaskForest::new();
+        let r1 = f.add_root(1);
+        let r2 = f.add_root(1);
+        let c = f.add_child(r1, 1);
+        // Manually corrupt: also attach c under r2.
+        f.tasks[r2 as usize].children.push(c);
+        assert!(f.validate().unwrap_err().contains("2 parents"));
+    }
+
+    #[test]
+    fn empty_forest_is_fine() {
+        let f = TaskForest::new();
+        assert!(f.is_empty());
+        assert_eq!(f.critical_path_us(), 0);
+        assert_eq!(f.validate(), Ok(()));
+    }
+
+    #[test]
+    fn workload_stats_sum_rounds() {
+        let w = Workload {
+            name: "w".into(),
+            rounds: vec![diamondless_tree(), diamondless_tree()],
+        };
+        let s = w.stats();
+        assert_eq!(s.tasks, 8);
+        assert_eq!(s.total_work_us, 84);
+        assert_eq!(s.critical_path_us, 74);
+        assert!(w.validate().is_ok());
+    }
+}

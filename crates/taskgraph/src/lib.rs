@@ -1,0 +1,22 @@
+//! The dynamic task model shared by every scheduler and workload.
+//!
+//! The paper's applications are divide-and-conquer style: executing a
+//! task may *generate* new tasks (N-Queens node expansion), and some
+//! applications impose a global barrier between *rounds* (IDA\*
+//! iterations, molecular-dynamics time steps). A [`Workload`] captures
+//! exactly that:
+//!
+//! * a sequence of [`TaskForest`]s, one per round, with a barrier
+//!   between rounds ("synchronization at each iteration reduces the
+//!   effective parallelism", §5);
+//! * each forest is a set of root tasks; completing a task releases its
+//!   children (the "newly generated tasks" rescheduled in the next
+//!   system phase).
+//!
+//! Grain sizes are virtual microseconds consumed on the executing node.
+
+mod forest;
+mod synthetic;
+
+pub use forest::{Task, TaskForest, TaskId, Workload, WorkloadStats};
+pub use synthetic::{flat_uniform, geometric_tree, skewed_flat};

@@ -1,0 +1,168 @@
+//! Interconnect topologies for the simulated multicomputer.
+//!
+//! The paper evaluates RIPS on an Intel Paragon (a 2-D mesh machine) and
+//! discusses parallel scheduling algorithms for meshes, trees, and
+//! hypercubes. This crate provides those topologies behind a common
+//! [`Topology`] trait: node enumeration, neighbourhood, hop distance, and
+//! deterministic single-path routing (used by the simulator to charge
+//! per-hop message latency and by the schedulers to count communication
+//! steps).
+//!
+//! Node identifiers are dense `0..len()` integers. Each concrete topology
+//! documents its id ↔ coordinate mapping.
+
+mod hypercube;
+mod mesh;
+mod ring;
+mod tree;
+
+pub use hypercube::Hypercube;
+pub use mesh::Mesh2D;
+pub use ring::Ring;
+pub use tree::BinaryTree;
+
+/// Dense node identifier, `0..Topology::len()`.
+pub type NodeId = usize;
+
+/// A static point-to-point interconnect.
+///
+/// All implementations are connected graphs with symmetric links:
+/// `b ∈ neighbors(a)` iff `a ∈ neighbors(b)`, and `distance` is the
+/// shortest-path hop metric induced by `neighbors`.
+pub trait Topology: Send + Sync {
+    /// Number of nodes in the machine.
+    fn len(&self) -> usize;
+
+    /// `true` if the machine has no nodes (never the case for the
+    /// provided constructors, which reject `len == 0`).
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Direct neighbours of `node`.
+    fn neighbors(&self, node: NodeId) -> Vec<NodeId>;
+
+    /// Shortest-path hop distance between two nodes.
+    fn distance(&self, a: NodeId, b: NodeId) -> usize;
+
+    /// The next hop on a deterministic shortest path `from → to`.
+    ///
+    /// Returns `None` when `from == to`. Repeatedly following
+    /// `route_next_hop` reaches `to` in exactly `distance(from, to)` hops.
+    fn route_next_hop(&self, from: NodeId, to: NodeId) -> Option<NodeId>;
+
+    /// Maximum hop distance over all node pairs.
+    fn diameter(&self) -> usize;
+
+    /// Short human-readable name, e.g. `"mesh 8x4"`.
+    fn label(&self) -> String;
+}
+
+/// Walks the full deterministic route `from → to` (excluding `from`,
+/// including `to`). Mainly used by tests and trace tooling.
+pub fn route<T: Topology + ?Sized>(topo: &T, from: NodeId, to: NodeId) -> Vec<NodeId> {
+    let mut path = Vec::with_capacity(topo.distance(from, to));
+    let mut cur = from;
+    while let Some(next) = topo.route_next_hop(cur, to) {
+        path.push(next);
+        cur = next;
+    }
+    path
+}
+
+/// Brute-force BFS distance, used by tests to validate the closed-form
+/// `distance` implementations.
+pub fn bfs_distance<T: Topology + ?Sized>(topo: &T, a: NodeId, b: NodeId) -> usize {
+    use std::collections::VecDeque;
+    if a == b {
+        return 0;
+    }
+    let mut dist = vec![usize::MAX; topo.len()];
+    dist[a] = 0;
+    let mut q = VecDeque::from([a]);
+    while let Some(n) = q.pop_front() {
+        for m in topo.neighbors(n) {
+            if dist[m] == usize::MAX {
+                dist[m] = dist[n] + 1;
+                if m == b {
+                    return dist[m];
+                }
+                q.push_back(m);
+            }
+        }
+    }
+    panic!("topology is disconnected: no path {a} -> {b}");
+}
+
+#[cfg(test)]
+mod trait_tests {
+    use super::*;
+
+    fn check_invariants(topo: &dyn Topology) {
+        let n = topo.len();
+        assert!(n > 0);
+        for a in 0..n {
+            // Symmetric links.
+            for b in topo.neighbors(a) {
+                assert!(b < n);
+                assert_ne!(a, b, "self-loop at {a}");
+                assert!(
+                    topo.neighbors(b).contains(&a),
+                    "asymmetric link {a}->{b} in {}",
+                    topo.label()
+                );
+                assert_eq!(topo.distance(a, b), 1);
+            }
+            assert_eq!(topo.distance(a, a), 0);
+            assert!(topo.route_next_hop(a, a).is_none());
+        }
+        let mut max_d = 0;
+        for a in 0..n {
+            for b in 0..n {
+                let d = topo.distance(a, b);
+                assert_eq!(d, topo.distance(b, a), "distance not symmetric");
+                assert_eq!(d, bfs_distance(topo, a, b), "closed-form != BFS");
+                assert_eq!(route(topo, a, b).len(), d, "route length != distance");
+                if d > 0 {
+                    let hop = topo.route_next_hop(a, b).unwrap();
+                    assert_eq!(topo.distance(hop, b), d - 1, "route does not progress");
+                }
+                max_d = max_d.max(d);
+            }
+        }
+        assert_eq!(
+            topo.diameter(),
+            max_d,
+            "diameter mismatch in {}",
+            topo.label()
+        );
+    }
+
+    #[test]
+    fn mesh_invariants() {
+        for (r, c) in [(1, 1), (1, 5), (5, 1), (2, 2), (3, 4), (4, 8)] {
+            check_invariants(&Mesh2D::new(r, c));
+        }
+    }
+
+    #[test]
+    fn tree_invariants() {
+        for n in [1, 2, 3, 7, 12, 31] {
+            check_invariants(&BinaryTree::new(n));
+        }
+    }
+
+    #[test]
+    fn hypercube_invariants() {
+        for d in 0..=5 {
+            check_invariants(&Hypercube::new(d));
+        }
+    }
+
+    #[test]
+    fn ring_invariants() {
+        for n in [1, 2, 3, 4, 9, 16] {
+            check_invariants(&Ring::new(n));
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Writing your own load balancer against the simulator harness.
+//!
+//! This example implements a deliberately simple strategy — *round-robin
+//! handoff*: every node ships each newly generated task to its next
+//! mesh neighbour in a fixed rotation — and races it against RIPS on
+//! the same workload. It shows the three things a scheduler plugs into:
+//!
+//! 1. a [`Program`] state machine (messages + timers + compute),
+//! 2. the [`Oracle`] bookkeeping for rounds and task generation,
+//! 3. the [`RunOutcome`] accounting that makes results comparable.
+//!
+//! ```text
+//! cargo run --release --example custom_balancer
+//! ```
+
+use std::rc::Rc;
+use std::sync::Arc;
+
+use rips_repro::core::{rips, Machine, RipsConfig};
+use rips_repro::desim::{Ctx, Engine, LatencyModel, Program, WorkKind};
+use rips_repro::taskgraph::geometric_tree;
+use rips_repro::topology::{Mesh2D, NodeId, Topology};
+use rips_runtime::{Costs, NodeExec, Oracle, RunOutcome, TaskInstance};
+
+#[derive(Debug, Clone)]
+enum Msg {
+    Tasks(Vec<TaskInstance>),
+    RoundStart(u32),
+}
+
+const TAG_EXEC: u64 = 0;
+const TAG_ROUND: u64 = 1;
+
+struct RoundRobin {
+    me: NodeId,
+    oracle: Oracle,
+    exec: NodeExec,
+    neighbors: Vec<NodeId>,
+    next: usize,
+    exec_armed: bool,
+}
+
+impl RoundRobin {
+    fn kick(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        if !self.exec_armed && !self.exec.queue.is_empty() {
+            self.exec_armed = true;
+            ctx.set_timer(0, TAG_EXEC);
+        }
+    }
+
+    fn seed(&mut self, ctx: &mut Ctx<'_, Msg>, round: u32) {
+        let seeds = self.oracle.seed_for(self.me, round);
+        ctx.compute(
+            self.oracle.costs.spawn_us * seeds.len() as u64,
+            WorkKind::Overhead,
+        );
+        self.exec.queue.extend(seeds);
+        self.kick(ctx);
+    }
+}
+
+impl Program for RoundRobin {
+    type Msg = Msg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        self.seed(ctx, 0);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, _from: NodeId, msg: Msg) {
+        match msg {
+            Msg::Tasks(tasks) => {
+                ctx.compute(
+                    self.oracle.costs.spawn_us * tasks.len() as u64,
+                    WorkKind::Overhead,
+                );
+                self.exec.queue.extend(tasks);
+                self.kick(ctx);
+            }
+            Msg::RoundStart(round) => self.seed(ctx, round),
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, tag: u64) {
+        match tag {
+            TAG_EXEC => {
+                self.exec_armed = false;
+                let Some(inst) = self.exec.queue.pop_front() else {
+                    return;
+                };
+                ctx.compute(self.oracle.costs.dispatch_us, WorkKind::Overhead);
+                ctx.compute(inst.grain_us, WorkKind::User);
+                self.exec.record(&inst, self.me);
+                // The custom policy: every generated child goes to the
+                // next neighbour in rotation.
+                for child in self.oracle.children_of(&inst, self.me) {
+                    if self.neighbors.is_empty() {
+                        self.exec.queue.push_back(child);
+                    } else {
+                        let to = self.neighbors[self.next % self.neighbors.len()];
+                        self.next += 1;
+                        ctx.send(to, Msg::Tasks(vec![child]), self.oracle.costs.task_bytes);
+                    }
+                }
+                if self.oracle.task_done() {
+                    ctx.set_timer(self.oracle.round_barrier_delay(), TAG_ROUND);
+                }
+                self.kick(ctx);
+            }
+            TAG_ROUND => match self.oracle.advance_round() {
+                Some(next) => {
+                    ctx.send_all(Msg::RoundStart(next), self.oracle.costs.ctl_bytes);
+                    self.seed(ctx, next);
+                }
+                None => ctx.halt(),
+            },
+            _ => unreachable!(),
+        }
+    }
+}
+
+fn main() {
+    let workload = Rc::new(geometric_tree(24, 8, 3, 25_000, 11));
+    let stats = workload.stats();
+    println!(
+        "workload: {} tasks, {:.2} s of work\n",
+        stats.tasks,
+        stats.total_work_us as f64 / 1e6
+    );
+
+    let mesh = Mesh2D::new(4, 4);
+    let costs = Costs::default();
+    let lat = LatencyModel::paragon();
+
+    // The custom balancer, assembled by hand on the raw engine.
+    let topo: Arc<dyn Topology> = Arc::new(mesh.clone());
+    let oracle = Oracle::new(Rc::clone(&workload), topo.as_ref(), costs);
+    let topo_for_make = Arc::clone(&topo);
+    let engine = Engine::new(topo, lat, 1, move |me| RoundRobin {
+        me,
+        oracle: oracle.clone(),
+        exec: NodeExec::default(),
+        neighbors: topo_for_make.neighbors(me),
+        next: 0,
+        exec_armed: false,
+    });
+    let (progs, stats_rr) = engine.run();
+    let rr = RunOutcome {
+        stats: stats_rr,
+        executed: progs.iter().map(|p| p.exec.executed).collect(),
+        nonlocal: progs.iter().map(|p| p.exec.nonlocal_executed).sum(),
+        system_phases: 0,
+    };
+    rr.verify_complete(&workload)
+        .expect("round-robin lost tasks");
+    println!(
+        "round-robin handoff: T {:.3}s  efficiency {:.0}%  nonlocal {}",
+        rr.exec_time_s(),
+        rr.efficiency() * 100.0,
+        rr.nonlocal
+    );
+
+    // RIPS on the same workload, for scale.
+    let out = rips(
+        Rc::clone(&workload),
+        Machine::Mesh(mesh),
+        lat,
+        costs,
+        1,
+        RipsConfig::default(),
+    );
+    out.run.verify_complete(&workload).expect("RIPS lost tasks");
+    println!(
+        "RIPS (ANY-Lazy):     T {:.3}s  efficiency {:.0}%  nonlocal {}  ({} phases)",
+        out.run.exec_time_s(),
+        out.run.efficiency() * 100.0,
+        out.run.nonlocal,
+        out.run.system_phases
+    );
+}

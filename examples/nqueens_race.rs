@@ -1,0 +1,99 @@
+//! N-Queens scheduling shoot-out: the paper's Table I in miniature.
+//!
+//! Runs exhaustive 11-Queens search (small enough to finish instantly)
+//! under all four schedulers on a simulated 16-node mesh and prints the
+//! comparison columns. Scale `--n` up to 13/14/15 to approach the
+//! paper's setting (see `cargo run -p rips-bench --bin table1` for the
+//! full reproduction).
+//!
+//! ```text
+//! cargo run --release --example nqueens_race -- --n 12
+//! ```
+
+use std::rc::Rc;
+use std::sync::Arc;
+
+use rips_repro::apps::{nqueens, NQueensConfig};
+use rips_repro::balancers::{gradient, random, rid, GradientParams, RidParams};
+use rips_repro::core::{rips, Machine, RipsConfig};
+use rips_repro::desim::LatencyModel;
+use rips_repro::topology::{Mesh2D, Topology};
+use rips_runtime::{Costs, RunOutcome};
+
+fn main() {
+    let n: u32 = std::env::args()
+        .skip_while(|a| a != "--n")
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(11);
+    let workload = Rc::new(nqueens(NQueensConfig::paper(n)));
+    let stats = workload.stats();
+    let (solutions_nodes, solutions) = rips_repro::apps::nqueens::solve(n);
+    println!(
+        "{n}-Queens: {} solutions, {} search nodes, {} tasks, {:.2} s sequential work\n",
+        solutions,
+        solutions_nodes,
+        stats.tasks,
+        stats.total_work_us as f64 / 1e6
+    );
+
+    let mesh = Mesh2D::near_square(16);
+    let lat = LatencyModel::paragon();
+    let costs = Costs::default();
+    let report = |name: &str, out: RunOutcome| {
+        out.verify_complete(&workload).expect("complete");
+        println!(
+            "{name:10} nonlocal {:6}  Th {:.3}s  Ti {:.3}s  T {:.3}s  efficiency {:.0}%",
+            out.nonlocal,
+            out.overhead_s(),
+            out.idle_s(),
+            out.exec_time_s(),
+            out.efficiency() * 100.0
+        );
+    };
+
+    let topo = || -> Arc<dyn Topology> { Arc::new(mesh.clone()) };
+    report(
+        "Random",
+        random(Rc::clone(&workload), topo(), lat, costs, 1),
+    );
+    report(
+        "Gradient",
+        gradient(
+            Rc::clone(&workload),
+            topo(),
+            lat,
+            costs,
+            1,
+            GradientParams::default(),
+        ),
+    );
+    report(
+        "RID",
+        rid(
+            Rc::clone(&workload),
+            topo(),
+            lat,
+            costs,
+            1,
+            RidParams::default(),
+        ),
+    );
+    let out = rips(
+        Rc::clone(&workload),
+        Machine::Mesh(mesh),
+        lat,
+        costs,
+        1,
+        RipsConfig::default(),
+    );
+    println!(
+        "RIPS       nonlocal {:6}  Th {:.3}s  Ti {:.3}s  T {:.3}s  efficiency {:.0}%  ({} system phases)",
+        out.run.nonlocal,
+        out.run.overhead_s(),
+        out.run.idle_s(),
+        out.run.exec_time_s(),
+        out.run.efficiency() * 100.0,
+        out.run.system_phases
+    );
+}

@@ -1,0 +1,201 @@
+//! `rips` — command-line driver for the reproduction.
+//!
+//! ```text
+//! rips run   --app queens13 --scheduler rips --nodes 32 [--policy any-lazy] [--seed 1]
+//! rips plan  --rows 8 --cols 4 --loads 25,0,3,...   # one-shot MWA on a load vector
+//! rips apps                                         # list available workloads
+//! ```
+
+use std::rc::Rc;
+use std::sync::Arc;
+
+use rips_repro::balancers::{gradient, random, rid, GradientParams, RidParams};
+use rips_repro::core::{rips, GlobalPolicy, LocalPolicy, Machine, RipsConfig};
+use rips_repro::desim::LatencyModel;
+use rips_repro::sched::{min_nonlocal_tasks, mwa};
+use rips_repro::taskgraph::Workload;
+use rips_repro::topology::{Mesh2D, Topology};
+use rips_runtime::Costs;
+
+fn arg(name: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == name {
+            return args.next();
+        }
+    }
+    None
+}
+
+const APPS: &[&str] = &[
+    "queens11", "queens12", "queens13", "queens14", "queens15", "ida1", "ida2", "ida3", "gromos8",
+    "gromos12", "gromos16",
+];
+
+fn build_app(name: &str) -> Workload {
+    use rips_repro::apps::{gromos, nqueens, puzzle, GromosConfig, NQueensConfig, PuzzleConfig};
+    match name {
+        "queens11" => nqueens(NQueensConfig::paper(11)),
+        "queens12" => nqueens(NQueensConfig::paper(12)),
+        "queens13" => nqueens(NQueensConfig::paper(13)),
+        "queens14" => nqueens(NQueensConfig::paper(14)),
+        "queens15" => nqueens(NQueensConfig::paper(15)),
+        "ida1" => puzzle(PuzzleConfig::paper(1)),
+        "ida2" => puzzle(PuzzleConfig::paper(2)),
+        "ida3" => puzzle(PuzzleConfig::paper(3)),
+        "gromos8" => gromos(GromosConfig::paper(8.0)),
+        "gromos12" => gromos(GromosConfig::paper(12.0)),
+        "gromos16" => gromos(GromosConfig::paper(16.0)),
+        other => {
+            eprintln!("unknown app '{other}'; available: {APPS:?}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn cmd_run() {
+    let app = arg("--app").unwrap_or_else(|| "queens13".into());
+    let scheduler = arg("--scheduler").unwrap_or_else(|| "rips".into());
+    let nodes: usize = arg("--nodes").and_then(|v| v.parse().ok()).unwrap_or(32);
+    let seed: u64 = arg("--seed").and_then(|v| v.parse().ok()).unwrap_or(1);
+    let policy = arg("--policy").unwrap_or_else(|| "any-lazy".into());
+
+    eprintln!("building workload '{app}' ...");
+    let workload = Rc::new(build_app(&app));
+    let stats = workload.stats();
+    println!(
+        "workload: {} | {} tasks | {} rounds | Ts = {:.2} s",
+        workload.name,
+        stats.tasks,
+        workload.rounds.len(),
+        stats.total_work_us as f64 / 1e6
+    );
+
+    let mesh = Mesh2D::near_square(nodes);
+    println!("machine:  {} ({} nodes)", mesh.label(), nodes);
+    let lat = LatencyModel::paragon();
+    let costs = Costs::default();
+    let topo: Arc<dyn Topology> = Arc::new(mesh.clone());
+
+    let (outcome, phases) = match scheduler.as_str() {
+        "random" => (random(Rc::clone(&workload), topo, lat, costs, seed), 0),
+        "gradient" => (
+            gradient(
+                Rc::clone(&workload),
+                topo,
+                lat,
+                costs,
+                seed,
+                GradientParams::default(),
+            ),
+            0,
+        ),
+        "rid" => (
+            rid(
+                Rc::clone(&workload),
+                topo,
+                lat,
+                costs,
+                seed,
+                RidParams::default(),
+            ),
+            0,
+        ),
+        "rips" => {
+            let (local, global) = match policy.as_str() {
+                "any-lazy" => (LocalPolicy::Lazy, GlobalPolicy::Any),
+                "any-eager" => (LocalPolicy::Eager, GlobalPolicy::Any),
+                "all-lazy" => (LocalPolicy::Lazy, GlobalPolicy::All),
+                "all-eager" => (LocalPolicy::Eager, GlobalPolicy::All),
+                other => {
+                    eprintln!("unknown policy '{other}' (any-lazy|any-eager|all-lazy|all-eager)");
+                    std::process::exit(2);
+                }
+            };
+            let out = rips(
+                Rc::clone(&workload),
+                Machine::Mesh(mesh),
+                lat,
+                costs,
+                seed,
+                RipsConfig {
+                    local,
+                    global,
+                    ..RipsConfig::default()
+                },
+            );
+            let phases = out.run.system_phases;
+            (out.run, phases)
+        }
+        other => {
+            eprintln!("unknown scheduler '{other}' (random|gradient|rid|rips)");
+            std::process::exit(2);
+        }
+    };
+    outcome
+        .verify_complete(&workload)
+        .expect("scheduler lost tasks");
+
+    println!("\nresults ({scheduler}):");
+    println!("  non-local tasks : {}", outcome.nonlocal);
+    println!("  overhead Th     : {:.3} s", outcome.overhead_s());
+    println!("  idle Ti         : {:.3} s", outcome.idle_s());
+    println!("  exec time T     : {:.3} s", outcome.exec_time_s());
+    println!(
+        "  speedup         : {:.1}",
+        outcome.stats.total_user_us() as f64 / outcome.stats.end_time as f64
+    );
+    println!("  efficiency      : {:.1}%", outcome.efficiency() * 100.0);
+    if phases > 0 {
+        println!("  system phases   : {phases}");
+    }
+}
+
+fn cmd_plan() {
+    let rows: usize = arg("--rows").and_then(|v| v.parse().ok()).unwrap_or(4);
+    let cols: usize = arg("--cols").and_then(|v| v.parse().ok()).unwrap_or(4);
+    let mesh = Mesh2D::new(rows, cols);
+    let loads: Vec<i64> = match arg("--loads") {
+        Some(s) => s
+            .split(',')
+            .map(|x| x.trim().parse().expect("loads must be integers"))
+            .collect(),
+        None => {
+            eprintln!("--loads w0,w1,... required ({} values)", mesh.len());
+            std::process::exit(2);
+        }
+    };
+    let (plan, trace) = mwa(&mesh, &loads);
+    println!(
+        "mesh {rows}x{cols}, w_avg = {}, remainder = {}",
+        trace.wavg, trace.remainder
+    );
+    println!("final loads: {:?}", plan.apply(&loads));
+    println!(
+        "moved {} tasks (minimum {}), edge cost {}",
+        plan.nonlocal_tasks(&loads),
+        min_nonlocal_tasks(&loads),
+        plan.edge_cost()
+    );
+    for mv in &plan.moves {
+        println!("  {} -> {}: {}", mv.from, mv.to, mv.count);
+    }
+}
+
+fn main() {
+    match std::env::args().nth(1).as_deref() {
+        Some("run") => cmd_run(),
+        Some("plan") => cmd_plan(),
+        Some("apps") => {
+            for a in APPS {
+                println!("{a}");
+            }
+        }
+        _ => {
+            eprintln!("usage: rips <run|plan|apps> [flags]");
+            eprintln!("  run  --app queens13 --scheduler rips|random|gradient|rid --nodes 32");
+            eprintln!("  plan --rows 8 --cols 4 --loads 25,0,3,...");
+            std::process::exit(2);
+        }
+    }
+}
