@@ -38,10 +38,10 @@ fn main() {
         "workload", "policy", "phases", "nonlocal", "Th (s)", "Ti (s)", "T (s)", "mu",
     ]);
     let mut rows: Vec<Option<Vec<Vec<String>>>> = (0..apps.len()).map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (slot, &app) in rows.iter_mut().zip(&apps) {
             let combos = &combos;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let w = app.build();
                 let mut out = Vec::new();
                 for &(name, cfg) in combos {
@@ -60,8 +60,7 @@ fn main() {
                 *slot = Some(out);
             });
         }
-    })
-    .expect("ablation worker panicked");
+    });
     for group in rows {
         for row in group.expect("slot filled") {
             table.row(row);

@@ -55,19 +55,18 @@ fn panel(title: &str, sizes: &[usize], trials: usize) {
     // One thread per (size, weight) cell; MCMF on 256 nodes x 100
     // trials is the slow corner.
     let mut cells: Vec<Vec<Aggregate>> = vec![vec![Aggregate::new(); sizes.len()]; WEIGHTS.len()];
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (wi, row) in cells.iter_mut().enumerate() {
             for (si, slot) in row.iter_mut().enumerate() {
                 let n = sizes[si];
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mesh = Mesh2D::near_square(n);
                     let seed = 0xF1640 + (wi * 16 + si) as u64;
                     *slot = normalized_cost(&mesh, WEIGHTS[wi], trials, seed);
                 });
             }
         }
-    })
-    .expect("fig4 worker panicked");
+    });
     for (wi, row) in cells.iter().enumerate() {
         series.point(
             WEIGHTS[wi].to_string(),

@@ -19,14 +19,13 @@ fn main() {
     // plumbing them out of the parallel table runner).
     let apps = App::paper_set();
     let mut mu_opt: Vec<Option<f64>> = (0..apps.len()).map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (slot, &app) in mu_opt.iter_mut().zip(&apps) {
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 *slot = Some(optimal_efficiency(&app.build(), nodes));
             });
         }
-    })
-    .expect("fig5 worker panicked");
+    });
     let mu_opt: Vec<f64> = mu_opt.into_iter().map(|m| m.expect("filled")).collect();
 
     type Filter = Box<dyn Fn(&App) -> bool>;

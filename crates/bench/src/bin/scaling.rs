@@ -32,10 +32,10 @@ fn main() {
         "RIPS phases",
     ]);
     let mut rows: Vec<Option<Vec<String>>> = (0..sizes.len()).map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (slot, &nodes) in rows.iter_mut().zip(&sizes) {
             let workload = &workload;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let rips = run_scheduler("RIPS", workload, nodes, 0.4, 1);
                 let rand = run_scheduler("Random", workload, nodes, 0.4, 1);
                 *slot = Some(vec![
@@ -48,8 +48,7 @@ fn main() {
                 ]);
             });
         }
-    })
-    .expect("scaling worker panicked");
+    });
     for row in rows {
         table.row(row.expect("slot filled"));
     }

@@ -26,9 +26,9 @@ fn main() {
         "workload", "strategy", "nonlocal", "Th (s)", "Ti (s)", "T (s)", "mu",
     ]);
     let mut rows: Vec<Option<Vec<Vec<String>>>> = (0..apps.len()).map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (slot, &app) in rows.iter_mut().zip(&apps) {
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let w = Rc::new(app.build());
                 let mesh = Mesh2D::near_square(nodes);
                 let topo = || -> Arc<dyn Topology> { Arc::new(mesh.clone()) };
@@ -62,8 +62,7 @@ fn main() {
                 *slot = Some(vec![fmt("RID", &rid_out), fmt("SID", &sid_out)]);
             });
         }
-    })
-    .expect("sid_vs_rid worker panicked");
+    });
     for group in rows {
         for row in group.expect("slot filled") {
             table.row(row);

@@ -13,15 +13,14 @@ fn main() {
     println!("Table II: optimal efficiencies for the test problems ({nodes} processors)\n");
     let apps = App::paper_set();
     let mut rows: Vec<Option<(String, f64)>> = (0..apps.len()).map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (slot, &app) in rows.iter_mut().zip(&apps) {
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let w = app.build();
                 *slot = Some((app.label(), optimal_efficiency(&w, nodes)));
             });
         }
-    })
-    .expect("table2 worker panicked");
+    });
 
     let mut table = Table::new(vec!["workload", "optimal efficiency"]);
     for row in rows {

@@ -171,9 +171,9 @@ pub fn run_scheduler(
 /// deterministic).
 pub fn run_table(apps: &[App], nodes: usize, seed: u64) -> Vec<(App, Vec<Row>)> {
     let mut results: Vec<Option<(App, Vec<Row>)>> = (0..apps.len()).map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (slot, &app) in results.iter_mut().zip(apps) {
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let workload = app.build();
                 let rows = SCHEDULERS
                     .iter()
@@ -182,8 +182,7 @@ pub fn run_table(apps: &[App], nodes: usize, seed: u64) -> Vec<(App, Vec<Row>)> 
                 *slot = Some((app, rows));
             });
         }
-    })
-    .expect("experiment thread panicked");
+    });
     results
         .into_iter()
         .map(|r| r.expect("slot filled"))

@@ -1,0 +1,234 @@
+//! Vendored minimal stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so the real `criterion`
+//! cannot be fetched. This shim keeps the same bench authoring API —
+//! [`Criterion`], [`BenchmarkGroup`], [`Bencher::iter`], the
+//! `criterion_group!`/`criterion_main!` macros — and implements a
+//! simple calibrated wall-clock timer underneath: each benchmark is
+//! warmed up, an iteration count is chosen to fill a minimum
+//! measurement window, and the per-iteration mean over `sample_size`
+//! samples is printed as
+//! `bench <group>/<id> ... <mean> ns/iter (min <min> ns)`.
+//!
+//! No statistics, plots, or baseline comparison — for regression
+//! tracking, pipe the one-line-per-bench output into a diff.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Benchmark identifier: `group/function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Id from a function name and a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Id from just a parameter (common inside a group).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { label: s.into() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Passed to the closure given to `bench_*`; call [`Bencher::iter`].
+pub struct Bencher<'a> {
+    samples: usize,
+    results: &'a mut Vec<Duration>,
+}
+
+impl Bencher<'_> {
+    /// Measures `f`, recording per-iteration time over several samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up + calibration: find an iteration count that fills
+        // ~20ms so short routines aren't dominated by timer noise.
+        let mut iters: u64 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = t0.elapsed();
+            if elapsed >= Duration::from_millis(20) || iters >= 1 << 20 {
+                break;
+            }
+            iters = (iters * 4).min(1 << 20);
+        }
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            self.results.push(t0.elapsed() / iters as u32);
+        }
+    }
+}
+
+fn report(label: &str, results: &[Duration]) {
+    if results.is_empty() {
+        println!("bench {label:<40} (no samples)");
+        return;
+    }
+    let mean_ns = results.iter().map(|d| d.as_nanos()).sum::<u128>() / results.len() as u128;
+    let min_ns = results.iter().map(|d| d.as_nanos()).min().unwrap();
+    println!("bench {label:<40} {mean_ns:>12} ns/iter (min {min_ns} ns)");
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples per benchmark (the real crate's meaning is
+    /// close enough for this shim's reporting).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(2);
+        self
+    }
+
+    /// Soft cap accepted for API compatibility; the shim's window is
+    /// fixed.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` with an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let mut results = Vec::new();
+        let mut b = Bencher {
+            samples: self.samples,
+            results: &mut results,
+        };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.label), &results);
+        self
+    }
+
+    /// Benchmarks `f`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let id = id.into();
+        let mut results = Vec::new();
+        let mut b = Bencher {
+            samples: self.samples,
+            results: &mut results,
+        };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id.label), &results);
+        self
+    }
+
+    /// Ends the group (no-op beyond parity with the real API).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Accepts CLI args for parity; filtering is not implemented.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named [`BenchmarkGroup`].
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: 10,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks a standalone function.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let id = id.into();
+        let mut results = Vec::new();
+        let mut b = Bencher {
+            samples: 10,
+            results: &mut results,
+        };
+        f(&mut b);
+        report(&id.label, &results);
+        self
+    }
+}
+
+/// Declares a group of benchmark functions runnable by `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_reports_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        let mut ran = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter(1), &1u64, |b, &x| {
+            b.iter(|| {
+                ran += 1;
+                black_box(x + 1)
+            });
+        });
+        group.finish();
+        assert!(ran > 0);
+    }
+}

@@ -1,0 +1,206 @@
+//! Vendored minimal stand-in for the `rand` crate.
+//!
+//! The build environment has no network access, so the real `rand`
+//! cannot be fetched. This shim implements exactly the surface the
+//! workspace uses — [`rngs::SmallRng`], [`SeedableRng::seed_from_u64`],
+//! and [`RngExt::random_range`] — with the same generator family the
+//! real `SmallRng` uses on 64-bit targets (xoshiro256++ seeded via
+//! SplitMix64), so streams are deterministic and well distributed.
+//!
+//! Distribution details are simplified (modulo reduction instead of
+//! rejection sampling); every consumer in this workspace only needs
+//! determinism and rough uniformity, not statistical perfection.
+
+/// Seedable random number generators.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed (SplitMix64 expansion).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The random-value convenience surface (`rand` ≥ 0.9 naming).
+pub trait RngExt {
+    /// Next raw 64 bits from the generator.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform value in `range`. Panics on an empty range.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    fn random(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.random() < p
+    }
+}
+
+/// Half-open or inclusive range, samplable for `T`.
+pub trait SampleRange<T> {
+    /// Draws a uniform value from `self` using `rng`.
+    fn sample_from<R: RngExt>(self, rng: &mut R) -> T;
+}
+
+/// Scalar types that know how to draw uniformly from raw 64 bits.
+pub trait UniformSample: Sized {
+    fn uniform(lo: Self, hi: Self, inclusive: bool, bits: u64) -> Self;
+}
+
+macro_rules! impl_uniform_unsigned {
+    ($($t:ty),*) => {$(
+        impl UniformSample for $t {
+            fn uniform(lo: Self, hi: Self, inclusive: bool, bits: u64) -> Self {
+                let span = if inclusive {
+                    assert!(lo <= hi, "empty range in random_range");
+                    (hi as u128) - (lo as u128) + 1
+                } else {
+                    assert!(lo < hi, "empty range in random_range");
+                    (hi as u128) - (lo as u128)
+                };
+                lo.wrapping_add((bits as u128 % span) as $t)
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_uniform_signed {
+    ($($t:ty => $u:ty),*) => {$(
+        impl UniformSample for $t {
+            fn uniform(lo: Self, hi: Self, inclusive: bool, bits: u64) -> Self {
+                let lo_u = (lo as $u).wrapping_sub(<$t>::MIN as $u);
+                let hi_u = (hi as $u).wrapping_sub(<$t>::MIN as $u);
+                let v = <$u>::uniform(lo_u, hi_u, inclusive, bits);
+                v.wrapping_add(<$t>::MIN as $u) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_unsigned!(u8, u16, u32, u64, usize);
+impl_uniform_signed!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+impl UniformSample for f64 {
+    fn uniform(lo: Self, hi: Self, _inclusive: bool, bits: u64) -> Self {
+        assert!(lo < hi, "empty range in random_range");
+        let unit = (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        lo + unit * (hi - lo)
+    }
+}
+
+impl<T: UniformSample> SampleRange<T> for core::ops::Range<T> {
+    fn sample_from<R: RngExt>(self, rng: &mut R) -> T {
+        T::uniform(self.start, self.end, false, rng.next_u64())
+    }
+}
+
+impl<T: UniformSample> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_from<R: RngExt>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        T::uniform(lo, hi, true, rng.next_u64())
+    }
+}
+
+pub mod rngs {
+    use super::{RngExt, SeedableRng};
+
+    /// xoshiro256++ — the algorithm the real `SmallRng` uses on 64-bit
+    /// platforms. Fast, small state, deterministic.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut st = seed;
+            SmallRng {
+                s: [
+                    splitmix64(&mut st),
+                    splitmix64(&mut st),
+                    splitmix64(&mut st),
+                    splitmix64(&mut st),
+                ],
+            }
+        }
+    }
+
+    impl RngExt for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0]
+                .wrapping_add(s[3])
+                .rotate_left(23)
+                .wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: u64 = rng.random_range(0..10);
+            assert!(v < 10);
+            let w: i64 = rng.random_range(-5..=5);
+            assert!((-5..=5).contains(&w));
+            let f: f64 = rng.random_range(-2.0..2.0);
+            assert!((-2.0..2.0).contains(&f));
+            let u: usize = rng.random_range(3..4);
+            assert_eq!(u, 3);
+        }
+    }
+
+    #[test]
+    fn rough_uniformity() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut buckets = [0u32; 8];
+        for _ in 0..8000 {
+            buckets[rng.random_range(0..8usize)] += 1;
+        }
+        for b in buckets {
+            assert!((800..1200).contains(&b), "skewed bucket: {buckets:?}");
+        }
+    }
+}
