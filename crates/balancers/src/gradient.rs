@@ -10,7 +10,6 @@
 //! overhead is large because information and tasks are frequently
 //! exchanged" — emerges from exactly these rules.
 
-use std::rc::Rc;
 use std::sync::Arc;
 
 use rips_desim::{Ctx, Engine, LatencyModel, Program};
@@ -175,7 +174,7 @@ impl Program for GradientProg {
 
 /// Runs `workload` under the gradient model.
 pub fn gradient(
-    workload: Rc<Workload>,
+    workload: Arc<Workload>,
     topo: Arc<dyn Topology>,
     latency: LatencyModel,
     costs: Costs,
@@ -189,7 +188,7 @@ pub fn gradient(
     if workload.rounds.is_empty() {
         return RunOutcome::empty(topo.len());
     }
-    let oracle = Oracle::new(Rc::clone(&workload), topo.as_ref(), costs);
+    let oracle = Oracle::new(Arc::clone(&workload), topo.as_ref(), costs);
     let cap = topo.diameter() as u32 + 1;
     let topo2 = Arc::clone(&topo);
     let engine = Engine::new(topo, latency, seed, move |me| {

@@ -1,7 +1,6 @@
 //! Randomized allocation: each newly generated task is shipped to a
 //! uniformly random processor.
 
-use std::rc::Rc;
 use std::sync::Arc;
 
 use rand::RngExt;
@@ -99,7 +98,7 @@ impl Program for RandomProg {
 /// Runs `workload` under randomized allocation. Deterministic under
 /// `seed`.
 pub fn random(
-    workload: Rc<Workload>,
+    workload: Arc<Workload>,
     topo: Arc<dyn Topology>,
     latency: LatencyModel,
     costs: Costs,
@@ -108,7 +107,7 @@ pub fn random(
     if workload.rounds.is_empty() {
         return RunOutcome::empty(topo.len());
     }
-    let oracle = Oracle::new(Rc::clone(&workload), topo.as_ref(), costs);
+    let oracle = Oracle::new(Arc::clone(&workload), topo.as_ref(), costs);
     let engine = Engine::new(topo, latency, seed, |me| RandomProg {
         base: Base::new(me, oracle.clone()),
     });

@@ -7,7 +7,6 @@
 //! surplus above `L_threshold`. Receiver-initiated schemes "do not do
 //! well in a lightly-loaded system" (§5) — visible in the IDA\* rows.
 
-use std::rc::Rc;
 use std::sync::Arc;
 
 use rips_desim::{Ctx, Engine, LatencyModel, Program, WorkKind};
@@ -205,7 +204,7 @@ impl Program for RidProg {
 
 /// Runs `workload` under receiver-initiated diffusion.
 pub fn rid(
-    workload: Rc<Workload>,
+    workload: Arc<Workload>,
     topo: Arc<dyn Topology>,
     latency: LatencyModel,
     costs: Costs,
@@ -219,7 +218,7 @@ pub fn rid(
     if workload.rounds.is_empty() {
         return RunOutcome::empty(topo.len());
     }
-    let oracle = Oracle::new(Rc::clone(&workload), topo.as_ref(), costs);
+    let oracle = Oracle::new(Arc::clone(&workload), topo.as_ref(), costs);
     let topo2 = Arc::clone(&topo);
     let engine = Engine::new(topo, latency, seed, move |me| {
         let neighbors = topo2.neighbors(me);

@@ -9,7 +9,6 @@
 //! (pushes then chase moving targets) — is measured by the
 //! `sid_vs_rid` bench.
 
-use std::rc::Rc;
 use std::sync::Arc;
 
 use rips_desim::{Ctx, Engine, LatencyModel, Program, WorkKind};
@@ -167,7 +166,7 @@ impl Program for SidProg {
 
 /// Runs `workload` under sender-initiated diffusion.
 pub fn sid(
-    workload: Rc<Workload>,
+    workload: Arc<Workload>,
     topo: Arc<dyn Topology>,
     latency: LatencyModel,
     costs: Costs,
@@ -181,7 +180,7 @@ pub fn sid(
     if workload.rounds.is_empty() {
         return RunOutcome::empty(topo.len());
     }
-    let oracle = Oracle::new(Rc::clone(&workload), topo.as_ref(), costs);
+    let oracle = Oracle::new(Arc::clone(&workload), topo.as_ref(), costs);
     let topo2 = Arc::clone(&topo);
     let engine = Engine::new(topo, latency, seed, move |me| {
         let neighbors = topo2.neighbors(me);

@@ -2,7 +2,6 @@
 //! conservation, determinism, and the qualitative properties the paper
 //! attributes to each.
 
-use std::rc::Rc;
 use std::sync::Arc;
 
 use rips_balancers::{gradient, random, rid, GradientParams, RidParams};
@@ -15,13 +14,13 @@ fn mesh(n: usize) -> Arc<dyn Topology> {
     Arc::new(Mesh2D::near_square(n))
 }
 
-fn run_all(w: &Rc<Workload>, nodes: usize, seed: u64) -> [RunOutcome; 3] {
+fn run_all(w: &Arc<Workload>, nodes: usize, seed: u64) -> [RunOutcome; 3] {
     let costs = Costs::default();
     let lat = LatencyModel::paragon();
     [
-        random(Rc::clone(w), mesh(nodes), lat, costs, seed),
+        random(Arc::clone(w), mesh(nodes), lat, costs, seed),
         gradient(
-            Rc::clone(w),
+            Arc::clone(w),
             mesh(nodes),
             lat,
             costs,
@@ -29,7 +28,7 @@ fn run_all(w: &Rc<Workload>, nodes: usize, seed: u64) -> [RunOutcome; 3] {
             GradientParams::default(),
         ),
         rid(
-            Rc::clone(w),
+            Arc::clone(w),
             mesh(nodes),
             lat,
             costs,
@@ -41,7 +40,7 @@ fn run_all(w: &Rc<Workload>, nodes: usize, seed: u64) -> [RunOutcome; 3] {
 
 #[test]
 fn all_balancers_execute_every_task_exactly_once() {
-    let w = Rc::new(flat_uniform(200, 500, 3000, 9));
+    let w = Arc::new(flat_uniform(200, 500, 3000, 9));
     for (i, out) in run_all(&w, 8, 42).iter().enumerate() {
         out.verify_complete(&w)
             .unwrap_or_else(|e| panic!("balancer {i}: {e}"));
@@ -50,7 +49,7 @@ fn all_balancers_execute_every_task_exactly_once() {
 
 #[test]
 fn multi_round_workloads_complete() {
-    let w = Rc::new(Workload {
+    let w = Arc::new(Workload {
         name: "three-round".into(),
         rounds: vec![
             flat_uniform(60, 200, 900, 1).rounds[0].clone(),
@@ -66,7 +65,7 @@ fn multi_round_workloads_complete() {
 
 #[test]
 fn dynamic_task_generation_completes() {
-    let w = Rc::new(geometric_tree(6, 5, 3, 2000, 13));
+    let w = Arc::new(geometric_tree(6, 5, 3, 2000, 13));
     for (i, out) in run_all(&w, 9, 5).iter().enumerate() {
         out.verify_complete(&w)
             .unwrap_or_else(|e| panic!("balancer {i}: {e}"));
@@ -75,7 +74,7 @@ fn dynamic_task_generation_completes() {
 
 #[test]
 fn single_node_machine_works() {
-    let w = Rc::new(flat_uniform(30, 100, 200, 4));
+    let w = Arc::new(flat_uniform(30, 100, 200, 4));
     for (i, out) in run_all(&w, 1, 1).iter().enumerate() {
         out.verify_complete(&w)
             .unwrap_or_else(|e| panic!("balancer {i}: {e}"));
@@ -85,7 +84,7 @@ fn single_node_machine_works() {
 
 #[test]
 fn runs_are_deterministic() {
-    let w = Rc::new(skewed_flat(150, 300, 10, 20, 3));
+    let w = Arc::new(skewed_flat(150, 300, 10, 20, 3));
     let a = run_all(&w, 8, 99);
     let b = run_all(&w, 8, 99);
     for i in 0..3 {
@@ -99,10 +98,10 @@ fn runs_are_deterministic() {
 fn random_allocation_has_poor_locality() {
     // ~ (N-1)/N of dynamically generated tasks land off-origin; the
     // paper's Table I shows 7342/7579 ≈ 97% nonlocal on 32 nodes.
-    let w = Rc::new(geometric_tree(16, 5, 3, 2000, 21));
+    let w = Arc::new(geometric_tree(16, 5, 3, 2000, 21));
     let total = w.stats().tasks as f64;
     let out = random(
-        Rc::clone(&w),
+        Arc::clone(&w),
         mesh(16),
         LatencyModel::paragon(),
         Costs::default(),
@@ -115,7 +114,7 @@ fn random_allocation_has_poor_locality() {
 #[test]
 fn gradient_moves_fewer_tasks_than_random() {
     // The paper's locality ordering: random ≫ gradient > RID > RIPS.
-    let w = Rc::new(geometric_tree(16, 5, 3, 2000, 21));
+    let w = Arc::new(geometric_tree(16, 5, 3, 2000, 21));
     let [rand_out, grad_out, rid_out] = run_all(&w, 16, 11);
     assert!(
         grad_out.nonlocal < rand_out.nonlocal,
@@ -148,9 +147,9 @@ fn rid_balances_imbalanced_load() {
         let grain = if i < 100 { 10_000 } else { 1_000 } + jitter;
         forest.add_root(grain);
     }
-    let w = Rc::new(Workload::single("one-sided", forest));
+    let w = Arc::new(Workload::single("one-sided", forest));
     let out = rid(
-        Rc::clone(&w),
+        Arc::clone(&w),
         mesh(16),
         LatencyModel::paragon(),
         Costs::default(),
@@ -169,7 +168,7 @@ fn gradient_pays_control_traffic_per_task_moved() {
     // plus proximity updates, so messages-per-task-moved is a multiple
     // of random allocation's (which batches spawned children and sends
     // no control traffic at all).
-    let w = Rc::new(skewed_flat(300, 800, 5, 8, 2));
+    let w = Arc::new(skewed_flat(300, 800, 5, 8, 2));
     let [rand_out, grad_out, _] = run_all(&w, 16, 17);
     let per_moved = |o: &RunOutcome| o.stats.net.msgs as f64 / o.nonlocal.max(1) as f64;
     assert!(
@@ -183,9 +182,9 @@ fn gradient_pays_control_traffic_per_task_moved() {
 #[test]
 fn sid_completes_and_balances() {
     use rips_balancers::{sid, SidParams};
-    let w = Rc::new(skewed_flat(400, 1000, 4, 10, 8));
+    let w = Arc::new(skewed_flat(400, 1000, 4, 10, 8));
     let out = sid(
-        Rc::clone(&w),
+        Arc::clone(&w),
         mesh(16),
         LatencyModel::paragon(),
         Costs::default(),
@@ -200,7 +199,7 @@ fn sid_completes_and_balances() {
 #[test]
 fn sid_handles_dynamic_generation_and_rounds() {
     use rips_balancers::{sid, SidParams};
-    let w = Rc::new(Workload {
+    let w = Arc::new(Workload {
         name: "rounds".into(),
         rounds: vec![
             geometric_tree(6, 4, 3, 2000, 13).rounds[0].clone(),
@@ -208,7 +207,7 @@ fn sid_handles_dynamic_generation_and_rounds() {
         ],
     });
     let out = sid(
-        Rc::clone(&w),
+        Arc::clone(&w),
         mesh(9),
         LatencyModel::paragon(),
         Costs::default(),

@@ -2,7 +2,6 @@
 //! arbitrary dynamic workload exactly once, deterministically, on
 //! arbitrary machines.
 
-use std::rc::Rc;
 use std::sync::Arc;
 
 use proptest::prelude::*;
@@ -42,7 +41,7 @@ proptest! {
         nodes in 1usize..=12,
         seed in 0u64..50,
     ) {
-        let w = Rc::new(w);
+        let w = Arc::new(w);
         let total = w.stats().tasks as u64;
         let lat = LatencyModel::paragon();
         let costs = Costs::default();
@@ -50,21 +49,21 @@ proptest! {
         let topo = || -> Arc<dyn Topology> { Arc::new(mesh.clone()) };
 
         prop_assert_eq!(
-            random(Rc::clone(&w), topo(), lat, costs, seed).total_executed(),
+            random(Arc::clone(&w), topo(), lat, costs, seed).total_executed(),
             total
         );
         prop_assert_eq!(
-            gradient(Rc::clone(&w), topo(), lat, costs, seed, GradientParams::default())
+            gradient(Arc::clone(&w), topo(), lat, costs, seed, GradientParams::default())
                 .total_executed(),
             total
         );
         prop_assert_eq!(
-            rid(Rc::clone(&w), topo(), lat, costs, seed, RidParams::default())
+            rid(Arc::clone(&w), topo(), lat, costs, seed, RidParams::default())
                 .total_executed(),
             total
         );
         prop_assert_eq!(
-            sid(Rc::clone(&w), topo(), lat, costs, seed, SidParams::default())
+            sid(Arc::clone(&w), topo(), lat, costs, seed, SidParams::default())
                 .total_executed(),
             total
         );
@@ -74,16 +73,16 @@ proptest! {
     /// for every balancer.
     #[test]
     fn user_time_equals_total_work(w in arb_workload(), seed in 0u64..50) {
-        let w = Rc::new(w);
+        let w = Arc::new(w);
         let want = w.stats().total_work_us;
         let lat = LatencyModel::paragon();
         let costs = Costs::default();
         let mesh = Mesh2D::near_square(6);
         let topo = || -> Arc<dyn Topology> { Arc::new(mesh.clone()) };
         for out in [
-            random(Rc::clone(&w), topo(), lat, costs, seed),
-            rid(Rc::clone(&w), topo(), lat, costs, seed, RidParams::default()),
-            sid(Rc::clone(&w), topo(), lat, costs, seed, SidParams::default()),
+            random(Arc::clone(&w), topo(), lat, costs, seed),
+            rid(Arc::clone(&w), topo(), lat, costs, seed, RidParams::default()),
+            sid(Arc::clone(&w), topo(), lat, costs, seed, SidParams::default()),
         ] {
             prop_assert_eq!(out.stats.total_user_us(), want);
         }

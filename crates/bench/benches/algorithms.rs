@@ -94,15 +94,15 @@ fn bench_engine_throughput(c: &mut Criterion) {
     use rips_desim::LatencyModel;
     use rips_runtime::Costs;
     use rips_taskgraph::skewed_flat;
-    use std::rc::Rc;
+    use std::sync::Arc;
     let mut group = c.benchmark_group("rips_end_to_end");
     group.sample_size(10);
-    let w = Rc::new(skewed_flat(500, 800, 5, 8, 3));
+    let w = Arc::new(skewed_flat(500, 800, 5, 8, 3));
     for nodes in [16usize, 64] {
         group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, &n| {
             b.iter(|| {
                 rips(
-                    Rc::clone(&w),
+                    Arc::clone(&w),
                     Machine::Mesh(Mesh2D::near_square(n)),
                     LatencyModel::paragon(),
                     Costs::default(),

@@ -1,0 +1,105 @@
+//! Microbenchmarks of the desim event loop itself, isolated from the
+//! schedulers: the two traffic shapes the hot-path work targets.
+//!
+//! * `ping_pong` — every node pair bounces a counter back and forth.
+//!   Exercises the heap push/pop path, the reusable effect buffers,
+//!   and the flat distance table; no node is ever busy on arrival.
+//! * `deferral_storm` — every node floods node 0 with work while node
+//!   0 grinds through a long compute per message. Nearly every arrival
+//!   parks in node 0's deferral lane, so this measures the lane +
+//!   armed-wake-marker machinery under maximum pressure.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rips_desim::{Ctx, Engine, LatencyModel, Program, WorkKind};
+use rips_topology::{Mesh2D, Topology};
+
+/// Node pairs (2k, 2k+1) volley a hop counter until `rounds` is hit.
+struct PingPong {
+    me: usize,
+    rounds: u32,
+}
+
+impl Program for PingPong {
+    type Msg = u32;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, u32>) {
+        // Even nodes serve; odd nodes open the rally with their peer.
+        if self.me % 2 == 1 {
+            ctx.send(self.me - 1, 0, 16);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, u32>, from: usize, hops: u32) {
+        ctx.compute(2, WorkKind::User);
+        if hops < self.rounds {
+            ctx.send(from, hops + 1, 16);
+        }
+    }
+}
+
+/// Every node but 0 fires `burst` messages at node 0 as fast as the
+/// network allows; node 0 needs `grind` µs per message, so the lane
+/// behind it stays deep for the whole run.
+struct Storm {
+    me: usize,
+    burst: u32,
+    grind: u64,
+}
+
+impl Program for Storm {
+    type Msg = u32;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, u32>) {
+        if self.me != 0 {
+            for i in 0..self.burst {
+                ctx.send(0, i, 16);
+            }
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, u32>, _from: usize, _msg: u32) {
+        ctx.compute(self.grind, WorkKind::User);
+    }
+}
+
+fn bench_ping_pong(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/ping_pong");
+    group.sample_size(20);
+    for nodes in [16usize, 64] {
+        let topo: Arc<dyn Topology> = Arc::new(Mesh2D::near_square(nodes));
+        group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, _| {
+            b.iter(|| {
+                let engine = Engine::new(Arc::clone(&topo), LatencyModel::paragon(), 1, |me| {
+                    PingPong { me, rounds: 400 }
+                });
+                engine.run()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_deferral_storm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/deferral_storm");
+    group.sample_size(20);
+    for nodes in [16usize, 64] {
+        let topo: Arc<dyn Topology> = Arc::new(Mesh2D::near_square(nodes));
+        group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, _| {
+            b.iter(|| {
+                let engine =
+                    Engine::new(Arc::clone(&topo), LatencyModel::paragon(), 1, |me| Storm {
+                        me,
+                        burst: 200,
+                        grind: 40,
+                    });
+                engine.run()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ping_pong, bench_deferral_storm);
+criterion_main!(benches);

@@ -8,7 +8,6 @@
 //! RIPS packs its migrations into a few neighbour-structured bursts per
 //! phase.
 
-use std::rc::Rc;
 use std::sync::Arc;
 
 use rips_balancers::random;
@@ -22,7 +21,7 @@ use rips_topology::{Mesh2D, Topology};
 fn main() {
     let nodes = arg_usize("--nodes", 32);
     println!("Network-contention ablation, 13-Queens ({nodes} processors)\n");
-    let w = Rc::new(App::Queens(13).build());
+    let w = Arc::new(App::Queens(13).build());
     let mesh = Mesh2D::near_square(nodes);
     let lat = LatencyModel::paragon();
 
@@ -36,7 +35,7 @@ fn main() {
             };
             let (t, mu) = if is_rips {
                 let out = rips(
-                    Rc::clone(&w),
+                    Arc::clone(&w),
                     Machine::Mesh(mesh.clone()),
                     lat,
                     costs,
@@ -47,7 +46,7 @@ fn main() {
                 (out.run.exec_time_s(), out.run.efficiency())
             } else {
                 let topo: Arc<dyn Topology> = Arc::new(mesh.clone());
-                let out = random(Rc::clone(&w), topo, lat, costs, 1);
+                let out = random(Arc::clone(&w), topo, lat, costs, 1);
                 out.verify_complete(&w).expect("complete");
                 (out.exec_time_s(), out.efficiency())
             };

@@ -14,7 +14,7 @@ use rips_metrics::Table;
 fn main() {
     let nodes = arg_usize("--nodes", 32);
     println!("Periodic transfer-test interval sweep, 13-Queens ({nodes} processors)\n");
-    let w = App::Queens(13).build();
+    let w = std::sync::Arc::new(App::Queens(13).build());
     let intervals_ms = [0.5f64, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0];
 
     let mut table = Table::new(vec!["policy", "phases", "Th (s)", "Ti (s)", "T (s)", "mu"]);

@@ -42,7 +42,7 @@ fn main() {
         for (slot, &app) in rows.iter_mut().zip(&apps) {
             let combos = &combos;
             scope.spawn(move || {
-                let w = app.build();
+                let w = std::sync::Arc::new(app.build());
                 let mut out = Vec::new();
                 for &(name, cfg) in combos {
                     let row = rips_bench::run_rips_with(&w, nodes, cfg, 1);

@@ -10,18 +10,20 @@
 use rips_bench::{arg_usize, run_rips_with, App};
 use rips_core::{LoadMetric, RipsConfig};
 use rips_metrics::Table;
+use std::sync::Arc;
+
 use rips_taskgraph::{skewed_flat, Workload};
 
 fn main() {
     let nodes = arg_usize("--nodes", 32);
     println!("Load-metric ablation: task count vs estimated weight ({nodes} processors)\n");
 
-    let workloads: Vec<(String, Workload)> = vec![
-        ("13-Queens".into(), App::Queens(13).build()),
-        ("GROMOS (8 A)".into(), App::Gromos(8.0).build()),
+    let workloads: Vec<(String, Arc<Workload>)> = vec![
+        ("13-Queens".into(), Arc::new(App::Queens(13).build())),
+        ("GROMOS (8 A)".into(), Arc::new(App::Gromos(8.0).build())),
         (
             "synthetic whale mix".into(),
-            skewed_flat(600, 1000, 4, 15, 6),
+            Arc::new(skewed_flat(600, 1000, 4, 15, 6)),
         ),
     ];
 

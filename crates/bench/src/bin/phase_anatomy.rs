@@ -13,7 +13,7 @@ use rips_desim::Time;
 
 fn main() {
     let nodes = arg_usize("--nodes", 32);
-    let w = App::Queens(15).build();
+    let w = std::sync::Arc::new(App::Queens(15).build());
     let row = run_scheduler("RIPS", &w, nodes, 0.4, 1);
     let out = &row.outcome;
 

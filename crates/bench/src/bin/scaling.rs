@@ -14,7 +14,7 @@ fn main() {
         "Scaling sweep: {} under RIPS vs random allocation\n",
         app.label()
     );
-    let workload = app.build();
+    let workload = std::sync::Arc::new(app.build());
     let ts = workload.stats().total_work_us;
     println!(
         "sequential work Ts = {:.2} s over {} tasks\n",

@@ -8,7 +8,6 @@
 //! moving targets). IDA\*'s light iterations vs N-Queens' saturated
 //! drain make the contrast visible on the paper's own applications.
 
-use std::rc::Rc;
 use std::sync::Arc;
 
 use rips_balancers::{rid, sid, RidParams, SidParams};
@@ -29,13 +28,13 @@ fn main() {
     std::thread::scope(|scope| {
         for (slot, &app) in rows.iter_mut().zip(&apps) {
             scope.spawn(move || {
-                let w = Rc::new(app.build());
+                let w = Arc::new(app.build());
                 let mesh = Mesh2D::near_square(nodes);
                 let topo = || -> Arc<dyn Topology> { Arc::new(mesh.clone()) };
                 let lat = LatencyModel::paragon();
                 let costs = Costs::default();
                 let rid_out = rid(
-                    Rc::clone(&w),
+                    Arc::clone(&w),
                     topo(),
                     lat,
                     costs,
@@ -45,7 +44,7 @@ fn main() {
                         ..RidParams::default()
                     },
                 );
-                let sid_out = sid(Rc::clone(&w), topo(), lat, costs, 1, SidParams::default());
+                let sid_out = sid(Arc::clone(&w), topo(), lat, costs, 1, SidParams::default());
                 rid_out.verify_complete(&w).expect("RID complete");
                 sid_out.verify_complete(&w).expect("SID complete");
                 let fmt = |name: &str, o: &rips_runtime::RunOutcome| {

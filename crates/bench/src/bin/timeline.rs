@@ -11,13 +11,12 @@ use rips_desim::LatencyModel;
 use rips_metrics::utilization_chart;
 use rips_runtime::Costs;
 use rips_topology::{Mesh2D, Topology};
-use std::rc::Rc;
 use std::sync::Arc;
 
 fn main() {
     let nodes = arg_usize("--nodes", 16);
     let width = arg_usize("--width", 100);
-    let w = Rc::new(App::Queens(13).build());
+    let w = Arc::new(App::Queens(13).build());
     let costs = Costs {
         record_timeline: true,
         ..Costs::default()
@@ -25,7 +24,7 @@ fn main() {
     let mesh = Mesh2D::near_square(nodes);
 
     let out = rips(
-        Rc::clone(&w),
+        Arc::clone(&w),
         Machine::Mesh(mesh.clone()),
         LatencyModel::paragon(),
         costs,
@@ -40,7 +39,7 @@ fn main() {
     println!("{}", utilization_chart(&out.run.stats, width));
 
     let topo: Arc<dyn Topology> = Arc::new(mesh);
-    let rand = rips_balancers::random(Rc::clone(&w), topo, LatencyModel::paragon(), costs, 1);
+    let rand = rips_balancers::random(Arc::clone(&w), topo, LatencyModel::paragon(), costs, 1);
     rand.verify_complete(&w).expect("complete");
     println!("Randomized allocation, same workload:\n");
     println!("{}", utilization_chart(&rand.stats, width));

@@ -19,7 +19,7 @@
 //! | `timeline`          | per-node utilization Gantt charts |
 //! | `phase_anatomy`     | §5's 15-Queens system-phase breakdown |
 
-use std::rc::Rc;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use rips_apps::{gromos, nqueens, puzzle, GromosConfig, NQueensConfig, PuzzleConfig};
@@ -107,17 +107,18 @@ pub struct Row {
 pub const SCHEDULERS: [&str; 4] = ["Random", "Gradient", "RID", "RIPS"];
 
 /// Runs one scheduler on `workload` over a near-square mesh of
-/// `nodes` processors.
+/// `nodes` processors. The workload is shared by reference count — no
+/// per-run deep copy — so one build serves the whole scheduler grid.
 pub fn run_scheduler(
     scheduler: &'static str,
-    workload: &Workload,
+    workload: &Arc<Workload>,
     nodes: usize,
     rid_u: f64,
     seed: u64,
 ) -> Row {
     let mesh = Mesh2D::near_square(nodes);
     let topo: Arc<dyn Topology> = Arc::new(mesh.clone());
-    let w = Rc::new(workload.clone());
+    let w = Arc::clone(workload);
     let costs = Costs::default();
     let lat = LatencyModel::paragon();
     let tasks = workload.stats().tasks as u64;
@@ -165,34 +166,81 @@ pub fn run_scheduler(
     }
 }
 
-/// Runs the full Table I grid: every workload × every scheduler, with
-/// workloads processed on parallel OS threads (each thread builds its
-/// own workload; the simulations themselves are single-threaded and
-/// deterministic).
+/// Runs the full Table I grid — every workload × every scheduler — on
+/// a bounded worker pool. Workloads are built once (in parallel, one
+/// thread per app) and shared across their four scheduler runs; the
+/// `apps × schedulers` cells then drain through `available_parallelism`
+/// workers pulling from an atomic job counter. Each simulation is
+/// single-threaded and seed-deterministic, so the row contents are
+/// independent of worker scheduling.
 pub fn run_table(apps: &[App], nodes: usize, seed: u64) -> Vec<(App, Vec<Row>)> {
-    let mut results: Vec<Option<(App, Vec<Row>)>> = (0..apps.len()).map(|_| None).collect();
+    // Phase 1: build every workload once, in parallel.
+    let mut built: Vec<Option<Arc<Workload>>> = (0..apps.len()).map(|_| None).collect();
     std::thread::scope(|scope| {
-        for (slot, &app) in results.iter_mut().zip(apps) {
-            scope.spawn(move || {
-                let workload = app.build();
-                let rows = SCHEDULERS
-                    .iter()
-                    .map(|&s| run_scheduler(s, &workload, nodes, app.rid_u(nodes), seed))
-                    .collect();
-                *slot = Some((app, rows));
-            });
+        for (slot, &app) in built.iter_mut().zip(apps) {
+            scope.spawn(move || *slot = Some(Arc::new(app.build())));
         }
     });
-    results
-        .into_iter()
-        .map(|r| r.expect("slot filled"))
+    let workloads: Vec<Arc<Workload>> = built.into_iter().map(|w| w.expect("built")).collect();
+
+    // Phase 2: run the full grid through a bounded pool.
+    let jobs: Vec<(usize, usize)> = (0..apps.len())
+        .flat_map(|a| (0..SCHEDULERS.len()).map(move |s| (a, s)))
+        .collect();
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(jobs.len())
+        .max(1);
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Vec<Option<Row>>> = (0..apps.len())
+        .map(|_| (0..SCHEDULERS.len()).map(|_| None).collect())
+        .collect();
+    std::thread::scope(|scope| {
+        let next = &next;
+        let jobs = &jobs;
+        let workloads = &workloads;
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut done = Vec::new();
+                    loop {
+                        let j = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(&(a, s)) = jobs.get(j) else { break };
+                        let row = run_scheduler(
+                            SCHEDULERS[s],
+                            &workloads[a],
+                            nodes,
+                            apps[a].rid_u(nodes),
+                            seed,
+                        );
+                        done.push((a, s, row));
+                    }
+                    done
+                })
+            })
+            .collect();
+        for h in handles {
+            for (a, s, row) in h.join().expect("grid worker panicked") {
+                slots[a][s] = Some(row);
+            }
+        }
+    });
+    apps.iter()
+        .zip(slots)
+        .map(|(&app, rows)| {
+            (
+                app,
+                rows.into_iter().map(|r| r.expect("cell filled")).collect(),
+            )
+        })
         .collect()
 }
 
 /// Runs RIPS with an explicit configuration (ablation support).
-pub fn run_rips_with(workload: &Workload, nodes: usize, cfg: RipsConfig, seed: u64) -> Row {
+pub fn run_rips_with(workload: &Arc<Workload>, nodes: usize, cfg: RipsConfig, seed: u64) -> Row {
     let mesh = Mesh2D::near_square(nodes);
-    let w = Rc::new(workload.clone());
+    let w = Arc::clone(workload);
     let out = rips(
         w,
         Machine::Mesh(mesh),
@@ -258,12 +306,12 @@ mod tests {
     fn small_grid_runs_end_to_end() {
         // A miniature Table I cell: tiny queens instance, all four
         // schedulers, 8 nodes.
-        let w = nqueens(NQueensConfig {
+        let w = Arc::new(nqueens(NQueensConfig {
             n: 9,
             split_depth: 3,
             root_depth: 2,
             ns_per_node: 1800,
-        });
+        }));
         for s in SCHEDULERS {
             let row = run_scheduler(s, &w, 8, 0.4, 1);
             assert_eq!(row.outcome.total_executed(), w.stats().tasks as u64);

@@ -1,0 +1,137 @@
+//! Bit-for-bit golden outcomes for fixed seeds.
+//!
+//! The engine hot path is performance-tuned under one invariant: no
+//! optimisation may change a simulated result. These tests pin the
+//! complete outcome of several scheduler × workload × seed cells —
+//! virtual end time, per-node CPU split, network counters, event
+//! count, executed-task distribution, nonlocal moves — as a compact
+//! string plus an FNV-1a digest of every per-node field. Any engine
+//! change that shifts a single microsecond or reorders one delivery
+//! shows up here.
+//!
+//! To regenerate after an *intentional* semantic change:
+//!
+//! ```text
+//! cargo test -p rips-bench --test golden -- --ignored --nocapture
+//! ```
+//!
+//! and paste the printed constants below, with a justification in the
+//! commit message.
+
+use std::sync::Arc;
+
+use rips_apps::{nqueens, NQueensConfig};
+use rips_bench::run_scheduler;
+use rips_taskgraph::{geometric_tree, Workload};
+
+/// FNV-1a over every numeric field of the outcome, in a fixed order.
+fn digest(row: &rips_bench::Row) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    let out = &row.outcome;
+    eat(out.stats.end_time);
+    for n in &out.stats.nodes {
+        eat(n.user_us);
+        eat(n.overhead_us);
+        eat(n.msgs_sent);
+        eat(n.bytes_sent);
+    }
+    eat(out.stats.net.msgs);
+    eat(out.stats.net.bytes);
+    eat(out.stats.net.hops);
+    eat(out.stats.events);
+    for &e in &out.executed {
+        eat(e);
+    }
+    eat(out.nonlocal);
+    eat(out.system_phases as u64);
+    for p in &row.phases {
+        eat(p.phase as u64);
+        eat(p.round as u64);
+        eat(p.total_tasks as u64);
+        eat(p.migrated as u64);
+        eat(p.edge_cost as u64);
+    }
+    h
+}
+
+/// Human-readable summary line; the digest catches the long tail.
+fn fingerprint(row: &rips_bench::Row) -> String {
+    let s = &row.outcome.stats;
+    format!(
+        "end={} events={} msgs={} bytes={} hops={} exec={:?} nonlocal={} fnv={:#018x}",
+        s.end_time,
+        s.events,
+        s.net.msgs,
+        s.net.bytes,
+        s.net.hops,
+        row.outcome.executed,
+        row.outcome.nonlocal,
+        digest(row),
+    )
+}
+
+fn queens9() -> Arc<Workload> {
+    Arc::new(nqueens(NQueensConfig {
+        n: 9,
+        split_depth: 3,
+        root_depth: 2,
+        ns_per_node: 1800,
+    }))
+}
+
+fn tree() -> Arc<Workload> {
+    Arc::new(geometric_tree(6, 5, 3, 2500, 5))
+}
+
+/// (scheduler, workload, nodes, seed) cells pinned by the goldens.
+fn cells() -> Vec<(&'static str, Arc<Workload>, usize, u64)> {
+    vec![
+        ("Random", queens9(), 8, 1),
+        ("Gradient", queens9(), 8, 1),
+        ("RID", queens9(), 8, 1),
+        ("RIPS", queens9(), 8, 1),
+        ("RID", tree(), 9, 3),
+        ("RIPS", tree(), 9, 3),
+    ]
+}
+
+#[rustfmt::skip]
+const GOLDEN: [&str; 6] = [
+    "end=24197 events=508 msgs=209 bytes=12576 hops=428 exec=[30, 33, 43, 44, 32, 30, 33, 45] nonlocal=262 fnv=0xa873474ae8354021", // Random
+    "end=18761 events=369 msgs=47 bytes=848 hops=47 exec=[38, 38, 34, 35, 36, 34, 37, 38] nonlocal=3 fnv=0x1ac6bb9cf312ae13", // Gradient
+    "end=21278 events=516 msgs=217 bytes=3888 hops=217 exec=[37, 35, 36, 38, 37, 34, 35, 38] nonlocal=9 fnv=0x64d08f17305229b7", // RID
+    "end=36698 events=598 msgs=305 bytes=5376 hops=602 exec=[39, 36, 35, 35, 35, 35, 36, 39] nonlocal=7 fnv=0xcb3b1779e69bf78b", // RIPS
+    "end=30107 events=450 msgs=329 bytes=6080 hops=329 exec=[21, 12, 6, 16, 7, 5, 6, 9, 0] nonlocal=21 fnv=0x265d236cf4288215", // RID
+    "end=40607 events=449 msgs=372 bytes=6784 hops=740 exec=[12, 9, 9, 11, 9, 11, 7, 6, 8] nonlocal=24 fnv=0xb2c53342bee47891", // RIPS
+];
+
+#[test]
+fn fixed_seed_outcomes_are_bit_for_bit_stable() {
+    for (i, (sched, w, nodes, seed)) in cells().into_iter().enumerate() {
+        let row = run_scheduler(sched, &w, nodes, 0.4, seed);
+        let got = fingerprint(&row);
+        assert_eq!(
+            got, GOLDEN[i],
+            "golden mismatch for cell {i} ({sched} on {} / {nodes} nodes / seed {seed})",
+            w.name
+        );
+    }
+}
+
+/// Regeneration helper — prints the constants for `GOLDEN`.
+#[test]
+#[ignore = "generator: run with --ignored --nocapture to reprint goldens"]
+fn print_goldens() {
+    for (sched, w, nodes, seed) in cells() {
+        let row = run_scheduler(sched, &w, nodes, 0.4, seed);
+        println!("    \"{}\", // {sched}", fingerprint(&row));
+    }
+}

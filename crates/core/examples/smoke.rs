@@ -2,11 +2,10 @@ use rips_core::{rips, Machine, RipsConfig};
 use rips_desim::LatencyModel;
 use rips_runtime::Costs;
 use rips_topology::Mesh2D;
-use std::rc::Rc;
 use std::sync::Arc;
 
 fn main() {
-    let w = Rc::new(rips_apps::nqueens(rips_apps::NQueensConfig::paper(13)));
+    let w = Arc::new(rips_apps::nqueens(rips_apps::NQueensConfig::paper(13)));
     let s = w.stats();
     println!(
         "13-queens: {} tasks, Ts={:.2}s",
@@ -16,7 +15,7 @@ fn main() {
     let mesh = Mesh2D::new(8, 4);
     let t0 = std::time::Instant::now();
     let out = rips(
-        Rc::clone(&w),
+        Arc::clone(&w),
         Machine::Mesh(mesh.clone()),
         LatencyModel::paragon(),
         Costs::default(),
@@ -45,14 +44,14 @@ fn main() {
         let topo: Arc<dyn rips_topology::Topology> = Arc::new(mesh.clone());
         let o = match f {
             0 => rips_balancers::random(
-                Rc::clone(&w),
+                Arc::clone(&w),
                 topo,
                 LatencyModel::paragon(),
                 Costs::default(),
                 1,
             ),
             1 => rips_balancers::gradient(
-                Rc::clone(&w),
+                Arc::clone(&w),
                 topo,
                 LatencyModel::paragon(),
                 Costs::default(),
@@ -60,7 +59,7 @@ fn main() {
                 Default::default(),
             ),
             _ => rips_balancers::rid(
-                Rc::clone(&w),
+                Arc::clone(&w),
                 topo,
                 LatencyModel::paragon(),
                 Costs::default(),

@@ -750,7 +750,7 @@ impl Program for RipsProg {
 /// (RIPS itself is deterministic; the seed only affects the engine's
 /// unused per-node RNGs).
 pub fn rips(
-    workload: Rc<Workload>,
+    workload: Arc<Workload>,
     machine: Machine,
     latency: LatencyModel,
     costs: Costs,
@@ -765,7 +765,7 @@ pub fn rips(
             phases: Vec::new(),
         };
     }
-    let oracle = Oracle::new(Rc::clone(&workload), topo.as_ref(), costs);
+    let oracle = Oracle::new(Arc::clone(&workload), topo.as_ref(), costs);
     let machine = Rc::new(machine);
     let shared = Rc::new(RefCell::new(Shared::default()));
     let shared2 = Rc::clone(&shared);

@@ -3,7 +3,7 @@
 //! task exactly once, conserve accounting, and respect the theorems'
 //! balance guarantees per phase.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use proptest::prelude::*;
 use rips_core::{rips, GlobalPolicy, LocalPolicy, Machine, RipsConfig};
@@ -70,9 +70,9 @@ proptest! {
         cfg in arb_config(),
         seed in 0u64..100,
     ) {
-        let w = Rc::new(w);
+        let w = Arc::new(w);
         let out = rips(
-            Rc::clone(&w),
+            Arc::clone(&w),
             machine,
             LatencyModel::paragon(),
             Costs::default(),
@@ -92,9 +92,9 @@ proptest! {
         w in arb_workload(),
         seed in 0u64..100,
     ) {
-        let w = Rc::new(w);
+        let w = Arc::new(w);
         let out = rips(
-            Rc::clone(&w),
+            Arc::clone(&w),
             Machine::Mesh(Mesh2D::new(3, 3)),
             LatencyModel::paragon(),
             Costs::default(),

@@ -2,7 +2,7 @@
 //! 2×2 policy matrix, balance quality, locality, phase structure,
 //! alternative topologies, and determinism.
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use rips_core::{rips, GlobalPolicy, LocalPolicy, Machine, RipsConfig, RipsOutcome};
 use rips_desim::LatencyModel;
@@ -11,13 +11,13 @@ use rips_taskgraph::{flat_uniform, geometric_tree, skewed_flat, Workload};
 use rips_topology::{BinaryTree, Hypercube, Mesh2D};
 
 fn run(
-    w: &Rc<Workload>,
+    w: &Arc<Workload>,
     machine: Machine,
     local: LocalPolicy,
     global: GlobalPolicy,
 ) -> RipsOutcome {
     rips(
-        Rc::clone(w),
+        Arc::clone(w),
         machine,
         LatencyModel::paragon(),
         Costs::default(),
@@ -36,7 +36,7 @@ fn mesh(n: usize) -> Machine {
 
 #[test]
 fn policy_matrix_completes_flat_workload() {
-    let w = Rc::new(flat_uniform(300, 500, 4000, 3));
+    let w = Arc::new(flat_uniform(300, 500, 4000, 3));
     for local in [LocalPolicy::Eager, LocalPolicy::Lazy] {
         for global in [GlobalPolicy::Any, GlobalPolicy::All] {
             let out = run(&w, mesh(8), local, global);
@@ -50,7 +50,7 @@ fn policy_matrix_completes_flat_workload() {
 
 #[test]
 fn policy_matrix_completes_dynamic_tree() {
-    let w = Rc::new(geometric_tree(4, 5, 3, 3000, 11));
+    let w = Arc::new(geometric_tree(4, 5, 3, 3000, 11));
     for local in [LocalPolicy::Eager, LocalPolicy::Lazy] {
         for global in [GlobalPolicy::Any, GlobalPolicy::All] {
             let out = run(&w, mesh(9), local, global);
@@ -63,7 +63,7 @@ fn policy_matrix_completes_dynamic_tree() {
 
 #[test]
 fn multi_round_workload_completes() {
-    let w = Rc::new(Workload {
+    let w = Arc::new(Workload {
         name: "rounds".into(),
         rounds: vec![
             flat_uniform(80, 400, 2500, 1).rounds[0].clone(),
@@ -79,7 +79,7 @@ fn multi_round_workload_completes() {
 
 #[test]
 fn single_node_machine() {
-    let w = Rc::new(flat_uniform(40, 100, 300, 9));
+    let w = Arc::new(flat_uniform(40, 100, 300, 9));
     let out = run(
         &w,
         Machine::Mesh(Mesh2D::new(1, 1)),
@@ -94,7 +94,7 @@ fn single_node_machine() {
 fn tree_and_hypercube_machines_work() {
     // 250 tasks so block seeding is uneven on 7 and 8 nodes and the
     // opening system phase has real work to move.
-    let w = Rc::new(skewed_flat(250, 800, 6, 10, 5));
+    let w = Arc::new(skewed_flat(250, 800, 6, 10, 5));
     for machine in [
         Machine::Tree(BinaryTree::new(7)),
         Machine::Cube(Hypercube::new(3)),
@@ -109,7 +109,7 @@ fn tree_and_hypercube_machines_work() {
 
 #[test]
 fn rips_is_deterministic() {
-    let w = Rc::new(geometric_tree(6, 4, 3, 2000, 2));
+    let w = Arc::new(geometric_tree(6, 4, 3, 2000, 2));
     let a = run(&w, mesh(8), LocalPolicy::Lazy, GlobalPolicy::Any);
     let b = run(&w, mesh(8), LocalPolicy::Lazy, GlobalPolicy::Any);
     assert_eq!(a.run.stats.end_time, b.run.stats.end_time);
@@ -121,7 +121,7 @@ fn rips_is_deterministic() {
 fn initial_system_phase_balances_block_seeds() {
     // All 160 equal tasks block-seeded onto 16 nodes: after the opening
     // system phase every node should execute ~10 tasks.
-    let w = Rc::new(flat_uniform(160, 2000, 2000, 4));
+    let w = Arc::new(flat_uniform(160, 2000, 2000, 4));
     let out = run(&w, mesh(16), LocalPolicy::Lazy, GlobalPolicy::Any);
     out.run.verify_complete(&w).unwrap();
     let max = *out.run.executed.iter().max().unwrap();
@@ -136,7 +136,7 @@ fn initial_system_phase_balances_block_seeds() {
 #[test]
 fn rips_locality_beats_random_by_far() {
     // Table I: RIPS nonlocal counts are 10-20x smaller than random's.
-    let w = Rc::new(geometric_tree(16, 5, 3, 2000, 21));
+    let w = Arc::new(geometric_tree(16, 5, 3, 2000, 21));
     let out = run(&w, mesh(16), LocalPolicy::Lazy, GlobalPolicy::Any);
     let total = w.stats().tasks as u64;
     assert!(
@@ -149,7 +149,7 @@ fn rips_locality_beats_random_by_far() {
 
 #[test]
 fn phase_log_matches_structure() {
-    let w = Rc::new(flat_uniform(100, 1000, 4000, 8));
+    let w = Arc::new(flat_uniform(100, 1000, 4000, 8));
     let out = run(&w, mesh(8), LocalPolicy::Lazy, GlobalPolicy::Any);
     assert!(!out.phases.is_empty());
     // Phase 1 is the initial scheduling phase and sees every root.
@@ -168,7 +168,7 @@ fn eager_passes_every_task_through_a_system_phase() {
     // totals must add up to at least the number of generated tasks;
     // under Lazy, tasks can run unscheduled, so they need not.
     // (Which policy is *faster* is measured by the ablation bench.)
-    let w = Rc::new(geometric_tree(4, 5, 4, 2500, 17));
+    let w = Arc::new(geometric_tree(4, 5, 4, 2500, 17));
     let eager = run(&w, mesh(8), LocalPolicy::Eager, GlobalPolicy::Any);
     let lazy = run(&w, mesh(8), LocalPolicy::Lazy, GlobalPolicy::Any);
     eager.run.verify_complete(&w).unwrap();
@@ -189,7 +189,7 @@ fn any_is_more_responsive_than_all() {
     // (Which policy *wins* is workload-dependent — the paper's
     // ANY-Lazy verdict is an aggregate over applications, reproduced
     // by the `ablation_policies` bench.)
-    let w = Rc::new(skewed_flat(200, 1500, 5, 12, 3));
+    let w = Arc::new(skewed_flat(200, 1500, 5, 12, 3));
     let any = run(&w, mesh(16), LocalPolicy::Lazy, GlobalPolicy::Any);
     let all = run(&w, mesh(16), LocalPolicy::Lazy, GlobalPolicy::All);
     any.run.verify_complete(&w).unwrap();
@@ -204,7 +204,7 @@ fn any_is_more_responsive_than_all() {
 
 #[test]
 fn efficiency_is_high_on_well_fed_machine() {
-    let w = Rc::new(flat_uniform(2000, 2000, 6000, 6));
+    let w = Arc::new(flat_uniform(2000, 2000, 6000, 6));
     let out = run(&w, mesh(16), LocalPolicy::Lazy, GlobalPolicy::Any);
     out.run.verify_complete(&w).unwrap();
     assert!(
@@ -218,7 +218,7 @@ fn efficiency_is_high_on_well_fed_machine() {
 fn periodic_policy_completes() {
     // The paper's naive periodic-reduction transfer test, at a few
     // intervals spanning "too chatty" to "too sleepy".
-    let w = Rc::new(geometric_tree(6, 5, 3, 2500, 4));
+    let w = Arc::new(geometric_tree(6, 5, 3, 2500, 4));
     for interval in [500u64, 5_000, 50_000] {
         let out = run(
             &w,
@@ -234,7 +234,7 @@ fn periodic_policy_completes() {
 
 #[test]
 fn periodic_policy_multi_round() {
-    let w = Rc::new(Workload {
+    let w = Arc::new(Workload {
         name: "rounds".into(),
         rounds: vec![
             flat_uniform(60, 400, 2500, 1).rounds[0].clone(),
@@ -255,10 +255,10 @@ fn eureka_signalling_completes_and_cuts_init_overhead() {
     // Hardware or-barrier init: same schedule quality, strictly less
     // sender CPU per phase. Visible on a machine large enough that the
     // naive broadcast's N-1 sends matter.
-    let w = Rc::new(skewed_flat(800, 800, 6, 10, 5));
+    let w = Arc::new(skewed_flat(800, 800, 6, 10, 5));
     let plain = run(&w, mesh(32), LocalPolicy::Lazy, GlobalPolicy::Any);
     let eureka = rips(
-        Rc::clone(&w),
+        Arc::clone(&w),
         mesh(32),
         LatencyModel::paragon(),
         Costs::default(),
@@ -285,10 +285,10 @@ fn eureka_signalling_completes_and_cuts_init_overhead() {
 #[test]
 fn weighted_metric_completes_everywhere() {
     use rips_core::LoadMetric;
-    let w = Rc::new(skewed_flat(400, 1000, 5, 15, 6));
+    let w = Arc::new(skewed_flat(400, 1000, 5, 15, 6));
     for machine in [mesh(8), mesh(16)] {
         let out = rips(
-            Rc::clone(&w),
+            Arc::clone(&w),
             machine,
             LatencyModel::paragon(),
             Costs::default(),
@@ -308,10 +308,10 @@ fn weighted_metric_beats_counts_on_skewed_grains() {
     // Every 4th task is 15x heavier: balancing by count leaves some
     // nodes with several whales; balancing by estimated weight spreads
     // the whales too, cutting idle time.
-    let w = Rc::new(skewed_flat(600, 1000, 4, 15, 6));
+    let w = Arc::new(skewed_flat(600, 1000, 4, 15, 6));
     let run_with = |metric| {
         rips(
-            Rc::clone(&w),
+            Arc::clone(&w),
             mesh(16),
             LatencyModel::paragon(),
             Costs::default(),
@@ -342,10 +342,10 @@ fn distributed_planning_matches_centralized_schedule() {
     // to not reshuffle *when* phases fire relative to task generation,
     // which holds for this workload seed (it is not a universal
     // invariant under the ANY policy).
-    let w = Rc::new(geometric_tree(6, 5, 3, 2500, 5));
+    let w = Arc::new(geometric_tree(6, 5, 3, 2500, 5));
     let centralized = run(&w, mesh(8), LocalPolicy::Lazy, GlobalPolicy::Any);
     let distributed = rips(
-        Rc::clone(&w),
+        Arc::clone(&w),
         mesh(8),
         LatencyModel::paragon(),
         Costs::default(),
@@ -363,9 +363,9 @@ fn distributed_planning_matches_centralized_schedule() {
 
 #[test]
 fn distributed_planning_on_trees() {
-    let w = Rc::new(skewed_flat(250, 800, 6, 10, 5));
+    let w = Arc::new(skewed_flat(250, 800, 6, 10, 5));
     let out = rips(
-        Rc::clone(&w),
+        Arc::clone(&w),
         Machine::Tree(BinaryTree::new(15)),
         LatencyModel::paragon(),
         Costs::default(),
@@ -384,9 +384,9 @@ fn phase_gap_limits_storms_under_weighted_metric() {
     // Many tiny tasks on many nodes: µs-scale weight quotas are
     // unfillable, so ungated ANY initiation degenerates into one phase
     // per task. The gap caps the phase rate and the run stays fast.
-    let w = Rc::new(flat_uniform(600, 50, 400, 2));
+    let w = Arc::new(flat_uniform(600, 50, 400, 2));
     let gated = rips(
-        Rc::clone(&w),
+        Arc::clone(&w),
         mesh(32),
         LatencyModel::paragon(),
         Costs::default(),

@@ -71,6 +71,9 @@ pub struct RunStats {
     pub net: NetStats,
     /// Number of events processed (protocol-complexity diagnostic).
     pub events: u64,
+    /// High-water mark of outstanding events (heap + deferral lanes) —
+    /// the simulator's working-set diagnostic.
+    pub peak_queue_depth: u64,
     /// Per-node busy spans, present when the engine ran with
     /// `record_timeline` — the raw material for utilization charts.
     pub timelines: Option<Vec<Vec<BusySpan>>>,
@@ -153,6 +156,7 @@ mod tests {
             ],
             net: NetStats::default(),
             events: 0,
+            peak_queue_depth: 0,
             timelines: None,
         };
         assert!((stats.efficiency() - 1.0).abs() < 1e-12);
@@ -171,6 +175,7 @@ mod tests {
             ],
             net: NetStats::default(),
             events: 0,
+            peak_queue_depth: 0,
             timelines: None,
         };
         assert!((stats.efficiency() - 0.5).abs() < 1e-12);

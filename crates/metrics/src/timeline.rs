@@ -79,6 +79,7 @@ mod tests {
             nodes: vec![NodeStats::default(); spans.len()],
             net: NetStats::default(),
             events: 0,
+            peak_queue_depth: 0,
             timelines: Some(spans),
         }
     }
@@ -134,6 +135,7 @@ mod tests {
             nodes: vec![],
             net: NetStats::default(),
             events: 0,
+            peak_queue_depth: 0,
             timelines: None,
         };
         assert!(utilization_chart(&stats, 5).contains("no timeline"));

@@ -26,6 +26,7 @@
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::rc::Rc;
+use std::sync::Arc;
 
 use rips_desim::Time;
 use rips_taskgraph::{TaskId, Workload};
@@ -91,7 +92,7 @@ impl Default for Costs {
 pub struct Oracle {
     inner: Rc<RefCell<OracleState>>,
     /// The workload being executed (immutable, shared).
-    pub workload: Rc<Workload>,
+    pub workload: Arc<Workload>,
     /// Cost constants.
     pub costs: Costs,
     n: usize,
@@ -126,7 +127,7 @@ impl Clone for Oracle {
     fn clone(&self) -> Self {
         Oracle {
             inner: Rc::clone(&self.inner),
-            workload: Rc::clone(&self.workload),
+            workload: Arc::clone(&self.workload),
             costs: self.costs,
             n: self.n,
             diameter: self.diameter,
@@ -136,7 +137,7 @@ impl Clone for Oracle {
 
 impl Oracle {
     /// Creates the oracle for one engine run.
-    pub fn new(workload: Rc<Workload>, topo: &dyn Topology, costs: Costs) -> Self {
+    pub fn new(workload: Arc<Workload>, topo: &dyn Topology, costs: Costs) -> Self {
         let first_round = workload.rounds.first().map_or(0, |r| r.len() as u64);
         Oracle {
             inner: Rc::new(RefCell::new(OracleState {
@@ -289,6 +290,7 @@ impl RunOutcome {
                 nodes: vec![Default::default(); n],
                 net: Default::default(),
                 events: 0,
+                peak_queue_depth: 0,
                 timelines: None,
             },
             executed: vec![0; n],
@@ -341,7 +343,7 @@ mod tests {
     use rips_topology::Mesh2D;
 
     fn oracle(tasks: usize, nodes: usize) -> Oracle {
-        let w = Rc::new(flat_uniform(tasks, 5, 10, 1));
+        let w = Arc::new(flat_uniform(tasks, 5, 10, 1));
         let topo = Mesh2D::near_square(nodes);
         Oracle::new(w, &topo, Costs::default())
     }
@@ -386,7 +388,7 @@ mod tests {
 
     #[test]
     fn advance_round_exhausts() {
-        let w = Rc::new(rips_taskgraph::Workload {
+        let w = Arc::new(rips_taskgraph::Workload {
             name: "two-round".into(),
             rounds: vec![
                 flat_uniform(2, 1, 1, 0).rounds[0].clone(),

@@ -13,7 +13,6 @@
 //! cargo run --release --example custom_balancer
 //! ```
 
-use std::rc::Rc;
 use std::sync::Arc;
 
 use rips_repro::core::{rips, Machine, RipsConfig};
@@ -119,7 +118,7 @@ impl Program for RoundRobin {
 }
 
 fn main() {
-    let workload = Rc::new(geometric_tree(24, 8, 3, 25_000, 11));
+    let workload = Arc::new(geometric_tree(24, 8, 3, 25_000, 11));
     let stats = workload.stats();
     println!(
         "workload: {} tasks, {:.2} s of work\n",
@@ -133,7 +132,7 @@ fn main() {
 
     // The custom balancer, assembled by hand on the raw engine.
     let topo: Arc<dyn Topology> = Arc::new(mesh.clone());
-    let oracle = Oracle::new(Rc::clone(&workload), topo.as_ref(), costs);
+    let oracle = Oracle::new(Arc::clone(&workload), topo.as_ref(), costs);
     let topo_for_make = Arc::clone(&topo);
     let engine = Engine::new(topo, lat, 1, move |me| RoundRobin {
         me,
@@ -161,7 +160,7 @@ fn main() {
 
     // RIPS on the same workload, for scale.
     let out = rips(
-        Rc::clone(&workload),
+        Arc::clone(&workload),
         Machine::Mesh(mesh),
         lat,
         costs,

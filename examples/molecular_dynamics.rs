@@ -9,7 +9,7 @@
 //! cargo run --release --example molecular_dynamics
 //! ```
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use rips_repro::apps::gromos::{gromos, half_pair_counts, synthetic_protein, GromosConfig};
 use rips_repro::core::{rips, Machine, RipsConfig};
@@ -32,7 +32,7 @@ fn main() {
     // example finishes instantly.
     let mut cfg = GromosConfig::paper(12.0);
     cfg.steps = 3;
-    let workload = Rc::new(gromos(cfg));
+    let workload = Arc::new(gromos(cfg));
     let stats = workload.stats();
     println!(
         "\nworkload: {} groups x {} MD steps, {:.1} s sequential work",
@@ -42,7 +42,7 @@ fn main() {
     );
 
     let out = rips(
-        Rc::clone(&workload),
+        Arc::clone(&workload),
         Machine::Mesh(Mesh2D::new(8, 4)),
         LatencyModel::paragon(),
         Costs::default(),

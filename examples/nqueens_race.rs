@@ -10,7 +10,6 @@
 //! cargo run --release --example nqueens_race -- --n 12
 //! ```
 
-use std::rc::Rc;
 use std::sync::Arc;
 
 use rips_repro::apps::{nqueens, NQueensConfig};
@@ -26,7 +25,7 @@ fn main() {
         .nth(1)
         .and_then(|v| v.parse().ok())
         .unwrap_or(11);
-    let workload = Rc::new(nqueens(NQueensConfig::paper(n)));
+    let workload = Arc::new(nqueens(NQueensConfig::paper(n)));
     let stats = workload.stats();
     let (solutions_nodes, solutions) = rips_repro::apps::nqueens::solve(n);
     println!(
@@ -55,12 +54,12 @@ fn main() {
     let topo = || -> Arc<dyn Topology> { Arc::new(mesh.clone()) };
     report(
         "Random",
-        random(Rc::clone(&workload), topo(), lat, costs, 1),
+        random(Arc::clone(&workload), topo(), lat, costs, 1),
     );
     report(
         "Gradient",
         gradient(
-            Rc::clone(&workload),
+            Arc::clone(&workload),
             topo(),
             lat,
             costs,
@@ -71,7 +70,7 @@ fn main() {
     report(
         "RID",
         rid(
-            Rc::clone(&workload),
+            Arc::clone(&workload),
             topo(),
             lat,
             costs,
@@ -80,7 +79,7 @@ fn main() {
         ),
     );
     let out = rips(
-        Rc::clone(&workload),
+        Arc::clone(&workload),
         Machine::Mesh(mesh),
         lat,
         costs,

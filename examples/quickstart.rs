@@ -5,7 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use rips_repro::core::{rips, Machine, RipsConfig};
 use rips_repro::desim::LatencyModel;
@@ -41,7 +41,7 @@ fn main() {
     // --- Part 2: runtime incremental parallel scheduling -----------
     // A divide-and-conquer workload whose tasks generate more tasks,
     // executed on a simulated 16-node mesh multicomputer under RIPS.
-    let workload = Rc::new(geometric_tree(12, 7, 3, 20_000, 42));
+    let workload = Arc::new(geometric_tree(12, 7, 3, 20_000, 42));
     let stats = workload.stats();
     println!(
         "\nRIPS on a dynamic workload: {} tasks, {:.1} ms total work",
@@ -49,7 +49,7 @@ fn main() {
         stats.total_work_us as f64 / 1e3
     );
     let out = rips(
-        Rc::clone(&workload),
+        Arc::clone(&workload),
         Machine::Mesh(mesh),
         LatencyModel::paragon(),
         Costs::default(),

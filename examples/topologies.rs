@@ -10,7 +10,7 @@
 //! cargo run --release --example topologies
 //! ```
 
-use std::rc::Rc;
+use std::sync::Arc;
 
 use rips_repro::core::{rips, Machine, RipsConfig};
 use rips_repro::desim::LatencyModel;
@@ -19,7 +19,7 @@ use rips_repro::topology::{BinaryTree, Hypercube, Mesh2D};
 use rips_runtime::Costs;
 
 fn main() {
-    let workload = Rc::new(skewed_flat(2_000, 1_500, 7, 12, 9));
+    let workload = Arc::new(skewed_flat(2_000, 1_500, 7, 12, 9));
     let stats = workload.stats();
     println!(
         "workload: {} tasks, {:.1} s sequential work, heaviest task {:.1} ms\n",
@@ -35,7 +35,7 @@ fn main() {
     ];
     for (name, machine) in machines {
         let out = rips(
-            Rc::clone(&workload),
+            Arc::clone(&workload),
             machine,
             LatencyModel::paragon(),
             Costs::default(),

@@ -453,7 +453,7 @@ mod tests {
     proptest! {
         #[test]
         fn ranges_in_bounds(x in 3usize..10, y in -4i64..=4) {
-            prop_assert!(x >= 3 && x < 10);
+            prop_assert!((3..10).contains(&x));
             prop_assert!((-4..=4).contains(&y));
         }
 

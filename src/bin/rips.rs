@@ -6,7 +6,6 @@
 //! rips apps                                         # list available workloads
 //! ```
 
-use std::rc::Rc;
 use std::sync::Arc;
 
 use rips_repro::balancers::{gradient, random, rid, GradientParams, RidParams};
@@ -61,7 +60,7 @@ fn cmd_run() {
     let policy = arg("--policy").unwrap_or_else(|| "any-lazy".into());
 
     eprintln!("building workload '{app}' ...");
-    let workload = Rc::new(build_app(&app));
+    let workload = Arc::new(build_app(&app));
     let stats = workload.stats();
     println!(
         "workload: {} | {} tasks | {} rounds | Ts = {:.2} s",
@@ -78,10 +77,10 @@ fn cmd_run() {
     let topo: Arc<dyn Topology> = Arc::new(mesh.clone());
 
     let (outcome, phases) = match scheduler.as_str() {
-        "random" => (random(Rc::clone(&workload), topo, lat, costs, seed), 0),
+        "random" => (random(Arc::clone(&workload), topo, lat, costs, seed), 0),
         "gradient" => (
             gradient(
-                Rc::clone(&workload),
+                Arc::clone(&workload),
                 topo,
                 lat,
                 costs,
@@ -92,7 +91,7 @@ fn cmd_run() {
         ),
         "rid" => (
             rid(
-                Rc::clone(&workload),
+                Arc::clone(&workload),
                 topo,
                 lat,
                 costs,
@@ -113,7 +112,7 @@ fn cmd_run() {
                 }
             };
             let out = rips(
-                Rc::clone(&workload),
+                Arc::clone(&workload),
                 Machine::Mesh(mesh),
                 lat,
                 costs,

@@ -3,7 +3,6 @@
 //! extreme grain skew. Everything must either work or refuse loudly —
 //! no silent task loss.
 
-use std::rc::Rc;
 use std::sync::Arc;
 
 use rips_repro::balancers::{gradient, random, rid, sid, GradientParams, RidParams, SidParams};
@@ -15,20 +14,20 @@ use rips_repro::taskgraph::{TaskForest, Workload};
 use rips_repro::topology::{BinaryTree, Mesh2D, Topology};
 use rips_runtime::Costs;
 
-fn run_everything(w: &Rc<Workload>, nodes: usize) {
+fn run_everything(w: &Arc<Workload>, nodes: usize) {
     let lat = LatencyModel::paragon();
     let costs = Costs::default();
     let mesh = Mesh2D::near_square(nodes);
     let topo = || -> Arc<dyn Topology> { Arc::new(mesh.clone()) };
     let total: u64 = w.stats().tasks as u64;
     assert_eq!(
-        random(Rc::clone(w), topo(), lat, costs, 3).total_executed(),
+        random(Arc::clone(w), topo(), lat, costs, 3).total_executed(),
         total,
         "random lost tasks"
     );
     assert_eq!(
         gradient(
-            Rc::clone(w),
+            Arc::clone(w),
             topo(),
             lat,
             costs,
@@ -40,18 +39,18 @@ fn run_everything(w: &Rc<Workload>, nodes: usize) {
         "gradient lost tasks"
     );
     assert_eq!(
-        rid(Rc::clone(w), topo(), lat, costs, 3, RidParams::default()).total_executed(),
+        rid(Arc::clone(w), topo(), lat, costs, 3, RidParams::default()).total_executed(),
         total,
         "RID lost tasks"
     );
     assert_eq!(
-        sid(Rc::clone(w), topo(), lat, costs, 3, SidParams::default()).total_executed(),
+        sid(Arc::clone(w), topo(), lat, costs, 3, SidParams::default()).total_executed(),
         total,
         "SID lost tasks"
     );
     assert_eq!(
         rips(
-            Rc::clone(w),
+            Arc::clone(w),
             Machine::Mesh(mesh),
             lat,
             costs,
@@ -67,7 +66,7 @@ fn run_everything(w: &Rc<Workload>, nodes: usize) {
 
 #[test]
 fn empty_workload() {
-    let w = Rc::new(Workload {
+    let w = Arc::new(Workload {
         name: "empty".into(),
         rounds: vec![],
     });
@@ -81,7 +80,7 @@ fn empty_middle_round() {
     f1.add_root(700);
     let mut f3 = TaskForest::new();
     f3.add_root(900);
-    let w = Rc::new(Workload {
+    let w = Arc::new(Workload {
         name: "hole".into(),
         rounds: vec![f1, TaskForest::new(), f3],
     });
@@ -92,7 +91,7 @@ fn empty_middle_round() {
 fn single_task_on_many_nodes() {
     let mut f = TaskForest::new();
     f.add_root(10_000);
-    let w = Rc::new(Workload::single("lonely", f));
+    let w = Arc::new(Workload::single("lonely", f));
     run_everything(&w, 16);
 }
 
@@ -102,7 +101,7 @@ fn fewer_tasks_than_nodes() {
     for g in [100u64, 5_000, 20, 9_999, 1] {
         f.add_root(g);
     }
-    let w = Rc::new(Workload::single("sparse", f));
+    let w = Arc::new(Workload::single("sparse", f));
     run_everything(&w, 16);
 }
 
@@ -114,7 +113,7 @@ fn extreme_grain_skew() {
     for _ in 0..200 {
         f.add_root(1_000);
     }
-    let w = Rc::new(Workload::single("whale", f));
+    let w = Arc::new(Workload::single("whale", f));
     run_everything(&w, 8);
 }
 
@@ -125,7 +124,7 @@ fn zero_grain_tasks() {
     for _ in 0..100 {
         f.add_root(1);
     }
-    let w = Rc::new(Workload::single("dust", f));
+    let w = Arc::new(Workload::single("dust", f));
     run_everything(&w, 8);
 }
 
@@ -138,7 +137,7 @@ fn deep_dependency_chain() {
     for _ in 0..59 {
         cur = f.add_child(cur, 800);
     }
-    let w = Rc::new(Workload::single("chain", f));
+    let w = Arc::new(Workload::single("chain", f));
     run_everything(&w, 8);
 }
 
@@ -206,23 +205,23 @@ fn ideal_network_still_correct() {
     for i in 0..300u64 {
         f.add_root(100 + (i * 37) % 900);
     }
-    let w = Rc::new(Workload::single("ideal-net", f));
+    let w = Arc::new(Workload::single("ideal-net", f));
     let lat = LatencyModel::ideal();
     let costs = Costs::default();
     let mesh = Mesh2D::near_square(8);
     let total = w.stats().tasks as u64;
     let topo = || -> Arc<dyn Topology> { Arc::new(mesh.clone()) };
     assert_eq!(
-        random(Rc::clone(&w), topo(), lat, costs, 3).total_executed(),
+        random(Arc::clone(&w), topo(), lat, costs, 3).total_executed(),
         total
     );
     assert_eq!(
-        rid(Rc::clone(&w), topo(), lat, costs, 3, RidParams::default()).total_executed(),
+        rid(Arc::clone(&w), topo(), lat, costs, 3, RidParams::default()).total_executed(),
         total
     );
     assert_eq!(
         rips(
-            Rc::clone(&w),
+            Arc::clone(&w),
             Machine::Mesh(mesh),
             lat,
             costs,
