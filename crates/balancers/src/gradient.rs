@@ -12,15 +12,15 @@
 
 use std::sync::Arc;
 
-use rips_desim::{Ctx, Engine, LatencyModel, Program};
-use rips_runtime::{Costs, Oracle, RunOutcome};
+use rips_desim::{Ctx, LatencyModel, Time, WorkKind};
+use rips_runtime::{
+    run_policy, BalancerPolicy, Costs, Kernel, KernelMsg, RunOutcome, TaskInstance, TAG_POLICY_BASE,
+};
 use rips_taskgraph::Workload;
 use rips_topology::{NodeId, Topology};
 
-use crate::base::{Base, Msg, TAG_EXEC, TAG_ROUND};
-
 /// Timer tag for the coalesced proximity notification.
-const TAG_NOTIFY: u64 = 2;
+const TAG_NOTIFY: u64 = TAG_POLICY_BASE;
 
 /// Tuning knobs for the gradient model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,8 +42,17 @@ impl Default for GradientParams {
     }
 }
 
-struct GradientProg {
-    base: Base,
+/// Gradient-model policy messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum GradientMsg {
+    /// Sender's proximity value.
+    Proximity(u32),
+}
+
+type Ct<'a> = Ctx<'a, KernelMsg<GradientMsg>>;
+
+/// The gradient model as a [`BalancerPolicy`].
+struct GradientPolicy {
     params: GradientParams,
     neighbors: Vec<NodeId>,
     nb_prox: Vec<u32>,
@@ -56,21 +65,21 @@ struct GradientProg {
     cap: u32,
 }
 
-impl GradientProg {
+impl GradientPolicy {
     fn min_nb_prox(&self) -> u32 {
         self.nb_prox.iter().copied().min().unwrap_or(self.cap)
     }
 
     /// Recomputes own proximity and ensures the periodic gradient tick
     /// is armed whenever there is something to advertise or push.
-    fn refresh_proximity(&mut self, ctx: &mut Ctx<'_, Msg>) {
-        self.my_prox = if self.base.load() == 0 {
+    fn refresh_proximity(&mut self, k: &mut Kernel, ctx: &mut Ct<'_>) {
+        self.my_prox = if k.load() == 0 {
             0
         } else {
             self.cap.min(1 + self.min_nb_prox())
         };
         let must_advertise = self.advertised != Some(self.my_prox);
-        let can_push = self.base.load() > self.params.high_mark && self.min_nb_prox() < self.cap;
+        let can_push = k.load() > self.params.high_mark && self.min_nb_prox() < self.cap;
         if (must_advertise || can_push) && !self.notify_pending {
             self.notify_pending = true;
             ctx.set_timer(self.params.update_interval_us, TAG_NOTIFY);
@@ -80,9 +89,9 @@ impl GradientProg {
     /// One gradient tick: advertise a changed proximity, push a small
     /// burst of tasks downhill, and re-arm while pressure remains —
     /// the continuous task flow of the gradient model.
-    fn gradient_tick(&mut self, ctx: &mut Ctx<'_, Msg>) {
+    fn gradient_tick(&mut self, k: &mut Kernel, ctx: &mut Ct<'_>) {
         self.notify_pending = false;
-        self.my_prox = if self.base.load() == 0 {
+        self.my_prox = if k.load() == 0 {
             0
         } else {
             self.cap.min(1 + self.min_nb_prox())
@@ -92,17 +101,21 @@ impl GradientProg {
             let prox = self.my_prox;
             for i in 0..self.neighbors.len() {
                 let nb = self.neighbors[i];
-                ctx.send(nb, Msg::Proximity(prox), self.base.oracle.costs.ctl_bytes);
+                ctx.send(
+                    nb,
+                    KernelMsg::Policy(GradientMsg::Proximity(prox)),
+                    k.oracle.costs.ctl_bytes,
+                );
             }
         }
-        self.push_one(ctx);
-        self.refresh_proximity(ctx);
+        self.push_one(k, ctx);
+        self.refresh_proximity(k, ctx);
     }
 
     /// Pushes one task downhill if overloaded and an idle node is
     /// known somewhere.
-    fn push_one(&mut self, ctx: &mut Ctx<'_, Msg>) {
-        if self.base.load() <= self.params.high_mark || self.min_nb_prox() >= self.cap {
+    fn push_one(&mut self, k: &mut Kernel, ctx: &mut Ct<'_>) {
+        if k.load() <= self.params.high_mark || self.min_nb_prox() >= self.cap {
             return;
         }
         let target_idx = (0..self.neighbors.len())
@@ -110,65 +123,63 @@ impl GradientProg {
             .expect("push with no neighbours");
         // Ship the most recently generated task (back of the queue):
         // freshly spawned work is the cheapest to move.
-        let task = self.base.exec.queue.pop_back().expect("load > high_mark");
-        let load = self.base.load();
-        ctx.send(
-            self.neighbors[target_idx],
-            Msg::Tasks(vec![task], load),
-            self.base.oracle.costs.task_bytes,
-        );
+        let task = k.exec.queue.pop_back().expect("load > high_mark");
+        let load = k.load();
+        k.send_tasks(ctx, self.neighbors[target_idx], vec![task], load);
     }
 }
 
-impl Program for GradientProg {
-    type Msg = Msg;
+impl BalancerPolicy for GradientPolicy {
+    type Msg = GradientMsg;
 
-    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
-        self.base.seed_round(ctx, 0);
-        self.refresh_proximity(ctx);
+    fn on_start(&mut self, k: &mut Kernel, ctx: &mut Ct<'_>) {
+        k.seed_round(ctx, 0);
+        self.refresh_proximity(k, ctx);
     }
 
-    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, msg: Msg) {
-        match msg {
-            Msg::Tasks(tasks, _) => {
-                self.base.accept_tasks(ctx, tasks);
-                self.refresh_proximity(ctx);
-            }
-            Msg::Proximity(p) => {
-                let idx = self
-                    .neighbors
-                    .iter()
-                    .position(|&nb| nb == from)
-                    .expect("proximity from non-neighbour");
-                self.nb_prox[idx] = p;
-                self.refresh_proximity(ctx);
-            }
-            Msg::RoundStart(round) => {
-                self.base.seed_round(ctx, round);
-                self.refresh_proximity(ctx);
-            }
-            other => unreachable!("gradient model got {other:?}"),
-        }
+    fn on_msg(&mut self, k: &mut Kernel, ctx: &mut Ct<'_>, from: NodeId, msg: GradientMsg) {
+        let GradientMsg::Proximity(p) = msg;
+        let idx = self
+            .neighbors
+            .iter()
+            .position(|&nb| nb == from)
+            .expect("proximity from non-neighbour");
+        self.nb_prox[idx] = p;
+        self.refresh_proximity(k, ctx);
     }
 
-    fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, tag: u64) {
+    fn on_tasks_accepted(
+        &mut self,
+        k: &mut Kernel,
+        ctx: &mut Ct<'_>,
+        _from: NodeId,
+        _sender_load: i64,
+    ) {
+        self.refresh_proximity(k, ctx);
+    }
+
+    fn on_timer(&mut self, k: &mut Kernel, ctx: &mut Ct<'_>, tag: u64) {
         match tag {
-            TAG_EXEC => {
-                if let Some(inst) = self.base.run_one(ctx) {
-                    // Children stay local; the gradient moves them
-                    // later if pressure builds.
-                    let children = self.base.oracle.children_of(&inst, self.base.me);
-                    let spawn = children.len() as u64 * self.base.oracle.costs.spawn_us;
-                    ctx.compute(spawn, rips_desim::WorkKind::Overhead);
-                    self.base.exec.queue.extend(children);
-                    self.base.after_task(ctx);
-                    self.refresh_proximity(ctx);
-                }
-            }
-            TAG_ROUND => self.base.on_round_timer(ctx),
-            TAG_NOTIFY => self.gradient_tick(ctx),
+            TAG_NOTIFY => self.gradient_tick(k, ctx),
             _ => unreachable!("unknown timer {tag}"),
         }
+    }
+
+    /// Children stay local; the gradient moves them later if pressure
+    /// builds.
+    fn place_children(&mut self, k: &mut Kernel, ctx: &mut Ct<'_>, children: Vec<TaskInstance>) {
+        let spawn = children.len() as Time * k.oracle.costs.spawn_us;
+        ctx.compute(spawn, WorkKind::Overhead);
+        k.exec.queue.extend(children);
+    }
+
+    fn after_task(&mut self, k: &mut Kernel, ctx: &mut Ct<'_>) {
+        self.refresh_proximity(k, ctx);
+    }
+
+    fn on_round_start(&mut self, k: &mut Kernel, ctx: &mut Ct<'_>, round: u32, _token: u32) {
+        k.seed_round(ctx, round);
+        self.refresh_proximity(k, ctx);
     }
 }
 
@@ -185,16 +196,11 @@ pub fn gradient(
         latency.alpha_us > 0 || latency.per_hop_us > 0,
         "gradient model needs nonzero message latency to converge"
     );
-    if workload.rounds.is_empty() {
-        return RunOutcome::empty(topo.len());
-    }
-    let oracle = Oracle::new(Arc::clone(&workload), topo.as_ref(), costs);
     let cap = topo.diameter() as u32 + 1;
     let topo2 = Arc::clone(&topo);
-    let engine = Engine::new(topo, latency, seed, move |me| {
+    let (outcome, _) = run_policy(workload, topo, latency, costs, seed, move |me| {
         let neighbors = topo2.neighbors(me);
-        GradientProg {
-            base: Base::new(me, oracle.clone()),
+        GradientPolicy {
             params,
             nb_prox: vec![cap; neighbors.len()],
             neighbors,
@@ -204,16 +210,5 @@ pub fn gradient(
             cap,
         }
     });
-    let mut engine = engine;
-    engine.record_timeline(costs.record_timeline);
-    engine.enable_contention(costs.contention);
-    let (progs, stats) = engine.run();
-    let executed: Vec<u64> = progs.iter().map(|p| p.base.exec.executed).collect();
-    let nonlocal = progs.iter().map(|p| p.base.exec.nonlocal_executed).sum();
-    RunOutcome {
-        stats,
-        executed,
-        nonlocal,
-        system_phases: 0,
-    }
+    outcome
 }

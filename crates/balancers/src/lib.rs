@@ -1,4 +1,6 @@
-//! The three dynamic load-balancing baselines of Table I.
+//! The dynamic load-balancing baselines of Table I, expressed as
+//! [`rips_runtime::BalancerPolicy`] implementations over the shared
+//! policy kernel.
 //!
 //! * [`random`] — **randomized allocation**: every newly generated task
 //!   is shipped to a uniformly random processor. Statistically balanced
@@ -19,17 +21,18 @@
 //! related-work counterpart the paper cites via Eager et al. — not in
 //! Table I, but measured by the `sid_vs_rid` bench.
 //!
-//! All of them run on the same engine, workload harness, and cost model
-//! as the RIPS runtime in `rips-core`, so Table I's columns are
-//! measured identically for every row.
+//! Each balancer is a ~100-line policy: a message enum, the transfer
+//! decisions, and nothing else. Task execution, migration accounting,
+//! round barriers, and termination live once, in the runtime's
+//! [`NodeDriver`](rips_runtime::NodeDriver) — so Table I's columns are
+//! measured identically for every row, including the RIPS runtime in
+//! `rips-core`, which plugs into the same kernel.
 
-mod base;
 mod gradient;
 mod random;
 mod rid;
 mod sid;
 
-pub use base::Msg;
 pub use gradient::{gradient, GradientParams};
 pub use random::random;
 pub use rid::{rid, RidParams};

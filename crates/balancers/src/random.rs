@@ -4,21 +4,51 @@
 use std::sync::Arc;
 
 use rand::RngExt;
-use rips_desim::{Ctx, Engine, LatencyModel, Program};
-use rips_runtime::{Costs, Oracle, RunOutcome, TaskInstance};
+use rips_desim::{Ctx, LatencyModel};
+use rips_runtime::{
+    run_policy, BalancerPolicy, Costs, Kernel, KernelMsg, RunOutcome, TaskInstance,
+};
 use rips_taskgraph::Workload;
 use rips_topology::{NodeId, Topology};
 
-use crate::base::{Base, Msg, TAG_EXEC, TAG_ROUND};
+type Ct<'a> = Ctx<'a, KernelMsg<()>>;
 
-struct RandomProg {
-    base: Base,
+/// Randomized allocation as a [`BalancerPolicy`]: stateless — every
+/// placement decision is a fresh RNG draw.
+struct RandomPolicy;
+
+impl RandomPolicy {
+    /// Seeds this node's block of the round and immediately scatters it:
+    /// randomized allocation assigns *every* task — initial ones
+    /// included — to a uniformly random processor. (This is why the
+    /// paper's Table I shows ~(N−1)/N of even the flat GROMOS task set
+    /// as non-local under random allocation.)
+    fn seed_scattered(&mut self, k: &mut Kernel, ctx: &mut Ct<'_>, round: u32) {
+        let seeds = k.take_seeds(ctx, round);
+        self.place_children(k, ctx, seeds);
+        if k.oracle.outstanding() == 0 && k.me == 0 {
+            k.announce_round(ctx);
+            return;
+        }
+        k.kick(ctx);
+    }
 }
 
-impl RandomProg {
+impl BalancerPolicy for RandomPolicy {
+    type Msg = ();
+
+    fn on_start(&mut self, k: &mut Kernel, ctx: &mut Ct<'_>) {
+        self.seed_scattered(k, ctx, 0);
+    }
+
+    fn on_msg(&mut self, _k: &mut Kernel, _ctx: &mut Ct<'_>, _from: NodeId, msg: ()) {
+        unreachable!("random allocation sends no policy messages, got {msg:?}");
+    }
+
     /// Ships `children` to uniformly random nodes, batching per
-    /// destination; local picks stay in the queue.
-    fn place_children(&mut self, ctx: &mut Ctx<'_, Msg>, children: Vec<TaskInstance>) {
+    /// destination; local picks stay in the queue. Shipping is free for
+    /// the sender — the receiver pays the spawn overhead on acceptance.
+    fn place_children(&mut self, k: &mut Kernel, ctx: &mut Ct<'_>, children: Vec<TaskInstance>) {
         if children.is_empty() {
             return;
         }
@@ -28,70 +58,22 @@ impl RandomProg {
             let dest = ctx.rng().random_range(0..n);
             per_dest[dest].push(child);
         }
-        let me = self.base.me;
-        let load = self.base.load();
+        let me = k.me;
+        let load = k.load();
         for (dest, batch) in per_dest.into_iter().enumerate() {
             if batch.is_empty() {
                 continue;
             }
             if dest == me {
-                self.base.exec.queue.extend(batch);
+                k.exec.queue.extend(batch);
             } else {
-                let bytes = self.base.oracle.costs.task_bytes * batch.len();
-                ctx.send(dest, Msg::Tasks(batch, load), bytes);
+                k.send_tasks(ctx, dest, batch, load);
             }
         }
     }
-}
 
-impl RandomProg {
-    /// Seeds this node's block of the round and immediately scatters it:
-    /// randomized allocation assigns *every* task — initial ones
-    /// included — to a uniformly random processor. (This is why the
-    /// paper's Table I shows ~(N−1)/N of even the flat GROMOS task set
-    /// as non-local under random allocation.)
-    fn seed_scattered(&mut self, ctx: &mut Ctx<'_, Msg>, round: u32) {
-        let seeds = self.base.oracle.seed_for(self.base.me, round);
-        ctx.compute(
-            self.base.oracle.costs.spawn_us * seeds.len() as u64,
-            rips_desim::WorkKind::Overhead,
-        );
-        self.place_children(ctx, seeds);
-        if self.base.oracle.outstanding() == 0 && self.base.me == 0 {
-            self.base.announce_round(ctx);
-            return;
-        }
-        self.base.kick(ctx);
-    }
-}
-
-impl Program for RandomProg {
-    type Msg = Msg;
-
-    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
-        self.seed_scattered(ctx, 0);
-    }
-
-    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, _from: NodeId, msg: Msg) {
-        match msg {
-            Msg::Tasks(tasks, _) => self.base.accept_tasks(ctx, tasks),
-            Msg::RoundStart(round) => self.seed_scattered(ctx, round),
-            other => unreachable!("random allocation got {other:?}"),
-        }
-    }
-
-    fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, tag: u64) {
-        match tag {
-            TAG_EXEC => {
-                if let Some(inst) = self.base.run_one(ctx) {
-                    let children = self.base.oracle.children_of(&inst, self.base.me);
-                    self.place_children(ctx, children);
-                    self.base.after_task(ctx);
-                }
-            }
-            TAG_ROUND => self.base.on_round_timer(ctx),
-            _ => unreachable!("unknown timer {tag}"),
-        }
+    fn on_round_start(&mut self, k: &mut Kernel, ctx: &mut Ct<'_>, round: u32, _token: u32) {
+        self.seed_scattered(k, ctx, round);
     }
 }
 
@@ -104,23 +86,6 @@ pub fn random(
     costs: Costs,
     seed: u64,
 ) -> RunOutcome {
-    if workload.rounds.is_empty() {
-        return RunOutcome::empty(topo.len());
-    }
-    let oracle = Oracle::new(Arc::clone(&workload), topo.as_ref(), costs);
-    let engine = Engine::new(topo, latency, seed, |me| RandomProg {
-        base: Base::new(me, oracle.clone()),
-    });
-    let mut engine = engine;
-    engine.record_timeline(costs.record_timeline);
-    engine.enable_contention(costs.contention);
-    let (progs, stats) = engine.run();
-    let executed: Vec<u64> = progs.iter().map(|p| p.base.exec.executed).collect();
-    let nonlocal = progs.iter().map(|p| p.base.exec.nonlocal_executed).sum();
-    RunOutcome {
-        stats,
-        executed,
-        nonlocal,
-        system_phases: 0,
-    }
+    let (outcome, _) = run_policy(workload, topo, latency, costs, seed, |_me| RandomPolicy);
+    outcome
 }

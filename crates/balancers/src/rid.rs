@@ -9,15 +9,15 @@
 
 use std::sync::Arc;
 
-use rips_desim::{Ctx, Engine, LatencyModel, Program, WorkKind};
-use rips_runtime::{Costs, Oracle, RunOutcome, TaskInstance};
+use rips_desim::{Ctx, LatencyModel, Time, WorkKind};
+use rips_runtime::{
+    run_policy, BalancerPolicy, Costs, Kernel, KernelMsg, RunOutcome, TaskInstance, TAG_POLICY_BASE,
+};
 use rips_taskgraph::Workload;
 use rips_topology::{NodeId, Topology};
 
-use crate::base::{Base, Msg, TAG_EXEC, TAG_ROUND};
-
 /// Timer tag for the outstanding-request timeout.
-const TAG_REQ_TIMEOUT: u64 = 3;
+const TAG_REQ_TIMEOUT: u64 = TAG_POLICY_BASE + 1;
 
 /// RID tuning parameters (paper §5).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -50,8 +50,19 @@ impl Default for RidParams {
     }
 }
 
-struct RidProg {
-    base: Base,
+/// RID policy messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum RidMsg {
+    /// Sender's current load.
+    LoadInfo(i64),
+    /// Request for up to this many tasks.
+    TaskRequest(i64),
+}
+
+type Ct<'a> = Ctx<'a, KernelMsg<RidMsg>>;
+
+/// Receiver-initiated diffusion as a [`BalancerPolicy`].
+struct RidPolicy {
     params: RidParams,
     neighbors: Vec<NodeId>,
     nb_load: Vec<i64>,
@@ -61,7 +72,7 @@ struct RidProg {
     pending_replies: u32,
 }
 
-impl RidProg {
+impl RidPolicy {
     fn nb_index(&self, nb: NodeId) -> usize {
         self.neighbors
             .iter()
@@ -70,13 +81,17 @@ impl RidProg {
     }
 
     /// Broadcasts own load to neighbours when it drifted enough.
-    fn maybe_broadcast(&mut self, ctx: &mut Ctx<'_, Msg>) {
-        let load = self.base.load();
+    fn maybe_broadcast(&mut self, k: &mut Kernel, ctx: &mut Ct<'_>) {
+        let load = k.load();
         let threshold = (((1.0 - self.params.u) * self.last_broadcast.max(0) as f64) as i64).max(1);
         if (load - self.last_broadcast).abs() >= threshold {
             self.last_broadcast = load;
             for &nb in &self.neighbors {
-                ctx.send(nb, Msg::LoadInfo(load), self.base.oracle.costs.ctl_bytes);
+                ctx.send(
+                    nb,
+                    KernelMsg::Policy(RidMsg::LoadInfo(load)),
+                    k.oracle.costs.ctl_bytes,
+                );
             }
         }
     }
@@ -85,14 +100,11 @@ impl RidProg {
     /// average is split over the above-average neighbours in proportion
     /// to their excess — the proportional-hunk rule of Willebeek-LeMair
     /// & Reeves' RID.
-    fn maybe_request(&mut self, ctx: &mut Ctx<'_, Msg>) {
-        if self.pending_replies > 0
-            || self.base.load() >= self.params.l_low
-            || self.neighbors.is_empty()
-        {
+    fn maybe_request(&mut self, k: &mut Kernel, ctx: &mut Ct<'_>) {
+        if self.pending_replies > 0 || k.load() >= self.params.l_low || self.neighbors.is_empty() {
             return;
         }
-        let load = self.base.load();
+        let load = k.load();
         let avg = (self.nb_load.iter().sum::<i64>() + load) / (self.nb_load.len() as i64 + 1);
         let deficit = (avg - load).max(1);
         let excess: Vec<i64> = self
@@ -112,8 +124,8 @@ impl RidProg {
             self.pending_replies += 1;
             ctx.send(
                 self.neighbors[idx],
-                Msg::TaskRequest(share),
-                self.base.oracle.costs.ctl_bytes,
+                KernelMsg::Policy(RidMsg::TaskRequest(share)),
+                k.oracle.costs.ctl_bytes,
             );
         }
         if self.pending_replies > 0 {
@@ -124,81 +136,86 @@ impl RidProg {
     /// Donates up to `amount` tasks, keeping `l_threshold` for itself.
     /// A donor with nothing to spare stays silent — the requester finds
     /// out by timing out.
-    fn donate(&mut self, ctx: &mut Ctx<'_, Msg>, to: NodeId, amount: i64) {
-        let surplus = (self.base.load() - self.params.l_threshold).max(0);
-        let give = surplus.min(amount).min(self.base.exec.queue.len() as i64);
+    fn donate(&mut self, k: &mut Kernel, ctx: &mut Ct<'_>, to: NodeId, amount: i64) {
+        let surplus = (k.load() - self.params.l_threshold).max(0);
+        let give = surplus.min(amount).min(k.exec.queue.len() as i64);
         if give == 0 {
             return;
         }
         let mut batch: Vec<TaskInstance> = Vec::with_capacity(give as usize);
         for _ in 0..give {
-            batch.push(self.base.exec.queue.pop_back().expect("give <= len"));
+            batch.push(k.exec.queue.pop_back().expect("give <= len"));
         }
         ctx.compute(
-            self.base.oracle.costs.spawn_us * batch.len() as u64,
+            k.oracle.costs.spawn_us * batch.len() as Time,
             WorkKind::Overhead,
         );
-        let load = self.base.load();
-        let bytes = self.base.oracle.costs.task_bytes * batch.len();
-        ctx.send(to, Msg::Tasks(batch, load), bytes);
-        self.maybe_broadcast(ctx);
+        let load = k.load();
+        k.send_tasks(ctx, to, batch, load);
+        self.maybe_broadcast(k, ctx);
     }
 }
 
-impl Program for RidProg {
-    type Msg = Msg;
+impl BalancerPolicy for RidPolicy {
+    type Msg = RidMsg;
 
-    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
-        self.base.seed_round(ctx, 0);
-        self.maybe_broadcast(ctx);
+    fn on_start(&mut self, k: &mut Kernel, ctx: &mut Ct<'_>) {
+        k.seed_round(ctx, 0);
+        self.maybe_broadcast(k, ctx);
     }
 
-    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, msg: Msg) {
+    fn on_msg(&mut self, k: &mut Kernel, ctx: &mut Ct<'_>, from: NodeId, msg: RidMsg) {
         match msg {
-            Msg::Tasks(tasks, sender_load) => {
-                let idx = self.nb_index(from);
-                self.nb_load[idx] = sender_load;
-                self.pending_replies = self.pending_replies.saturating_sub(1);
-                self.base.accept_tasks(ctx, tasks);
-                self.maybe_broadcast(ctx);
-                self.maybe_request(ctx);
-            }
-            Msg::LoadInfo(load) => {
+            RidMsg::LoadInfo(load) => {
                 let idx = self.nb_index(from);
                 self.nb_load[idx] = load;
-                self.maybe_request(ctx);
+                self.maybe_request(k, ctx);
             }
-            Msg::TaskRequest(amount) => self.donate(ctx, from, amount),
-            Msg::RoundStart(round) => {
-                self.pending_replies = 0;
-                self.base.seed_round(ctx, round);
-                self.maybe_broadcast(ctx);
-            }
-            other => unreachable!("RID got {other:?}"),
+            RidMsg::TaskRequest(amount) => self.donate(k, ctx, from, amount),
         }
     }
 
-    fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, tag: u64) {
+    fn on_tasks_accepted(
+        &mut self,
+        k: &mut Kernel,
+        ctx: &mut Ct<'_>,
+        from: NodeId,
+        sender_load: i64,
+    ) {
+        let idx = self.nb_index(from);
+        self.nb_load[idx] = sender_load;
+        self.pending_replies = self.pending_replies.saturating_sub(1);
+        self.maybe_broadcast(k, ctx);
+        self.maybe_request(k, ctx);
+    }
+
+    fn on_timer(&mut self, k: &mut Kernel, ctx: &mut Ct<'_>, tag: u64) {
         match tag {
-            TAG_EXEC => {
-                if let Some(inst) = self.base.run_one(ctx) {
-                    let children = self.base.oracle.children_of(&inst, self.base.me);
-                    let spawn = children.len() as u64 * self.base.oracle.costs.spawn_us;
-                    ctx.compute(spawn, WorkKind::Overhead);
-                    self.base.exec.queue.extend(children);
-                    self.base.after_task(ctx);
-                    self.maybe_broadcast(ctx);
-                    self.maybe_request(ctx);
-                }
-            }
-            TAG_ROUND => self.base.on_round_timer(ctx),
             TAG_REQ_TIMEOUT => {
                 // Whatever was still outstanding is treated as refused.
                 self.pending_replies = 0;
-                self.maybe_request(ctx);
+                self.maybe_request(k, ctx);
             }
             _ => unreachable!("unknown timer {tag}"),
         }
+    }
+
+    /// Children stay local; underloaded neighbours will come asking.
+    fn place_children(&mut self, k: &mut Kernel, ctx: &mut Ct<'_>, children: Vec<TaskInstance>) {
+        let spawn = children.len() as Time * k.oracle.costs.spawn_us;
+        ctx.compute(spawn, WorkKind::Overhead);
+        k.exec.queue.extend(children);
+    }
+
+    fn after_task(&mut self, k: &mut Kernel, ctx: &mut Ct<'_>) {
+        self.maybe_broadcast(k, ctx);
+        self.maybe_request(k, ctx);
+    }
+
+    fn on_round_start(&mut self, k: &mut Kernel, ctx: &mut Ct<'_>, round: u32, _token: u32) {
+        self.pending_replies = 0;
+        k.seed_round(ctx, round);
+        self.maybe_broadcast(k, ctx);
     }
 }
 
@@ -215,15 +232,10 @@ pub fn rid(
         (0.0..1.0).contains(&params.u),
         "update factor must be in [0,1)"
     );
-    if workload.rounds.is_empty() {
-        return RunOutcome::empty(topo.len());
-    }
-    let oracle = Oracle::new(Arc::clone(&workload), topo.as_ref(), costs);
     let topo2 = Arc::clone(&topo);
-    let engine = Engine::new(topo, latency, seed, move |me| {
+    let (outcome, _) = run_policy(workload, topo, latency, costs, seed, move |me| {
         let neighbors = topo2.neighbors(me);
-        RidProg {
-            base: Base::new(me, oracle.clone()),
+        RidPolicy {
             params,
             nb_load: vec![0; neighbors.len()],
             neighbors,
@@ -231,16 +243,5 @@ pub fn rid(
             pending_replies: 0,
         }
     });
-    let mut engine = engine;
-    engine.record_timeline(costs.record_timeline);
-    engine.enable_contention(costs.contention);
-    let (progs, stats) = engine.run();
-    let executed: Vec<u64> = progs.iter().map(|p| p.base.exec.executed).collect();
-    let nonlocal = progs.iter().map(|p| p.base.exec.nonlocal_executed).sum();
-    RunOutcome {
-        stats,
-        executed,
-        nonlocal,
-        system_phases: 0,
-    }
+    outcome
 }

@@ -11,12 +11,12 @@
 
 use std::sync::Arc;
 
-use rips_desim::{Ctx, Engine, LatencyModel, Program, WorkKind};
-use rips_runtime::{Costs, Oracle, RunOutcome, TaskInstance};
+use rips_desim::{Ctx, LatencyModel, Time, WorkKind};
+use rips_runtime::{
+    run_policy, BalancerPolicy, Costs, Kernel, KernelMsg, RunOutcome, TaskInstance,
+};
 use rips_taskgraph::Workload;
 use rips_topology::{NodeId, Topology};
-
-use crate::base::{Base, Msg, TAG_EXEC, TAG_ROUND};
 
 /// SID tuning parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -44,15 +44,24 @@ impl Default for SidParams {
     }
 }
 
-struct SidProg {
-    base: Base,
+/// SID policy messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum SidMsg {
+    /// Sender's current load.
+    LoadInfo(i64),
+}
+
+type Ct<'a> = Ctx<'a, KernelMsg<SidMsg>>;
+
+/// Sender-initiated diffusion as a [`BalancerPolicy`].
+struct SidPolicy {
     params: SidParams,
     neighbors: Vec<NodeId>,
     nb_load: Vec<i64>,
     last_broadcast: i64,
 }
 
-impl SidProg {
+impl SidPolicy {
     fn nb_index(&self, nb: NodeId) -> usize {
         self.neighbors
             .iter()
@@ -61,13 +70,17 @@ impl SidProg {
     }
 
     /// Broadcasts own load to neighbours when it drifted enough.
-    fn maybe_broadcast(&mut self, ctx: &mut Ctx<'_, Msg>) {
-        let load = self.base.load();
+    fn maybe_broadcast(&mut self, k: &mut Kernel, ctx: &mut Ct<'_>) {
+        let load = k.load();
         let threshold = (((1.0 - self.params.u) * self.last_broadcast.max(0) as f64) as i64).max(1);
         if (load - self.last_broadcast).abs() >= threshold {
             self.last_broadcast = load;
             for &nb in &self.neighbors {
-                ctx.send(nb, Msg::LoadInfo(load), self.base.oracle.costs.ctl_bytes);
+                ctx.send(
+                    nb,
+                    KernelMsg::Policy(SidMsg::LoadInfo(load)),
+                    k.oracle.costs.ctl_bytes,
+                );
             }
         }
     }
@@ -75,8 +88,8 @@ impl SidProg {
     /// Pushes surplus to the least-loaded known neighbour when
     /// overloaded: half the pairwise difference, keeping at least
     /// `l_threshold` for ourselves.
-    fn maybe_push(&mut self, ctx: &mut Ctx<'_, Msg>) {
-        if self.base.load() <= self.params.l_high || self.neighbors.is_empty() {
+    fn maybe_push(&mut self, k: &mut Kernel, ctx: &mut Ct<'_>) {
+        if k.load() <= self.params.l_high || self.neighbors.is_empty() {
             return;
         }
         let (idx, &least) = self
@@ -85,82 +98,78 @@ impl SidProg {
             .enumerate()
             .min_by_key(|&(i, &l)| (l, i))
             .expect("nonempty neighbours");
-        let mine = self.base.load();
+        let mine = k.load();
         if mine - least < self.params.min_diff {
             return; // not worth moving on possibly-stale information
         }
         let give = ((mine - least) / 2)
             .min(mine - self.params.l_threshold)
-            .min(self.base.exec.queue.len() as i64);
+            .min(k.exec.queue.len() as i64);
         if give <= 0 {
             return;
         }
         let mut batch: Vec<TaskInstance> = Vec::with_capacity(give as usize);
         for _ in 0..give {
-            batch.push(self.base.exec.queue.pop_back().expect("give <= len"));
+            batch.push(k.exec.queue.pop_back().expect("give <= len"));
         }
         ctx.compute(
-            self.base.oracle.costs.spawn_us * batch.len() as u64,
+            k.oracle.costs.spawn_us * batch.len() as Time,
             WorkKind::Overhead,
         );
         // Optimistically assume the neighbour absorbs the batch so we
         // don't re-push to it on stale information.
         self.nb_load[idx] += give;
-        let load = self.base.load();
-        let bytes = self.base.oracle.costs.task_bytes * batch.len();
-        ctx.send(self.neighbors[idx], Msg::Tasks(batch, load), bytes);
-        self.maybe_broadcast(ctx);
+        let load = k.load();
+        k.send_tasks(ctx, self.neighbors[idx], batch, load);
+        self.maybe_broadcast(k, ctx);
     }
 }
 
-impl Program for SidProg {
-    type Msg = Msg;
+impl BalancerPolicy for SidPolicy {
+    type Msg = SidMsg;
 
-    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
-        self.base.seed_round(ctx, 0);
-        self.maybe_broadcast(ctx);
-        self.maybe_push(ctx);
+    fn on_start(&mut self, k: &mut Kernel, ctx: &mut Ct<'_>) {
+        k.seed_round(ctx, 0);
+        self.maybe_broadcast(k, ctx);
+        self.maybe_push(k, ctx);
     }
 
-    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: NodeId, msg: Msg) {
-        match msg {
-            Msg::Tasks(tasks, sender_load) => {
-                let idx = self.nb_index(from);
-                self.nb_load[idx] = sender_load;
-                self.base.accept_tasks(ctx, tasks);
-                self.maybe_broadcast(ctx);
-                self.maybe_push(ctx); // an overloaded receiver diffuses onward
-            }
-            Msg::LoadInfo(load) => {
-                let idx = self.nb_index(from);
-                self.nb_load[idx] = load;
-                self.maybe_push(ctx);
-            }
-            Msg::RoundStart(round) => {
-                self.base.seed_round(ctx, round);
-                self.maybe_broadcast(ctx);
-                self.maybe_push(ctx);
-            }
-            other => unreachable!("SID got {other:?}"),
-        }
+    fn on_msg(&mut self, k: &mut Kernel, ctx: &mut Ct<'_>, from: NodeId, msg: SidMsg) {
+        let SidMsg::LoadInfo(load) = msg;
+        let idx = self.nb_index(from);
+        self.nb_load[idx] = load;
+        self.maybe_push(k, ctx);
     }
 
-    fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, tag: u64) {
-        match tag {
-            TAG_EXEC => {
-                if let Some(inst) = self.base.run_one(ctx) {
-                    let children = self.base.oracle.children_of(&inst, self.base.me);
-                    let spawn = children.len() as u64 * self.base.oracle.costs.spawn_us;
-                    ctx.compute(spawn, WorkKind::Overhead);
-                    self.base.exec.queue.extend(children);
-                    self.base.after_task(ctx);
-                    self.maybe_broadcast(ctx);
-                    self.maybe_push(ctx);
-                }
-            }
-            TAG_ROUND => self.base.on_round_timer(ctx),
-            _ => unreachable!("unknown timer {tag}"),
-        }
+    fn on_tasks_accepted(
+        &mut self,
+        k: &mut Kernel,
+        ctx: &mut Ct<'_>,
+        from: NodeId,
+        sender_load: i64,
+    ) {
+        let idx = self.nb_index(from);
+        self.nb_load[idx] = sender_load;
+        self.maybe_broadcast(k, ctx);
+        self.maybe_push(k, ctx); // an overloaded receiver diffuses onward
+    }
+
+    /// Children stay local until load pressure pushes them away.
+    fn place_children(&mut self, k: &mut Kernel, ctx: &mut Ct<'_>, children: Vec<TaskInstance>) {
+        let spawn = children.len() as Time * k.oracle.costs.spawn_us;
+        ctx.compute(spawn, WorkKind::Overhead);
+        k.exec.queue.extend(children);
+    }
+
+    fn after_task(&mut self, k: &mut Kernel, ctx: &mut Ct<'_>) {
+        self.maybe_broadcast(k, ctx);
+        self.maybe_push(k, ctx);
+    }
+
+    fn on_round_start(&mut self, k: &mut Kernel, ctx: &mut Ct<'_>, round: u32, _token: u32) {
+        k.seed_round(ctx, round);
+        self.maybe_broadcast(k, ctx);
+        self.maybe_push(k, ctx);
     }
 }
 
@@ -177,31 +186,15 @@ pub fn sid(
         (0.0..1.0).contains(&params.u),
         "update factor must be in [0,1)"
     );
-    if workload.rounds.is_empty() {
-        return RunOutcome::empty(topo.len());
-    }
-    let oracle = Oracle::new(Arc::clone(&workload), topo.as_ref(), costs);
     let topo2 = Arc::clone(&topo);
-    let engine = Engine::new(topo, latency, seed, move |me| {
+    let (outcome, _) = run_policy(workload, topo, latency, costs, seed, move |me| {
         let neighbors = topo2.neighbors(me);
-        SidProg {
-            base: Base::new(me, oracle.clone()),
+        SidPolicy {
             params,
             nb_load: vec![0; neighbors.len()],
             neighbors,
             last_broadcast: 0,
         }
     });
-    let mut engine = engine;
-    engine.record_timeline(costs.record_timeline);
-    engine.enable_contention(costs.contention);
-    let (progs, stats) = engine.run();
-    let executed: Vec<u64> = progs.iter().map(|p| p.base.exec.executed).collect();
-    let nonlocal = progs.iter().map(|p| p.base.exec.nonlocal_executed).sum();
-    RunOutcome {
-        stats,
-        executed,
-        nonlocal,
-        system_phases: 0,
-    }
+    outcome
 }

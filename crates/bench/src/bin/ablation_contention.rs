@@ -10,46 +10,35 @@
 
 use std::sync::Arc;
 
-use rips_balancers::random;
-use rips_bench::{arg_usize, App};
-use rips_core::{rips, Machine, RipsConfig};
+use rips_bench::{arg_usize, registry, App};
 use rips_desim::LatencyModel;
 use rips_metrics::Table;
-use rips_runtime::Costs;
-use rips_topology::{Mesh2D, Topology};
+use rips_runtime::{Costs, RunSpec};
 
 fn main() {
     let nodes = arg_usize("--nodes", 32);
     println!("Network-contention ablation, 13-Queens ({nodes} processors)\n");
     let w = Arc::new(App::Queens(13).build());
-    let mesh = Mesh2D::near_square(nodes);
-    let lat = LatencyModel::paragon();
+    let reg = registry();
 
     let mut table = Table::new(vec!["scheduler", "network", "T (s)", "mu", "slowdown"]);
-    for (name, is_rips) in [("Random", false), ("RIPS", true)] {
+    for name in ["Random", "RIPS"] {
         let mut base_t = 0.0;
         for contention in [false, true] {
-            let costs = Costs {
-                contention,
-                ..Costs::default()
+            let spec = RunSpec {
+                workload: Arc::clone(&w),
+                nodes,
+                latency: LatencyModel::paragon(),
+                costs: Costs {
+                    contention,
+                    ..Costs::default()
+                },
+                seed: 1,
+                rid_u: 0.4,
             };
-            let (t, mu) = if is_rips {
-                let out = rips(
-                    Arc::clone(&w),
-                    Machine::Mesh(mesh.clone()),
-                    lat,
-                    costs,
-                    1,
-                    RipsConfig::default(),
-                );
-                out.run.verify_complete(&w).expect("complete");
-                (out.run.exec_time_s(), out.run.efficiency())
-            } else {
-                let topo: Arc<dyn Topology> = Arc::new(mesh.clone());
-                let out = random(Arc::clone(&w), topo, lat, costs, 1);
-                out.verify_complete(&w).expect("complete");
-                (out.exec_time_s(), out.efficiency())
-            };
+            let out = reg.run(name, &spec).outcome;
+            out.verify_complete(&w).expect("complete");
+            let (t, mu) = (out.exec_time_s(), out.efficiency());
             if !contention {
                 base_t = t;
             }

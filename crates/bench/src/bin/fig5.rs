@@ -5,7 +5,7 @@
 //! panel per application family, as in the paper. `--nodes N` defaults
 //! to 32.
 
-use rips_bench::{arg_usize, run_table, App, SCHEDULERS};
+use rips_bench::{arg_usize, registry, run_table, App};
 use rips_metrics::{optimal_efficiency, quality_factor, Series};
 
 fn main() {
@@ -43,7 +43,7 @@ fn main() {
     for (title, filter) in panels {
         let mut series = Series::new(
             "workload".to_string(),
-            SCHEDULERS.iter().map(|s| s.to_string()).collect(),
+            registry().names().iter().map(|s| s.to_string()).collect(),
         );
         for (i, (app, rows)) in results.iter().enumerate() {
             if !filter(app) {

@@ -10,12 +10,8 @@
 
 use std::sync::Arc;
 
-use rips_balancers::{rid, sid, RidParams, SidParams};
-use rips_bench::{arg_usize, App};
-use rips_desim::LatencyModel;
+use rips_bench::{arg_usize, registry, run_cell, App, Row};
 use rips_metrics::Table;
-use rips_runtime::Costs;
-use rips_topology::{Mesh2D, Topology};
 
 fn main() {
     let nodes = arg_usize("--nodes", 32);
@@ -24,41 +20,27 @@ fn main() {
     let mut table = Table::new(vec![
         "workload", "strategy", "nonlocal", "Th (s)", "Ti (s)", "T (s)", "mu",
     ]);
+    let reg = registry();
     let mut rows: Vec<Option<Vec<Vec<String>>>> = (0..apps.len()).map(|_| None).collect();
     std::thread::scope(|scope| {
+        let reg = &reg;
         for (slot, &app) in rows.iter_mut().zip(&apps) {
             scope.spawn(move || {
                 let w = Arc::new(app.build());
-                let mesh = Mesh2D::near_square(nodes);
-                let topo = || -> Arc<dyn Topology> { Arc::new(mesh.clone()) };
-                let lat = LatencyModel::paragon();
-                let costs = Costs::default();
-                let rid_out = rid(
-                    Arc::clone(&w),
-                    topo(),
-                    lat,
-                    costs,
-                    1,
-                    RidParams {
-                        u: app.rid_u(nodes),
-                        ..RidParams::default()
-                    },
-                );
-                let sid_out = sid(Arc::clone(&w), topo(), lat, costs, 1, SidParams::default());
-                rid_out.verify_complete(&w).expect("RID complete");
-                sid_out.verify_complete(&w).expect("SID complete");
-                let fmt = |name: &str, o: &rips_runtime::RunOutcome| {
+                let rid_row = run_cell(reg, "RID", &w, nodes, app.rid_u(nodes), 1);
+                let sid_row = run_cell(reg, "SID", &w, nodes, app.rid_u(nodes), 1);
+                let fmt = |r: &Row| {
                     vec![
                         app.label(),
-                        name.to_string(),
-                        o.nonlocal.to_string(),
-                        format!("{:.2}", o.overhead_s()),
-                        format!("{:.2}", o.idle_s()),
-                        format!("{:.2}", o.exec_time_s()),
-                        format!("{:.0}%", o.efficiency() * 100.0),
+                        r.scheduler.clone(),
+                        r.outcome.nonlocal.to_string(),
+                        format!("{:.2}", r.outcome.overhead_s()),
+                        format!("{:.2}", r.outcome.idle_s()),
+                        format!("{:.2}", r.outcome.exec_time_s()),
+                        format!("{:.0}%", r.outcome.efficiency() * 100.0),
                     ]
                 };
-                *slot = Some(vec![fmt("RID", &rid_out), fmt("SID", &sid_out)]);
+                *slot = Some(vec![fmt(&rid_row), fmt(&sid_row)]);
             });
         }
     });

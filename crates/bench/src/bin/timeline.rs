@@ -5,41 +5,38 @@
 //! synchronized overhead stripes (system phases) between solid user
 //! phases; random shows per-task overhead smeared everywhere.
 
-use rips_bench::{arg_usize, App};
-use rips_core::{rips, Machine, RipsConfig};
+use rips_bench::{arg_usize, registry, App};
 use rips_desim::LatencyModel;
 use rips_metrics::utilization_chart;
-use rips_runtime::Costs;
-use rips_topology::{Mesh2D, Topology};
+use rips_runtime::{Costs, RunSpec};
 use std::sync::Arc;
 
 fn main() {
     let nodes = arg_usize("--nodes", 16);
     let width = arg_usize("--width", 100);
     let w = Arc::new(App::Queens(13).build());
-    let costs = Costs {
-        record_timeline: true,
-        ..Costs::default()
+    let reg = registry();
+    let spec = RunSpec {
+        workload: Arc::clone(&w),
+        nodes,
+        latency: LatencyModel::paragon(),
+        costs: Costs {
+            record_timeline: true,
+            ..Costs::default()
+        },
+        seed: 1,
+        rid_u: 0.4,
     };
-    let mesh = Mesh2D::near_square(nodes);
 
-    let out = rips(
-        Arc::clone(&w),
-        Machine::Mesh(mesh.clone()),
-        LatencyModel::paragon(),
-        costs,
-        1,
-        RipsConfig::default(),
-    );
-    out.run.verify_complete(&w).expect("complete");
+    let out = reg.run("RIPS", &spec);
+    out.outcome.verify_complete(&w).expect("complete");
     println!(
         "RIPS, 13-Queens on {nodes} nodes ({} system phases):\n",
-        out.run.system_phases
+        out.outcome.system_phases
     );
-    println!("{}", utilization_chart(&out.run.stats, width));
+    println!("{}", utilization_chart(&out.outcome.stats, width));
 
-    let topo: Arc<dyn Topology> = Arc::new(mesh);
-    let rand = rips_balancers::random(Arc::clone(&w), topo, LatencyModel::paragon(), costs, 1);
+    let rand = reg.run("Random", &spec).outcome;
     rand.verify_complete(&w).expect("complete");
     println!("Randomized allocation, same workload:\n");
     println!("{}", utilization_chart(&rand.stats, width));

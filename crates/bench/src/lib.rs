@@ -23,10 +23,10 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use rips_apps::{gromos, nqueens, puzzle, GromosConfig, NQueensConfig, PuzzleConfig};
-use rips_balancers::{gradient, random, rid, GradientParams, RidParams};
-use rips_core::{rips, Machine, PhaseLog, RipsConfig};
+use rips_balancers::{gradient, random, rid, sid, GradientParams, RidParams, SidParams};
+use rips_core::{rips, Machine, RipsConfig};
 use rips_desim::LatencyModel;
-use rips_runtime::{Costs, RunOutcome};
+use rips_runtime::{Costs, PhaseLog, RunOutcome, RunSpec, ScheduledRun, SchedulerRegistry};
 use rips_taskgraph::Workload;
 use rips_topology::{Mesh2D, Topology};
 
@@ -94,7 +94,7 @@ impl App {
 #[derive(Debug, Clone)]
 pub struct Row {
     /// Scheduler name as printed.
-    pub scheduler: &'static str,
+    pub scheduler: String,
     /// Total tasks in the workload.
     pub tasks: u64,
     /// The measured outcome.
@@ -103,67 +103,155 @@ pub struct Row {
     pub phases: Vec<PhaseLog>,
 }
 
-/// The four Table I schedulers, in paper order.
-pub const SCHEDULERS: [&str; 4] = ["Random", "Gradient", "RID", "RIPS"];
+/// Tuning knobs for the canonical registry — one field per registered
+/// scheduler. [`RegistryTuning::default`] reproduces the paper's
+/// settings; ablations override a single field and leave the rest.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RegistryTuning {
+    /// RIPS policy configuration.
+    pub rips: RipsConfig,
+    /// Gradient-model parameters.
+    pub gradient: GradientParams,
+    /// RID parameters. The update factor `u` is still overridden
+    /// per-cell by [`RunSpec::rid_u`] (the paper tunes it per
+    /// app/machine size).
+    pub rid: RidParams,
+    /// SID parameters.
+    pub sid: SidParams,
+}
 
-/// Runs one scheduler on `workload` over a near-square mesh of
-/// `nodes` processors. The workload is shared by reference count — no
-/// per-run deep copy — so one build serves the whole scheduler grid.
-pub fn run_scheduler(
-    scheduler: &'static str,
+/// The canonical scheduler roster with paper-default tuning: the four
+/// Table I schedulers in paper order, plus SID (the `sid_vs_rid`
+/// counterpart). Everything that enumerates schedulers — the grid,
+/// the golden tests, the `rips` CLI — goes through this table.
+pub fn registry() -> SchedulerRegistry {
+    registry_with(RegistryTuning::default())
+}
+
+/// The canonical roster with explicit tuning (ablation support).
+pub fn registry_with(t: RegistryTuning) -> SchedulerRegistry {
+    fn mesh(spec: &RunSpec) -> Arc<dyn Topology> {
+        Arc::new(Mesh2D::near_square(spec.nodes))
+    }
+    let mut reg = SchedulerRegistry::new();
+    reg.register(
+        "Random",
+        Box::new(|s: &RunSpec| ScheduledRun {
+            outcome: random(Arc::clone(&s.workload), mesh(s), s.latency, s.costs, s.seed),
+            phases: Vec::new(),
+        }),
+    );
+    reg.register(
+        "Gradient",
+        Box::new(move |s: &RunSpec| ScheduledRun {
+            outcome: gradient(
+                Arc::clone(&s.workload),
+                mesh(s),
+                s.latency,
+                s.costs,
+                s.seed,
+                t.gradient,
+            ),
+            phases: Vec::new(),
+        }),
+    );
+    reg.register(
+        "RID",
+        Box::new(move |s: &RunSpec| ScheduledRun {
+            outcome: rid(
+                Arc::clone(&s.workload),
+                mesh(s),
+                s.latency,
+                s.costs,
+                s.seed,
+                RidParams {
+                    u: s.rid_u,
+                    ..t.rid
+                },
+            ),
+            phases: Vec::new(),
+        }),
+    );
+    reg.register(
+        "RIPS",
+        Box::new(move |s: &RunSpec| {
+            let out = rips(
+                Arc::clone(&s.workload),
+                Machine::Mesh(Mesh2D::near_square(s.nodes)),
+                s.latency,
+                s.costs,
+                s.seed,
+                t.rips,
+            );
+            ScheduledRun {
+                outcome: out.run,
+                phases: out.phases,
+            }
+        }),
+    );
+    reg.register(
+        "SID",
+        Box::new(move |s: &RunSpec| ScheduledRun {
+            outcome: sid(
+                Arc::clone(&s.workload),
+                mesh(s),
+                s.latency,
+                s.costs,
+                s.seed,
+                t.sid,
+            ),
+            phases: Vec::new(),
+        }),
+    );
+    reg
+}
+
+/// Runs one registry cell under the paper's machine model (Paragon
+/// latency, default costs) and verifies work conservation.
+///
+/// # Panics
+/// If `scheduler` is not registered, or the run lost or duplicated
+/// tasks.
+pub fn run_cell(
+    reg: &SchedulerRegistry,
+    scheduler: &str,
     workload: &Arc<Workload>,
     nodes: usize,
     rid_u: f64,
     seed: u64,
 ) -> Row {
-    let mesh = Mesh2D::near_square(nodes);
-    let topo: Arc<dyn Topology> = Arc::new(mesh.clone());
-    let w = Arc::clone(workload);
-    let costs = Costs::default();
-    let lat = LatencyModel::paragon();
-    let tasks = workload.stats().tasks as u64;
-    let (outcome, phases) = match scheduler {
-        "Random" => (random(w, topo, lat, costs, seed), Vec::new()),
-        "Gradient" => (
-            gradient(w, topo, lat, costs, seed, GradientParams::default()),
-            Vec::new(),
-        ),
-        "RID" => (
-            rid(
-                w,
-                topo,
-                lat,
-                costs,
-                seed,
-                RidParams {
-                    u: rid_u,
-                    ..RidParams::default()
-                },
-            ),
-            Vec::new(),
-        ),
-        "RIPS" => {
-            let out = rips(
-                w,
-                Machine::Mesh(mesh),
-                lat,
-                costs,
-                seed,
-                RipsConfig::default(),
-            );
-            (out.run, out.phases)
-        }
-        other => panic!("unknown scheduler {other}"),
+    let spec = RunSpec {
+        workload: Arc::clone(workload),
+        nodes,
+        latency: LatencyModel::paragon(),
+        costs: Costs::default(),
+        seed,
+        rid_u,
     };
-    outcome
+    let run = reg.run(scheduler, &spec);
+    run.outcome
         .verify_complete(workload)
         .unwrap_or_else(|e| panic!("{scheduler} on {}: {e}", workload.name));
     Row {
-        scheduler,
-        tasks,
-        outcome,
-        phases,
+        scheduler: scheduler.to_string(),
+        tasks: workload.stats().tasks as u64,
+        outcome: run.outcome,
+        phases: run.phases,
     }
+}
+
+/// Runs one scheduler from the default registry on `workload` over a
+/// near-square mesh of `nodes` processors. The workload is shared by
+/// reference count — no per-run deep copy — so one build serves the
+/// whole scheduler grid.
+pub fn run_scheduler(
+    scheduler: &str,
+    workload: &Arc<Workload>,
+    nodes: usize,
+    rid_u: f64,
+    seed: u64,
+) -> Row {
+    run_cell(&registry(), scheduler, workload, nodes, rid_u, seed)
 }
 
 /// Runs the full Table I grid — every workload × every scheduler — on
@@ -174,6 +262,9 @@ pub fn run_scheduler(
 /// single-threaded and seed-deterministic, so the row contents are
 /// independent of worker scheduling.
 pub fn run_table(apps: &[App], nodes: usize, seed: u64) -> Vec<(App, Vec<Row>)> {
+    let reg = registry();
+    let schedulers = reg.names();
+
     // Phase 1: build every workload once, in parallel.
     let mut built: Vec<Option<Arc<Workload>>> = (0..apps.len()).map(|_| None).collect();
     std::thread::scope(|scope| {
@@ -183,9 +274,10 @@ pub fn run_table(apps: &[App], nodes: usize, seed: u64) -> Vec<(App, Vec<Row>)> 
     });
     let workloads: Vec<Arc<Workload>> = built.into_iter().map(|w| w.expect("built")).collect();
 
-    // Phase 2: run the full grid through a bounded pool.
+    // Phase 2: run the full grid through a bounded pool. The registry
+    // is shared by reference — constructors are `Send + Sync`.
     let jobs: Vec<(usize, usize)> = (0..apps.len())
-        .flat_map(|a| (0..SCHEDULERS.len()).map(move |s| (a, s)))
+        .flat_map(|a| (0..schedulers.len()).map(move |s| (a, s)))
         .collect();
     let workers = std::thread::available_parallelism()
         .map(|p| p.get())
@@ -194,12 +286,14 @@ pub fn run_table(apps: &[App], nodes: usize, seed: u64) -> Vec<(App, Vec<Row>)> 
         .max(1);
     let next = AtomicUsize::new(0);
     let mut slots: Vec<Vec<Option<Row>>> = (0..apps.len())
-        .map(|_| (0..SCHEDULERS.len()).map(|_| None).collect())
+        .map(|_| (0..schedulers.len()).map(|_| None).collect())
         .collect();
     std::thread::scope(|scope| {
         let next = &next;
         let jobs = &jobs;
         let workloads = &workloads;
+        let reg = &reg;
+        let schedulers = &schedulers;
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(move || {
@@ -207,8 +301,9 @@ pub fn run_table(apps: &[App], nodes: usize, seed: u64) -> Vec<(App, Vec<Row>)> 
                     loop {
                         let j = next.fetch_add(1, Ordering::Relaxed);
                         let Some(&(a, s)) = jobs.get(j) else { break };
-                        let row = run_scheduler(
-                            SCHEDULERS[s],
+                        let row = run_cell(
+                            reg,
+                            schedulers[s],
                             &workloads[a],
                             nodes,
                             apps[a].rid_u(nodes),
@@ -237,27 +332,14 @@ pub fn run_table(apps: &[App], nodes: usize, seed: u64) -> Vec<(App, Vec<Row>)> 
         .collect()
 }
 
-/// Runs RIPS with an explicit configuration (ablation support).
+/// Runs RIPS with an explicit configuration (ablation support), via a
+/// registry tuned to that configuration.
 pub fn run_rips_with(workload: &Arc<Workload>, nodes: usize, cfg: RipsConfig, seed: u64) -> Row {
-    let mesh = Mesh2D::near_square(nodes);
-    let w = Arc::clone(workload);
-    let out = rips(
-        w,
-        Machine::Mesh(mesh),
-        LatencyModel::paragon(),
-        Costs::default(),
-        seed,
-        cfg,
-    );
-    out.run
-        .verify_complete(workload)
-        .unwrap_or_else(|e| panic!("RIPS {cfg:?}: {e}"));
-    Row {
-        scheduler: "RIPS",
-        tasks: workload.stats().tasks as u64,
-        outcome: out.run,
-        phases: out.phases,
-    }
+    let reg = registry_with(RegistryTuning {
+        rips: cfg,
+        ..RegistryTuning::default()
+    });
+    run_cell(&reg, "RIPS", workload, nodes, 0.4, seed)
 }
 
 /// `--nodes N` style flag parsing for the report binaries.
@@ -304,16 +386,21 @@ mod tests {
 
     #[test]
     fn small_grid_runs_end_to_end() {
-        // A miniature Table I cell: tiny queens instance, all four
-        // schedulers, 8 nodes.
+        // A miniature Table I cell: tiny queens instance, every
+        // registered scheduler, 8 nodes.
         let w = Arc::new(nqueens(NQueensConfig {
             n: 9,
             split_depth: 3,
             root_depth: 2,
             ns_per_node: 1800,
         }));
-        for s in SCHEDULERS {
-            let row = run_scheduler(s, &w, 8, 0.4, 1);
+        let reg = registry();
+        assert_eq!(
+            reg.names(),
+            vec!["Random", "Gradient", "RID", "RIPS", "SID"]
+        );
+        for s in reg.names() {
+            let row = run_cell(&reg, s, &w, 8, 0.4, 1);
             assert_eq!(row.outcome.total_executed(), w.stats().tasks as u64);
         }
     }

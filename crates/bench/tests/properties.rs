@@ -1,0 +1,89 @@
+//! Registry-generic property tests: every scheduler in the canonical
+//! registry executes every task of an arbitrary dynamic workload
+//! exactly once, deterministically, on arbitrary machine sizes.
+//!
+//! These used to be per-balancer copies in `rips-balancers`; running
+//! them off the registry means a newly registered scheduler is
+//! property-tested with zero new test code.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use rips_bench::registry;
+use rips_desim::LatencyModel;
+use rips_runtime::{Costs, RunSpec};
+use rips_taskgraph::{TaskForest, Workload};
+
+fn arb_workload() -> impl Strategy<Value = Workload> {
+    let forest = (
+        proptest::collection::vec(1u64..3_000, 1..20),
+        proptest::collection::vec((0usize..20, 1u64..2_000), 0..15),
+    )
+        .prop_map(|(roots, children)| {
+            let mut f = TaskForest::new();
+            let ids: Vec<_> = roots.into_iter().map(|g| f.add_root(g)).collect();
+            let mut all = ids.clone();
+            for (parent_pick, grain) in children {
+                let parent = all[parent_pick % all.len()];
+                all.push(f.add_child(parent, grain));
+            }
+            f
+        });
+    proptest::collection::vec(forest, 1..=2).prop_map(|rounds| Workload {
+        name: "arb".into(),
+        rounds,
+    })
+}
+
+fn spec(w: &Arc<Workload>, nodes: usize, seed: u64) -> RunSpec {
+    RunSpec {
+        workload: Arc::clone(w),
+        nodes,
+        latency: LatencyModel::paragon(),
+        costs: Costs::default(),
+        seed,
+        rid_u: 0.4,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Exactly-once execution, with `verify_complete` distinguishing
+    /// the two failure modes (lost tasks vs double execution).
+    #[test]
+    fn every_scheduler_executes_each_task_exactly_once(
+        w in arb_workload(),
+        nodes in 1usize..=12,
+        seed in 0u64..50,
+    ) {
+        let w = Arc::new(w);
+        let reg = registry();
+        for name in reg.names() {
+            let run = reg.run(name, &spec(&w, nodes, seed));
+            let verdict = run.outcome.verify_complete(&w);
+            prop_assert!(
+                verdict.is_ok(),
+                "{name} on {nodes} nodes, seed {seed}: {}",
+                verdict.unwrap_err()
+            );
+        }
+    }
+
+    /// Work conservation: total user time equals the workload's work —
+    /// schedulers move tasks, they never shrink or inflate them.
+    #[test]
+    fn user_time_equals_total_work(w in arb_workload(), seed in 0u64..50) {
+        let w = Arc::new(w);
+        let want = w.stats().total_work_us;
+        let reg = registry();
+        for name in reg.names() {
+            let run = reg.run(name, &spec(&w, 6, seed));
+            prop_assert!(
+                run.outcome.stats.total_user_us() == want,
+                "{name}: user time {} != total work {want}",
+                run.outcome.stats.total_user_us()
+            );
+        }
+    }
+}

@@ -29,6 +29,5 @@
 
 mod program;
 
-pub use program::{
-    rips, GlobalPolicy, LoadMetric, LocalPolicy, Machine, PhaseLog, RipsConfig, RipsOutcome,
-};
+pub use program::{rips, GlobalPolicy, LoadMetric, LocalPolicy, Machine, RipsConfig, RipsOutcome};
+pub use rips_runtime::PhaseLog;

@@ -1,4 +1,14 @@
-//! The per-node RIPS program and its driver.
+//! RIPS as a [`BalancerPolicy`] over the shared policy kernel.
+//!
+//! The kernel's [`NodeDriver`](rips_runtime::NodeDriver) owns task
+//! execution, migration accounting, and round pacing; this module
+//! contributes only what makes RIPS *RIPS*: the alternating user/system
+//! phases, the transfer-condition policies (ANY / ALL / Periodic), the
+//! parallel scheduling algorithms of the system phase, and the
+//! plan-driven migrations. The kernel's `exec_enabled` gate is slaved
+//! to the RIPS mode — execution is frozen the moment a node leaves its
+//! user phase, exactly the "every processor finishes the current task
+//! execution and enters the system phase" of the paper.
 
 use std::cell::RefCell;
 use std::collections::{HashMap, VecDeque};
@@ -6,8 +16,11 @@ use std::rc::Rc;
 use std::sync::Arc;
 
 use rips_collectives::{dem_steps, mwa_steps, twa_steps};
-use rips_desim::{Ctx, Engine, LatencyModel, Program, Time, WorkKind};
-use rips_runtime::{Costs, NodeExec, Oracle, RunOutcome, TaskInstance};
+use rips_desim::{Ctx, LatencyModel, Time, WorkKind};
+use rips_runtime::{
+    exec_step, run_policy, BalancerPolicy, Costs, Kernel, KernelMsg, PhaseLog, RunOutcome,
+    TaskInstance, TAG_POLICY_BASE,
+};
 use rips_sched::TransferPlan;
 use rips_taskgraph::Workload;
 use rips_topology::{BinaryTree, Hypercube, Mesh2D, NodeId, Topology};
@@ -164,22 +177,6 @@ impl Machine {
     }
 }
 
-/// One system phase, as recorded for the paper's §5 overhead anecdote
-/// (8 phases for 15-Queens, ~125 nonlocal tasks per phase, …).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct PhaseLog {
-    /// Phase index (1-based; phase 1 schedules the initial tasks).
-    pub phase: u32,
-    /// Round during which the phase ran.
-    pub round: u32,
-    /// Total tasks in all queues when the phase ran.
-    pub total_tasks: i64,
-    /// Tasks that ended on a different node than they started.
-    pub migrated: i64,
-    /// Σ eₖ of the transfer plan.
-    pub edge_cost: i64,
-}
-
 /// RIPS run result: the common outcome plus the per-phase log.
 #[derive(Debug, Clone)]
 pub struct RipsOutcome {
@@ -190,27 +187,25 @@ pub struct RipsOutcome {
     pub phases: Vec<PhaseLog>,
 }
 
+/// RIPS control messages — everything that is not task migration or
+/// round pacing (the kernel owns those).
 #[derive(Debug, Clone, PartialEq, Eq)]
-enum RipsMsg {
+enum RipsCtl {
     /// Enter system phase `p`.
     Init(u32),
     /// ALL policy: this subtree is ready for phase `p`.
     Ready(u32),
     /// Phase `p`'s plan is computed; migrate and resume.
     PlanReady(u32),
-    /// Migrated tasks of phase `p`.
-    Tasks(u32, Vec<TaskInstance>),
-    /// Round `r` begins; enter system phase `p` right after seeding.
-    RoundStart(u32, u32),
 }
 
-const TAG_EXEC: u64 = 0;
-const TAG_PLAN: u64 = 2;
-const TAG_ROUNDSTART: u64 = 3;
-const TAG_POLL: u64 = 4;
-const TAG_RECHECK: u64 = 5;
+const TAG_PLAN: u64 = TAG_POLICY_BASE;
+const TAG_POLL: u64 = TAG_POLICY_BASE + 2;
+const TAG_RECHECK: u64 = TAG_POLICY_BASE + 3;
 
-/// Per-phase rendezvous state shared by one engine's programs.
+type Ct<'a> = Ctx<'a, KernelMsg<RipsCtl>>;
+
+/// Per-phase rendezvous state shared by one engine's policies.
 #[derive(Default)]
 struct Shared {
     /// Periodic policy: some node's local condition is set and waiting
@@ -249,27 +244,16 @@ enum Mode {
     Entered,
 }
 
-struct RipsProg {
-    me: NodeId,
+/// The RIPS transfer policy: one instance per node, plugged into the
+/// kernel's [`NodeDriver`](rips_runtime::NodeDriver).
+struct RipsPolicy {
     cfg: RipsConfig,
-    oracle: Oracle,
     machine: Rc<Machine>,
     shared: Rc<RefCell<Shared>>,
-    exec: NodeExec,
     /// Eager policy's ready-to-schedule queue (unused under Lazy).
     rts: VecDeque<TaskInstance>,
-    exec_scheduled: bool,
     mode: Mode,
     phase_index: u32,
-    /// Cumulative count of migration *messages* ever expected (one per
-    /// planned source→destination pair, whatever the load metric). Kept
-    /// cumulative (never reset) together with `received_in` so that a
-    /// migration arriving *before* this node has processed the
-    /// corresponding plan — possible, because a broadcast serialises
-    /// per-recipient send costs and can be overtaken — is never lost.
-    expected_in: i64,
-    /// Cumulative count of migration messages received.
-    received_in: i64,
     /// An init that arrived while this node was still inside the
     /// previous system phase (possible when init signalling is faster
     /// than the plan broadcast, e.g. under eureka); processed right
@@ -287,16 +271,19 @@ struct RipsProg {
     children_ready: HashMap<u32, u32>,
 }
 
-impl RipsProg {
-    fn costs(&self) -> Costs {
-        self.oracle.costs
+impl RipsPolicy {
+    /// Switches mode, keeping the kernel's exec gate in lock-step:
+    /// tasks execute only during the user phase.
+    fn set_mode(&mut self, k: &mut Kernel, mode: Mode) {
+        self.mode = mode;
+        k.exec_enabled = mode == Mode::User;
     }
 
     /// This node's load under the configured metric.
-    fn load(&self) -> i64 {
+    fn load(&self, k: &Kernel) -> i64 {
         match self.cfg.metric {
-            LoadMetric::TaskCount => (self.exec.queue.len() + self.rts.len()) as i64,
-            LoadMetric::EstimatedWeight => self
+            LoadMetric::TaskCount => (k.exec.queue.len() + self.rts.len()) as i64,
+            LoadMetric::EstimatedWeight => k
                 .exec
                 .queue
                 .iter()
@@ -306,25 +293,16 @@ impl RipsProg {
         }
     }
 
-    fn kick(&mut self, ctx: &mut Ctx<'_, RipsMsg>) {
-        if !self.exec_scheduled && !self.exec.queue.is_empty() && self.mode == Mode::User {
-            ctx.set_timer(0, TAG_EXEC);
-            self.exec_scheduled = true;
-        }
-    }
-
     /// Local transfer condition (paper §2): the RTE queue is empty —
     /// and no migration from the previous system phase is still owed.
-    fn local_condition(&self) -> bool {
-        self.mode == Mode::User
-            && self.exec.queue.is_empty()
-            && self.received_in == self.expected_in
+    fn local_condition(&self, k: &Kernel) -> bool {
+        self.mode == Mode::User && k.exec.queue.is_empty() && k.received_in == k.expected_in
     }
 
     /// Acts on a satisfied local condition according to the global
     /// policy.
-    fn check_transfer(&mut self, ctx: &mut Ctx<'_, RipsMsg>) {
-        if !self.local_condition() {
+    fn check_transfer(&mut self, k: &mut Kernel, ctx: &mut Ct<'_>) {
+        if !self.local_condition(k) {
             return;
         }
         let next = self.phase_index + 1;
@@ -343,15 +321,18 @@ impl RipsProg {
                 // Become the initiator: broadcast init and enter.
                 self.phase_index = next;
                 if self.cfg.eureka {
-                    ctx.signal_all(RipsMsg::Init(next));
+                    ctx.signal_all(KernelMsg::Policy(RipsCtl::Init(next)));
                 } else {
-                    ctx.send_all(RipsMsg::Init(next), self.costs().ctl_bytes);
+                    ctx.send_all(
+                        KernelMsg::Policy(RipsCtl::Init(next)),
+                        k.oracle.costs.ctl_bytes,
+                    );
                 }
-                self.enter_system(ctx, next);
+                self.enter_system(k, ctx, next);
             }
             GlobalPolicy::All => {
                 self.local_ready_for = Some(next);
-                self.try_send_ready(ctx, next);
+                self.try_send_ready(k, ctx, next);
             }
             GlobalPolicy::Periodic(_) => {
                 // Flag it; node 0's next poll turns it into an init.
@@ -362,65 +343,72 @@ impl RipsProg {
 
     /// ALL policy: forward the ready signal once this node and all its
     /// logical-tree children are ready; the root initiates instead.
-    fn try_send_ready(&mut self, ctx: &mut Ctx<'_, RipsMsg>, phase: u32) {
+    fn try_send_ready(&mut self, k: &mut Kernel, ctx: &mut Ct<'_>, phase: u32) {
         if self.local_ready_for != Some(phase) || self.ready_sent_for == Some(phase) {
             return;
         }
-        let kids = self.tree.children(self.me).len() as u32;
+        let kids = self.tree.children(k.me).len() as u32;
         if self.children_ready.get(&phase).copied().unwrap_or(0) < kids {
             return;
         }
         self.ready_sent_for = Some(phase);
-        match self.tree.parent(self.me) {
-            Some(parent) => ctx.send(parent, RipsMsg::Ready(phase), self.costs().ctl_bytes),
+        match self.tree.parent(k.me) {
+            Some(parent) => ctx.send(
+                parent,
+                KernelMsg::Policy(RipsCtl::Ready(phase)),
+                k.oracle.costs.ctl_bytes,
+            ),
             None => {
                 // Root: the global ALL condition holds; initiate.
                 self.phase_index = phase;
-                ctx.send_all(RipsMsg::Init(phase), self.costs().ctl_bytes);
-                self.enter_system(ctx, phase);
+                ctx.send_all(
+                    KernelMsg::Policy(RipsCtl::Init(phase)),
+                    k.oracle.costs.ctl_bytes,
+                );
+                self.enter_system(k, ctx, phase);
             }
         }
     }
 
     /// Reports the load for phase `p`; the last reporter computes the
     /// plan (or detects round termination).
-    fn enter_system(&mut self, ctx: &mut Ctx<'_, RipsMsg>, p: u32) {
+    fn enter_system(&mut self, k: &mut Kernel, ctx: &mut Ct<'_>, p: u32) {
         if std::env::var_os("RIPS_DEBUG").is_some() {
             eprintln!(
                 "[t={}] node {} enter phase {} mode {:?} load {}",
                 ctx.now(),
-                self.me,
+                k.me,
                 p,
                 self.mode,
-                self.load()
+                self.load(k)
             );
         }
         debug_assert_eq!(self.phase_index, p);
-        if self.received_in != self.expected_in {
+        if k.received_in != k.expected_in {
             // Owed migrations: defer until they arrive.
             if std::env::var_os("RIPS_DEBUG").is_some() {
                 eprintln!(
                     "[t={}] node {} DEFER phase {p}: received {}/{}",
                     ctx.now(),
-                    self.me,
-                    self.received_in,
-                    self.expected_in
+                    k.me,
+                    k.received_in,
+                    k.expected_in
                 );
             }
-            self.mode = Mode::WaitingEntry(p);
+            self.set_mode(k, Mode::WaitingEntry(p));
             return;
         }
-        self.mode = Mode::Entered;
+        self.set_mode(k, Mode::Entered);
         self.children_ready.remove(&p);
-        let n = self.oracle.num_nodes();
-        let load = self.load();
+        let n = k.oracle.num_nodes();
+        let load = self.load(k);
         let mut shared = self.shared.borrow_mut();
         let entry = shared.entries.entry(p).or_insert_with(|| Entry {
             reported: vec![None; n],
             entered: 0,
         });
-        debug_assert!(entry.reported[self.me].is_none(), "double entry");
-        entry.reported[self.me] = Some(load);
+        debug_assert!(entry.reported[k.me].is_none(), "double entry");
+        entry.reported[k.me] = Some(load);
         entry.entered += 1;
         if entry.entered < n {
             return;
@@ -436,7 +424,7 @@ impl RipsProg {
             eprintln!(
                 "[t={}] node {} COMPUTES phase {p} total={total}",
                 ctx.now(),
-                self.me
+                k.me
             );
         }
         shared.phases += 1;
@@ -447,7 +435,7 @@ impl RipsProg {
         if total == 0 {
             // No work anywhere: the round (and possibly the job) ended.
             drop(shared);
-            ctx.set_timer(self.oracle.round_barrier_delay(), TAG_ROUNDSTART);
+            k.announce_round(ctx);
             return;
         }
         let (plan, measured_steps) = self.machine.plan(&loads, self.cfg.distributed_planning);
@@ -462,7 +450,7 @@ impl RipsProg {
         }
         shared.logs.push(PhaseLog {
             phase: p,
-            round: self.oracle.round(),
+            round: k.oracle.round(),
             total_tasks: total,
             migrated,
             edge_cost: plan.edge_cost(),
@@ -478,18 +466,18 @@ impl RipsProg {
         // The algorithm's synchronous steps take wall-clock time before
         // anyone can act on the plan.
         let steps = measured_steps.unwrap_or_else(|| self.machine.steps());
-        let delay = steps as Time * self.costs().comm_step_us;
+        let delay = steps as Time * k.oracle.costs.comm_step_us;
         ctx.set_timer(delay, TAG_PLAN);
     }
 
     /// Executes this node's part of phase `p`'s plan and returns to the
     /// user phase.
-    fn apply_plan(&mut self, ctx: &mut Ctx<'_, RipsMsg>, p: u32) {
+    fn apply_plan(&mut self, k: &mut Kernel, ctx: &mut Ct<'_>, p: u32) {
         if std::env::var_os("RIPS_DEBUG").is_some() {
             eprintln!(
                 "[t={}] node {} APPLY plan {p} mode {:?}",
                 ctx.now(),
-                self.me,
+                k.me,
                 self.mode
             );
         }
@@ -504,19 +492,19 @@ impl RipsProg {
         // into the RTE queue ("the system phase schedules tasks in all
         // RTS queues and distributes them evenly to the RTE queues").
         let rts = std::mem::take(&mut self.rts);
-        self.exec.queue.extend(rts);
+        k.exec.queue.extend(rts);
         let shared = self.shared.borrow();
         let plan = shared.plans.get(&p).expect("plan must exist");
-        let outgoing = plan.outgoing[self.me].clone();
-        let expected = plan.expected_in[self.me];
+        let outgoing = plan.outgoing[k.me].clone();
+        let expected = plan.expected_in[k.me];
         drop(shared);
         for (dst, amount) in outgoing {
             if std::env::var_os("RIPS_DEBUG").is_some() {
                 eprintln!(
                     "[t={}] node {} SEND {amount} -> {dst} (phase {p}, have {})",
                     ctx.now(),
-                    self.me,
-                    self.exec.queue.len()
+                    k.me,
+                    k.exec.queue.len()
                 );
             }
             let mut batch = Vec::new();
@@ -524,7 +512,7 @@ impl RipsProg {
                 LoadMetric::TaskCount => {
                     for _ in 0..amount {
                         batch.push(
-                            self.exec
+                            k.exec
                                 .queue
                                 .pop_back()
                                 .expect("plan cannot overdraw a reported queue"),
@@ -539,12 +527,12 @@ impl RipsProg {
                     // asks for that much work. Whatever error remains
                     // is corrected by the next incremental phase.
                     let mut remaining = amount;
-                    let mut idx = self.exec.queue.len();
+                    let mut idx = k.exec.queue.len();
                     while idx > 0 && remaining > 0 {
                         idx -= 1;
-                        let g = self.exec.queue[idx].grain_us as i64;
+                        let g = k.exec.queue[idx].grain_us as i64;
                         if g <= 2 * remaining {
-                            let task = self.exec.queue.remove(idx).expect("idx in range");
+                            let task = k.exec.queue.remove(idx).expect("idx in range");
                             batch.push(task);
                             remaining -= g;
                         }
@@ -552,14 +540,13 @@ impl RipsProg {
                 }
             }
             ctx.compute(
-                self.costs().spawn_us * batch.len() as Time,
+                k.oracle.costs.spawn_us * batch.len() as Time,
                 WorkKind::Overhead,
             );
-            let bytes = self.costs().task_bytes * batch.len();
-            ctx.send(dst, RipsMsg::Tasks(p, batch), bytes);
+            k.send_tasks(ctx, dst, batch, 0);
         }
-        self.expected_in += expected;
-        self.mode = Mode::User;
+        k.expected_in += expected;
+        self.set_mode(k, Mode::User);
         self.user_phase_since = ctx.now();
         // Commit to the first task of the new user phase *within this
         // handler*: returning to the event loop first would let an
@@ -568,12 +555,12 @@ impl RipsProg {
         // one task inline guarantees every phase advances the
         // computation — the paper's "every processor finishes the
         // current task execution".
-        self.exec_next(ctx);
-        self.check_transfer(ctx);
+        exec_step(self, k, ctx);
+        self.check_transfer(k, ctx);
         if let Some(next) = self.pending_init.take() {
             if next > self.phase_index {
                 self.phase_index = next;
-                self.enter_system(ctx, next);
+                self.enter_system(k, ctx, next);
             }
         }
     }
@@ -581,69 +568,32 @@ impl RipsProg {
     /// Seeds a round's block of roots and synchronously enters the
     /// round-opening system phase ("a RIPS system starts with a system
     /// phase which schedules initial tasks").
-    fn start_round(&mut self, ctx: &mut Ctx<'_, RipsMsg>, round: u32, phase: u32) {
-        let seeds = self.oracle.seed_for(self.me, round);
-        ctx.compute(
-            self.costs().spawn_us * seeds.len() as Time,
-            WorkKind::Overhead,
-        );
-        self.exec.queue.extend(seeds);
-        self.mode = Mode::User;
+    fn start_round(&mut self, k: &mut Kernel, ctx: &mut Ct<'_>, round: u32, phase: u32) {
+        let seeds = k.take_seeds(ctx, round);
+        k.exec.queue.extend(seeds);
+        self.set_mode(k, Mode::User);
         self.phase_index = phase;
-        self.enter_system(ctx, phase);
-    }
-
-    /// Executes the next queued task (if any): dispatch overhead +
-    /// grain, spawn children per the local policy, then re-arm the loop
-    /// and re-check the transfer condition.
-    fn exec_next(&mut self, ctx: &mut Ctx<'_, RipsMsg>) {
-        debug_assert_eq!(self.mode, Mode::User);
-        let Some(inst) = self.exec.queue.pop_front() else {
-            return;
-        };
-        ctx.compute(self.costs().dispatch_us, WorkKind::Overhead);
-        ctx.compute(inst.grain_us, WorkKind::User);
-        self.exec.record(&inst, self.me);
-        let children = self.oracle.children_of(&inst, self.me);
-        self.spawn_children(ctx, children);
-        // Round-completion accounting: under RIPS the empty system
-        // phase detects termination, so the "last task" signal is
-        // unused — but the counter must still drop.
-        let _ = self.oracle.task_done();
-        self.kick(ctx);
-        self.check_transfer(ctx);
-    }
-
-    /// Places freshly generated children according to the local policy.
-    fn spawn_children(&mut self, ctx: &mut Ctx<'_, RipsMsg>, children: Vec<TaskInstance>) {
-        ctx.compute(
-            self.costs().spawn_us * children.len() as Time,
-            WorkKind::Overhead,
-        );
-        match self.cfg.local {
-            LocalPolicy::Lazy => self.exec.queue.extend(children),
-            LocalPolicy::Eager => self.rts.extend(children),
-        }
+        self.enter_system(k, ctx, phase);
     }
 }
 
-impl Program for RipsProg {
-    type Msg = RipsMsg;
+impl BalancerPolicy for RipsPolicy {
+    type Msg = RipsCtl;
 
-    fn on_start(&mut self, ctx: &mut Ctx<'_, RipsMsg>) {
+    fn on_start(&mut self, k: &mut Kernel, ctx: &mut Ct<'_>) {
         if let GlobalPolicy::Periodic(interval) = self.cfg.global {
             // Only node 0 polls; everyone else just flags its local
             // condition in the shared reduction state.
-            if self.me == 0 {
+            if k.me == 0 {
                 ctx.set_timer(interval, TAG_POLL);
             }
         }
-        self.start_round(ctx, 0, 1);
+        self.start_round(k, ctx, 0, 1);
     }
 
-    fn on_message(&mut self, ctx: &mut Ctx<'_, RipsMsg>, from: NodeId, msg: RipsMsg) {
+    fn on_msg(&mut self, k: &mut Kernel, ctx: &mut Ct<'_>, from: NodeId, msg: RipsCtl) {
         match msg {
-            RipsMsg::Init(p) => {
+            RipsCtl::Init(p) => {
                 if p <= self.phase_index {
                     return; // redundant initiator, dropped by phase index
                 }
@@ -655,94 +605,117 @@ impl Program for RipsProg {
                     return;
                 }
                 self.phase_index = p;
-                self.enter_system(ctx, p);
+                self.enter_system(k, ctx, p);
             }
-            RipsMsg::Ready(p) => {
+            RipsCtl::Ready(p) => {
                 debug_assert_eq!(self.cfg.global, GlobalPolicy::All);
-                debug_assert!(self.tree.children(self.me).contains(&from));
+                debug_assert!(self.tree.children(k.me).contains(&from));
                 *self.children_ready.entry(p).or_insert(0) += 1;
-                self.try_send_ready(ctx, p);
+                self.try_send_ready(k, ctx, p);
             }
-            RipsMsg::PlanReady(p) => self.apply_plan(ctx, p),
-            RipsMsg::Tasks(_p, tasks) => {
-                if std::env::var_os("RIPS_DEBUG").is_some() {
-                    eprintln!(
-                        "[t={}] node {} RECV {} tasks (phase {_p}) mode {:?} recv {}/{}",
-                        ctx.now(),
-                        self.me,
-                        tasks.len(),
-                        self.mode,
-                        self.received_in,
-                        self.expected_in
-                    );
-                }
-                self.received_in += 1;
-                ctx.compute(
-                    self.costs().spawn_us * tasks.len() as Time,
-                    WorkKind::Overhead,
-                );
-                self.exec.queue.extend(tasks);
-                if self.received_in == self.expected_in {
-                    if let Mode::WaitingEntry(p) = self.mode {
-                        self.mode = Mode::User;
-                        self.enter_system(ctx, p);
-                        return;
-                    }
-                }
-                self.kick(ctx);
-            }
-            RipsMsg::RoundStart(round, phase) => self.start_round(ctx, round, phase),
+            RipsCtl::PlanReady(p) => self.apply_plan(k, ctx, p),
         }
     }
 
-    fn on_timer(&mut self, ctx: &mut Ctx<'_, RipsMsg>, tag: u64) {
+    fn on_tasks_accepted(&mut self, k: &mut Kernel, ctx: &mut Ct<'_>, _from: NodeId, _load: i64) {
+        if std::env::var_os("RIPS_DEBUG").is_some() {
+            eprintln!(
+                "[t={}] node {} RECV tasks mode {:?} recv {}/{}",
+                ctx.now(),
+                k.me,
+                self.mode,
+                k.received_in,
+                k.expected_in
+            );
+        }
+        // The kernel has enqueued the batch and re-armed the exec loop
+        // (a no-op outside the user phase, because `exec_enabled`
+        // mirrors the mode). What's left is RIPS's deferral bookkeeping:
+        // a node that owed migrations when told to enter a system phase
+        // enters now, once the last owed message lands.
+        if k.received_in == k.expected_in {
+            if let Mode::WaitingEntry(p) = self.mode {
+                self.set_mode(k, Mode::User);
+                self.enter_system(k, ctx, p);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, k: &mut Kernel, ctx: &mut Ct<'_>, tag: u64) {
         match tag {
             TAG_RECHECK => {
                 self.recheck_armed = false;
-                self.check_transfer(ctx);
+                self.check_transfer(k, ctx);
             }
             TAG_POLL => {
                 let GlobalPolicy::Periodic(interval) = self.cfg.global else {
                     unreachable!("poll timer without periodic policy");
                 };
                 // Every node pays for its share of the reduction.
-                ctx.compute(self.costs().comm_step_us / 4, WorkKind::Overhead);
+                ctx.compute(k.oracle.costs.comm_step_us / 4, WorkKind::Overhead);
                 // Keep exactly one poll chain alive; it dies with the
                 // machine when the final phase halts the engine.
                 ctx.set_timer(interval, TAG_POLL);
                 let fire = self.shared.borrow().want_phase && self.mode == Mode::User;
-                if fire && self.received_in == self.expected_in {
+                if fire && k.received_in == k.expected_in {
                     self.shared.borrow_mut().want_phase = false;
                     let next = self.phase_index + 1;
                     self.phase_index = next;
-                    ctx.send_all(RipsMsg::Init(next), self.costs().ctl_bytes);
-                    self.enter_system(ctx, next);
+                    ctx.send_all(
+                        KernelMsg::Policy(RipsCtl::Init(next)),
+                        k.oracle.costs.ctl_bytes,
+                    );
+                    self.enter_system(k, ctx, next);
                 }
-            }
-            TAG_EXEC => {
-                self.exec_scheduled = false;
-                if self.mode != Mode::User {
-                    return; // an init arrived while this fire was queued
-                }
-                self.exec_next(ctx);
             }
             TAG_PLAN => {
                 // Only the plan-computing node runs this: distribute
                 // and apply.
                 let p = self.phase_index;
-                ctx.send_all(RipsMsg::PlanReady(p), self.costs().ctl_bytes);
-                self.apply_plan(ctx, p);
+                ctx.send_all(
+                    KernelMsg::Policy(RipsCtl::PlanReady(p)),
+                    k.oracle.costs.ctl_bytes,
+                );
+                self.apply_plan(k, ctx, p);
             }
-            TAG_ROUNDSTART => match self.oracle.advance_round() {
-                Some(round) => {
-                    let phase = self.phase_index + 1;
-                    ctx.send_all(RipsMsg::RoundStart(round, phase), self.costs().ctl_bytes);
-                    self.start_round(ctx, round, phase);
-                }
-                None => ctx.halt(),
-            },
             _ => unreachable!("unknown timer {tag}"),
         }
+    }
+
+    /// Places freshly generated children according to the local policy.
+    fn place_children(&mut self, k: &mut Kernel, ctx: &mut Ct<'_>, children: Vec<TaskInstance>) {
+        ctx.compute(
+            k.oracle.costs.spawn_us * children.len() as Time,
+            WorkKind::Overhead,
+        );
+        match self.cfg.local {
+            LocalPolicy::Lazy => k.exec.queue.extend(children),
+            LocalPolicy::Eager => self.rts.extend(children),
+        }
+    }
+
+    fn after_task(&mut self, k: &mut Kernel, ctx: &mut Ct<'_>) {
+        self.check_transfer(k, ctx);
+    }
+
+    /// Round completion is detected by the empty system phase, not by
+    /// the kernel's last-task signal.
+    fn announces_rounds(&self) -> bool {
+        false
+    }
+
+    /// The round-start broadcast carries the phase index that opens the
+    /// new round, so every node enters the same round-opening phase.
+    fn round_token(&self, _k: &Kernel) -> u32 {
+        self.phase_index + 1
+    }
+
+    fn on_round_start(&mut self, k: &mut Kernel, ctx: &mut Ct<'_>, round: u32, token: u32) {
+        self.start_round(k, ctx, round, token);
+    }
+
+    fn on_round_announced(&mut self, k: &mut Kernel, ctx: &mut Ct<'_>, round: u32, token: u32) {
+        self.start_round(k, ctx, round, token);
     }
 }
 
@@ -759,54 +732,33 @@ pub fn rips(
 ) -> RipsOutcome {
     let topo = machine.topology();
     let n = topo.len();
-    if workload.rounds.is_empty() {
-        return RipsOutcome {
-            run: RunOutcome::empty(n),
-            phases: Vec::new(),
-        };
-    }
-    let oracle = Oracle::new(Arc::clone(&workload), topo.as_ref(), costs);
     let machine = Rc::new(machine);
     let shared = Rc::new(RefCell::new(Shared::default()));
     let shared2 = Rc::clone(&shared);
-    let engine = Engine::new(topo, latency, seed, move |me| RipsProg {
-        me,
-        cfg,
-        oracle: oracle.clone(),
-        machine: Rc::clone(&machine),
-        shared: Rc::clone(&shared2),
-        exec: NodeExec::default(),
-        rts: VecDeque::new(),
-        exec_scheduled: false,
-        mode: Mode::User,
-        phase_index: 0,
-        expected_in: 0,
-        received_in: 0,
-        pending_init: None,
-        user_phase_since: 0,
-        recheck_armed: false,
-        tree: BinaryTree::new(n),
-        local_ready_for: None,
-        ready_sent_for: None,
-        children_ready: HashMap::new(),
+    let (mut run, policies) = run_policy(workload, topo, latency, costs, seed, move |_me| {
+        RipsPolicy {
+            cfg,
+            machine: Rc::clone(&machine),
+            shared: Rc::clone(&shared2),
+            rts: VecDeque::new(),
+            mode: Mode::User,
+            phase_index: 0,
+            pending_init: None,
+            user_phase_since: 0,
+            recheck_armed: false,
+            tree: BinaryTree::new(n),
+            local_ready_for: None,
+            ready_sent_for: None,
+            children_ready: HashMap::new(),
+        }
     });
-    let mut engine = engine;
-    engine.record_timeline(costs.record_timeline);
-    engine.enable_contention(costs.contention);
-    let (progs, stats) = engine.run();
-    let executed: Vec<u64> = progs.iter().map(|p| p.exec.executed).collect();
-    let nonlocal = progs.iter().map(|p| p.exec.nonlocal_executed).sum();
-    drop(progs); // release the programs' handles on `shared`
+    drop(policies); // release the policies' handles on `shared`
     let shared = Rc::try_unwrap(shared)
         .unwrap_or_else(|_| panic!("shared state still referenced"))
         .into_inner();
+    run.system_phases = shared.phases;
     RipsOutcome {
-        run: RunOutcome {
-            stats,
-            executed,
-            nonlocal,
-            system_phases: shared.phases,
-        },
+        run,
         phases: shared.logs,
     }
 }

@@ -1,0 +1,420 @@
+//! The **policy kernel**: one SPMD node driver for every scheduler.
+//!
+//! Every scheduler in this reproduction — RIPS itself and the dynamic
+//! baselines — runs the *same* per-node event loop: pop a task, charge
+//! dispatch overhead, execute the grain, generate children, decrement
+//! the round counter, and keep a single pending EXEC timer alive while
+//! the queue is non-empty. Likewise they all migrate tasks the same way
+//! (one packed message per destination, spawn overhead charged at the
+//! receiver, cumulative expected/received counters so an overtaking
+//! migration is never lost) and pace rounds the same way (the node that
+//! completes a round's last task announces the barrier; the barrier
+//! timer advances the round or halts the machine).
+//!
+//! [`NodeDriver`] owns exactly that machinery, once. What *differs*
+//! between schedulers — where children go, when load information is
+//! exchanged, how a system phase is initiated — is expressed through
+//! the [`BalancerPolicy`] trait. A new scheduler is a ~100-line trait
+//! implementation (see `examples/custom_balancer.rs`), not a fork of
+//! the event loop.
+//!
+//! # Invariants the kernel maintains
+//!
+//! * **Migration counters.** `received_in` counts `Tasks` messages ever
+//!   received; `expected_in` counts messages a policy has announced it
+//!   is owed. Both are *cumulative* (never reset), so a migration that
+//!   overtakes its announcement — possible, because broadcasts
+//!   serialise per-recipient send costs — is never lost; the balance
+//!   `received_in == expected_in` means "no migration in flight".
+//! * **Progress.** At most one EXEC timer is pending per node
+//!   ([`Kernel::kick`] is idempotent), and it is re-armed after every
+//!   task execution and every task arrival, so a node with queued work
+//!   and an enabled exec loop always runs it.
+//! * **Round pacing.** [`Oracle::task_done`] returns `true` exactly
+//!   once per round; the driver turns that into a single barrier
+//!   announcement (unless the policy paces rounds itself, as RIPS does
+//!   with its empty system phase).
+
+use std::sync::Arc;
+
+use rips_desim::{Ctx, Engine, LatencyModel, Time, WorkKind};
+use rips_taskgraph::Workload;
+use rips_topology::{NodeId, Topology};
+
+use crate::{Costs, NodeExec, Oracle, RunOutcome, TaskInstance};
+
+/// Timer tag of the kernel's exec loop.
+pub const TAG_EXEC: u64 = 0;
+/// Timer tag of the kernel's round barrier.
+pub const TAG_ROUND: u64 = 1;
+/// First timer tag available to policies; the driver forwards every
+/// tag `>= TAG_POLICY_BASE` to [`BalancerPolicy::on_timer`].
+pub const TAG_POLICY_BASE: u64 = 2;
+
+/// Messages exchanged by kernel-driven nodes. The kernel owns task
+/// migration and round pacing; everything else is a policy message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KernelMsg<M> {
+    /// Migrated task instances, plus the sender's advertised load at
+    /// send time (diffusion policies refresh their load tables for
+    /// free; others ignore it).
+    Tasks(Vec<TaskInstance>, i64),
+    /// Round `r` begins, with a policy-defined token word (RIPS carries
+    /// the opening system-phase index; round-paced policies send 0).
+    RoundStart(u32, u32),
+    /// A policy-specific message, delivered to
+    /// [`BalancerPolicy::on_msg`].
+    Policy(M),
+}
+
+/// Per-node kernel state: the task queue, execution counters, the
+/// exec-loop latch, and the cumulative migration counters. Policies
+/// receive `&mut Kernel` in every hook.
+pub struct Kernel {
+    /// This node's id.
+    pub me: NodeId,
+    /// The run's shared oracle (rounds, task generation, costs).
+    pub oracle: Oracle,
+    /// Queue and execution counters.
+    pub exec: NodeExec,
+    /// Gate on the exec loop. Policies that suspend execution (RIPS
+    /// during a system phase) clear it; [`Kernel::kick`] and the EXEC
+    /// timer are no-ops while it is `false`. Defaults to `true`.
+    pub exec_enabled: bool,
+    /// Cumulative count of migration messages this node was promised
+    /// (see the module docs for why it never resets).
+    pub expected_in: i64,
+    /// Cumulative count of migration messages received.
+    pub received_in: i64,
+    /// `true` while an EXEC timer is pending, so task arrivals don't
+    /// double-schedule the loop.
+    exec_scheduled: bool,
+}
+
+impl Kernel {
+    /// Fresh kernel state for node `me`.
+    pub fn new(me: NodeId, oracle: Oracle) -> Self {
+        Kernel {
+            me,
+            oracle,
+            exec: NodeExec::default(),
+            exec_enabled: true,
+            expected_in: 0,
+            received_in: 0,
+            exec_scheduled: false,
+        }
+    }
+
+    /// Current queue length — the default notion of "load".
+    pub fn load(&self) -> i64 {
+        self.exec.queue.len() as i64
+    }
+
+    /// Ensures an EXEC timer is pending if there is work to do and the
+    /// exec loop is enabled. Idempotent.
+    pub fn kick<M>(&mut self, ctx: &mut Ctx<'_, KernelMsg<M>>) {
+        if !self.exec_scheduled && self.exec_enabled && !self.exec.queue.is_empty() {
+            ctx.set_timer(0, TAG_EXEC);
+            self.exec_scheduled = true;
+        }
+    }
+
+    /// Takes this node's block of round `round`'s roots, charging the
+    /// spawn overhead, *without* enqueueing them — for policies that
+    /// place even the initial tasks themselves (random allocation,
+    /// RIPS's opening system phase).
+    pub fn take_seeds<M>(
+        &mut self,
+        ctx: &mut Ctx<'_, KernelMsg<M>>,
+        round: u32,
+    ) -> Vec<TaskInstance> {
+        let seeds = self.oracle.seed_for(self.me, round);
+        ctx.compute(
+            self.oracle.costs.spawn_us * seeds.len() as Time,
+            WorkKind::Overhead,
+        );
+        seeds
+    }
+
+    /// Seeds this node's block of the round's roots and kicks the loop.
+    /// An empty round is announced as complete right away (by node 0).
+    pub fn seed_round<M>(&mut self, ctx: &mut Ctx<'_, KernelMsg<M>>, round: u32) {
+        let seeds = self.take_seeds(ctx, round);
+        self.exec.queue.extend(seeds);
+        if self.oracle.outstanding() == 0 && self.me == 0 {
+            self.announce_round(ctx);
+            return;
+        }
+        self.kick(ctx);
+    }
+
+    /// Schedules the round-barrier announcement on this node: after the
+    /// modelled barrier delay the driver advances the round (telling
+    /// everyone) or halts the machine.
+    pub fn announce_round<M>(&mut self, ctx: &mut Ctx<'_, KernelMsg<M>>) {
+        ctx.set_timer(self.oracle.round_barrier_delay(), TAG_ROUND);
+    }
+
+    /// Sends a batch of migrated tasks to `to`, advertising `load` as
+    /// the sender's current load. Charges the per-descriptor wire size;
+    /// the *receiver* pays the spawn overhead on acceptance. Policies
+    /// that model a packing cost charge it themselves before calling.
+    pub fn send_tasks<M>(
+        &mut self,
+        ctx: &mut Ctx<'_, KernelMsg<M>>,
+        to: NodeId,
+        batch: Vec<TaskInstance>,
+        load: i64,
+    ) {
+        let bytes = self.oracle.costs.task_bytes * batch.len();
+        ctx.send(to, KernelMsg::Tasks(batch, load), bytes);
+    }
+}
+
+/// A transfer policy plugged into the [`NodeDriver`].
+///
+/// The driver calls these hooks from its event handlers; each receives
+/// the node's [`Kernel`] and the simulator context. Defaults implement
+/// the plain round-paced scheduler with local child placement disabled
+/// (placement is the one hook every policy must provide).
+pub trait BalancerPolicy: Sized {
+    /// Policy-specific message payload (delivered via
+    /// [`KernelMsg::Policy`]). Use `()` if the policy has none.
+    type Msg: Clone + std::fmt::Debug;
+
+    /// Machine boot. Default: seed round 0 and start executing.
+    fn on_start(&mut self, k: &mut Kernel, ctx: &mut Ctx<'_, KernelMsg<Self::Msg>>) {
+        k.seed_round(ctx, 0);
+    }
+
+    /// A policy message arrived from `from`.
+    fn on_msg(
+        &mut self,
+        k: &mut Kernel,
+        ctx: &mut Ctx<'_, KernelMsg<Self::Msg>>,
+        from: NodeId,
+        msg: Self::Msg,
+    );
+
+    /// Migrated tasks from `from` were accepted into the queue. The
+    /// driver has already bumped `received_in`, charged the spawn
+    /// overhead, enqueued the batch, and re-armed the exec loop;
+    /// `sender_load` is the load the sender advertised at send time.
+    fn on_tasks_accepted(
+        &mut self,
+        _k: &mut Kernel,
+        _ctx: &mut Ctx<'_, KernelMsg<Self::Msg>>,
+        _from: NodeId,
+        _sender_load: i64,
+    ) {
+    }
+
+    /// A policy timer (tag `>=` [`TAG_POLICY_BASE`]) fired.
+    fn on_timer(&mut self, _k: &mut Kernel, _ctx: &mut Ctx<'_, KernelMsg<Self::Msg>>, tag: u64) {
+        unreachable!("policy armed no timer, got tag {tag}");
+    }
+
+    /// Children generated by a completed task: place them, charging
+    /// whatever placement overhead the policy models (most charge
+    /// `spawn_us` per child kept or shipped; random allocation ships
+    /// for free and lets the receiver pay).
+    fn place_children(
+        &mut self,
+        k: &mut Kernel,
+        ctx: &mut Ctx<'_, KernelMsg<Self::Msg>>,
+        children: Vec<TaskInstance>,
+    );
+
+    /// Called after every executed task, once children are placed, the
+    /// round counter is decremented, and the exec loop is re-armed —
+    /// the policy's chance to rebalance (broadcast load, request work,
+    /// check a transfer condition, …).
+    fn after_task(&mut self, _k: &mut Kernel, _ctx: &mut Ctx<'_, KernelMsg<Self::Msg>>) {}
+
+    /// Whether the driver announces the round barrier when this node
+    /// executes the round's last task. RIPS returns `false`: its empty
+    /// system phase detects termination instead.
+    fn announces_rounds(&self) -> bool {
+        true
+    }
+
+    /// Token word attached to the next round-start broadcast (asked of
+    /// the announcing node right before it broadcasts). RIPS carries
+    /// the round-opening system-phase index; the default is 0.
+    fn round_token(&self, _k: &Kernel) -> u32 {
+        0
+    }
+
+    /// A [`KernelMsg::RoundStart`] broadcast arrived: a new round
+    /// begins on this (non-announcing) node. Default: block-seed the
+    /// round and resume.
+    fn on_round_start(
+        &mut self,
+        k: &mut Kernel,
+        ctx: &mut Ctx<'_, KernelMsg<Self::Msg>>,
+        round: u32,
+        _token: u32,
+    ) {
+        k.seed_round(ctx, round);
+    }
+
+    /// The round-barrier timer fired on this node (the announcer): the
+    /// round is advanced and RoundStart already broadcast. Default:
+    /// block-seed the new round with *no* policy action — the announcer
+    /// just executed the previous round's last task, so its policy
+    /// state is refreshed by the normal execution path. RIPS overrides
+    /// this to open the round with a system phase, like its receivers.
+    fn on_round_announced(
+        &mut self,
+        k: &mut Kernel,
+        ctx: &mut Ctx<'_, KernelMsg<Self::Msg>>,
+        round: u32,
+        _token: u32,
+    ) {
+        k.seed_round(ctx, round);
+    }
+}
+
+/// Executes one task off the queue front through `policy`: dispatch
+/// overhead + grain, child placement, round accounting, loop re-arm,
+/// and the policy's post-task hook. No-op if the queue is empty or the
+/// exec loop is disabled.
+///
+/// The driver calls this from the EXEC timer; policies may also call it
+/// directly to run a task *inside* one of their own handlers (RIPS
+/// commits to the first task of a new user phase this way, so a queued
+/// init can never preempt an all-idle machine into a zero-progress
+/// phase storm).
+pub fn exec_step<P: BalancerPolicy>(
+    policy: &mut P,
+    k: &mut Kernel,
+    ctx: &mut Ctx<'_, KernelMsg<P::Msg>>,
+) {
+    if !k.exec_enabled {
+        return;
+    }
+    let Some(inst) = k.exec.queue.pop_front() else {
+        return;
+    };
+    ctx.compute(k.oracle.costs.dispatch_us, WorkKind::Overhead);
+    ctx.compute(inst.grain_us, WorkKind::User);
+    k.exec.record(&inst, k.me);
+    let children = k.oracle.children_of(&inst, k.me);
+    policy.place_children(k, ctx, children);
+    // The round counter must drop for every execution; only the node
+    // completing the round's last task sees `true`.
+    if k.oracle.task_done() && policy.announces_rounds() {
+        k.announce_round(ctx);
+    }
+    k.kick(ctx);
+    policy.after_task(k, ctx);
+}
+
+/// The generic SPMD node program: [`Kernel`] mechanics driven by a
+/// [`BalancerPolicy`]. One instance per node; see the module docs.
+pub struct NodeDriver<P: BalancerPolicy> {
+    /// Kernel-owned node state.
+    pub kernel: Kernel,
+    /// The plugged-in transfer policy.
+    pub policy: P,
+}
+
+impl<P: BalancerPolicy> rips_desim::Program for NodeDriver<P> {
+    type Msg = KernelMsg<P::Msg>;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Self::Msg>) {
+        self.policy.on_start(&mut self.kernel, ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Self::Msg>, from: NodeId, msg: Self::Msg) {
+        match msg {
+            KernelMsg::Tasks(tasks, sender_load) => {
+                let k = &mut self.kernel;
+                k.received_in += 1;
+                ctx.compute(
+                    k.oracle.costs.spawn_us * tasks.len() as Time,
+                    WorkKind::Overhead,
+                );
+                k.exec.queue.extend(tasks);
+                k.kick(ctx);
+                self.policy.on_tasks_accepted(k, ctx, from, sender_load);
+            }
+            KernelMsg::RoundStart(round, token) => {
+                self.policy
+                    .on_round_start(&mut self.kernel, ctx, round, token);
+            }
+            KernelMsg::Policy(m) => self.policy.on_msg(&mut self.kernel, ctx, from, m),
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Self::Msg>, tag: u64) {
+        match tag {
+            TAG_EXEC => {
+                self.kernel.exec_scheduled = false;
+                exec_step(&mut self.policy, &mut self.kernel, ctx);
+            }
+            TAG_ROUND => match self.kernel.oracle.advance_round() {
+                Some(next) => {
+                    let token = self.policy.round_token(&self.kernel);
+                    ctx.send_all(
+                        KernelMsg::RoundStart(next, token),
+                        self.kernel.oracle.costs.ctl_bytes,
+                    );
+                    self.policy
+                        .on_round_announced(&mut self.kernel, ctx, next, token);
+                }
+                None => ctx.halt(),
+            },
+            tag => self.policy.on_timer(&mut self.kernel, ctx, tag),
+        }
+    }
+}
+
+/// Runs `workload` on `topo` under `policy` instances built by `make`
+/// (one per node), returning the outcome and the final policy states.
+///
+/// This is the one place a scheduler meets the engine: it builds the
+/// shared [`Oracle`], wraps each policy in a [`NodeDriver`], honours
+/// the timeline/contention switches in [`Costs`], and extracts the
+/// per-node execution counters. An empty workload short-circuits to
+/// [`RunOutcome::empty`].
+pub fn run_policy<P, F>(
+    workload: Arc<Workload>,
+    topo: Arc<dyn Topology>,
+    latency: LatencyModel,
+    costs: Costs,
+    seed: u64,
+    make: F,
+) -> (RunOutcome, Vec<P>)
+where
+    P: BalancerPolicy,
+    F: FnMut(NodeId) -> P,
+{
+    if workload.rounds.is_empty() {
+        return (RunOutcome::empty(topo.len()), Vec::new());
+    }
+    let oracle = Oracle::new(Arc::clone(&workload), topo.as_ref(), costs);
+    let mut make = make;
+    let mut engine = Engine::new(topo, latency, seed, move |me| NodeDriver {
+        kernel: Kernel::new(me, oracle.clone()),
+        policy: make(me),
+    });
+    engine.record_timeline(costs.record_timeline);
+    engine.enable_contention(costs.contention);
+    let (drivers, stats) = engine.run();
+    let executed: Vec<u64> = drivers.iter().map(|d| d.kernel.exec.executed).collect();
+    let nonlocal = drivers
+        .iter()
+        .map(|d| d.kernel.exec.nonlocal_executed)
+        .sum();
+    let policies = drivers.into_iter().map(|d| d.policy).collect();
+    (
+        RunOutcome {
+            stats,
+            executed,
+            nonlocal,
+            system_phases: 0,
+        },
+        policies,
+    )
+}

@@ -22,6 +22,23 @@
 //! implementation) and carrying scheduler-specific rendezvous data
 //! (e.g. the MWA plan of a RIPS system phase). It never short-circuits
 //! the costs that the paper measures.
+//!
+//! On top of this harness sit the two pieces that make schedulers
+//! interchangeable: the [`driver`] module (the policy kernel — one SPMD
+//! [`NodeDriver`] parameterized by a [`BalancerPolicy`]) and the
+//! [`registry`] module (the `name → constructor` table the benches,
+//! golden tests, and CLI enumerate).
+
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod registry;
+
+pub use driver::{
+    exec_step, run_policy, BalancerPolicy, Kernel, KernelMsg, NodeDriver, TAG_EXEC,
+    TAG_POLICY_BASE, TAG_ROUND,
+};
+pub use registry::{RunSpec, ScheduledRun, SchedulerCtor, SchedulerRegistry};
 
 use std::cell::RefCell;
 use std::collections::VecDeque;
@@ -266,6 +283,65 @@ impl NodeExec {
     }
 }
 
+/// One system phase, as recorded for the paper's §5 overhead anecdote
+/// (8 phases for 15-Queens, ~125 nonlocal tasks per phase, …). Lives
+/// here (not in `rips-core`) so the scheduler registry can return phase
+/// logs for any scheduler that has them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseLog {
+    /// Phase index (1-based; phase 1 schedules the initial tasks).
+    pub phase: u32,
+    /// Round during which the phase ran.
+    pub round: u32,
+    /// Total tasks in all queues when the phase ran.
+    pub total_tasks: i64,
+    /// Tasks that ended on a different node than they started.
+    pub migrated: i64,
+    /// Σ eₖ of the transfer plan.
+    pub edge_cost: i64,
+}
+
+/// How [`RunOutcome::verify_complete`] failed: the executed-task total
+/// disagrees with the workload, in one of two distinguishable ways.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerifyError {
+    /// Fewer executions than tasks: some tasks were dropped in flight
+    /// (the classic migration/termination race).
+    TasksLost {
+        /// Tasks actually executed.
+        executed: u64,
+        /// Tasks the workload contains.
+        expected: u64,
+    },
+    /// More executions than tasks: some task ran more than once (a
+    /// duplicated migration or double dispatch).
+    DoubleExecution {
+        /// Tasks actually executed.
+        executed: u64,
+        /// Tasks the workload contains.
+        expected: u64,
+    },
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            VerifyError::TasksLost { executed, expected } => write!(
+                f,
+                "executed {executed} of {expected} tasks: {} lost",
+                expected - executed
+            ),
+            VerifyError::DoubleExecution { executed, expected } => write!(
+                f,
+                "executed {executed} of {expected} tasks: {} duplicate executions",
+                executed - expected
+            ),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
 /// Outcome of one scheduler run, aggregating the engine statistics with
 /// the scheduler-level counters — the columns of the paper's Table I.
 #[derive(Debug, Clone)]
@@ -325,13 +401,15 @@ impl RunOutcome {
     }
 
     /// Sanity check: every task of the workload ran exactly once.
-    pub fn verify_complete(&self, workload: &Workload) -> Result<(), String> {
-        let expect: u64 = workload.rounds.iter().map(|r| r.len() as u64).sum();
-        let got = self.total_executed();
-        if expect == got {
-            Ok(())
-        } else {
-            Err(format!("executed {got} of {expect} tasks"))
+    /// Distinguishes losing tasks from executing some twice — they
+    /// point at different bugs (see [`VerifyError`]).
+    pub fn verify_complete(&self, workload: &Workload) -> Result<(), VerifyError> {
+        let expected: u64 = workload.rounds.iter().map(|r| r.len() as u64).sum();
+        let executed = self.total_executed();
+        match executed.cmp(&expected) {
+            std::cmp::Ordering::Equal => Ok(()),
+            std::cmp::Ordering::Less => Err(VerifyError::TasksLost { executed, expected }),
+            std::cmp::Ordering::Greater => Err(VerifyError::DoubleExecution { executed, expected }),
         }
     }
 }

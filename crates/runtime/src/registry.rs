@@ -1,0 +1,172 @@
+//! The scheduler registry: `name → constructor`, so benches, golden
+//! tests, and the CLI enumerate one roster instead of hard-coding it.
+//!
+//! A [`SchedulerRegistry`] maps display names ("RIPS", "Gradient", …)
+//! to boxed constructors that take a [`RunSpec`] — the full description
+//! of one experiment cell — and produce a [`ScheduledRun`]. The
+//! registry preserves registration order, which is the row/column order
+//! everywhere results are tabulated, and rejects duplicate names at
+//! registration time so a typo can't silently shadow a scheduler.
+//!
+//! The canonical roster lives in `rips-bench::registry()`; this module
+//! only provides the mechanism, so that adding a scheduler (see
+//! `examples/custom_balancer.rs`) is one `register` call.
+
+use std::sync::Arc;
+
+use rips_desim::LatencyModel;
+use rips_taskgraph::Workload;
+
+use crate::{Costs, PhaseLog, RunOutcome};
+
+/// Everything a scheduler constructor needs to run one experiment cell.
+#[derive(Clone)]
+pub struct RunSpec {
+    /// The workload to execute.
+    pub workload: Arc<Workload>,
+    /// Machine size; constructors derive their topology from it (the
+    /// paper's machines are near-square 2-D meshes).
+    pub nodes: usize,
+    /// Link latency model.
+    pub latency: LatencyModel,
+    /// Cost constants (timeline/contention switches included).
+    pub costs: Costs,
+    /// Engine RNG seed.
+    pub seed: u64,
+    /// Receiver-initiated reservation fraction `u` — per-cell because
+    /// the paper tunes it by application and machine size (Table III).
+    pub rid_u: f64,
+}
+
+/// What a registered scheduler returns: the run outcome plus the
+/// system-phase log (empty for schedulers without system phases).
+pub struct ScheduledRun {
+    /// Aggregated outcome (Table I columns).
+    pub outcome: RunOutcome,
+    /// Per-system-phase migration log (RIPS; empty otherwise).
+    pub phases: Vec<PhaseLog>,
+}
+
+/// A boxed scheduler constructor. `Send + Sync` so one registry can be
+/// shared by the parallel experiment grid's worker threads.
+pub type SchedulerCtor = Box<dyn Fn(&RunSpec) -> ScheduledRun + Send + Sync>;
+
+/// Ordered `name → constructor` table (see module docs).
+#[derive(Default)]
+pub struct SchedulerRegistry {
+    entries: Vec<(String, SchedulerCtor)>,
+}
+
+impl SchedulerRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers `ctor` under `name`, keeping registration order.
+    ///
+    /// # Panics
+    /// If `name` is already registered.
+    pub fn register(&mut self, name: impl Into<String>, ctor: SchedulerCtor) {
+        let name = name.into();
+        assert!(
+            self.get(&name).is_none(),
+            "scheduler {name:?} registered twice"
+        );
+        self.entries.push((name, ctor));
+    }
+
+    /// Looks up a constructor by exact name.
+    pub fn get(&self, name: &str) -> Option<&SchedulerCtor> {
+        self.entries.iter().find(|(n, _)| n == name).map(|(_, c)| c)
+    }
+
+    /// Runs scheduler `name` on `spec`.
+    ///
+    /// # Panics
+    /// If `name` is not registered (callers enumerate [`Self::names`]
+    /// or validate via [`Self::get`] first).
+    pub fn run(&self, name: &str, spec: &RunSpec) -> ScheduledRun {
+        match self.get(name) {
+            Some(ctor) => ctor(spec),
+            None => panic!("unknown scheduler {name:?}; registered: {:?}", self.names()),
+        }
+    }
+
+    /// Registered names, in registration order.
+    pub fn names(&self) -> Vec<&str> {
+        self.entries.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// Iterates `(name, constructor)` pairs in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &SchedulerCtor)> {
+        self.entries.iter().map(|(n, c)| (n.as_str(), c))
+    }
+
+    /// Number of registered schedulers.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy_ctor() -> SchedulerCtor {
+        Box::new(|spec| ScheduledRun {
+            outcome: RunOutcome::empty(spec.nodes),
+            phases: Vec::new(),
+        })
+    }
+
+    fn spec() -> RunSpec {
+        RunSpec {
+            workload: Arc::new(rips_taskgraph::flat_uniform(1, 1, 1, 0)),
+            nodes: 4,
+            latency: LatencyModel::ideal(),
+            costs: Costs::default(),
+            seed: 0,
+            rid_u: 0.4,
+        }
+    }
+
+    #[test]
+    fn preserves_registration_order() {
+        let mut reg = SchedulerRegistry::new();
+        for name in ["C", "A", "B"] {
+            reg.register(name, dummy_ctor());
+        }
+        assert_eq!(reg.names(), vec!["C", "A", "B"]);
+        assert_eq!(reg.len(), 3);
+    }
+
+    #[test]
+    fn runs_registered_scheduler() {
+        let mut reg = SchedulerRegistry::new();
+        reg.register("X", dummy_ctor());
+        let run = reg.run("X", &spec());
+        assert_eq!(run.outcome.executed.len(), 4);
+        assert!(run.phases.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn rejects_duplicate_names() {
+        let mut reg = SchedulerRegistry::new();
+        reg.register("X", dummy_ctor());
+        reg.register("X", dummy_ctor());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown scheduler")]
+    fn unknown_name_panics_with_roster() {
+        let reg = SchedulerRegistry::new();
+        reg.run("nope", &spec());
+    }
+}

@@ -1,178 +1,111 @@
-//! Writing your own load balancer against the simulator harness.
+//! Writing a custom balancer against the policy kernel.
 //!
-//! This example implements a deliberately simple strategy — *round-robin
-//! handoff*: every node ships each newly generated task to its next
-//! mesh neighbour in a fixed rotation — and races it against RIPS on
-//! the same workload. It shows the three things a scheduler plugs into:
+//! A scheduler is a [`BalancerPolicy`]: the kernel's `NodeDriver` owns
+//! task execution, migration accounting, round barriers, and
+//! termination, so a policy only decides *where tasks go*. This example
+//! implements round-robin handoff — every spawned child is shipped to
+//! the next mesh neighbour in rotation, no load information at all —
+//! in ~30 lines, registers it alongside the built-in roster, and races
+//! it against RIPS on the same workload.
 //!
-//! 1. a [`Program`] state machine (messages + timers + compute),
-//! 2. the [`Oracle`] bookkeeping for rounds and task generation,
-//! 3. the [`RunOutcome`] accounting that makes results comparable.
-//!
-//! ```text
-//! cargo run --release --example custom_balancer
-//! ```
+//! Run with `cargo run --release --example custom_balancer`.
 
 use std::sync::Arc;
 
-use rips_repro::core::{rips, Machine, RipsConfig};
-use rips_repro::desim::{Ctx, Engine, LatencyModel, Program, WorkKind};
+use rips_repro::bench::registry;
+use rips_repro::desim::{Ctx, LatencyModel};
+use rips_repro::runtime::{
+    run_policy, BalancerPolicy, Costs, Kernel, KernelMsg, RunSpec, ScheduledRun, TaskInstance,
+};
 use rips_repro::taskgraph::geometric_tree;
 use rips_repro::topology::{Mesh2D, NodeId, Topology};
-use rips_runtime::{Costs, NodeExec, Oracle, RunOutcome, TaskInstance};
 
-#[derive(Debug, Clone)]
-enum Msg {
-    Tasks(Vec<TaskInstance>),
-    RoundStart(u32),
-}
+type Ct<'a> = Ctx<'a, KernelMsg<()>>;
 
-const TAG_EXEC: u64 = 0;
-const TAG_ROUND: u64 = 1;
-
+/// Round-robin handoff: children scatter over the neighbours in strict
+/// rotation. Blind (no load information, like randomized allocation)
+/// but only ever one hop (unlike randomized allocation).
 struct RoundRobin {
-    me: NodeId,
-    oracle: Oracle,
-    exec: NodeExec,
     neighbors: Vec<NodeId>,
     next: usize,
-    exec_armed: bool,
 }
 
-impl RoundRobin {
-    fn kick(&mut self, ctx: &mut Ctx<'_, Msg>) {
-        if !self.exec_armed && !self.exec.queue.is_empty() {
-            self.exec_armed = true;
-            ctx.set_timer(0, TAG_EXEC);
-        }
+impl BalancerPolicy for RoundRobin {
+    /// No policy messages: placement is the whole algorithm.
+    type Msg = ();
+
+    fn on_msg(&mut self, _k: &mut Kernel, _ctx: &mut Ct<'_>, _from: NodeId, _msg: ()) {
+        unreachable!("round-robin sends no policy messages");
     }
 
-    fn seed(&mut self, ctx: &mut Ctx<'_, Msg>, round: u32) {
-        let seeds = self.oracle.seed_for(self.me, round);
-        ctx.compute(
-            self.oracle.costs.spawn_us * seeds.len() as u64,
-            WorkKind::Overhead,
-        );
-        self.exec.queue.extend(seeds);
-        self.kick(ctx);
-    }
-}
-
-impl Program for RoundRobin {
-    type Msg = Msg;
-
-    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
-        self.seed(ctx, 0);
-    }
-
-    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, _from: NodeId, msg: Msg) {
-        match msg {
-            Msg::Tasks(tasks) => {
-                ctx.compute(
-                    self.oracle.costs.spawn_us * tasks.len() as u64,
-                    WorkKind::Overhead,
-                );
-                self.exec.queue.extend(tasks);
-                self.kick(ctx);
-            }
-            Msg::RoundStart(round) => self.seed(ctx, round),
-        }
-    }
-
-    fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, tag: u64) {
-        match tag {
-            TAG_EXEC => {
-                self.exec_armed = false;
-                let Some(inst) = self.exec.queue.pop_front() else {
-                    return;
-                };
-                ctx.compute(self.oracle.costs.dispatch_us, WorkKind::Overhead);
-                ctx.compute(inst.grain_us, WorkKind::User);
-                self.exec.record(&inst, self.me);
-                // The custom policy: every generated child goes to the
-                // next neighbour in rotation.
-                for child in self.oracle.children_of(&inst, self.me) {
-                    if self.neighbors.is_empty() {
-                        self.exec.queue.push_back(child);
-                    } else {
-                        let to = self.neighbors[self.next % self.neighbors.len()];
-                        self.next += 1;
-                        ctx.send(to, Msg::Tasks(vec![child]), self.oracle.costs.task_bytes);
-                    }
-                }
-                if self.oracle.task_done() {
-                    ctx.set_timer(self.oracle.round_barrier_delay(), TAG_ROUND);
-                }
-                self.kick(ctx);
-            }
-            TAG_ROUND => match self.oracle.advance_round() {
-                Some(next) => {
-                    ctx.send_all(Msg::RoundStart(next), self.oracle.costs.ctl_bytes);
-                    self.seed(ctx, next);
-                }
-                None => ctx.halt(),
-            },
-            _ => unreachable!(),
+    fn place_children(&mut self, k: &mut Kernel, ctx: &mut Ct<'_>, children: Vec<TaskInstance>) {
+        for child in children {
+            let dst = self.neighbors[self.next];
+            self.next = (self.next + 1) % self.neighbors.len();
+            let load = k.load();
+            k.send_tasks(ctx, dst, vec![child], load);
         }
     }
 }
 
 fn main() {
+    // Extend the canonical roster: one `register` call, and the new
+    // scheduler runs through the same path as the built-ins.
+    let mut reg = registry();
+    reg.register(
+        "RoundRobin",
+        Box::new(|spec: &RunSpec| {
+            let topo: Arc<dyn Topology> = Arc::new(Mesh2D::near_square(spec.nodes));
+            let topo2 = Arc::clone(&topo);
+            let (outcome, _) = run_policy(
+                Arc::clone(&spec.workload),
+                topo,
+                spec.latency,
+                spec.costs,
+                spec.seed,
+                move |me| RoundRobin {
+                    neighbors: topo2.neighbors(me),
+                    next: 0,
+                },
+            );
+            ScheduledRun {
+                outcome,
+                phases: Vec::new(),
+            }
+        }),
+    );
+
     let workload = Arc::new(geometric_tree(24, 8, 3, 25_000, 11));
     let stats = workload.stats();
     println!(
-        "workload: {} tasks, {:.2} s of work\n",
+        "workload: {} tasks, {:.2} s of work, 4x4 mesh\n",
         stats.tasks,
         stats.total_work_us as f64 / 1e6
     );
 
-    let mesh = Mesh2D::new(4, 4);
-    let costs = Costs::default();
-    let lat = LatencyModel::paragon();
-
-    // The custom balancer, assembled by hand on the raw engine.
-    let topo: Arc<dyn Topology> = Arc::new(mesh.clone());
-    let oracle = Oracle::new(Arc::clone(&workload), topo.as_ref(), costs);
-    let topo_for_make = Arc::clone(&topo);
-    let engine = Engine::new(topo, lat, 1, move |me| RoundRobin {
-        me,
-        oracle: oracle.clone(),
-        exec: NodeExec::default(),
-        neighbors: topo_for_make.neighbors(me),
-        next: 0,
-        exec_armed: false,
-    });
-    let (progs, stats_rr) = engine.run();
-    let rr = RunOutcome {
-        stats: stats_rr,
-        executed: progs.iter().map(|p| p.exec.executed).collect(),
-        nonlocal: progs.iter().map(|p| p.exec.nonlocal_executed).sum(),
-        system_phases: 0,
+    let spec = RunSpec {
+        workload: Arc::clone(&workload),
+        nodes: 16,
+        latency: LatencyModel::paragon(),
+        costs: Costs::default(),
+        seed: 1,
+        rid_u: 0.4,
     };
-    rr.verify_complete(&workload)
-        .expect("round-robin lost tasks");
-    println!(
-        "round-robin handoff: T {:.3}s  efficiency {:.0}%  nonlocal {}",
-        rr.exec_time_s(),
-        rr.efficiency() * 100.0,
-        rr.nonlocal
-    );
-
-    // RIPS on the same workload, for scale.
-    let out = rips(
-        Arc::clone(&workload),
-        Machine::Mesh(mesh),
-        lat,
-        costs,
-        1,
-        RipsConfig::default(),
-    );
-    out.run.verify_complete(&workload).expect("RIPS lost tasks");
-    println!(
-        "RIPS (ANY-Lazy):     T {:.3}s  efficiency {:.0}%  nonlocal {}  ({} phases)",
-        out.run.exec_time_s(),
-        out.run.efficiency() * 100.0,
-        out.run.nonlocal,
-        out.run.system_phases
-    );
+    for name in ["RoundRobin", "RIPS"] {
+        let run = reg.run(name, &spec);
+        run.outcome
+            .verify_complete(&workload)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let phases = if run.outcome.system_phases > 0 {
+            format!("  ({} phases)", run.outcome.system_phases)
+        } else {
+            String::new()
+        };
+        println!(
+            "{name:>10}: T {:.3}s  efficiency {:.0}%  nonlocal {}{phases}",
+            run.outcome.exec_time_s(),
+            run.outcome.efficiency() * 100.0,
+            run.outcome.nonlocal,
+        );
+    }
 }

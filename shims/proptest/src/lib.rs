@@ -246,7 +246,7 @@ impl Strategy for fn() -> bool {
 pub mod collection {
     use super::{Strategy, TestRng};
 
-    /// Number of elements a [`vec`] strategy may generate.
+    /// Number of elements a [`vec()`] strategy may generate.
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         lo: usize,
@@ -290,7 +290,7 @@ pub mod collection {
         }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,

@@ -8,13 +8,13 @@
 
 use std::sync::Arc;
 
-use rips_repro::balancers::{gradient, random, rid, GradientParams, RidParams};
-use rips_repro::core::{rips, GlobalPolicy, LocalPolicy, Machine, RipsConfig};
+use rips_repro::bench::{registry_with, RegistryTuning};
+use rips_repro::core::{GlobalPolicy, LocalPolicy, RipsConfig};
 use rips_repro::desim::LatencyModel;
+use rips_repro::runtime::{Costs, RunSpec};
 use rips_repro::sched::{min_nonlocal_tasks, mwa};
 use rips_repro::taskgraph::Workload;
 use rips_repro::topology::{Mesh2D, Topology};
-use rips_runtime::Costs;
 
 fn arg(name: &str) -> Option<String> {
     let mut args = std::env::args();
@@ -72,65 +72,49 @@ fn cmd_run() {
 
     let mesh = Mesh2D::near_square(nodes);
     println!("machine:  {} ({} nodes)", mesh.label(), nodes);
-    let lat = LatencyModel::paragon();
-    let costs = Costs::default();
-    let topo: Arc<dyn Topology> = Arc::new(mesh.clone());
 
-    let (outcome, phases) = match scheduler.as_str() {
-        "random" => (random(Arc::clone(&workload), topo, lat, costs, seed), 0),
-        "gradient" => (
-            gradient(
-                Arc::clone(&workload),
-                topo,
-                lat,
-                costs,
-                seed,
-                GradientParams::default(),
-            ),
-            0,
-        ),
-        "rid" => (
-            rid(
-                Arc::clone(&workload),
-                topo,
-                lat,
-                costs,
-                seed,
-                RidParams::default(),
-            ),
-            0,
-        ),
-        "rips" => {
-            let (local, global) = match policy.as_str() {
-                "any-lazy" => (LocalPolicy::Lazy, GlobalPolicy::Any),
-                "any-eager" => (LocalPolicy::Eager, GlobalPolicy::Any),
-                "all-lazy" => (LocalPolicy::Lazy, GlobalPolicy::All),
-                "all-eager" => (LocalPolicy::Eager, GlobalPolicy::All),
-                other => {
-                    eprintln!("unknown policy '{other}' (any-lazy|any-eager|all-lazy|all-eager)");
-                    std::process::exit(2);
-                }
-            };
-            let out = rips(
-                Arc::clone(&workload),
-                Machine::Mesh(mesh),
-                lat,
-                costs,
-                seed,
-                RipsConfig {
-                    local,
-                    global,
-                    ..RipsConfig::default()
-                },
-            );
-            let phases = out.run.system_phases;
-            (out.run, phases)
-        }
+    let (local, global) = match policy.as_str() {
+        "any-lazy" => (LocalPolicy::Lazy, GlobalPolicy::Any),
+        "any-eager" => (LocalPolicy::Eager, GlobalPolicy::Any),
+        "all-lazy" => (LocalPolicy::Lazy, GlobalPolicy::All),
+        "all-eager" => (LocalPolicy::Eager, GlobalPolicy::All),
         other => {
-            eprintln!("unknown scheduler '{other}' (random|gradient|rid|rips)");
+            eprintln!("unknown policy '{other}' (any-lazy|any-eager|all-lazy|all-eager)");
             std::process::exit(2);
         }
     };
+    let reg = registry_with(RegistryTuning {
+        rips: RipsConfig {
+            local,
+            global,
+            ..RipsConfig::default()
+        },
+        ..RegistryTuning::default()
+    });
+    // Case-insensitive lookup against the registry's roster.
+    let Some(name) = reg
+        .names()
+        .iter()
+        .find(|n| n.eq_ignore_ascii_case(&scheduler))
+        .map(|n| n.to_string())
+    else {
+        eprintln!(
+            "unknown scheduler '{scheduler}'; available: {}",
+            reg.names().join("|").to_lowercase()
+        );
+        std::process::exit(2);
+    };
+    let spec = RunSpec {
+        workload: Arc::clone(&workload),
+        nodes,
+        latency: LatencyModel::paragon(),
+        costs: Costs::default(),
+        seed,
+        rid_u: 0.4,
+    };
+    let run = reg.run(&name, &spec);
+    let outcome = run.outcome;
+    let phases = outcome.system_phases;
     outcome
         .verify_complete(&workload)
         .expect("scheduler lost tasks");
@@ -190,9 +174,14 @@ fn main() {
                 println!("{a}");
             }
         }
+        Some("schedulers") => {
+            for s in rips_repro::bench::registry().names() {
+                println!("{}", s.to_lowercase());
+            }
+        }
         _ => {
-            eprintln!("usage: rips <run|plan|apps> [flags]");
-            eprintln!("  run  --app queens13 --scheduler rips|random|gradient|rid --nodes 32");
+            eprintln!("usage: rips <run|plan|apps|schedulers> [flags]");
+            eprintln!("  run  --app queens13 --scheduler rips|random|gradient|rid|sid --nodes 32");
             eprintln!("  plan --rows 8 --cols 4 --loads 25,0,3,...");
             std::process::exit(2);
         }
