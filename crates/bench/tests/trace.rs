@@ -1,0 +1,106 @@
+//! Registry-generic trace well-formedness and zero-cost guarantees.
+//!
+//! Every scheduler in the canonical roster must (a) produce a
+//! well-formed trace when a sink is installed — balanced and properly
+//! nested spans, monotone per-node span timestamps, strictly
+//! increasing system-phase indices — and (b) produce *bit-identical
+//! results* whether or not it is being traced: instrumentation must
+//! observe the simulation, never perturb it. The golden digests pin
+//! the untraced path across commits; this file pins traced == untraced
+//! within a commit.
+
+use std::sync::Arc;
+
+use rips_apps::{nqueens, NQueensConfig};
+use rips_bench::{registry, run_cell};
+use rips_trace::{validate, with_sink, TraceBuffer, TraceEvent};
+
+fn small_queens() -> Arc<rips_taskgraph::Workload> {
+    Arc::new(nqueens(NQueensConfig {
+        n: 9,
+        split_depth: 3,
+        root_depth: 2,
+        ns_per_node: 1800,
+    }))
+}
+
+#[test]
+fn every_scheduler_emits_a_well_formed_trace() {
+    let w = small_queens();
+    let reg = registry();
+    let tasks = w.stats().tasks as u64;
+    for s in reg.names() {
+        let (buf, row) = with_sink(TraceBuffer::new(), || run_cell(&reg, s, &w, 8, 0.4, 1));
+        assert!(!buf.records.is_empty(), "{s}: no events recorded");
+        assert!(buf.num_nodes() <= 8, "{s}: event from out-of-range node");
+        let check = validate(&buf).unwrap_or_else(|e| panic!("{s}: malformed trace: {e}"));
+        assert_eq!(
+            check.task_execs as u64,
+            row.outcome.total_executed(),
+            "{s}: one TaskExec per executed task"
+        );
+        assert_eq!(check.task_execs as u64, tasks, "{s}: all tasks traced");
+        // Every scheduler runs through the policy kernel, so queue
+        // activity must be visible regardless of balancing strategy.
+        assert!(
+            buf.records
+                .iter()
+                .any(|r| matches!(r.event, TraceEvent::QueueDepth { .. })),
+            "{s}: no queue-depth samples"
+        );
+    }
+}
+
+#[test]
+fn rips_trace_has_phases_and_stages() {
+    let w = small_queens();
+    let reg = registry();
+    let (buf, row) = with_sink(TraceBuffer::new(), || run_cell(&reg, "RIPS", &w, 8, 0.4, 1));
+    let check = validate(&buf).expect("well-formed");
+    assert!(check.closed_phases > 0, "RIPS must close phase spans");
+    if row.outcome.system_phases > 0 {
+        assert!(check.closed_stages > 0, "system phases have sub-stages");
+    }
+    // The machine halts inside the final termination phase: whatever is
+    // still open is bounded by one phase span per node.
+    assert!(check.open_spans <= 8, "at most one open span per node");
+}
+
+#[test]
+fn tracing_never_perturbs_the_simulation() {
+    let w = small_queens();
+    let reg = registry();
+    for s in reg.names() {
+        let plain = run_cell(&reg, s, &w, 8, 0.4, 1);
+        let (_buf, traced) = with_sink(TraceBuffer::new(), || run_cell(&reg, s, &w, 8, 0.4, 1));
+        assert_eq!(
+            plain.outcome.stats, traced.outcome.stats,
+            "{s}: RunStats differ under tracing"
+        );
+        assert_eq!(plain.outcome.executed, traced.outcome.executed, "{s}");
+        assert_eq!(plain.outcome.nonlocal, traced.outcome.nonlocal, "{s}");
+        assert_eq!(
+            plain.outcome.system_phases, traced.outcome.system_phases,
+            "{s}"
+        );
+    }
+}
+
+#[test]
+fn chrome_export_balances_spans_for_a_real_run() {
+    let w = small_queens();
+    let reg = registry();
+    let (buf, row) = with_sink(TraceBuffer::new(), || run_cell(&reg, "RIPS", &w, 8, 0.4, 1));
+    let json = buf.chrome_json("RIPS · queens9", row.outcome.stats.end_time);
+    assert!(json.starts_with("{\"traceEvents\":["));
+    assert!(json.ends_with("\"displayTimeUnit\":\"ms\"}"));
+    // The exporter closes halt-open spans at end_time, so B and E
+    // always balance in the emitted JSON.
+    assert_eq!(
+        json.matches("\"ph\":\"B\"").count(),
+        json.matches("\"ph\":\"E\"").count(),
+        "unbalanced B/E in export"
+    );
+    assert!(json.contains("\"ph\":\"X\""), "no task spans");
+    assert!(json.contains("\"ph\":\"M\""), "no metadata track names");
+}

@@ -24,6 +24,7 @@ use rips_runtime::{
 use rips_sched::TransferPlan;
 use rips_taskgraph::Workload;
 use rips_topology::{BinaryTree, Hypercube, Mesh2D, NodeId, Topology};
+use rips_trace::{PhaseKind, SysStage, TraceEvent};
 
 /// Local transfer policy (paper §2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -269,12 +270,53 @@ struct RipsPolicy {
     local_ready_for: Option<u32>,
     ready_sent_for: Option<u32>,
     children_ready: HashMap<u32, u32>,
+    /// Tracing only: the phase an open idle-detect stage was emitted
+    /// for (`None` when no stage is open). Idle-detect latency runs
+    /// from the local transfer condition turning true to the node
+    /// entering the system phase.
+    trace_idle_open: Option<u32>,
 }
 
 impl RipsPolicy {
     /// Switches mode, keeping the kernel's exec gate in lock-step:
-    /// tasks execute only during the user phase.
-    fn set_mode(&mut self, k: &mut Kernel, mode: Mode) {
+    /// tasks execute only during the user phase. `now` stamps the trace
+    /// spans: a user→system transition closes the user-phase span
+    /// (index `phase_index − 1`, since `phase_index` is already set to
+    /// the phase being entered) and opens the system-phase span; a
+    /// system→user transition does the reverse. The WaitingEntry and
+    /// Entered modes are the same system-phase span.
+    fn set_mode(&mut self, k: &mut Kernel, now: Time, mode: Mode) {
+        let was_user = self.mode == Mode::User;
+        let is_user = mode == Mode::User;
+        if k.oracle.tracer.enabled() && was_user != is_user {
+            let (me, p) = (k.me, self.phase_index);
+            let tr = &k.oracle.tracer;
+            if is_user {
+                tr.emit(now, me, || TraceEvent::PhaseEnd {
+                    kind: PhaseKind::System,
+                    index: p,
+                });
+                tr.emit(now, me, || TraceEvent::PhaseBegin {
+                    kind: PhaseKind::User,
+                    index: p,
+                });
+            } else {
+                if let Some(ip) = self.trace_idle_open.take() {
+                    tr.emit(now, me, || TraceEvent::StageEnd {
+                        stage: SysStage::IdleDetect,
+                        phase: ip,
+                    });
+                }
+                tr.emit(now, me, || TraceEvent::PhaseEnd {
+                    kind: PhaseKind::User,
+                    index: p.saturating_sub(1),
+                });
+                tr.emit(now, me, || TraceEvent::PhaseBegin {
+                    kind: PhaseKind::System,
+                    index: p,
+                });
+            }
+        }
         self.mode = mode;
         k.exec_enabled = mode == Mode::User;
     }
@@ -306,6 +348,17 @@ impl RipsPolicy {
             return;
         }
         let next = self.phase_index + 1;
+        if k.oracle.tracer.enabled() && self.trace_idle_open.is_none() {
+            // The local condition just turned true: open the
+            // idle-detect stage; it closes when the node actually
+            // enters a system phase.
+            self.trace_idle_open = Some(next);
+            let (t, me) = (ctx.now(), k.me);
+            k.oracle.tracer.emit(t, me, || TraceEvent::StageBegin {
+                stage: SysStage::IdleDetect,
+                phase: next,
+            });
+        }
         match self.cfg.global {
             GlobalPolicy::Any => {
                 // Respect the minimum gap since this node resumed its
@@ -384,6 +437,10 @@ impl RipsPolicy {
             );
         }
         debug_assert_eq!(self.phase_index, p);
+        let now = ctx.now();
+        // A `was_user` entry is the node freezing execution now; a
+        // WaitingEntry re-entry already opened its spans back then.
+        let was_user = self.mode == Mode::User;
         if k.received_in != k.expected_in {
             // Owed migrations: defer until they arrive.
             if std::env::var_os("RIPS_DEBUG").is_some() {
@@ -395,13 +452,36 @@ impl RipsPolicy {
                     k.expected_in
                 );
             }
-            self.set_mode(k, Mode::WaitingEntry(p));
+            self.set_mode(k, now, Mode::WaitingEntry(p));
+            if was_user && k.oracle.tracer.enabled() {
+                let me = k.me;
+                k.oracle.tracer.emit(now, me, || TraceEvent::StageBegin {
+                    stage: SysStage::LoadCollect,
+                    phase: p,
+                });
+            }
             return;
         }
-        self.set_mode(k, Mode::Entered);
+        self.set_mode(k, now, Mode::Entered);
+        if was_user && k.oracle.tracer.enabled() {
+            let me = k.me;
+            k.oracle.tracer.emit(now, me, || TraceEvent::StageBegin {
+                stage: SysStage::LoadCollect,
+                phase: p,
+            });
+        }
         self.children_ready.remove(&p);
         let n = k.oracle.num_nodes();
         let load = self.load(k);
+        if k.oracle.tracer.enabled() {
+            let me = k.me;
+            let tr = &k.oracle.tracer;
+            tr.emit(now, me, || TraceEvent::StageEnd {
+                stage: SysStage::LoadCollect,
+                phase: p,
+            });
+            tr.emit(now, me, || TraceEvent::LoadSample { load });
+        }
         let mut shared = self.shared.borrow_mut();
         let entry = shared.entries.entry(p).or_insert_with(|| Entry {
             reported: vec![None; n],
@@ -463,6 +543,15 @@ impl RipsPolicy {
             },
         );
         drop(shared);
+        if k.oracle.tracer.enabled() {
+            // The plan stage lives on the computing node only; it
+            // closes when the TAG_PLAN timer fires.
+            let (t, me) = (ctx.now(), k.me);
+            k.oracle.tracer.emit(t, me, || TraceEvent::StageBegin {
+                stage: SysStage::Plan,
+                phase: p,
+            });
+        }
         // The algorithm's synchronous steps take wall-clock time before
         // anyone can act on the plan.
         let steps = measured_steps.unwrap_or_else(|| self.machine.steps());
@@ -488,6 +577,13 @@ impl RipsPolicy {
             self.machine.steps() as Time * self.cfg.plan_cpu_per_step_us,
             WorkKind::Overhead,
         );
+        if k.oracle.tracer.enabled() {
+            let (t, me) = (ctx.now(), k.me);
+            k.oracle.tracer.emit(t, me, || TraceEvent::StageBegin {
+                stage: SysStage::Migrate,
+                phase: p,
+            });
+        }
         // Everything reported is now scheduled: the RTS queue drains
         // into the RTE queue ("the system phase schedules tasks in all
         // RTS queues and distributes them evenly to the RTE queues").
@@ -546,8 +642,16 @@ impl RipsPolicy {
             k.send_tasks(ctx, dst, batch, 0);
         }
         k.expected_in += expected;
-        self.set_mode(k, Mode::User);
-        self.user_phase_since = ctx.now();
+        let now = ctx.now();
+        if k.oracle.tracer.enabled() {
+            let me = k.me;
+            k.oracle.tracer.emit(now, me, || TraceEvent::StageEnd {
+                stage: SysStage::Migrate,
+                phase: p,
+            });
+        }
+        self.set_mode(k, now, Mode::User);
+        self.user_phase_since = now;
         // Commit to the first task of the new user phase *within this
         // handler*: returning to the event loop first would let an
         // already-queued init/poll event preempt an all-idle machine
@@ -571,7 +675,8 @@ impl RipsPolicy {
     fn start_round(&mut self, k: &mut Kernel, ctx: &mut Ct<'_>, round: u32, phase: u32) {
         let seeds = k.take_seeds(ctx, round);
         k.exec.queue.extend(seeds);
-        self.set_mode(k, Mode::User);
+        let now = ctx.now();
+        self.set_mode(k, now, Mode::User);
         self.phase_index = phase;
         self.enter_system(k, ctx, phase);
     }
@@ -581,6 +686,15 @@ impl BalancerPolicy for RipsPolicy {
     type Msg = RipsCtl;
 
     fn on_start(&mut self, k: &mut Kernel, ctx: &mut Ct<'_>) {
+        if k.oracle.tracer.enabled() {
+            // Every node boots inside user phase 0 (closed the moment
+            // the round-opening system phase is entered).
+            let (t, me) = (ctx.now(), k.me);
+            k.oracle.tracer.emit(t, me, || TraceEvent::PhaseBegin {
+                kind: PhaseKind::User,
+                index: 0,
+            });
+        }
         if let GlobalPolicy::Periodic(interval) = self.cfg.global {
             // Only node 0 polls; everyone else just flags its local
             // condition in the shared reduction state.
@@ -635,7 +749,9 @@ impl BalancerPolicy for RipsPolicy {
         // enters now, once the last owed message lands.
         if k.received_in == k.expected_in {
             if let Mode::WaitingEntry(p) = self.mode {
-                self.set_mode(k, Mode::User);
+                // Enter directly from WaitingEntry: the node never
+                // resumed its user phase, and the system-phase trace
+                // span has been open since the deferral.
                 self.enter_system(k, ctx, p);
             }
         }
@@ -672,6 +788,13 @@ impl BalancerPolicy for RipsPolicy {
                 // Only the plan-computing node runs this: distribute
                 // and apply.
                 let p = self.phase_index;
+                if k.oracle.tracer.enabled() {
+                    let (t, me) = (ctx.now(), k.me);
+                    k.oracle.tracer.emit(t, me, || TraceEvent::StageEnd {
+                        stage: SysStage::Plan,
+                        phase: p,
+                    });
+                }
                 ctx.send_all(
                     KernelMsg::Policy(RipsCtl::PlanReady(p)),
                     k.oracle.costs.ctl_bytes,
@@ -750,6 +873,7 @@ pub fn rips(
             local_ready_for: None,
             ready_sent_for: None,
             children_ready: HashMap::new(),
+            trace_idle_open: None,
         }
     });
     drop(policies); // release the policies' handles on `shared`

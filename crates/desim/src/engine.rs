@@ -354,6 +354,8 @@ pub struct Engine<P: Program> {
     parked: u64,
     /// High-water mark of outstanding events (global heap + lanes).
     peak_depth: u64,
+    /// Trace handle; disabled by default ([`Engine::set_tracer`]).
+    tracer: rips_trace::Tracer,
     /// Reusable effect buffers lent to [`Ctx`] per handler call.
     effects_buf: Vec<Effect<P::Msg>>,
     timer_buf: Vec<TimerReq>,
@@ -417,6 +419,7 @@ impl<P: Program> Engine<P> {
             armed: vec![UNARMED; n],
             parked: 0,
             peak_depth: 0,
+            tracer: rips_trace::Tracer::off(),
             effects_buf: Vec::new(),
             timer_buf: Vec::new(),
             cancel_buf: Vec::new(),
@@ -447,6 +450,14 @@ impl<P: Program> Engine<P> {
             }
             self.link_free = vec![0; n * n];
         }
+    }
+
+    /// Attaches a trace handle. Every outgoing message is then emitted
+    /// as a [`rips_trace::TraceEvent::MsgSend`] instant (stamped at its
+    /// departure time). With the default disabled tracer the hot path
+    /// pays one never-taken branch per send.
+    pub fn set_tracer(&mut self, tracer: rips_trace::Tracer) {
+        self.tracer = tracer;
     }
 
     /// Enables per-node busy-span recording (off by default: one span
@@ -539,6 +550,13 @@ impl<P: Program> Engine<P> {
         self.net.msgs += 1;
         self.net.bytes += bytes as u64;
         self.net.hops += hops as u64;
+        self.tracer.emit(start + at_offset, from, || {
+            rips_trace::TraceEvent::MsgSend {
+                to,
+                bytes: bytes as u64,
+                hops: hops as u32,
+            }
+        });
         self.seq += 1;
         if self.contention && hops > 0 {
             // Inject after the fixed startup cost; the router takes it

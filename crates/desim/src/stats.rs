@@ -2,15 +2,19 @@
 
 use crate::Time;
 
-/// Classification of CPU time consumed inside a handler.
+/// Classification of CPU time consumed inside a handler. The split
+/// drives Table I's decomposition of each node's timeline: user work
+/// plus `Th` overhead plus `Ti` idle accounts for every µs of the run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum WorkKind {
-    /// Useful application work (task execution). Feeds `Ts/Tp`
-    /// efficiency numbers.
+    /// Useful application work (task execution) — the user-work share
+    /// of Table I's timeline; summed over nodes it is the `Ts`
+    /// numerator of Table III's speedup.
     User,
     /// Scheduling/system work: load-information exchange, queue
-    /// manipulation, task packing, phase-transfer protocol. Feeds the
-    /// `Th` column of Table I.
+    /// manipulation, task packing, phase-transfer protocol — Table I's
+    /// `Th` (mean scheduling overhead). Whatever remains of the
+    /// timeline is Table I's `Ti` (mean idle time).
     Overhead,
 }
 

@@ -12,7 +12,8 @@
 //! * [`Table`] and [`Series`] — fixed-width text rendering for the
 //!   bench binaries that regenerate the paper's tables and figures.
 //! * [`utilization_chart`] — an ASCII Gantt view of a simulation's
-//!   per-node timelines (user work / system overhead / idle).
+//!   per-node timelines: user work vs system overhead (Table I's `Th`)
+//!   vs idle (Table I's `Ti`).
 //! * [`Aggregate`] — mean/min/max/stddev across repeated trials.
 
 mod optimal;

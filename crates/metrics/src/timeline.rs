@@ -6,8 +6,9 @@
 use rips_desim::{BusySpan, RunStats, WorkKind};
 
 /// Renders the run as one row of `width` buckets per node:
-/// `#` mostly user work, `+` mostly system overhead, `.` mostly idle —
-/// "mostly" meaning the plurality of the bucket's virtual time.
+/// `#` mostly user work, `+` mostly system overhead (Table I's `Th`),
+/// `.` mostly idle (Table I's `Ti`) — "mostly" meaning the plurality
+/// of the bucket's virtual time.
 ///
 /// Requires the engine to have run with timeline recording
 /// (`Costs::record_timeline` / `Engine::record_timeline`); returns an
@@ -126,6 +127,49 @@ mod tests {
         );
         let chart = utilization_chart(&stats, 4);
         assert!(chart.lines().nth(1).unwrap().ends_with("++++"));
+    }
+
+    #[test]
+    fn empty_run_is_explained() {
+        // Timelines recorded but nothing ever ran: zero end time must
+        // short-circuit before the f64 bucket math divides by it.
+        let stats = stats_with(vec![vec![], vec![]], 0);
+        assert_eq!(utilization_chart(&stats, 8), "(empty run)");
+    }
+
+    #[test]
+    fn span_wider_than_bucket_fills_every_covered_bucket() {
+        // One span covering buckets 2..=7 of 10 exactly; the buckets it
+        // does not touch must stay idle on both sides.
+        let stats = stats_with(
+            vec![vec![BusySpan {
+                start: 200,
+                end: 800,
+                kind: WorkKind::User,
+            }]],
+            1000,
+        );
+        let chart = utilization_chart(&stats, 10);
+        let row = chart.lines().nth(1).unwrap();
+        assert!(row.ends_with("..######.."), "{row}");
+    }
+
+    #[test]
+    fn span_on_exact_bucket_boundary_stays_in_its_bucket() {
+        // Span [250, 500) with bucket length 250: `last` lands on
+        // bucket 2, whose overlap must come out exactly 0 — the span
+        // belongs entirely to bucket 1.
+        let stats = stats_with(
+            vec![vec![BusySpan {
+                start: 250,
+                end: 500,
+                kind: WorkKind::User,
+            }]],
+            1000,
+        );
+        let chart = utilization_chart(&stats, 4);
+        let row = chart.lines().nth(1).unwrap();
+        assert!(row.ends_with(".#.."), "{row}");
     }
 
     #[test]

@@ -40,6 +40,7 @@ use std::sync::Arc;
 use rips_desim::{Ctx, Engine, LatencyModel, Time, WorkKind};
 use rips_taskgraph::Workload;
 use rips_topology::{NodeId, Topology};
+use rips_trace::TraceEvent;
 
 use crate::{Costs, NodeExec, Oracle, RunOutcome, TaskInstance};
 
@@ -133,6 +134,12 @@ impl Kernel {
             self.oracle.costs.spawn_us * seeds.len() as Time,
             WorkKind::Overhead,
         );
+        if self.oracle.tracer.enabled() && !seeds.is_empty() {
+            let (t, count) = (ctx.now(), seeds.len() as u32);
+            self.oracle
+                .tracer
+                .emit(t, self.me, || TraceEvent::Spawn { round, count });
+        }
         seeds
     }
 
@@ -152,6 +159,12 @@ impl Kernel {
     /// modelled barrier delay the driver advances the round (telling
     /// everyone) or halts the machine.
     pub fn announce_round<M>(&mut self, ctx: &mut Ctx<'_, KernelMsg<M>>) {
+        if self.oracle.tracer.enabled() {
+            let (t, round) = (ctx.now(), self.oracle.round());
+            self.oracle
+                .tracer
+                .emit(t, self.me, || TraceEvent::Barrier { round });
+        }
         ctx.set_timer(self.oracle.round_barrier_delay(), TAG_ROUND);
     }
 
@@ -166,6 +179,12 @@ impl Kernel {
         batch: Vec<TaskInstance>,
         load: i64,
     ) {
+        if self.oracle.tracer.enabled() {
+            let (t, count) = (ctx.now(), batch.len() as u32);
+            self.oracle
+                .tracer
+                .emit(t, self.me, || TraceEvent::MigrateOut { to, count });
+        }
         let bytes = self.oracle.costs.task_bytes * batch.len();
         ctx.send(to, KernelMsg::Tasks(batch, load), bytes);
     }
@@ -296,15 +315,45 @@ pub fn exec_step<P: BalancerPolicy>(
     let Some(inst) = k.exec.queue.pop_front() else {
         return;
     };
+    let traced = k.oracle.tracer.enabled();
+    let t0 = if traced { ctx.now() } else { 0 };
     ctx.compute(k.oracle.costs.dispatch_us, WorkKind::Overhead);
     ctx.compute(inst.grain_us, WorkKind::User);
     k.exec.record(&inst, k.me);
+    if traced {
+        // Stamped at the grain's start (dispatch already charged), so
+        // exporters draw the execution as a span of `grain_us`.
+        let dispatch_us = k.oracle.costs.dispatch_us;
+        let hops = k.oracle.hops(inst.origin, k.me);
+        k.oracle
+            .tracer
+            .emit(t0 + dispatch_us, k.me, || TraceEvent::TaskExec {
+                task: inst.task as u64,
+                round: inst.round,
+                origin: inst.origin,
+                hops,
+                grain_us: inst.grain_us,
+                dispatch_us,
+            });
+    }
     let children = k.oracle.children_of(&inst, k.me);
+    if traced && !children.is_empty() {
+        let (t, round, count) = (ctx.now(), inst.round, children.len() as u32);
+        k.oracle
+            .tracer
+            .emit(t, k.me, || TraceEvent::Spawn { round, count });
+    }
     policy.place_children(k, ctx, children);
     // The round counter must drop for every execution; only the node
     // completing the round's last task sees `true`.
     if k.oracle.task_done() && policy.announces_rounds() {
         k.announce_round(ctx);
+    }
+    if traced {
+        let (t, depth) = (ctx.now(), k.exec.queue.len() as u32);
+        k.oracle
+            .tracer
+            .emit(t, k.me, || TraceEvent::QueueDepth { depth });
     }
     k.kick(ctx);
     policy.after_task(k, ctx);
@@ -331,15 +380,32 @@ impl<P: BalancerPolicy> rips_desim::Program for NodeDriver<P> {
             KernelMsg::Tasks(tasks, sender_load) => {
                 let k = &mut self.kernel;
                 k.received_in += 1;
+                let count = tasks.len() as u32;
                 ctx.compute(
                     k.oracle.costs.spawn_us * tasks.len() as Time,
                     WorkKind::Overhead,
                 );
                 k.exec.queue.extend(tasks);
+                if k.oracle.tracer.enabled() {
+                    let (t, depth) = (ctx.now(), k.exec.queue.len() as u32);
+                    k.oracle
+                        .tracer
+                        .emit(t, k.me, || TraceEvent::MigrateIn { from, count });
+                    k.oracle
+                        .tracer
+                        .emit(t, k.me, || TraceEvent::QueueDepth { depth });
+                }
                 k.kick(ctx);
                 self.policy.on_tasks_accepted(k, ctx, from, sender_load);
             }
             KernelMsg::RoundStart(round, token) => {
+                let k = &mut self.kernel;
+                if k.oracle.tracer.enabled() {
+                    let t = ctx.now();
+                    k.oracle
+                        .tracer
+                        .emit(t, k.me, || TraceEvent::RoundBegin { round });
+                }
                 self.policy
                     .on_round_start(&mut self.kernel, ctx, round, token);
             }
@@ -360,6 +426,13 @@ impl<P: BalancerPolicy> rips_desim::Program for NodeDriver<P> {
                         KernelMsg::RoundStart(next, token),
                         self.kernel.oracle.costs.ctl_bytes,
                     );
+                    let k = &self.kernel;
+                    if k.oracle.tracer.enabled() {
+                        let t = ctx.now();
+                        k.oracle
+                            .tracer
+                            .emit(t, k.me, || TraceEvent::RoundBegin { round: next });
+                    }
                     self.policy
                         .on_round_announced(&mut self.kernel, ctx, next, token);
                 }
@@ -394,11 +467,13 @@ where
         return (RunOutcome::empty(topo.len()), Vec::new());
     }
     let oracle = Oracle::new(Arc::clone(&workload), topo.as_ref(), costs);
+    let tracer = oracle.tracer.clone();
     let mut make = make;
     let mut engine = Engine::new(topo, latency, seed, move |me| NodeDriver {
         kernel: Kernel::new(me, oracle.clone()),
         policy: make(me),
     });
+    engine.set_tracer(tracer);
     engine.record_timeline(costs.record_timeline);
     engine.enable_contention(costs.contention);
     let (drivers, stats) = engine.run();

@@ -112,6 +112,14 @@ pub struct Oracle {
     pub workload: Arc<Workload>,
     /// Cost constants.
     pub costs: Costs,
+    /// Trace handle for the run, captured from the thread's installed
+    /// sink ([`rips_trace::with_sink`]) at construction; disabled
+    /// otherwise. The kernel and policies emit through it.
+    pub tracer: rips_trace::Tracer,
+    /// Flat `n × n` hop-distance table for task-locality trace events.
+    /// Built only when the tracer is enabled (empty otherwise), so the
+    /// untraced path pays nothing for it.
+    dist: Arc<Vec<u16>>,
     n: usize,
     diameter: usize,
 }
@@ -146,6 +154,8 @@ impl Clone for Oracle {
             inner: Rc::clone(&self.inner),
             workload: Arc::clone(&self.workload),
             costs: self.costs,
+            tracer: self.tracer.clone(),
+            dist: Arc::clone(&self.dist),
             n: self.n,
             diameter: self.diameter,
         }
@@ -156,6 +166,19 @@ impl Oracle {
     /// Creates the oracle for one engine run.
     pub fn new(workload: Arc<Workload>, topo: &dyn Topology, costs: Costs) -> Self {
         let first_round = workload.rounds.first().map_or(0, |r| r.len() as u64);
+        let tracer = rips_trace::Tracer::current();
+        let n = topo.len();
+        let dist = if tracer.enabled() {
+            let mut d = vec![0u16; n * n];
+            for from in 0..n {
+                for to in 0..n {
+                    d[from * n + to] = topo.distance(from, to) as u16;
+                }
+            }
+            Arc::new(d)
+        } else {
+            Arc::new(Vec::new())
+        };
         Oracle {
             inner: Rc::new(RefCell::new(OracleState {
                 round: 0,
@@ -165,8 +188,21 @@ impl Oracle {
             })),
             workload,
             costs,
-            n: topo.len(),
+            tracer,
+            dist,
+            n,
             diameter: topo.diameter(),
+        }
+    }
+
+    /// Hop distance between two nodes, for trace locality annotations.
+    /// Only meaningful while tracing (returns 0 otherwise — the table
+    /// is not built for untraced runs).
+    pub fn hops(&self, from: NodeId, to: NodeId) -> u32 {
+        if self.dist.is_empty() {
+            0
+        } else {
+            self.dist[from * self.n + to] as u32
         }
     }
 

@@ -1,0 +1,249 @@
+//! Chrome trace-event (Perfetto-loadable) JSON export.
+//!
+//! The output follows the Trace Event Format's JSON-object form:
+//! `{"traceEvents": [...], "displayTimeUnit": "ms"}`. One process
+//! (`pid` 1) represents the run; each simulated node gets one thread
+//! track (`tid` = node id). Phases and sub-stages become nested `B`/`E`
+//! duration spans, task executions become `X` complete spans, queue
+//! depth and reported load become `C` counter series, and lifecycle
+//! markers (spawns, migrations, barriers, message sends) become `i`
+//! instants. Timestamps are microseconds, which is both the engine's
+//! native unit and the format's.
+
+use crate::{PhaseKind, Time, TraceBuffer, TraceEvent};
+
+/// One process for the whole run.
+const PID: usize = 1;
+
+fn esc(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn push_event(out: &mut String, ph: char, name: &str, ts: Time, tid: usize, extra: &str) {
+    out.push_str(&format!(
+        "{{\"name\":\"{}\",\"ph\":\"{ph}\",\"ts\":{ts},\"pid\":{PID},\"tid\":{tid}{extra}}},",
+        esc(name)
+    ));
+}
+
+fn phase_name(kind: PhaseKind, index: u32) -> String {
+    format!("{} phase {index}", kind.name())
+}
+
+/// Renders a recorded trace as Chrome trace-event JSON.
+///
+/// `label` names the process (scheduler/app/machine); `end_time` is the
+/// run's virtual end time, used to close spans that were still open
+/// when the machine halted (RIPS halts inside its final termination
+/// phase) so every `B` has a matching `E`.
+pub fn chrome_trace_json(buf: &TraceBuffer, label: &str, end_time: Time) -> String {
+    let n = buf.num_nodes();
+    let mut out = String::with_capacity(buf.records.len() * 96 + 1024);
+    out.push_str("{\"traceEvents\":[");
+
+    // Metadata: process name and one named, ordered thread per node.
+    out.push_str(&format!(
+        "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{PID},\"tid\":0,\
+         \"args\":{{\"name\":\"{}\"}}}},",
+        esc(label)
+    ));
+    for node in 0..n {
+        out.push_str(&format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{PID},\"tid\":{node},\
+             \"args\":{{\"name\":\"node {node}\"}}}},",
+        ));
+        out.push_str(&format!(
+            "{{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":{PID},\"tid\":{node},\
+             \"args\":{{\"sort_index\":{node}}}}},",
+        ));
+    }
+
+    // Per-node stack of open span names, for auto-closing at end_time.
+    let mut open: Vec<Vec<String>> = vec![Vec::new(); n];
+    for r in &buf.records {
+        let (t, node) = (r.time, r.node);
+        match &r.event {
+            TraceEvent::PhaseBegin { kind, index } => {
+                let name = phase_name(*kind, *index);
+                push_event(&mut out, 'B', &name, t, node, "");
+                open[node].push(name);
+            }
+            TraceEvent::PhaseEnd { kind, index } => {
+                push_event(&mut out, 'E', &phase_name(*kind, *index), t, node, "");
+                open[node].pop();
+            }
+            TraceEvent::StageBegin { stage, .. } => {
+                push_event(&mut out, 'B', stage.name(), t, node, "");
+                open[node].push(stage.name().to_string());
+            }
+            TraceEvent::StageEnd { stage, .. } => {
+                push_event(&mut out, 'E', stage.name(), t, node, "");
+                open[node].pop();
+            }
+            TraceEvent::TaskExec {
+                task,
+                round,
+                origin,
+                hops,
+                grain_us,
+                dispatch_us,
+            } => {
+                let extra = format!(
+                    ",\"dur\":{grain_us},\"args\":{{\"task\":{task},\"round\":{round},\
+                     \"origin\":{origin},\"hops\":{hops},\"dispatch_us\":{dispatch_us}}}"
+                );
+                push_event(&mut out, 'X', "task", t, node, &extra);
+            }
+            TraceEvent::Spawn { round, count } => {
+                let extra =
+                    format!(",\"s\":\"t\",\"args\":{{\"round\":{round},\"count\":{count}}}");
+                push_event(&mut out, 'i', "spawn", t, node, &extra);
+            }
+            TraceEvent::MigrateOut { to, count } => {
+                let extra = format!(",\"s\":\"t\",\"args\":{{\"to\":{to},\"count\":{count}}}");
+                push_event(&mut out, 'i', "migrate-out", t, node, &extra);
+            }
+            TraceEvent::MigrateIn { from, count } => {
+                let extra = format!(",\"s\":\"t\",\"args\":{{\"from\":{from},\"count\":{count}}}");
+                push_event(&mut out, 'i', "migrate-in", t, node, &extra);
+            }
+            TraceEvent::Barrier { round } => {
+                let extra = format!(",\"s\":\"p\",\"args\":{{\"round\":{round}}}");
+                push_event(&mut out, 'i', "barrier", t, node, &extra);
+            }
+            TraceEvent::RoundBegin { round } => {
+                let extra = format!(",\"s\":\"t\",\"args\":{{\"round\":{round}}}");
+                push_event(&mut out, 'i', "round-start", t, node, &extra);
+            }
+            TraceEvent::QueueDepth { depth } => {
+                let extra = format!(",\"args\":{{\"depth\":{depth}}}");
+                push_event(
+                    &mut out,
+                    'C',
+                    &format!("queue depth n{node}"),
+                    t,
+                    node,
+                    &extra,
+                );
+            }
+            TraceEvent::LoadSample { load } => {
+                let extra = format!(",\"args\":{{\"load\":{load}}}");
+                push_event(&mut out, 'C', &format!("load n{node}"), t, node, &extra);
+            }
+            TraceEvent::MsgSend { to, bytes, hops } => {
+                let extra = format!(
+                    ",\"s\":\"t\",\"args\":{{\"to\":{to},\"bytes\":{bytes},\"hops\":{hops}}}"
+                );
+                push_event(&mut out, 'i', "msg-send", t, node, &extra);
+            }
+        }
+    }
+
+    // Close whatever the halt left open, innermost first.
+    for (node, stack) in open.iter().enumerate() {
+        for name in stack.iter().rev() {
+            push_event(&mut out, 'E', name, end_time, node, "");
+        }
+    }
+
+    if out.ends_with(',') {
+        out.pop();
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Record, SysStage, TraceSink};
+
+    fn sample() -> TraceBuffer {
+        let mut b = TraceBuffer::new();
+        b.record(
+            0,
+            0,
+            TraceEvent::PhaseBegin {
+                kind: PhaseKind::User,
+                index: 0,
+            },
+        );
+        b.record(
+            50,
+            0,
+            TraceEvent::TaskExec {
+                task: 7,
+                round: 0,
+                origin: 1,
+                hops: 2,
+                grain_us: 100,
+                dispatch_us: 25,
+            },
+        );
+        b.record(200, 0, TraceEvent::QueueDepth { depth: 4 });
+        b.record(
+            300,
+            0,
+            TraceEvent::PhaseEnd {
+                kind: PhaseKind::User,
+                index: 0,
+            },
+        );
+        b.record(
+            300,
+            0,
+            TraceEvent::PhaseBegin {
+                kind: PhaseKind::System,
+                index: 1,
+            },
+        );
+        b
+    }
+
+    #[test]
+    fn emits_b_e_x_c_records_and_closes_open_spans() {
+        let json = chrome_trace_json(&sample(), "test run", 500);
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.ends_with("\"displayTimeUnit\":\"ms\"}"));
+        for needle in [
+            "\"ph\":\"B\"",
+            "\"ph\":\"E\"",
+            "\"ph\":\"X\"",
+            "\"ph\":\"C\"",
+            "\"ph\":\"M\"",
+            "\"name\":\"user phase 0\"",
+            "\"name\":\"system phase 1\"",
+            "\"dur\":100",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+        // The open system phase is closed at end_time.
+        assert!(json.contains("\"name\":\"system phase 1\",\"ph\":\"E\",\"ts\":500"));
+        // Balanced B/E.
+        assert_eq!(json.matches("\"ph\":\"B\"").count(), 2);
+        assert_eq!(json.matches("\"ph\":\"E\"").count(), 2);
+    }
+
+    #[test]
+    fn escapes_label() {
+        let b = TraceBuffer::new();
+        let json = chrome_trace_json(&b, "a\"b\\c", 0);
+        assert!(json.contains("a\\\"b\\\\c"));
+    }
+
+    #[test]
+    fn stage_spans_nest_inside_phase() {
+        let mut b = TraceBuffer::new();
+        b.records.push(Record {
+            time: 0,
+            node: 3,
+            event: TraceEvent::StageBegin {
+                stage: SysStage::Plan,
+                phase: 2,
+            },
+        });
+        let json = chrome_trace_json(&b, "x", 9);
+        assert!(json.contains("\"name\":\"plan\",\"ph\":\"B\",\"ts\":0,\"pid\":1,\"tid\":3"));
+        assert!(json.contains("\"name\":\"plan\",\"ph\":\"E\",\"ts\":9"));
+    }
+}

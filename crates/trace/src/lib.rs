@@ -1,0 +1,740 @@
+//! Structured event tracing for the RIPS reproduction.
+//!
+//! The paper's whole argument decomposes parallel time into user work,
+//! system overhead, and idle time (Table I's `T`/`Th`/`Ti`) and reasons
+//! about *phase-level* behaviour: how long system phases take, how many
+//! tasks migrate, how fast the ALL/ANY idle-detection protocols fire.
+//! The simulator's aggregate counters (`RunStats`) can say *that* one
+//! scheduler beats another; this crate records *why*, as a stream of
+//! typed [`TraceEvent`]s emitted by the engine, the policy kernel, and
+//! the RIPS phase machinery.
+//!
+//! # Architecture
+//!
+//! * A [`TraceSink`] receives `(time, node, event)` records. The
+//!   canonical sink is [`TraceBuffer`], which just collects them.
+//! * A [`Tracer`] is a cheap cloneable handle held by the instrumented
+//!   layers. When no sink is installed it holds `None` and every
+//!   [`Tracer::emit`] is a single branch — the event payload is built
+//!   inside a closure that is never evaluated, so tracing is free when
+//!   off (the golden tests pin this bit-for-bit).
+//! * [`with_sink`] installs a sink for the duration of a closure via a
+//!   thread-local, so *any* scheduler run — including ones reached
+//!   through the scheduler registry's type-erased constructors — can be
+//!   traced without threading a parameter through every signature.
+//! * Exporters turn a [`TraceBuffer`] into artifacts: a Chrome
+//!   trace-event / Perfetto JSON file ([`chrome_trace_json`]) and a
+//!   structured per-phase report ([`PhaseReport`]).
+//! * [`validate`] checks well-formedness: balanced and properly nested
+//!   begin/end spans, per-node monotone span timestamps, and strictly
+//!   increasing system-phase indices.
+//!
+//! This crate is dependency-free (it sits *below* `rips-desim` in the
+//! crate graph), so it defines its own aliases for simulated time and
+//! node ids; both match the workspace-wide conventions.
+
+#![warn(missing_docs)]
+
+mod chrome;
+mod report;
+
+pub use chrome::chrome_trace_json;
+pub use report::{PhaseReport, PhaseRow};
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Virtual time in microseconds (matches `rips_desim::Time`).
+pub type Time = u64;
+
+/// Node identifier (matches `rips_topology::NodeId`).
+pub type NodeId = usize;
+
+/// Whether a phase span covers user execution or the scheduling system
+/// phase — the paper's fundamental dichotomy ("computation proceeds in
+/// alternating user phases and system phases").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PhaseKind {
+    /// User phase: nodes execute application tasks.
+    User,
+    /// System phase: execution is frozen while the scheduler runs.
+    System,
+}
+
+impl PhaseKind {
+    /// Display name used by exporters.
+    pub fn name(self) -> &'static str {
+        match self {
+            PhaseKind::User => "user",
+            PhaseKind::System => "system",
+        }
+    }
+}
+
+/// Sub-stage of a system phase, in protocol order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SysStage {
+    /// From a node's local transfer condition turning true to the node
+    /// actually entering the system phase — the latency of the ANY/ALL
+    /// (or periodic-poll) idle-detection protocol as seen by that node.
+    IdleDetect,
+    /// From entering the system phase to the node's load being
+    /// reported into the collective.
+    LoadCollect,
+    /// The parallel scheduling algorithm (MWA/TWA/DEM) computing the
+    /// transfer plan — recorded on the plan-computing node only.
+    Plan,
+    /// Executing this node's share of the plan: draining the RTS queue
+    /// and packing/sending migrated tasks.
+    Migrate,
+}
+
+impl SysStage {
+    /// Display name used by exporters.
+    pub fn name(self) -> &'static str {
+        match self {
+            SysStage::IdleDetect => "idle-detect",
+            SysStage::LoadCollect => "load-collect",
+            SysStage::Plan => "plan",
+            SysStage::Migrate => "migrate",
+        }
+    }
+}
+
+/// One typed trace event. The emitting node and timestamp travel beside
+/// the event (see [`TraceSink::record`]), so events carry only what the
+/// node itself cannot be assumed to know.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A user or system phase opens on this node.
+    PhaseBegin {
+        /// User or system.
+        kind: PhaseKind,
+        /// Phase index (RIPS phase counter; user phase `p` follows
+        /// system phase `p`).
+        index: u32,
+    },
+    /// The matching phase closes.
+    PhaseEnd {
+        /// User or system.
+        kind: PhaseKind,
+        /// Phase index.
+        index: u32,
+    },
+    /// A system-phase sub-stage opens on this node.
+    StageBegin {
+        /// Which sub-stage.
+        stage: SysStage,
+        /// The system phase it belongs to.
+        phase: u32,
+    },
+    /// The matching sub-stage closes.
+    StageEnd {
+        /// Which sub-stage.
+        stage: SysStage,
+        /// The system phase it belongs to.
+        phase: u32,
+    },
+    /// One task executed. Emitted at the start of the task's grain
+    /// (dispatch overhead already charged), so exporters can draw the
+    /// execution as a complete span of length `grain_us`.
+    TaskExec {
+        /// Task id within its round's forest.
+        task: u64,
+        /// Round index.
+        round: u32,
+        /// Node that generated the task.
+        origin: NodeId,
+        /// Topology hops between origin and executing node (0 = local).
+        hops: u32,
+        /// Execution time of the grain (µs).
+        grain_us: Time,
+        /// Dispatch overhead charged before the grain (µs).
+        dispatch_us: Time,
+    },
+    /// Tasks created on this node (block-distributed round roots or
+    /// children of a completed task).
+    Spawn {
+        /// Round the tasks belong to.
+        round: u32,
+        /// How many were created.
+        count: u32,
+    },
+    /// A migration batch departed toward `to`.
+    MigrateOut {
+        /// Destination node.
+        to: NodeId,
+        /// Tasks in the batch.
+        count: u32,
+    },
+    /// A migration batch from `from` was accepted into the queue.
+    MigrateIn {
+        /// Source node.
+        from: NodeId,
+        /// Tasks in the batch.
+        count: u32,
+    },
+    /// This node announced the round barrier (it completed the round's
+    /// last task, or — under RIPS — detected termination in an empty
+    /// system phase).
+    Barrier {
+        /// The completed round.
+        round: u32,
+    },
+    /// A new round begins on this node.
+    RoundBegin {
+        /// The opening round.
+        round: u32,
+    },
+    /// Ready-queue depth sample, taken after a queue transition.
+    QueueDepth {
+        /// Queue length after the transition.
+        depth: u32,
+    },
+    /// The load this node reported into a system phase (under the
+    /// configured load metric: task count or estimated weight).
+    LoadSample {
+        /// Reported load.
+        load: i64,
+    },
+    /// The engine registered an outgoing message (emitted at effect
+    /// application, so its timestamp may precede span events the
+    /// handler emitted later — instants are exempt from the per-node
+    /// monotonicity check).
+    MsgSend {
+        /// Destination node.
+        to: NodeId,
+        /// Payload bytes.
+        bytes: u64,
+        /// Route length in hops.
+        hops: u32,
+    },
+}
+
+/// Receiver of trace records.
+pub trait TraceSink {
+    /// One event at `time_us` on `node`.
+    fn record(&mut self, time_us: Time, node: NodeId, event: TraceEvent);
+}
+
+/// One recorded event, as stored by [`TraceBuffer`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// Virtual timestamp (µs).
+    pub time: Time,
+    /// Emitting node.
+    pub node: NodeId,
+    /// The event.
+    pub event: TraceEvent,
+}
+
+/// The canonical sink: collects every record in emission order.
+/// Exporters ([`chrome_trace_json`], [`TraceBuffer::report`]) and the
+/// [`validate`] checker consume the collected stream.
+#[derive(Debug, Default)]
+pub struct TraceBuffer {
+    /// Recorded events in emission order.
+    pub records: Vec<Record>,
+}
+
+impl TraceBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Highest node id seen plus one (0 for an empty trace).
+    pub fn num_nodes(&self) -> usize {
+        self.records.iter().map(|r| r.node + 1).max().unwrap_or(0)
+    }
+
+    /// Aggregates the stream into a [`PhaseReport`]; spans still open
+    /// at `end_time` (e.g. the final termination phase, which ends when
+    /// the machine halts) are closed there.
+    pub fn report(&self, end_time: Time) -> PhaseReport {
+        report::build(self, end_time)
+    }
+
+    /// Renders the stream as Chrome trace-event JSON (see
+    /// [`chrome_trace_json`]).
+    pub fn chrome_json(&self, label: &str, end_time: Time) -> String {
+        chrome_trace_json(self, label, end_time)
+    }
+}
+
+impl TraceSink for TraceBuffer {
+    fn record(&mut self, time_us: Time, node: NodeId, event: TraceEvent) {
+        self.records.push(Record {
+            time: time_us,
+            node,
+            event,
+        });
+    }
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<Rc<RefCell<dyn TraceSink>>>> = const { RefCell::new(None) };
+}
+
+/// Installs `sink` as the thread's active trace sink, runs `f`, and
+/// returns the sink together with `f`'s result. Instrumented layers
+/// pick the sink up via [`Tracer::current`] when a run is constructed.
+///
+/// The previous sink (if any) is restored afterwards, and the install
+/// is cleared even if `f` panics.
+///
+/// # Panics
+/// Panics if an instrumented component retains a handle on the sink
+/// past the end of `f` (runs release their tracers when they return).
+pub fn with_sink<S: TraceSink + 'static, R>(sink: S, f: impl FnOnce() -> R) -> (S, R) {
+    struct Restore(Option<Rc<RefCell<dyn TraceSink>>>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            let prev = self.0.take();
+            CURRENT.with(|c| *c.borrow_mut() = prev);
+        }
+    }
+
+    let cell: Rc<RefCell<S>> = Rc::new(RefCell::new(sink));
+    let erased: Rc<RefCell<dyn TraceSink>> = Rc::clone(&cell) as _;
+    let prev = CURRENT.with(|c| c.borrow_mut().replace(erased));
+    let restore = Restore(prev);
+    let out = f();
+    drop(restore);
+    let sink = Rc::try_unwrap(cell)
+        .unwrap_or_else(|_| panic!("trace sink still referenced after the traced run"))
+        .into_inner();
+    (sink, out)
+}
+
+/// A cheap cloneable handle to the active sink (or to nothing).
+///
+/// Instrumented layers clone one of these at run construction and call
+/// [`Tracer::emit`] from their hot paths. With no sink installed the
+/// handle is `None` and `emit` costs one branch; the closure building
+/// the event payload is never evaluated.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    sink: Option<Rc<RefCell<dyn TraceSink>>>,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.enabled())
+            .finish()
+    }
+}
+
+impl Tracer {
+    /// A disabled tracer (no sink).
+    pub fn off() -> Self {
+        Tracer { sink: None }
+    }
+
+    /// The thread's current tracer: attached to the sink installed by
+    /// the innermost [`with_sink`], or disabled if none is installed.
+    pub fn current() -> Self {
+        CURRENT.with(|c| Tracer {
+            sink: c.borrow().clone(),
+        })
+    }
+
+    /// Whether a sink is attached. Use to guard instrumentation that
+    /// must precompute values (e.g. a timestamp before a state change).
+    #[inline(always)]
+    pub fn enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Records the event built by `f` at `(time_us, node)` if a sink is
+    /// attached; otherwise does nothing and never evaluates `f`.
+    #[inline(always)]
+    pub fn emit(&self, time_us: Time, node: NodeId, f: impl FnOnce() -> TraceEvent) {
+        if let Some(sink) = &self.sink {
+            sink.borrow_mut().record(time_us, node, f());
+        }
+    }
+}
+
+/// Streaming percentile accumulator for µs durations: collects samples,
+/// answers nearest-rank percentiles. Backs the `p50/p95/max` columns of
+/// [`PhaseReport`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Hist {
+    samples: Vec<u64>,
+    sorted: bool,
+}
+
+impl Hist {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one sample.
+    pub fn push(&mut self, v: u64) {
+        self.samples.push(v);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Arithmetic mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().map(|&v| v as u128).sum::<u128>() as f64 / self.samples.len() as f64
+    }
+
+    /// Largest sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.samples.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Nearest-rank percentile `q` in `[0, 100]` (0 when empty).
+    pub fn percentile(&mut self, q: u32) -> u64 {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+        let rank = (self.samples.len() * q as usize).div_ceil(100);
+        self.samples[rank.saturating_sub(1)]
+    }
+
+    /// Median shorthand.
+    pub fn p50(&mut self) -> u64 {
+        self.percentile(50)
+    }
+
+    /// 95th-percentile shorthand.
+    pub fn p95(&mut self) -> u64 {
+        self.percentile(95)
+    }
+}
+
+/// What [`validate`] found in a well-formed trace.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceCheck {
+    /// Closed phase spans (begin/end matched).
+    pub closed_phases: usize,
+    /// Closed sub-stage spans.
+    pub closed_stages: usize,
+    /// Spans still open at the end of the stream (closed by exporters
+    /// at the run's end time — e.g. the final termination phase, cut
+    /// short when the machine halts).
+    pub open_spans: usize,
+    /// Task executions recorded.
+    pub task_execs: usize,
+}
+
+/// Checks trace well-formedness:
+///
+/// * every `PhaseEnd`/`StageEnd` matches the innermost open span of the
+///   same node (balanced, properly nested);
+/// * span timestamps are monotone non-decreasing per node (instant
+///   events like [`TraceEvent::MsgSend`] are exempt: the engine stamps
+///   them with their intra-handler departure offset, which may precede
+///   span events the handler emitted after more compute);
+/// * system-phase indices are strictly increasing per node.
+///
+/// Spans still open when the stream ends are allowed (counted in
+/// [`TraceCheck::open_spans`]): a RIPS run halts inside its final
+/// termination phase, and exporters close those spans at the run's end
+/// time.
+pub fn validate(buf: &TraceBuffer) -> Result<TraceCheck, String> {
+    #[derive(Debug, PartialEq, Eq, Clone, Copy)]
+    enum Open {
+        Phase(PhaseKind, u32),
+        Stage(SysStage, u32),
+    }
+    let n = buf.num_nodes();
+    let mut stacks: Vec<Vec<Open>> = vec![Vec::new(); n];
+    let mut last_span_ts: Vec<Time> = vec![0; n];
+    let mut last_sys_phase: Vec<Option<u32>> = vec![None; n];
+    let mut check = TraceCheck::default();
+
+    for (i, r) in buf.records.iter().enumerate() {
+        let is_span = matches!(
+            r.event,
+            TraceEvent::PhaseBegin { .. }
+                | TraceEvent::PhaseEnd { .. }
+                | TraceEvent::StageBegin { .. }
+                | TraceEvent::StageEnd { .. }
+        );
+        if is_span {
+            if r.time < last_span_ts[r.node] {
+                return Err(format!(
+                    "record {i}: span timestamp {} on node {} precedes {}",
+                    r.time, r.node, last_span_ts[r.node]
+                ));
+            }
+            last_span_ts[r.node] = r.time;
+        }
+        match r.event {
+            TraceEvent::PhaseBegin { kind, index } => {
+                if kind == PhaseKind::System {
+                    if let Some(prev) = last_sys_phase[r.node] {
+                        if index <= prev {
+                            return Err(format!(
+                                "record {i}: system phase {index} on node {} after phase {prev}",
+                                r.node
+                            ));
+                        }
+                    }
+                    last_sys_phase[r.node] = Some(index);
+                }
+                stacks[r.node].push(Open::Phase(kind, index));
+            }
+            TraceEvent::PhaseEnd { kind, index } => match stacks[r.node].pop() {
+                Some(Open::Phase(k, ix)) if k == kind && ix == index => check.closed_phases += 1,
+                top => {
+                    return Err(format!(
+                        "record {i}: PhaseEnd({kind:?}, {index}) on node {} closes {top:?}",
+                        r.node
+                    ))
+                }
+            },
+            TraceEvent::StageBegin { stage, phase } => {
+                stacks[r.node].push(Open::Stage(stage, phase))
+            }
+            TraceEvent::StageEnd { stage, phase } => match stacks[r.node].pop() {
+                Some(Open::Stage(s, p)) if s == stage && p == phase => check.closed_stages += 1,
+                top => {
+                    return Err(format!(
+                        "record {i}: StageEnd({stage:?}, {phase}) on node {} closes {top:?}",
+                        r.node
+                    ))
+                }
+            },
+            TraceEvent::TaskExec { .. } => check.task_execs += 1,
+            _ => {}
+        }
+    }
+    check.open_spans = stacks.iter().map(|s| s.len()).sum();
+    Ok(check)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(buf: &mut TraceBuffer, t: Time, node: NodeId, e: TraceEvent) {
+        buf.record(t, node, e);
+    }
+
+    #[test]
+    fn tracer_off_never_builds_events() {
+        let t = Tracer::off();
+        assert!(!t.enabled());
+        t.emit(0, 0, || panic!("payload built while disabled"));
+    }
+
+    #[test]
+    fn with_sink_installs_and_restores() {
+        assert!(!Tracer::current().enabled());
+        let (buf, got) = with_sink(TraceBuffer::new(), || {
+            let t = Tracer::current();
+            assert!(t.enabled());
+            t.emit(5, 2, || TraceEvent::QueueDepth { depth: 3 });
+            42
+        });
+        assert_eq!(got, 42);
+        assert_eq!(buf.records.len(), 1);
+        assert_eq!(buf.records[0].time, 5);
+        assert_eq!(buf.records[0].node, 2);
+        assert!(!Tracer::current().enabled());
+    }
+
+    #[test]
+    fn with_sink_restores_outer_sink_when_nested() {
+        let (outer, _) = with_sink(TraceBuffer::new(), || {
+            let (inner, _) = with_sink(TraceBuffer::new(), || {
+                Tracer::current().emit(1, 0, || TraceEvent::QueueDepth { depth: 1 });
+            });
+            assert_eq!(inner.records.len(), 1);
+            // Back on the outer sink.
+            Tracer::current().emit(2, 0, || TraceEvent::QueueDepth { depth: 2 });
+        });
+        assert_eq!(outer.records.len(), 1);
+        assert_eq!(outer.records[0].time, 2);
+    }
+
+    #[test]
+    fn hist_percentiles_nearest_rank() {
+        let mut h = Hist::new();
+        for v in [10, 30, 20, 50, 40] {
+            h.push(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.p50(), 30);
+        assert_eq!(h.p95(), 50);
+        assert_eq!(h.max(), 50);
+        assert!((h.mean() - 30.0).abs() < 1e-9);
+        let mut empty = Hist::new();
+        assert_eq!(empty.p50(), 0);
+        assert_eq!(empty.max(), 0);
+    }
+
+    #[test]
+    fn validate_accepts_nested_spans() {
+        let mut b = TraceBuffer::new();
+        ev(
+            &mut b,
+            0,
+            0,
+            TraceEvent::PhaseBegin {
+                kind: PhaseKind::User,
+                index: 0,
+            },
+        );
+        ev(
+            &mut b,
+            10,
+            0,
+            TraceEvent::PhaseEnd {
+                kind: PhaseKind::User,
+                index: 0,
+            },
+        );
+        ev(
+            &mut b,
+            10,
+            0,
+            TraceEvent::PhaseBegin {
+                kind: PhaseKind::System,
+                index: 1,
+            },
+        );
+        ev(
+            &mut b,
+            10,
+            0,
+            TraceEvent::StageBegin {
+                stage: SysStage::LoadCollect,
+                phase: 1,
+            },
+        );
+        ev(
+            &mut b,
+            12,
+            0,
+            TraceEvent::StageEnd {
+                stage: SysStage::LoadCollect,
+                phase: 1,
+            },
+        );
+        let check = validate(&b).expect("well-formed");
+        assert_eq!(check.closed_phases, 1);
+        assert_eq!(check.closed_stages, 1);
+        assert_eq!(check.open_spans, 1); // system phase still open
+    }
+
+    #[test]
+    fn validate_rejects_mismatched_end() {
+        let mut b = TraceBuffer::new();
+        ev(
+            &mut b,
+            0,
+            0,
+            TraceEvent::PhaseBegin {
+                kind: PhaseKind::User,
+                index: 0,
+            },
+        );
+        ev(
+            &mut b,
+            5,
+            0,
+            TraceEvent::PhaseEnd {
+                kind: PhaseKind::System,
+                index: 0,
+            },
+        );
+        assert!(validate(&b).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_backwards_span_time() {
+        let mut b = TraceBuffer::new();
+        ev(
+            &mut b,
+            10,
+            0,
+            TraceEvent::PhaseBegin {
+                kind: PhaseKind::User,
+                index: 0,
+            },
+        );
+        ev(
+            &mut b,
+            5,
+            0,
+            TraceEvent::PhaseEnd {
+                kind: PhaseKind::User,
+                index: 0,
+            },
+        );
+        assert!(validate(&b).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_stale_phase_index() {
+        let mut b = TraceBuffer::new();
+        for index in [2, 2] {
+            ev(
+                &mut b,
+                0,
+                0,
+                TraceEvent::PhaseBegin {
+                    kind: PhaseKind::System,
+                    index,
+                },
+            );
+            ev(
+                &mut b,
+                1,
+                0,
+                TraceEvent::PhaseEnd {
+                    kind: PhaseKind::System,
+                    index,
+                },
+            );
+        }
+        assert!(validate(&b).is_err());
+    }
+
+    #[test]
+    fn validate_exempts_instants_from_monotonicity() {
+        let mut b = TraceBuffer::new();
+        ev(
+            &mut b,
+            10,
+            0,
+            TraceEvent::PhaseBegin {
+                kind: PhaseKind::User,
+                index: 0,
+            },
+        );
+        // The engine applies send effects after the handler returns, so
+        // an instant may be stamped before the latest span event.
+        ev(
+            &mut b,
+            3,
+            0,
+            TraceEvent::MsgSend {
+                to: 1,
+                bytes: 16,
+                hops: 1,
+            },
+        );
+        assert!(validate(&b).is_ok());
+    }
+}

@@ -1,20 +1,29 @@
 //! `rips` — command-line driver for the reproduction.
 //!
 //! ```text
-//! rips run   --app queens13 --scheduler rips --nodes 32 [--policy any-lazy] [--seed 1]
-//! rips plan  --rows 8 --cols 4 --loads 25,0,3,...   # one-shot MWA on a load vector
-//! rips apps                                         # list available workloads
+//! rips run    --app queens13 --scheduler rips --nodes 32 [--policy any-lazy] [--seed 1]
+//! rips trace  <scheduler> <app> [--nodes 32] [--seed 1] [--out trace.json] [--check]
+//! rips report <scheduler> <app> [--nodes 32] [--seed 1] [--jsonl]
+//! rips plan   --rows 8 --cols 4 --loads 25,0,3,...   # one-shot MWA on a load vector
+//! rips apps                                          # list available workloads
 //! ```
+//!
+//! `trace` runs one scheduler with the structured trace sink attached
+//! and writes a Chrome trace-event JSON file — open it at
+//! <https://ui.perfetto.dev> for per-node phase/task timelines.
+//! `report` runs the same way but prints the aggregated phase-anatomy
+//! table (p50/p95/max durations per system phase) instead.
 
 use std::sync::Arc;
 
 use rips_repro::bench::{registry_with, RegistryTuning};
 use rips_repro::core::{GlobalPolicy, LocalPolicy, RipsConfig};
 use rips_repro::desim::LatencyModel;
-use rips_repro::runtime::{Costs, RunSpec};
+use rips_repro::runtime::{Costs, RunSpec, SchedulerRegistry};
 use rips_repro::sched::{min_nonlocal_tasks, mwa};
 use rips_repro::taskgraph::Workload;
 use rips_repro::topology::{Mesh2D, Topology};
+use rips_repro::trace::{validate, TraceBuffer};
 
 fn arg(name: &str) -> Option<String> {
     let mut args = std::env::args();
@@ -27,13 +36,23 @@ fn arg(name: &str) -> Option<String> {
 }
 
 const APPS: &[&str] = &[
-    "queens11", "queens12", "queens13", "queens14", "queens15", "ida1", "ida2", "ida3", "gromos8",
-    "gromos12", "gromos16",
+    "queens9", "queens10", "queens11", "queens12", "queens13", "queens14", "queens15", "ida1",
+    "ida2", "ida3", "gromos8", "gromos12", "gromos16",
 ];
 
 fn build_app(name: &str) -> Workload {
     use rips_repro::apps::{gromos, nqueens, puzzle, GromosConfig, NQueensConfig, PuzzleConfig};
+    // The sub-paper sizes (smoke tests, CI traces) split shallower so
+    // the task count stays proportionate to the tiny boards.
+    let small_queens = |n| NQueensConfig {
+        n,
+        split_depth: 3,
+        root_depth: 2,
+        ns_per_node: 1800,
+    };
     match name {
+        "queens9" => nqueens(small_queens(9)),
+        "queens10" => nqueens(small_queens(10)),
         "queens11" => nqueens(NQueensConfig::paper(11)),
         "queens12" => nqueens(NQueensConfig::paper(12)),
         "queens13" => nqueens(NQueensConfig::paper(13)),
@@ -49,6 +68,53 @@ fn build_app(name: &str) -> Workload {
             eprintln!("unknown app '{other}'; available: {APPS:?}");
             std::process::exit(2);
         }
+    }
+}
+
+/// Builds the registry for `--policy` and resolves a case-insensitive
+/// scheduler name against its roster.
+fn resolve_scheduler(scheduler: &str, policy: &str) -> (SchedulerRegistry, String) {
+    let (local, global) = match policy {
+        "any-lazy" => (LocalPolicy::Lazy, GlobalPolicy::Any),
+        "any-eager" => (LocalPolicy::Eager, GlobalPolicy::Any),
+        "all-lazy" => (LocalPolicy::Lazy, GlobalPolicy::All),
+        "all-eager" => (LocalPolicy::Eager, GlobalPolicy::All),
+        other => {
+            eprintln!("unknown policy '{other}' (any-lazy|any-eager|all-lazy|all-eager)");
+            std::process::exit(2);
+        }
+    };
+    let reg = registry_with(RegistryTuning {
+        rips: RipsConfig {
+            local,
+            global,
+            ..RipsConfig::default()
+        },
+        ..RegistryTuning::default()
+    });
+    let Some(name) = reg
+        .names()
+        .iter()
+        .find(|n| n.eq_ignore_ascii_case(scheduler))
+        .map(|n| n.to_string())
+    else {
+        eprintln!(
+            "unknown scheduler '{scheduler}'; available: {}",
+            reg.names().join("|").to_lowercase()
+        );
+        std::process::exit(2);
+    };
+    (reg, name)
+}
+
+fn paper_spec(workload: &Arc<Workload>, nodes: usize, seed: u64) -> RunSpec {
+    RunSpec {
+        workload: Arc::clone(workload),
+        nodes,
+        latency: LatencyModel::paragon(),
+        costs: Costs::default(),
+        seed,
+        rid_u: 0.4,
     }
 }
 
@@ -73,45 +139,8 @@ fn cmd_run() {
     let mesh = Mesh2D::near_square(nodes);
     println!("machine:  {} ({} nodes)", mesh.label(), nodes);
 
-    let (local, global) = match policy.as_str() {
-        "any-lazy" => (LocalPolicy::Lazy, GlobalPolicy::Any),
-        "any-eager" => (LocalPolicy::Eager, GlobalPolicy::Any),
-        "all-lazy" => (LocalPolicy::Lazy, GlobalPolicy::All),
-        "all-eager" => (LocalPolicy::Eager, GlobalPolicy::All),
-        other => {
-            eprintln!("unknown policy '{other}' (any-lazy|any-eager|all-lazy|all-eager)");
-            std::process::exit(2);
-        }
-    };
-    let reg = registry_with(RegistryTuning {
-        rips: RipsConfig {
-            local,
-            global,
-            ..RipsConfig::default()
-        },
-        ..RegistryTuning::default()
-    });
-    // Case-insensitive lookup against the registry's roster.
-    let Some(name) = reg
-        .names()
-        .iter()
-        .find(|n| n.eq_ignore_ascii_case(&scheduler))
-        .map(|n| n.to_string())
-    else {
-        eprintln!(
-            "unknown scheduler '{scheduler}'; available: {}",
-            reg.names().join("|").to_lowercase()
-        );
-        std::process::exit(2);
-    };
-    let spec = RunSpec {
-        workload: Arc::clone(&workload),
-        nodes,
-        latency: LatencyModel::paragon(),
-        costs: Costs::default(),
-        seed,
-        rid_u: 0.4,
-    };
+    let (reg, name) = resolve_scheduler(&scheduler, &policy);
+    let spec = paper_spec(&workload, nodes, seed);
     let run = reg.run(&name, &spec);
     let outcome = run.outcome;
     let phases = outcome.system_phases;
@@ -129,9 +158,84 @@ fn cmd_run() {
         outcome.stats.total_user_us() as f64 / outcome.stats.end_time as f64
     );
     println!("  efficiency      : {:.1}%", outcome.efficiency() * 100.0);
+    println!("  sim events      : {}", outcome.stats.events);
+    println!("  peak evt queue  : {}", outcome.stats.peak_queue_depth);
     if phases > 0 {
         println!("  system phases   : {phases}");
     }
+}
+
+/// Shared front half of `trace` and `report`: parse the positional
+/// `<scheduler> <app>` pair, run the cell under a [`TraceBuffer`] sink,
+/// and hand back the buffer plus the run's end time.
+fn traced_run(cmd: &str) -> (String, TraceBuffer, u64) {
+    let mut pos = std::env::args()
+        .skip(2)
+        .take_while(|a| !a.starts_with("--"));
+    let (Some(scheduler), Some(app)) = (pos.next(), pos.next()) else {
+        eprintln!("usage: rips {cmd} <scheduler> <app> [--nodes N] [--seed S] [--policy P] ...");
+        std::process::exit(2);
+    };
+    let nodes: usize = arg("--nodes").and_then(|v| v.parse().ok()).unwrap_or(32);
+    let seed: u64 = arg("--seed").and_then(|v| v.parse().ok()).unwrap_or(1);
+    let policy = arg("--policy").unwrap_or_else(|| "any-lazy".into());
+
+    eprintln!("building workload '{app}' ...");
+    let workload = Arc::new(build_app(&app));
+    let (reg, name) = resolve_scheduler(&scheduler, &policy);
+    let spec = paper_spec(&workload, nodes, seed);
+
+    eprintln!("tracing {name} on {nodes} nodes (seed {seed}) ...");
+    let (buf, run) = rips_repro::trace::with_sink(TraceBuffer::new(), || reg.run(&name, &spec));
+    run.outcome
+        .verify_complete(&workload)
+        .expect("scheduler lost tasks");
+    let label = format!("{name} · {app} · {nodes} nodes · seed {seed}");
+    (label, buf, run.outcome.stats.end_time)
+}
+
+fn cmd_trace() {
+    let out_path = arg("--out").unwrap_or_else(|| "trace.json".into());
+    let (label, buf, end_time) = traced_run("trace");
+
+    if arg_flag("--check") {
+        match validate(&buf) {
+            Ok(check) => eprintln!(
+                "trace well-formed: {} phase spans, {} stage spans, {} task execs, {} open at halt",
+                check.closed_phases, check.closed_stages, check.task_execs, check.open_spans
+            ),
+            Err(e) => {
+                eprintln!("malformed trace: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let json = buf.chrome_json(&label, end_time);
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "wrote {out_path}: {} events, {} bytes — open at https://ui.perfetto.dev",
+        buf.records.len(),
+        json.len()
+    );
+}
+
+fn cmd_report() {
+    let (label, buf, end_time) = traced_run("report");
+    let mut report = buf.report(end_time);
+    if arg_flag("--jsonl") {
+        print!("{}", report.to_jsonl());
+    } else {
+        println!("{label}\n");
+        print!("{}", report.render());
+    }
+}
+
+fn arg_flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
 }
 
 fn cmd_plan() {
@@ -168,6 +272,8 @@ fn cmd_plan() {
 fn main() {
     match std::env::args().nth(1).as_deref() {
         Some("run") => cmd_run(),
+        Some("trace") => cmd_trace(),
+        Some("report") => cmd_report(),
         Some("plan") => cmd_plan(),
         Some("apps") => {
             for a in APPS {
@@ -180,9 +286,15 @@ fn main() {
             }
         }
         _ => {
-            eprintln!("usage: rips <run|plan|apps|schedulers> [flags]");
-            eprintln!("  run  --app queens13 --scheduler rips|random|gradient|rid|sid --nodes 32");
-            eprintln!("  plan --rows 8 --cols 4 --loads 25,0,3,...");
+            eprintln!("usage: rips <run|trace|report|plan|apps|schedulers> [flags]");
+            eprintln!(
+                "  run    --app queens13 --scheduler rips|random|gradient|rid|sid --nodes 32"
+            );
+            eprintln!(
+                "  trace  <scheduler> <app> [--nodes N] [--seed S] [--out trace.json] [--check]"
+            );
+            eprintln!("  report <scheduler> <app> [--nodes N] [--seed S] [--jsonl]");
+            eprintln!("  plan   --rows 8 --cols 4 --loads 25,0,3,...");
             std::process::exit(2);
         }
     }

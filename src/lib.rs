@@ -15,3 +15,4 @@ pub use rips_runtime as runtime;
 pub use rips_sched as sched;
 pub use rips_taskgraph as taskgraph;
 pub use rips_topology as topology;
+pub use rips_trace as trace;
