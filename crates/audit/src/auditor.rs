@@ -1,0 +1,616 @@
+//! The runtime invariant [`Auditor`]: a [`TraceSink`] that checks the
+//! paper's theorems against a live trace stream.
+//!
+//! # Theorem-to-check mapping
+//!
+//! * **Theorem 1** (load balance): after every complete system phase,
+//!   the post-schedule loads `post[i] = reported[i] − out[i] + in[i]`
+//!   differ by at most one task across nodes.
+//! * **Theorem 2 / Lemma 1** (non-local-task minimality): the number of
+//!   tasks the phase migrates equals the *independently computed* lower
+//!   bound `m = Σ_j (q_j − w_j)⁺` — each under-quota node must import
+//!   its deficit, and the MWA is proven to move no more than that.
+//! * **Conservation**: at halt, every spawned task was executed
+//!   (`spawned − executed` = tasks stranded in a queue, which must be
+//!   zero for a completed run), and every migrated task that departed
+//!   also arrived.
+//! * **Barrier pairing**: round barriers are announced in strictly
+//!   increasing round order, and no round begins before the barrier of
+//!   the previous round was announced.
+//! * **Phase monotonicity**: system-phase indices strictly increase per
+//!   node, and system phases never nest.
+//!
+//! # Attribution
+//!
+//! Per-phase accounting keys off the *sender's* open system-phase span:
+//! `LoadSample` and `MigrateOut` are both emitted inside the emitting
+//! node's `PhaseBegin(System) … PhaseEnd(System)` window, so the phase a
+//! migration belongs to is exact. Inbound counts are derived from the
+//! senders' `MigrateOut { to, .. }` events rather than `MigrateIn`
+//! arrival times, because a batch can physically arrive after the
+//! receiver has already resumed its user phase — Theorem 1 is a claim
+//! about the *planned* post-schedule distribution, not about message
+//! latency.
+//!
+//! Baseline schedulers emit no system phases, so the theorem checks are
+//! vacuous for them and the same auditor runs unchanged across the
+//! whole roster; the conservation and barrier checks still bite. The
+//! theorem checks assume the task-count load metric (the paper's choice
+//! and the workspace default): under the estimated-weight metric quotas
+//! are weight-valued and indivisible tasks make them unfillable, so
+//! task-count equality is not a theorem there.
+
+use std::collections::BTreeMap;
+
+use rips_trace::{NodeId, PhaseKind, Time, TraceEvent, TraceSink};
+
+/// Balanced quotas for `total` tasks over `n` nodes, computed here from
+/// first principles (deliberately *not* shared with `rips-flow`, so the
+/// auditor cross-checks the scheduler rather than mirroring it): every
+/// node gets `⌊total/n⌋`, the first `total mod n` nodes one extra.
+pub fn quotas(total: i64, n: usize) -> Vec<i64> {
+    let base = total / n as i64;
+    let rem = (total % n as i64) as usize;
+    (0..n)
+        .map(|i| if i < rem { base + 1 } else { base })
+        .collect()
+}
+
+/// Lemma 1 lower bound on non-local tasks for balancing `loads`: the
+/// sum of the under-quota nodes' deficits, `Σ_j (q_j − w_j)⁺`.
+pub fn min_nonlocal_lower_bound(loads: &[i64]) -> i64 {
+    let q = quotas(loads.iter().sum(), loads.len());
+    loads.iter().zip(&q).map(|(&w, &t)| (t - w).max(0)).sum()
+}
+
+/// Per-system-phase accounting, filled as the stream arrives.
+#[derive(Debug, Clone)]
+struct PhaseAcc {
+    /// Load each node reported into the phase (`LoadSample`).
+    loads: Vec<Option<i64>>,
+    /// Tasks each node sent out during the phase.
+    out: Vec<i64>,
+    /// Tasks destined for each node, from the senders' `MigrateOut`s.
+    inbound: Vec<i64>,
+}
+
+impl PhaseAcc {
+    fn new(n: usize) -> Self {
+        PhaseAcc {
+            loads: vec![None; n],
+            out: vec![0; n],
+            inbound: vec![0; n],
+        }
+    }
+
+    fn complete(&self) -> bool {
+        self.loads.iter().all(Option::is_some)
+    }
+}
+
+/// What the audit concluded. Produced by [`Auditor::finish`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AuditReport {
+    /// Nodes in the audited machine.
+    pub nodes: usize,
+    /// System phases with a full load report that were checked against
+    /// Theorems 1 and 2.
+    pub phases_checked: usize,
+    /// System phases begun but missing load reports at halt (0 on any
+    /// completed run).
+    pub phases_incomplete: usize,
+    /// Largest post-schedule load spread observed across checked phases
+    /// (Theorem 1 requires ≤ 1).
+    pub max_spread: i64,
+    /// Tasks spawned over the whole run.
+    pub spawned: u64,
+    /// Tasks executed over the whole run.
+    pub executed: u64,
+    /// Tasks that departed in migration batches.
+    pub migrated_out: u64,
+    /// Tasks that arrived in migration batches.
+    pub migrated_in: u64,
+    /// Round barriers announced.
+    pub barriers: usize,
+    /// Invariant violations, in detection order. Empty ⇔ the run upheld
+    /// every audited invariant.
+    pub errors: Vec<String>,
+}
+
+impl AuditReport {
+    /// `true` when no invariant was violated.
+    pub fn is_ok(&self) -> bool {
+        self.errors.is_empty()
+    }
+
+    /// Human-readable rendering for the `rips audit` subcommand.
+    pub fn render_human(&self) -> String {
+        let mut out = format!(
+            "nodes            {}\n\
+             phases checked   {} (incomplete: {})\n\
+             max load spread  {} (Theorem 1 bound: 1)\n\
+             tasks            {} spawned / {} executed\n\
+             migrations       {} out / {} in\n\
+             barriers         {}\n",
+            self.nodes,
+            self.phases_checked,
+            self.phases_incomplete,
+            self.max_spread,
+            self.spawned,
+            self.executed,
+            self.migrated_out,
+            self.migrated_in,
+            self.barriers
+        );
+        if self.errors.is_empty() {
+            out.push_str("audit            OK\n");
+        } else {
+            for e in &self.errors {
+                out.push_str(&format!("VIOLATION: {e}\n"));
+            }
+        }
+        out
+    }
+}
+
+/// A [`TraceSink`] that audits the paper's invariants as events stream
+/// in. Install it with [`rips_trace::with_sink`] (alone, or fanned out
+/// beside a `TraceBuffer` via [`rips_trace::Tee`]) and call
+/// [`Auditor::finish`] after the run for the [`AuditReport`].
+///
+/// Auditing is purely observational: it consumes the same event stream
+/// the exporters do and never feeds back into the run, so `RunStats`
+/// are bit-for-bit identical with and without it (pinned by the golden
+/// audit test).
+#[derive(Debug)]
+pub struct Auditor {
+    n: usize,
+    /// Per node: the system phase currently open on it, if any.
+    open_sys: Vec<Option<u32>>,
+    /// Per node: the last system-phase index it began.
+    last_sys: Vec<Option<u32>>,
+    /// Per node: the last round it began.
+    last_round: Vec<Option<u32>>,
+    phases: BTreeMap<u32, PhaseAcc>,
+    last_barrier: Option<u32>,
+    barriers: usize,
+    spawned: u64,
+    executed: u64,
+    migrated_out: u64,
+    migrated_in: u64,
+    errors: Vec<String>,
+}
+
+impl Auditor {
+    /// An auditor for an `n`-node machine.
+    pub fn new(n: usize) -> Self {
+        Auditor {
+            n,
+            open_sys: vec![None; n],
+            last_sys: vec![None; n],
+            last_round: vec![None; n],
+            phases: BTreeMap::new(),
+            last_barrier: None,
+            barriers: 0,
+            spawned: 0,
+            executed: 0,
+            migrated_out: 0,
+            migrated_in: 0,
+            errors: Vec::new(),
+        }
+    }
+
+    fn err(&mut self, msg: String) {
+        self.errors.push(msg);
+    }
+
+    /// Closes the stream and evaluates the end-of-run invariants
+    /// (per-phase Theorem 1/2 checks over every complete phase, task
+    /// and migration conservation), returning the report.
+    pub fn finish(mut self) -> AuditReport {
+        let mut report = AuditReport {
+            nodes: self.n,
+            spawned: self.spawned,
+            executed: self.executed,
+            migrated_out: self.migrated_out,
+            migrated_in: self.migrated_in,
+            barriers: self.barriers,
+            ..AuditReport::default()
+        };
+
+        // Conservation at halt.
+        if self.spawned != self.executed {
+            self.errors.push(format!(
+                "conservation: {} task(s) spawned but only {} executed ({} stranded in queues at halt)",
+                self.spawned,
+                self.executed,
+                self.spawned as i64 - self.executed as i64
+            ));
+        }
+        if self.migrated_out != self.migrated_in {
+            self.errors.push(format!(
+                "conservation: {} task(s) departed in migration batches but {} arrived",
+                self.migrated_out, self.migrated_in
+            ));
+        }
+
+        // Per-phase theorem checks.
+        let phases = std::mem::take(&mut self.phases);
+        for (p, acc) in &phases {
+            if !acc.complete() {
+                report.phases_incomplete += 1;
+                continue;
+            }
+            let loads: Vec<i64> = acc.loads.iter().map(|l| l.unwrap()).collect();
+            let total: i64 = loads.iter().sum();
+            let post: Vec<i64> = (0..self.n)
+                .map(|i| loads[i] - acc.out[i] + acc.inbound[i])
+                .collect();
+
+            // Sanity: migrations move tasks, they don't create them.
+            if post.iter().sum::<i64>() != total {
+                self.errors.push(format!(
+                    "phase {p}: post-schedule loads sum to {} but {} were reported",
+                    post.iter().sum::<i64>(),
+                    total
+                ));
+            }
+            if let Some(&neg) = post.iter().find(|&&v| v < 0) {
+                self.errors
+                    .push(format!("phase {p}: a node is overdrawn to {neg} tasks"));
+            }
+
+            // Theorem 1: post-schedule loads differ by at most one.
+            let spread = match (post.iter().max(), post.iter().min()) {
+                (Some(max), Some(min)) => max - min,
+                _ => 0,
+            };
+            report.max_spread = report.max_spread.max(spread);
+            if spread > 1 {
+                self.errors.push(format!(
+                    "Theorem 1 violated in phase {p}: post-schedule load spread {spread} > 1 (post = {post:?})"
+                ));
+            }
+
+            // Theorem 2 / Lemma 1: migrated tasks equal the lower bound.
+            let moved: i64 = acc.out.iter().sum();
+            let bound = min_nonlocal_lower_bound(&loads);
+            if moved != bound {
+                let kind = if moved > bound {
+                    "not minimal"
+                } else {
+                    "below the feasibility bound"
+                };
+                self.errors.push(format!(
+                    "Theorem 2 violated in phase {p}: {moved} task(s) migrated but the \
+                     Lemma 1 lower bound for loads {loads:?} is {bound} ({kind})"
+                ));
+            }
+            report.phases_checked += 1;
+        }
+
+        report.errors = self.errors;
+        report
+    }
+}
+
+impl TraceSink for Auditor {
+    fn record(&mut self, _time_us: Time, node: NodeId, event: TraceEvent) {
+        if node >= self.n {
+            self.err(format!(
+                "node {node} out of range for a {}-node machine",
+                self.n
+            ));
+            return;
+        }
+        match event {
+            TraceEvent::PhaseBegin {
+                kind: PhaseKind::System,
+                index,
+            } => {
+                if let Some(open) = self.open_sys[node] {
+                    self.err(format!(
+                        "node {node}: system phase {index} begins inside open system phase {open}"
+                    ));
+                }
+                if let Some(prev) = self.last_sys[node] {
+                    if index <= prev {
+                        self.err(format!(
+                            "node {node}: system phase index {index} not after {prev}"
+                        ));
+                    }
+                }
+                self.last_sys[node] = Some(index);
+                self.open_sys[node] = Some(index);
+                let n = self.n;
+                self.phases.entry(index).or_insert_with(|| PhaseAcc::new(n));
+            }
+            TraceEvent::PhaseEnd {
+                kind: PhaseKind::System,
+                index,
+            } => match self.open_sys[node].take() {
+                Some(open) if open == index => {}
+                open => self.err(format!(
+                    "node {node}: PhaseEnd(System, {index}) closes {open:?}"
+                )),
+            },
+            TraceEvent::LoadSample { load } => match self.open_sys[node] {
+                Some(p) => {
+                    let acc = self.phases.get_mut(&p).expect("opened above");
+                    let duplicate = acc.loads[node].replace(load).is_some();
+                    if duplicate {
+                        self.err(format!("node {node}: duplicate load report in phase {p}"));
+                    }
+                }
+                None => self.err(format!("node {node}: load sample outside any system phase")),
+            },
+            TraceEvent::MigrateOut { to, count } => {
+                self.migrated_out += count as u64;
+                if to >= self.n {
+                    self.err(format!("node {node}: migration to out-of-range node {to}"));
+                    return;
+                }
+                // Attribute to the sender's open system phase; baseline
+                // schedulers migrate outside phases and are counted in
+                // the conservation totals only.
+                if let Some(p) = self.open_sys[node] {
+                    let acc = self.phases.get_mut(&p).expect("opened above");
+                    acc.out[node] += count as i64;
+                    acc.inbound[to] += count as i64;
+                }
+            }
+            TraceEvent::MigrateIn { count, .. } => self.migrated_in += count as u64,
+            TraceEvent::Spawn { count, .. } => self.spawned += count as u64,
+            TraceEvent::TaskExec { .. } => self.executed += 1,
+            TraceEvent::Barrier { round } => {
+                if let Some(prev) = self.last_barrier {
+                    if round <= prev {
+                        self.err(format!(
+                            "barrier for round {round} announced after round {prev}'s barrier"
+                        ));
+                    }
+                }
+                self.last_barrier = Some(round);
+                self.barriers += 1;
+            }
+            TraceEvent::RoundBegin { round } => {
+                if let Some(prev) = self.last_round[node] {
+                    if round <= prev {
+                        self.err(format!(
+                            "node {node}: round {round} begins after round {prev}"
+                        ));
+                    }
+                }
+                self.last_round[node] = Some(round);
+                if round > 0 && self.last_barrier.is_none_or(|b| b < round - 1) {
+                    self.err(format!(
+                        "node {node}: round {round} begins before round {}'s barrier was announced",
+                        round - 1
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sys_phase(
+        a: &mut Auditor,
+        p: u32,
+        loads: &[i64],
+        moves: &[(NodeId, NodeId, i64)],
+        t0: Time,
+    ) {
+        let n = loads.len();
+        for (node, &load) in loads.iter().enumerate() {
+            a.record(
+                t0,
+                node,
+                TraceEvent::PhaseBegin {
+                    kind: PhaseKind::System,
+                    index: p,
+                },
+            );
+            a.record(t0, node, TraceEvent::LoadSample { load });
+        }
+        for &(from, to, count) in moves {
+            a.record(
+                t0 + 1,
+                from,
+                TraceEvent::MigrateOut {
+                    to,
+                    count: count as u32,
+                },
+            );
+        }
+        for node in 0..n {
+            a.record(
+                t0 + 2,
+                node,
+                TraceEvent::PhaseEnd {
+                    kind: PhaseKind::System,
+                    index: p,
+                },
+            );
+        }
+        // Deliveries land after the phase; conservation only needs the
+        // totals to match by halt.
+        for &(from, to, count) in moves {
+            a.record(
+                t0 + 3,
+                to,
+                TraceEvent::MigrateIn {
+                    from,
+                    count: count as u32,
+                },
+            );
+        }
+    }
+
+    #[test]
+    fn quotas_split_remainder_front_loaded() {
+        assert_eq!(quotas(7, 3), vec![3, 2, 2]);
+        assert_eq!(quotas(6, 3), vec![2, 2, 2]);
+        assert_eq!(quotas(0, 4), vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn lower_bound_sums_deficits() {
+        assert_eq!(min_nonlocal_lower_bound(&[12, 0, 0]), 8);
+        assert_eq!(min_nonlocal_lower_bound(&[4, 4, 4]), 0);
+        assert_eq!(min_nonlocal_lower_bound(&[7, 0, 0]), 4);
+    }
+
+    #[test]
+    fn accepts_a_valid_phase() {
+        let mut a = Auditor::new(3);
+        // loads [6,0,0] -> quotas [2,2,2]: move 2 to node 1, 2 to node 2.
+        sys_phase(&mut a, 1, &[6, 0, 0], &[(0, 1, 2), (0, 2, 2)], 100);
+        let r = a.finish();
+        assert!(r.is_ok(), "{:?}", r.errors);
+        assert_eq!(r.phases_checked, 1);
+        assert_eq!(r.max_spread, 0);
+        assert_eq!(r.migrated_out, 4);
+    }
+
+    #[test]
+    fn thm1_catches_unbalanced_plan() {
+        let mut a = Auditor::new(3);
+        // Moves too little: post = [4, 1, 1].
+        sys_phase(&mut a, 1, &[6, 0, 0], &[(0, 1, 1), (0, 2, 1)], 100);
+        let r = a.finish();
+        assert!(r.errors.iter().any(|e| e.contains("Theorem 1")), "{r:?}");
+        assert_eq!(r.max_spread, 3);
+    }
+
+    #[test]
+    fn thm2_catches_excess_migration() {
+        let mut a = Auditor::new(3);
+        // Balanced, but ping-pongs 2 extra tasks: post = [2,2,2] yet 6 moved.
+        sys_phase(
+            &mut a,
+            1,
+            &[6, 0, 0],
+            &[(0, 1, 3), (0, 2, 2), (1, 0, 1)],
+            100,
+        );
+        let r = a.finish();
+        assert!(
+            r.errors
+                .iter()
+                .any(|e| e.contains("Theorem 2") && e.contains("not minimal")),
+            "{r:?}"
+        );
+        // Theorem 1 still holds for this stream.
+        assert!(!r.errors.iter().any(|e| e.contains("Theorem 1")));
+    }
+
+    #[test]
+    fn termination_phase_is_vacuously_fine() {
+        let mut a = Auditor::new(2);
+        sys_phase(&mut a, 1, &[0, 0], &[], 100);
+        let r = a.finish();
+        assert!(r.is_ok(), "{:?}", r.errors);
+        assert_eq!(r.phases_checked, 1);
+    }
+
+    #[test]
+    fn conservation_catches_stranded_tasks() {
+        let mut a = Auditor::new(1);
+        a.record(0, 0, TraceEvent::Spawn { round: 0, count: 3 });
+        for t in 0..2 {
+            a.record(
+                t,
+                0,
+                TraceEvent::TaskExec {
+                    task: t,
+                    round: 0,
+                    origin: 0,
+                    hops: 0,
+                    grain_us: 10,
+                    dispatch_us: 1,
+                },
+            );
+        }
+        let r = a.finish();
+        assert!(r.errors.iter().any(|e| e.contains("stranded")), "{r:?}");
+    }
+
+    #[test]
+    fn conservation_catches_lost_migrations() {
+        let mut a = Auditor::new(2);
+        a.record(0, 0, TraceEvent::MigrateOut { to: 1, count: 2 });
+        a.record(5, 1, TraceEvent::MigrateIn { from: 0, count: 1 });
+        let r = a.finish();
+        assert!(
+            r.errors.iter().any(|e| e.contains("departed")),
+            "{:?}",
+            r.errors
+        );
+    }
+
+    #[test]
+    fn barrier_order_and_round_pairing() {
+        let mut a = Auditor::new(2);
+        a.record(10, 0, TraceEvent::Barrier { round: 0 });
+        a.record(12, 0, TraceEvent::RoundBegin { round: 1 });
+        a.record(12, 1, TraceEvent::RoundBegin { round: 1 });
+        // Round 2 begins with no barrier for round 1.
+        a.record(20, 0, TraceEvent::RoundBegin { round: 2 });
+        let r = a.finish();
+        assert_eq!(r.barriers, 1);
+        assert!(
+            r.errors
+                .iter()
+                .any(|e| e.contains("before round 1's barrier")),
+            "{:?}",
+            r.errors
+        );
+    }
+
+    #[test]
+    fn stale_phase_index_rejected() {
+        let mut a = Auditor::new(1);
+        sys_phase(&mut a, 2, &[0], &[], 10);
+        sys_phase(&mut a, 2, &[0], &[], 20);
+        let r = a.finish();
+        assert!(
+            r.errors.iter().any(|e| e.contains("not after")),
+            "{:?}",
+            r.errors
+        );
+    }
+
+    #[test]
+    fn incomplete_phase_is_reported_not_checked() {
+        let mut a = Auditor::new(2);
+        a.record(
+            0,
+            0,
+            TraceEvent::PhaseBegin {
+                kind: PhaseKind::System,
+                index: 1,
+            },
+        );
+        a.record(0, 0, TraceEvent::LoadSample { load: 5 });
+        // Node 1 never reports.
+        let r = a.finish();
+        assert_eq!(r.phases_checked, 0);
+        assert_eq!(r.phases_incomplete, 1);
+    }
+
+    #[test]
+    fn baseline_migrations_outside_phases_only_hit_conservation() {
+        let mut a = Auditor::new(2);
+        a.record(0, 0, TraceEvent::MigrateOut { to: 1, count: 5 });
+        a.record(3, 1, TraceEvent::MigrateIn { from: 0, count: 5 });
+        let r = a.finish();
+        assert!(r.is_ok(), "{:?}", r.errors);
+        assert_eq!(r.phases_checked, 0);
+        assert_eq!(r.migrated_out, 5);
+    }
+}

@@ -1,0 +1,359 @@
+//! A lightweight Rust tokenizer — just enough structure for the lint
+//! rules, with none of the weight of a full parser.
+//!
+//! The lexer's one job is to let rules reason about *code* without
+//! being fooled by comments and string literals: `HashMap` inside a
+//! doc comment or a format string must not trigger RIPS-L001. It
+//! handles the lexical constructs that matter for that goal — line and
+//! (nested) block comments, string/raw-string/char literals, lifetimes
+//! versus char literals, numeric literals — and classifies everything
+//! else as identifiers or punctuation. Token text borrows from the
+//! source; every token carries its 1-based line number.
+
+/// What a token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`HashMap`, `pub`, `fn`, …).
+    Ident,
+    /// A lifetime (`'a`) — distinguished from char literals.
+    Lifetime,
+    /// One punctuation character (`{`, `!`, `(`, …).
+    Punct,
+    /// String, raw-string, char, byte, or numeric literal.
+    Literal,
+    /// `///` or `//!` doc comment (text includes the markers).
+    DocComment,
+    /// `//` line comment (text includes the markers).
+    LineComment,
+    /// `/* … */` block comment, nesting respected.
+    BlockComment,
+}
+
+/// One token: kind, source text, and 1-based line of its first byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tok<'a> {
+    /// Classification.
+    pub kind: TokKind,
+    /// Exact source text.
+    pub text: &'a str,
+    /// 1-based line number where the token starts.
+    pub line: u32,
+}
+
+/// Tokenizes `src`. Unterminated constructs (string or block comment
+/// running to EOF) are tolerated: the token simply extends to the end
+/// of the input — lint rules prefer resilience over rejection.
+pub fn tokenize(src: &str) -> Vec<Tok<'_>> {
+    let b = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0;
+    let mut line: u32 = 1;
+
+    // Advances `line` for every newline in `src[from..to]`.
+    let count_lines =
+        |from: usize, to: usize| src[from..to].bytes().filter(|&c| c == b'\n').count();
+
+    while i < b.len() {
+        let start = i;
+        let start_line = line;
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                let end = src[i..].find('\n').map_or(b.len(), |p| i + p);
+                let text = &src[i..end];
+                let kind = if text.starts_with("///") || text.starts_with("//!") {
+                    TokKind::DocComment
+                } else {
+                    TokKind::LineComment
+                };
+                toks.push(Tok {
+                    kind,
+                    text,
+                    line: start_line,
+                });
+                i = end;
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                // Block comments nest in Rust.
+                let mut depth = 1;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                line += count_lines(start, i) as u32;
+                toks.push(Tok {
+                    kind: TokKind::BlockComment,
+                    text: &src[start..i],
+                    line: start_line,
+                });
+            }
+            b'"' => {
+                i = scan_string(b, i + 1);
+                line += count_lines(start, i) as u32;
+                toks.push(Tok {
+                    kind: TokKind::Literal,
+                    text: &src[start..i],
+                    line: start_line,
+                });
+            }
+            b'r' | b'b' if is_raw_string_start(b, i) => {
+                i = scan_raw_string(b, i);
+                line += count_lines(start, i) as u32;
+                toks.push(Tok {
+                    kind: TokKind::Literal,
+                    text: &src[start..i],
+                    line: start_line,
+                });
+            }
+            b'\'' => {
+                // Lifetime (`'a`, `'static`) vs char literal (`'x'`,
+                // `'\n'`): a lifetime is a quote followed by an
+                // identifier *not* closed by another quote.
+                let is_lifetime = match b.get(i + 1) {
+                    Some(&n) if n == b'_' || n.is_ascii_alphabetic() => {
+                        let mut j = i + 1;
+                        while j < b.len() && (b[j] == b'_' || b[j].is_ascii_alphanumeric()) {
+                            j += 1;
+                        }
+                        b.get(j) != Some(&b'\'')
+                    }
+                    _ => false,
+                };
+                if is_lifetime {
+                    let mut j = i + 1;
+                    while j < b.len() && (b[j] == b'_' || b[j].is_ascii_alphanumeric()) {
+                        j += 1;
+                    }
+                    toks.push(Tok {
+                        kind: TokKind::Lifetime,
+                        text: &src[i..j],
+                        line: start_line,
+                    });
+                    i = j;
+                } else {
+                    i += 1;
+                    if b.get(i) == Some(&b'\\') {
+                        i += 2; // escape + escaped char
+                    } else if i < b.len() {
+                        i += 1;
+                    }
+                    while i < b.len() && b[i] != b'\'' {
+                        i += 1; // tolerate multi-byte chars
+                    }
+                    i = (i + 1).min(b.len());
+                    line += count_lines(start, i) as u32;
+                    toks.push(Tok {
+                        kind: TokKind::Literal,
+                        text: &src[start..i],
+                        line: start_line,
+                    });
+                }
+            }
+            c if c == b'_' || c.is_ascii_alphabetic() => {
+                let mut j = i;
+                while j < b.len() && (b[j] == b'_' || b[j].is_ascii_alphanumeric()) {
+                    j += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: &src[i..j],
+                    line: start_line,
+                });
+                i = j;
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i;
+                while j < b.len()
+                    && (b[j].is_ascii_alphanumeric() || b[j] == b'_' || b[j] == b'.')
+                    && !(b[j] == b'.' && b.get(j + 1) == Some(&b'.'))
+                {
+                    j += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Literal,
+                    text: &src[i..j],
+                    line: start_line,
+                });
+                i = j;
+            }
+            _ => {
+                toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: &src[i..i + 1],
+                    line: start_line,
+                });
+                i += 1;
+            }
+        }
+    }
+    toks
+}
+
+/// Scans past a double-quoted string body starting *after* the opening
+/// quote; returns the index one past the closing quote.
+fn scan_string(b: &[u8], mut i: usize) -> usize {
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    b.len()
+}
+
+/// `r"…"`, `r#"…"#`, `br"…"`, … — does `b[i..]` start one?
+fn is_raw_string_start(b: &[u8], i: usize) -> bool {
+    let mut j = i + 1;
+    if b[i] == b'b' {
+        match b.get(j) {
+            Some(&b'"') => return true, // byte string b"…"
+            Some(&b'r') => j += 1,
+            _ => return false,
+        }
+    }
+    matches!(b.get(j), Some(&b'"') | Some(&b'#'))
+}
+
+/// Scans a raw (or byte/raw-byte) string starting at its `r`/`b`;
+/// returns the index one past the closing delimiter.
+fn scan_raw_string(b: &[u8], mut i: usize) -> usize {
+    if b[i] == b'b' {
+        i += 1;
+    }
+    if b.get(i) == Some(&b'r') {
+        i += 1;
+    } else {
+        // plain byte string b"…": same body rules as a normal string
+        return scan_string(b, i + 1);
+    }
+    let mut hashes = 0;
+    while b.get(i) == Some(&b'#') {
+        hashes += 1;
+        i += 1;
+    }
+    if b.get(i) != Some(&b'"') {
+        return i; // not actually a raw string; resync
+    }
+    i += 1;
+    while i < b.len() {
+        if b[i] == b'"' {
+            let mut k = 0;
+            while k < hashes && b.get(i + 1 + k) == Some(&b'#') {
+                k += 1;
+            }
+            if k == hashes {
+                return i + 1 + hashes;
+            }
+        }
+        i += 1;
+    }
+    b.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, &str)> {
+        tokenize(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_punct() {
+        assert_eq!(
+            kinds("let x = y;"),
+            vec![
+                (TokKind::Ident, "let"),
+                (TokKind::Ident, "x"),
+                (TokKind::Punct, "="),
+                (TokKind::Ident, "y"),
+                (TokKind::Punct, ";"),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_hide_identifiers() {
+        let toks = kinds(r#"let s = "HashMap::new()";"#);
+        assert!(toks
+            .iter()
+            .all(|&(k, t)| k != TokKind::Ident || t != "HashMap"));
+        assert!(toks
+            .iter()
+            .any(|&(k, t)| k == TokKind::Literal && t.contains("HashMap")));
+    }
+
+    #[test]
+    fn comments_are_classified() {
+        let toks = kinds("// plain\n/// doc\n//! inner\n/* block */ x");
+        assert_eq!(toks[0].0, TokKind::LineComment);
+        assert_eq!(toks[1].0, TokKind::DocComment);
+        assert_eq!(toks[2].0, TokKind::DocComment);
+        assert_eq!(toks[3].0, TokKind::BlockComment);
+        assert_eq!(toks[4], (TokKind::Ident, "x"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("/* a /* b */ c */ after");
+        assert_eq!(toks[0].0, TokKind::BlockComment);
+        assert_eq!(toks[1], (TokKind::Ident, "after"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let toks = kinds(r###"let s = r#"HashMap "quoted" body"#; next"###);
+        assert!(toks
+            .iter()
+            .any(|&(k, t)| k == TokKind::Literal && t.contains("quoted")));
+        assert_eq!(*toks.last().unwrap(), (TokKind::Ident, "next"));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert_eq!(
+            toks.iter()
+                .filter(|&&(k, _)| k == TokKind::Lifetime)
+                .count(),
+            2
+        );
+        assert_eq!(
+            toks.iter()
+                .filter(|&&(k, t)| k == TokKind::Literal && t.starts_with('\''))
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let toks = tokenize("a\nb\n\nc");
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn multiline_string_advances_lines() {
+        let toks = tokenize("let s = \"x\ny\";\nz");
+        let z = toks.iter().find(|t| t.text == "z").unwrap();
+        assert_eq!(z.line, 3);
+    }
+}

@@ -1,0 +1,31 @@
+//! Correctness tooling for the RIPS reproduction.
+//!
+//! Two cooperating halves keep the workspace honest about the
+//! guarantees the paper states as theorems:
+//!
+//! * [`lint`] — **rips-lint**, a source-level static analysis pass
+//!   with repo-specific rules (RIPS-L001 … RIPS-L005) that keep
+//!   nondeterminism, wall-clock time, hot-path panics, `unsafe`, and
+//!   undocumented public API out of the deterministic core. Run it via
+//!   `rips lint`; CI gates on a clean report.
+//! * [`auditor`] — the runtime invariant [`Auditor`], a trace sink
+//!   that checks Theorem 1 (post-schedule load balance), Theorem 2 /
+//!   Lemma 1 (non-local-task minimality), task and migration
+//!   conservation, barrier pairing, and phase monotonicity against any
+//!   traced scheduler run. Run it via `rips audit`; the golden and
+//!   property tests run it across the whole roster.
+//!
+//! The crate is dependency-free apart from `rips-trace` (whose sink
+//! interface the auditor implements), in keeping with the offline
+//! vendored-shims policy: the linter carries its own minimal Rust
+//! tokenizer ([`lexer`]) instead of pulling in `syn`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod auditor;
+pub mod lexer;
+pub mod lint;
+
+pub use auditor::{min_nonlocal_lower_bound, quotas, AuditReport, Auditor};
+pub use lint::{lint_files, lint_source, lint_workspace, Finding, LintReport};

@@ -1,0 +1,726 @@
+//! `rips-lint`: repo-specific static analysis over the workspace
+//! source, built on the [`crate::lexer`] tokenizer (no `syn`, no
+//! external dependencies — consistent with the offline-shims policy).
+//!
+//! # Rules
+//!
+//! | id | rule |
+//! |----|------|
+//! | RIPS-L001 | no `HashMap`/`HashSet` in the deterministic-path crates (`sched`, `balancers`, `runtime`, `core`): their iteration order is seeded per process and leaks into results |
+//! | RIPS-L002 | no `Instant`/`SystemTime`/`thread_rng` outside `crates/bench` and `shims`: simulated runs must not observe wall-clock time or ambient randomness |
+//! | RIPS-L003 | no `unwrap`/`expect`/`panic!`/`unreachable!` in the desim engine hot path (`crates/desim/src/engine.rs`) without a reasoned suppression |
+//! | RIPS-L004 | `unsafe` is forbidden outside the explicit allowlist (currently empty) |
+//! | RIPS-L005 | public items in `#![warn(missing_docs)]` crates must carry a doc comment |
+//!
+//! # Suppressions
+//!
+//! A finding is suppressed by a comment on the same line or the line
+//! directly above:
+//!
+//! ```text
+//! // rips-lint: allow(L003, engine invariant — queue is non-empty by construction)
+//! let head = lane.pop().expect("armed node with empty lane");
+//! ```
+//!
+//! The reason is mandatory; an `allow` without one is itself reported
+//! (RIPS-L000), so every suppression documents *why* the rule does not
+//! apply at that site.
+
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{tokenize, Tok, TokKind};
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Stable rule id (`RIPS-L001` … `RIPS-L005`, `RIPS-L000` for a
+    /// malformed suppression).
+    pub rule: &'static str,
+    /// Workspace-relative path, `/`-separated.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+/// Outcome of a lint pass.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LintReport {
+    /// Non-suppressed findings, in (path, line) order.
+    pub findings: Vec<Finding>,
+    /// Files analysed.
+    pub files_checked: usize,
+    /// Findings silenced by a reasoned `rips-lint: allow` comment.
+    pub suppressed: usize,
+}
+
+impl LintReport {
+    /// `true` when the pass found nothing.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Human-readable rendering, one line per finding plus a summary.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&format!(
+                "{}:{}: [{}] {}\n",
+                f.path, f.line, f.rule, f.message
+            ));
+        }
+        out.push_str(&format!(
+            "{} finding(s) in {} file(s), {} suppressed\n",
+            self.findings.len(),
+            self.files_checked,
+            self.suppressed
+        ));
+        out
+    }
+
+    /// JSON rendering (hand-rolled — the workspace carries no serde).
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\"findings\":[");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
+                f.rule,
+                json_escape(&f.path),
+                f.line,
+                json_escape(&f.message)
+            ));
+        }
+        out.push_str(&format!(
+            "],\"count\":{},\"files_checked\":{},\"suppressed\":{}}}",
+            self.findings.len(),
+            self.files_checked,
+            self.suppressed
+        ));
+        out
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Crates whose results must be bit-for-bit reproducible: RIPS-L001
+/// forbids seeded-order containers anywhere inside them.
+const DETERMINISTIC_CRATES: &[&str] = &[
+    "crates/sched/",
+    "crates/balancers/",
+    "crates/runtime/",
+    "crates/core/",
+];
+
+/// Paths allowed to observe wall-clock time / ambient randomness
+/// (RIPS-L002 does not apply): the bench harness measures real elapsed
+/// time by design, and the vendored shims implement the timing APIs.
+const TIMING_PATHS: &[&str] = &["crates/bench/", "shims/"];
+
+/// The desim engine hot path (RIPS-L003 scope).
+const ENGINE_HOT_PATH: &str = "crates/desim/src/engine.rs";
+
+/// Files allowed to contain `unsafe` (RIPS-L004). Currently empty: the
+/// whole workspace is safe Rust, and the safe crates additionally carry
+/// `#![forbid(unsafe_code)]`. Adding an entry here requires a matching
+/// DESIGN §7 note.
+const UNSAFE_ALLOWLIST: &[&str] = &[];
+
+/// A parsed `rips-lint: allow(...)` comment.
+struct Suppression {
+    /// Normalized rule id (`RIPS-L001`).
+    rule: String,
+    /// Comment line; suppresses findings on this line and the next.
+    line: u32,
+}
+
+/// Lints one in-memory source file. `missing_docs` says whether the
+/// file belongs to a `#![warn(missing_docs)]` crate (enables L005).
+/// Returns `(findings, suppressed_count)`.
+pub fn lint_source(path: &str, src: &str, missing_docs: bool) -> (Vec<Finding>, usize) {
+    let toks = tokenize(src);
+    let mut raw: Vec<Finding> = Vec::new();
+    let mut suppressions: Vec<Suppression> = Vec::new();
+
+    // Pass 0: collect suppressions (and report malformed ones).
+    for t in &toks {
+        if t.kind != TokKind::LineComment && t.kind != TokKind::BlockComment {
+            continue;
+        }
+        let Some(pos) = t.text.find("rips-lint:") else {
+            continue;
+        };
+        let rest = t.text[pos + "rips-lint:".len()..].trim_start();
+        let Some(body) = rest
+            .strip_prefix("allow(")
+            .and_then(|r| r.split(')').next())
+        else {
+            raw.push(Finding {
+                rule: "RIPS-L000",
+                path: path.to_string(),
+                line: t.line,
+                message: "malformed rips-lint comment: expected `allow(L00x, reason)`".into(),
+            });
+            continue;
+        };
+        let mut parts = body.splitn(2, ',');
+        let id = parts.next().unwrap_or("").trim();
+        let reason = parts.next().map(str::trim).unwrap_or("");
+        let norm = normalize_rule_id(id);
+        match norm {
+            Some(rule) if !reason.is_empty() => {
+                suppressions.push(Suppression { rule, line: t.line })
+            }
+            Some(_) => raw.push(Finding {
+                rule: "RIPS-L000",
+                path: path.to_string(),
+                line: t.line,
+                message: format!("suppression of {id} carries no reason"),
+            }),
+            None => raw.push(Finding {
+                rule: "RIPS-L000",
+                path: path.to_string(),
+                line: t.line,
+                message: format!("unknown lint id {id:?} in suppression"),
+            }),
+        }
+    }
+
+    // Pass 1: the rules. Test modules (`#[cfg(test)] mod … { … }`) are
+    // exempt from L003/L005 (assertion style and private helpers are
+    // fine in tests) but NOT from L001/L002/L004 — determinism, time,
+    // and unsafety matter in tests too.
+    let test_ranges = cfg_test_ranges(&toks);
+    let in_tests = |idx: usize| test_ranges.iter().any(|&(lo, hi)| idx >= lo && idx < hi);
+
+    let l001 = DETERMINISTIC_CRATES.iter().any(|p| path.starts_with(p));
+    let l002 = !TIMING_PATHS.iter().any(|p| path.starts_with(p));
+    let l003 = path == ENGINE_HOT_PATH;
+    let l004 = !UNSAFE_ALLOWLIST.contains(&path);
+
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let next_punct = |want: &str| {
+            toks[i + 1..]
+                .iter()
+                .find(|n| {
+                    !matches!(
+                        n.kind,
+                        TokKind::LineComment | TokKind::BlockComment | TokKind::DocComment
+                    )
+                })
+                .is_some_and(|n| n.kind == TokKind::Punct && n.text == want)
+        };
+        match t.text {
+            "HashMap" | "HashSet" if l001 => raw.push(Finding {
+                rule: "RIPS-L001",
+                path: path.to_string(),
+                line: t.line,
+                message: format!(
+                    "`{}` in a deterministic-path crate: iteration order is seeded per \
+                     process and can leak into results; use `BTreeMap`/`BTreeSet` or a sorted Vec",
+                    t.text
+                ),
+            }),
+            "SystemTime" | "thread_rng" if l002 => raw.push(Finding {
+                rule: "RIPS-L002",
+                path: path.to_string(),
+                line: t.line,
+                message: format!(
+                    "`{}` outside bench timing code: simulated runs must not observe \
+                     wall-clock time or ambient randomness",
+                    t.text
+                ),
+            }),
+            "Instant" if l002 => raw.push(Finding {
+                rule: "RIPS-L002",
+                path: path.to_string(),
+                line: t.line,
+                message: "`Instant` outside bench timing code: simulated runs must not \
+                          observe wall-clock time"
+                    .into(),
+            }),
+            "unwrap" | "expect" if l003 && !in_tests(i) && next_punct("(") => raw.push(Finding {
+                rule: "RIPS-L003",
+                path: path.to_string(),
+                line: t.line,
+                message: format!(
+                    "`{}` in the engine hot path: a panic here takes down the whole \
+                     simulation; handle the case or suppress with the invariant that rules it out",
+                    t.text
+                ),
+            }),
+            "panic" | "unreachable" if l003 && !in_tests(i) && next_punct("!") => {
+                raw.push(Finding {
+                    rule: "RIPS-L003",
+                    path: path.to_string(),
+                    line: t.line,
+                    message: format!(
+                        "`{}!` in the engine hot path: a panic here takes down the whole \
+                         simulation; handle the case or suppress with the invariant that rules it out",
+                        t.text
+                    ),
+                })
+            }
+            "unsafe" if l004 => raw.push(Finding {
+                rule: "RIPS-L004",
+                path: path.to_string(),
+                line: t.line,
+                message: "`unsafe` outside the allowlist (see crates/audit/src/lint.rs \
+                          UNSAFE_ALLOWLIST); the workspace is safe Rust"
+                    .into(),
+            }),
+            _ => {}
+        }
+    }
+
+    if missing_docs {
+        check_missing_docs(path, &toks, &test_ranges, &mut raw);
+    }
+
+    // Pass 2: apply suppressions (same line or the line directly below
+    // the comment).
+    let mut suppressed = 0;
+    let findings = raw
+        .into_iter()
+        .filter(|f| {
+            let hit = suppressions
+                .iter()
+                .any(|s| s.rule == f.rule && (s.line == f.line || s.line + 1 == f.line));
+            if hit {
+                suppressed += 1;
+            }
+            !hit
+        })
+        .collect();
+    (findings, suppressed)
+}
+
+/// Accepts `L001` or `RIPS-L001` (any case), returns `RIPS-L001`.
+fn normalize_rule_id(id: &str) -> Option<String> {
+    let id = id.trim();
+    let tail = id
+        .strip_prefix("RIPS-")
+        .or_else(|| id.strip_prefix("rips-"))
+        .unwrap_or(id);
+    let t = tail.to_ascii_uppercase();
+    let ok = t.len() == 4
+        && t.starts_with('L')
+        && t[1..].chars().all(|c| c.is_ascii_digit())
+        && ("L001"..="L005").contains(&t.as_str());
+    ok.then(|| format!("RIPS-{t}"))
+}
+
+/// Token-index ranges covered by `#[cfg(test)]` items (the attribute
+/// through the matching close brace of the item that follows).
+fn cfg_test_ranges(toks: &[Tok<'_>]) -> Vec<(usize, usize)> {
+    fn sig<'a>(t: &Tok<'a>) -> (TokKind, &'a str) {
+        (t.kind, t.text)
+    }
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i + 6 < toks.len() {
+        let is_cfg_test = sig(&toks[i]) == (TokKind::Punct, "#")
+            && sig(&toks[i + 1]) == (TokKind::Punct, "[")
+            && sig(&toks[i + 2]) == (TokKind::Ident, "cfg")
+            && sig(&toks[i + 3]) == (TokKind::Punct, "(")
+            && sig(&toks[i + 4]) == (TokKind::Ident, "test")
+            && sig(&toks[i + 5]) == (TokKind::Punct, ")")
+            && sig(&toks[i + 6]) == (TokKind::Punct, "]");
+        if !is_cfg_test {
+            i += 1;
+            continue;
+        }
+        // Skip to the item's opening brace, then to its matching close.
+        let mut j = i + 7;
+        while j < toks.len() && !(toks[j].kind == TokKind::Punct && toks[j].text == "{") {
+            j += 1;
+        }
+        let mut depth = 0usize;
+        while j < toks.len() {
+            if toks[j].kind == TokKind::Punct {
+                match toks[j].text {
+                    "{" => depth += 1,
+                    "}" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            j += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        ranges.push((i, j));
+        i = j;
+    }
+    ranges
+}
+
+/// RIPS-L005: a `pub` item declaration must be preceded by a doc
+/// comment (attributes may sit between the doc and the item).
+/// `pub use` re-exports and restricted visibility (`pub(crate)` …) are
+/// exempt, matching rustc's `missing_docs` behaviour closely enough
+/// for this workspace.
+fn check_missing_docs(
+    path: &str,
+    toks: &[Tok<'_>],
+    test_ranges: &[(usize, usize)],
+    out: &mut Vec<Finding>,
+) {
+    const ITEM_KEYWORDS: &[&str] = &[
+        "fn", "struct", "enum", "trait", "mod", "const", "static", "type", "union",
+    ];
+    let in_tests = |idx: usize| test_ranges.iter().any(|&(lo, hi)| idx >= lo && idx < hi);
+    let mut has_doc = false;
+    let mut i = 0;
+    while i < toks.len() {
+        let t = &toks[i];
+        match t.kind {
+            TokKind::DocComment => has_doc = true,
+            TokKind::LineComment | TokKind::BlockComment => {}
+            TokKind::Punct if t.text == "#" => {
+                // Attribute: skip its bracketed body, preserving the
+                // doc flag (`/// doc` + `#[derive(..)]` + item is fine).
+                let mut j = i + 1;
+                if toks.get(j).is_some_and(|n| n.text == "!") {
+                    j += 1;
+                }
+                if toks.get(j).is_some_and(|n| n.text == "[") {
+                    let mut depth = 0usize;
+                    while j < toks.len() {
+                        match (toks[j].kind, toks[j].text) {
+                            (TokKind::Punct, "[") => depth += 1,
+                            (TokKind::Punct, "]") => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    i = j;
+                }
+            }
+            TokKind::Ident if t.text == "pub" => {
+                let mut j = i + 1;
+                // Restricted visibility: pub(crate) / pub(super) …
+                if toks
+                    .get(j)
+                    .is_some_and(|n| n.kind == TokKind::Punct && n.text == "(")
+                {
+                    while j < toks.len() && toks[j].text != ")" {
+                        j += 1;
+                    }
+                    has_doc = false;
+                    i = j + 1;
+                    continue;
+                }
+                // Skip qualifiers between `pub` and the item keyword.
+                while toks
+                    .get(j)
+                    .is_some_and(|n| matches!(n.text, "async" | "unsafe" | "extern" | "crate"))
+                    || toks.get(j).is_some_and(|n| n.kind == TokKind::Literal)
+                {
+                    j += 1;
+                }
+                if let Some(kw) = toks.get(j) {
+                    // An out-of-line `pub mod name;` is documented by
+                    // the module file's own `//!` inner docs, which
+                    // rustc's missing_docs accepts — exempt it.
+                    let out_of_line_mod =
+                        kw.text == "mod" && toks.get(j + 2).is_some_and(|n| n.text == ";");
+                    if kw.kind == TokKind::Ident
+                        && ITEM_KEYWORDS.contains(&kw.text)
+                        && !out_of_line_mod
+                        && !has_doc
+                        && !in_tests(i)
+                    {
+                        let name = toks.get(j + 1).map(|n| n.text).unwrap_or("?");
+                        out.push(Finding {
+                            rule: "RIPS-L005",
+                            path: path.to_string(),
+                            line: t.line,
+                            message: format!(
+                                "public {} `{}` in a #![warn(missing_docs)] crate has no doc comment",
+                                kw.text, name
+                            ),
+                        });
+                    }
+                }
+                has_doc = false;
+            }
+            _ => has_doc = false,
+        }
+        i += 1;
+    }
+}
+
+/// Lints a set of in-memory files (`(path, contents)` pairs, paths
+/// workspace-relative and `/`-separated). The `#![warn(missing_docs)]`
+/// crates are discovered from the provided `crates/*/src/lib.rs` files
+/// themselves, so the fixture tests exercise the same discovery the
+/// workspace walk uses.
+pub fn lint_files(files: &[(String, String)]) -> LintReport {
+    // Which crates opt into missing_docs?
+    let mut doc_crates: Vec<String> = Vec::new();
+    for (path, src) in files {
+        let Some(rest) = path.strip_prefix("crates/") else {
+            continue;
+        };
+        let Some(name) = rest.strip_suffix("/src/lib.rs") else {
+            continue;
+        };
+        let toks = tokenize(src);
+        // `#![warn(missing_docs)]` — match the attribute head, then
+        // require the ident anywhere (tolerates other warns in the list).
+        let has = toks.windows(5).any(|w| {
+            w[0].text == "#"
+                && w[1].text == "!"
+                && w[2].text == "["
+                && w[3].text == "warn"
+                && w[4].text == "("
+        }) && toks
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && t.text == "missing_docs");
+        if has {
+            doc_crates.push(format!("crates/{name}/src/"));
+        }
+    }
+
+    let mut report = LintReport::default();
+    for (path, src) in files {
+        let missing_docs = doc_crates.iter().any(|p| path.starts_with(p.as_str()));
+        let (findings, suppressed) = lint_source(path, src, missing_docs);
+        report.findings.extend(findings);
+        report.suppressed += suppressed;
+        report.files_checked += 1;
+    }
+    report
+        .findings
+        .sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    report
+}
+
+/// Walks the workspace rooted at `root` (skipping `target/`, `.git/`,
+/// and the results archive) and lints every `.rs` file.
+pub fn lint_workspace(root: &Path) -> std::io::Result<LintReport> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let p = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if p.is_dir() {
+                if matches!(
+                    name.as_ref(),
+                    "target" | ".git" | "results" | "node_modules"
+                ) {
+                    continue;
+                }
+                stack.push(p);
+            } else if name.ends_with(".rs") {
+                let rel = rel_unix_path(root, &p);
+                let src = std::fs::read_to_string(&p)?;
+                files.push((rel, src));
+            }
+        }
+    }
+    Ok(lint_files(&files))
+}
+
+fn rel_unix_path(root: &Path, p: &Path) -> String {
+    let rel: PathBuf = p.strip_prefix(root).unwrap_or(p).to_path_buf();
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint_one(path: &str, src: &str) -> Vec<Finding> {
+        lint_source(path, src, false).0
+    }
+
+    #[test]
+    fn l001_fires_only_in_deterministic_crates() {
+        let src = "use std::collections::HashMap;\n";
+        assert_eq!(lint_one("crates/sched/src/x.rs", src).len(), 1);
+        assert_eq!(lint_one("crates/sched/src/x.rs", src)[0].rule, "RIPS-L001");
+        assert!(lint_one("crates/desim/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l001_ignores_strings_and_comments() {
+        let src = "// a HashMap here is fine\nlet s = \"HashMap\";\n";
+        assert!(lint_one("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l002_scopes_out_bench_and_shims() {
+        let src = "let t = std::time::Instant::now();\n";
+        assert_eq!(lint_one("crates/apps/src/x.rs", src)[0].rule, "RIPS-L002");
+        assert!(lint_one("crates/bench/src/bin/perf.rs", src).is_empty());
+        assert!(lint_one("shims/criterion/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l003_only_in_engine_and_not_in_tests() {
+        let src = "fn f() { x.unwrap(); }\n#[cfg(test)]\nmod tests { fn g() { y.unwrap(); } }\n";
+        let f = lint_one("crates/desim/src/engine.rs", src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "RIPS-L003");
+        assert_eq!(f[0].line, 1);
+        assert!(lint_one("crates/desim/src/latency.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l003_catches_panic_macros_not_field_names() {
+        let f = lint_one(
+            "crates/desim/src/engine.rs",
+            "fn f() { panic!(\"boom\") }\nstruct S { expect: u32 }\n",
+        );
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn l004_fires_everywhere() {
+        let f = lint_one("crates/desim/src/engine.rs", "unsafe { *p }\n");
+        assert_eq!(f[0].rule, "RIPS-L004");
+    }
+
+    #[test]
+    fn suppression_needs_reason() {
+        let src = "// rips-lint: allow(L001)\nuse std::collections::HashMap;\n";
+        let f = lint_one("crates/core/src/x.rs", src);
+        // The reasonless allow is itself a finding, and does not
+        // suppress.
+        assert!(f.iter().any(|f| f.rule == "RIPS-L000"));
+        assert!(f.iter().any(|f| f.rule == "RIPS-L001"));
+    }
+
+    #[test]
+    fn reasoned_suppression_silences_next_line() {
+        let src =
+            "// rips-lint: allow(L001, checked: map is drained in sorted order)\nuse std::collections::HashMap;\n";
+        let (f, suppressed) = lint_source("crates/core/src/x.rs", src, false);
+        assert!(f.is_empty(), "{f:?}");
+        assert_eq!(suppressed, 1);
+    }
+
+    #[test]
+    fn reasoned_suppression_silences_same_line() {
+        let src =
+            "use std::collections::HashMap; // rips-lint: allow(RIPS-L001, test-only helper)\n";
+        let (f, suppressed) = lint_source("crates/sched/src/x.rs", src, false);
+        assert!(f.is_empty(), "{f:?}");
+        assert_eq!(suppressed, 1);
+    }
+
+    #[test]
+    fn suppression_does_not_leak_to_other_rules_or_lines() {
+        let src = "// rips-lint: allow(L001, reason here)\nuse std::collections::HashMap;\nuse std::collections::HashSet;\n";
+        let f = lint_one("crates/core/src/x.rs", src);
+        assert_eq!(f.len(), 1); // line 3 not covered
+        assert_eq!(f[0].line, 3);
+    }
+
+    #[test]
+    fn l005_requires_docs_on_pub_items() {
+        let lib = (
+            "crates/foo/src/lib.rs".to_string(),
+            "#![warn(missing_docs)]\n\n/// Documented.\npub fn ok() {}\n\npub fn bad() {}\n"
+                .to_string(),
+        );
+        let report = lint_files(&[lib]);
+        assert_eq!(report.findings.len(), 1, "{:?}", report.findings);
+        assert_eq!(report.findings[0].rule, "RIPS-L005");
+        assert_eq!(report.findings[0].line, 6);
+        assert!(report.findings[0].message.contains("`bad`"));
+    }
+
+    #[test]
+    fn l005_allows_attributes_between_doc_and_item() {
+        let lib = (
+            "crates/foo/src/lib.rs".to_string(),
+            "#![warn(missing_docs)]\n/// Doc.\n#[derive(Debug, Clone)]\npub struct S;\npub use std::rc::Rc;\npub(crate) fn helper() {}\n".to_string(),
+        );
+        let report = lint_files(&[lib]);
+        assert!(report.is_clean(), "{:?}", report.findings);
+    }
+
+    #[test]
+    fn l005_exempts_out_of_line_mods_but_not_inline_ones() {
+        let lib = (
+            "crates/foo/src/lib.rs".to_string(),
+            "#![warn(missing_docs)]\npub mod child;\npub mod inline { }\n".to_string(),
+        );
+        let report = lint_files(&[lib]);
+        assert_eq!(report.findings.len(), 1, "{:?}", report.findings);
+        assert!(report.findings[0].message.contains("`inline`"));
+    }
+
+    #[test]
+    fn l005_skips_crates_without_the_attr() {
+        let lib = (
+            "crates/foo/src/lib.rs".to_string(),
+            "pub fn undocumented() {}\n".to_string(),
+        );
+        assert!(lint_files(&[lib]).is_clean());
+    }
+
+    #[test]
+    fn json_rendering_is_wellformed() {
+        let report = LintReport {
+            findings: vec![Finding {
+                rule: "RIPS-L001",
+                path: "a/b.rs".into(),
+                line: 7,
+                message: "quote \" and backslash \\".into(),
+            }],
+            files_checked: 3,
+            suppressed: 2,
+        };
+        let json = report.render_json();
+        assert!(json.contains("\"rule\":\"RIPS-L001\""));
+        assert!(json.contains("\\\""));
+        assert!(json.contains("\"count\":1"));
+        assert!(json.ends_with("\"suppressed\":2}"));
+    }
+
+    #[test]
+    fn normalizes_rule_ids() {
+        assert_eq!(normalize_rule_id("L001").as_deref(), Some("RIPS-L001"));
+        assert_eq!(normalize_rule_id("rips-l005").as_deref(), Some("RIPS-L005"));
+        assert_eq!(normalize_rule_id("L009"), None);
+        assert_eq!(normalize_rule_id("bogus"), None);
+    }
+}

@@ -28,6 +28,8 @@
 //! measured identically for every row, including the RIPS runtime in
 //! `rips-core`, which plugs into the same kernel.
 
+#![forbid(unsafe_code)]
+
 mod gradient;
 mod random;
 mod rid;

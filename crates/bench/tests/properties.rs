@@ -9,6 +9,7 @@
 use std::sync::Arc;
 
 use proptest::prelude::*;
+use rips_audit::Auditor;
 use rips_bench::registry;
 use rips_desim::LatencyModel;
 use rips_runtime::{Costs, RunSpec};
@@ -66,6 +67,31 @@ proptest! {
                 verdict.is_ok(),
                 "{name} on {nodes} nodes, seed {seed}: {}",
                 verdict.unwrap_err()
+            );
+        }
+    }
+
+    /// The paper's invariants hold on *arbitrary* workloads, not just
+    /// the golden cells: every registered scheduler, run under the
+    /// invariant auditor, upholds Theorem 1/2 on each complete system
+    /// phase plus conservation and barrier pairing.
+    #[test]
+    fn every_scheduler_upholds_the_paper_invariants(
+        w in arb_workload(),
+        nodes in 1usize..=12,
+        seed in 0u64..50,
+    ) {
+        let w = Arc::new(w);
+        let reg = registry();
+        for name in reg.names() {
+            let (auditor, _run) = rips_trace::with_sink(Auditor::new(nodes), || {
+                reg.run(name, &spec(&w, nodes, seed))
+            });
+            let report = auditor.finish();
+            prop_assert!(
+                report.is_ok(),
+                "{} on {} nodes, seed {}:\n{}",
+                name, nodes, seed, report.errors.join("\n")
             );
         }
     }

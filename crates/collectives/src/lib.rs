@@ -19,6 +19,8 @@
 //! * closed-form step-count formulas used by the RIPS runtime to charge
 //!   system-phase time to the simulator clock.
 
+#![forbid(unsafe_code)]
+
 mod bsp;
 mod cost;
 mod ops;

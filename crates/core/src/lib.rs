@@ -27,6 +27,8 @@
 //! and per-node CPU overhead, then migrates tasks as real simulator
 //! messages packed per (source, destination) pair.
 
+#![forbid(unsafe_code)]
+
 mod program;
 
 pub use program::{rips, GlobalPolicy, LoadMetric, LocalPolicy, Machine, RipsConfig, RipsOutcome};

@@ -11,7 +11,7 @@
 //! execution and enters the system phase" of the paper.
 
 use std::cell::RefCell;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::rc::Rc;
 use std::sync::Arc;
 
@@ -213,9 +213,9 @@ struct Shared {
     /// for the next poll.
     want_phase: bool,
     /// Loads reported per phase.
-    entries: HashMap<u32, Entry>,
+    entries: BTreeMap<u32, Entry>,
     /// Computed plans per phase.
-    plans: HashMap<u32, PhasePlan>,
+    plans: BTreeMap<u32, PhasePlan>,
     /// Completed system phases.
     phases: u32,
     /// Per-phase log.
@@ -269,7 +269,7 @@ struct RipsPolicy {
     tree: BinaryTree,
     local_ready_for: Option<u32>,
     ready_sent_for: Option<u32>,
-    children_ready: HashMap<u32, u32>,
+    children_ready: BTreeMap<u32, u32>,
     /// Tracing only: the phase an open idle-detect stage was emitted
     /// for (`None` when no stage is open). Idle-detect latency runs
     /// from the local transfer condition turning true to the node
@@ -872,7 +872,7 @@ pub fn rips(
             tree: BinaryTree::new(n),
             local_ready_for: None,
             ready_sent_for: None,
-            children_ready: HashMap::new(),
+            children_ready: BTreeMap::new(),
             trace_idle_open: None,
         }
     });

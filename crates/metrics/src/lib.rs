@@ -16,6 +16,8 @@
 //!   vs idle (Table I's `Ti`).
 //! * [`Aggregate`] — mean/min/max/stddev across repeated trials.
 
+#![forbid(unsafe_code)]
+
 mod optimal;
 mod render;
 mod stats;

@@ -411,11 +411,11 @@ pub fn mwa_distributed(mesh: &Mesh2D, loads: &[i64]) -> (TransferPlan, usize) {
 mod tests {
     use super::*;
     use crate::mwa;
-    use std::collections::HashMap;
+    use std::collections::BTreeMap;
 
     /// Aggregates a plan into per-directed-link flows.
-    fn link_flows(plan: &TransferPlan) -> HashMap<(NodeId, NodeId), i64> {
-        let mut m = HashMap::new();
+    fn link_flows(plan: &TransferPlan) -> BTreeMap<(NodeId, NodeId), i64> {
+        let mut m = BTreeMap::new();
         for mv in &plan.moves {
             *m.entry((mv.from, mv.to)).or_insert(0) += mv.count;
         }

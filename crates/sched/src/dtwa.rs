@@ -260,10 +260,10 @@ pub fn twa_distributed(tree: &BinaryTree, loads: &[i64]) -> (TransferPlan, usize
 mod tests {
     use super::*;
     use crate::twa;
-    use std::collections::HashMap;
+    use std::collections::BTreeMap;
 
-    fn flows(plan: &TransferPlan) -> HashMap<(NodeId, NodeId), i64> {
-        let mut m = HashMap::new();
+    fn flows(plan: &TransferPlan) -> BTreeMap<(NodeId, NodeId), i64> {
+        let mut m = BTreeMap::new();
         for mv in &plan.moves {
             *m.entry((mv.from, mv.to)).or_insert(0) += mv.count;
         }

@@ -22,6 +22,8 @@
 //!   hypercube dimension; `d` steps but redundant communication and a
 //!   final imbalance of up to `d` tasks with integer loads.
 
+#![forbid(unsafe_code)]
+
 mod ddem;
 mod dem;
 mod dmwa;
@@ -35,5 +37,5 @@ pub use dem::dem;
 pub use dmwa::mwa_distributed;
 pub use dtwa::twa_distributed;
 pub use mwa::{mwa, MwaTrace};
-pub use plan::{min_nonlocal_tasks, Move, TransferPlan};
+pub use plan::{min_nonlocal_tasks, quota_vector, Move, TransferPlan};
 pub use twa::twa;

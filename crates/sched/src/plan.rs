@@ -164,9 +164,20 @@ impl TransferPlan {
 /// balancing of `loads` — each under-quota node must import its
 /// deficit: `m = Σ_j (q_j − w_j)⁺`.
 pub fn min_nonlocal_tasks(loads: &[i64]) -> i64 {
-    let total: i64 = loads.iter().sum();
-    let q = rips_flow::quotas(total, loads.len());
-    loads.iter().zip(&q).map(|(&w, &t)| (t - w).max(0)).sum()
+    loads
+        .iter()
+        .zip(&quota_vector(loads))
+        .map(|(&w, &t)| (t - w).max(0))
+        .sum()
+}
+
+/// The canonical per-node quota assignment every scheduling algorithm
+/// in this workspace balances to: `⌊T/N⌋` each, the first `T mod N`
+/// nodes one extra. Exposed so external checkers (the `rips-audit`
+/// invariant auditor) can cross-validate their independently computed
+/// Theorem 1/2 bounds against the planner's own arithmetic.
+pub fn quota_vector(loads: &[i64]) -> Vec<i64> {
+    rips_flow::quotas(loads.iter().sum(), loads.len())
 }
 
 #[cfg(test)]

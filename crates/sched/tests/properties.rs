@@ -122,11 +122,11 @@ proptest! {
     /// stays within the paper's 3(n1+n2) communication-step bound.
     #[test]
     fn distributed_mwa_agrees_with_centralized((mesh, loads) in mesh_and_loads()) {
-        use std::collections::HashMap;
+        use std::collections::BTreeMap;
         let (central, _) = mwa(&mesh, &loads);
         let (distributed, steps) = rips_sched::mwa_distributed(&mesh, &loads);
         let flows = |p: &rips_sched::TransferPlan| {
-            let mut m: HashMap<(usize, usize), i64> = HashMap::new();
+            let mut m: BTreeMap<(usize, usize), i64> = BTreeMap::new();
             for mv in &p.moves {
                 *m.entry((mv.from, mv.to)).or_insert(0) += mv.count;
             }
@@ -145,13 +145,13 @@ proptest! {
         n in 1usize..=24,
         seed_loads in proptest::collection::vec(0i64..=60, 24),
     ) {
-        use std::collections::HashMap;
+        use std::collections::BTreeMap;
         let tree = BinaryTree::new(n);
         let loads = &seed_loads[..n];
         let central = twa(&tree, loads);
         let (distributed, steps) = rips_sched::twa_distributed(&tree, loads);
         let flows = |p: &rips_sched::TransferPlan| {
-            let mut m: HashMap<(usize, usize), i64> = HashMap::new();
+            let mut m: BTreeMap<(usize, usize), i64> = BTreeMap::new();
             for mv in &p.moves {
                 *m.entry((mv.from, mv.to)).or_insert(0) += mv.count;
             }
@@ -170,13 +170,13 @@ proptest! {
         dim in 0usize..=5,
         seed_loads in proptest::collection::vec(0i64..=60, 32),
     ) {
-        use std::collections::HashMap;
+        use std::collections::BTreeMap;
         let cube = Hypercube::new(dim);
         let loads = &seed_loads[..cube.len()];
         let central = dem(&cube, loads);
         let (distributed, steps) = rips_sched::dem_distributed(&cube, loads);
         let flows = |p: &rips_sched::TransferPlan| {
-            let mut m: HashMap<(usize, usize), i64> = HashMap::new();
+            let mut m: BTreeMap<(usize, usize), i64> = BTreeMap::new();
             for mv in &p.moves {
                 *m.entry((mv.from, mv.to)).or_insert(0) += mv.count;
             }

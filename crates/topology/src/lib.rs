@@ -11,6 +11,8 @@
 //! Node identifiers are dense `0..len()` integers. Each concrete topology
 //! documents its id ↔ coordinate mapping.
 
+#![forbid(unsafe_code)]
+
 mod hypercube;
 mod mesh;
 mod ring;

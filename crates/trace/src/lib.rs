@@ -33,6 +33,7 @@
 //! crate graph), so it defines its own aliases for simulated time and
 //! node ids; both match the workspace-wide conventions.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod chrome;
@@ -269,6 +270,25 @@ impl TraceSink for TraceBuffer {
             node,
             event,
         });
+    }
+}
+
+/// Fan-out sink: every record goes to both halves, in order. Lets an
+/// online consumer (e.g. the invariant auditor in `rips-audit`) ride
+/// beside a [`TraceBuffer`] destined for exporters in a single
+/// [`with_sink`] install — and nests, for wider fan-outs.
+#[derive(Debug, Default)]
+pub struct Tee<A, B>(
+    /// First receiver (records first).
+    pub A,
+    /// Second receiver.
+    pub B,
+);
+
+impl<A: TraceSink, B: TraceSink> TraceSink for Tee<A, B> {
+    fn record(&mut self, time_us: Time, node: NodeId, event: TraceEvent) {
+        self.0.record(time_us, node, event.clone());
+        self.1.record(time_us, node, event);
     }
 }
 
@@ -565,6 +585,18 @@ mod tests {
         });
         assert_eq!(outer.records.len(), 1);
         assert_eq!(outer.records[0].time, 2);
+    }
+
+    #[test]
+    fn tee_duplicates_records_in_order() {
+        let (tee, _) = with_sink(Tee(TraceBuffer::new(), TraceBuffer::new()), || {
+            let t = Tracer::current();
+            t.emit(1, 0, || TraceEvent::QueueDepth { depth: 1 });
+            t.emit(2, 1, || TraceEvent::Barrier { round: 0 });
+        });
+        let Tee(a, b) = tee;
+        assert_eq!(a.records, b.records);
+        assert_eq!(a.records.len(), 2);
     }
 
     #[test]

@@ -4,7 +4,10 @@
 //! rips run    --app queens13 --scheduler rips --nodes 32 [--policy any-lazy] [--seed 1]
 //! rips trace  <scheduler> <app> [--nodes 32] [--seed 1] [--out trace.json] [--check]
 //! rips report <scheduler> <app> [--nodes 32] [--seed 1] [--jsonl]
+//! rips audit  <scheduler> <app> [--nodes 32] [--seed 1]   # check paper invariants
+//! rips audit  --all [--nodes 32] [--seed 1]               # ... across the roster
 //! rips plan   --rows 8 --cols 4 --loads 25,0,3,...   # one-shot MWA on a load vector
+//! rips lint   [--root .] [--format json] [--out report.json]
 //! rips apps                                          # list available workloads
 //! ```
 //!
@@ -13,9 +16,14 @@
 //! <https://ui.perfetto.dev> for per-node phase/task timelines.
 //! `report` runs the same way but prints the aggregated phase-anatomy
 //! table (p50/p95/max durations per system phase) instead.
+//! `audit` runs with the invariant [`Auditor`] attached and fails if
+//! any paper invariant (Theorem 1/2, conservation, barrier pairing) is
+//! violated. `lint` runs the rips-lint static analysis pass over the
+//! workspace source (rules RIPS-L001…L005; see DESIGN §7).
 
 use std::sync::Arc;
 
+use rips_repro::audit::Auditor;
 use rips_repro::bench::{registry_with, RegistryTuning};
 use rips_repro::core::{GlobalPolicy, LocalPolicy, RipsConfig};
 use rips_repro::desim::LatencyModel;
@@ -238,6 +246,99 @@ fn arg_flag(name: &str) -> bool {
     std::env::args().any(|a| a == name)
 }
 
+/// Runs one scheduler under the invariant [`Auditor`] and prints its
+/// report; returns whether every audited invariant held.
+fn audit_one(reg: &SchedulerRegistry, name: &str, spec: &RunSpec, nodes: usize) -> bool {
+    let (auditor, run) = rips_repro::trace::with_sink(Auditor::new(nodes), || reg.run(name, spec));
+    let report = auditor.finish();
+    println!("── {name} · {} nodes · seed {} ──", spec.nodes, spec.seed);
+    print!("{}", report.render_human());
+    println!(
+        "run              T = {:.3} s, {} non-local",
+        run.outcome.exec_time_s(),
+        run.outcome.nonlocal
+    );
+    report.is_ok()
+}
+
+fn cmd_audit() {
+    let nodes: usize = arg("--nodes").and_then(|v| v.parse().ok()).unwrap_or(32);
+    let seed: u64 = arg("--seed").and_then(|v| v.parse().ok()).unwrap_or(1);
+    let policy = arg("--policy").unwrap_or_else(|| "any-lazy".into());
+
+    let (schedulers, app) = if arg_flag("--all") {
+        (None, arg("--app").unwrap_or_else(|| "queens9".into()))
+    } else {
+        let mut pos = std::env::args()
+            .skip(2)
+            .take_while(|a| !a.starts_with("--"));
+        let (Some(scheduler), Some(app)) = (pos.next(), pos.next()) else {
+            eprintln!("usage: rips audit <scheduler> <app> [--nodes N] [--seed S]");
+            eprintln!("       rips audit --all [--app queens9] [--nodes N] [--seed S]");
+            std::process::exit(2);
+        };
+        (Some(scheduler), app)
+    };
+
+    eprintln!("building workload '{app}' ...");
+    let workload = Arc::new(build_app(&app));
+    let spec = paper_spec(&workload, nodes, seed);
+    let mut all_ok = true;
+    match schedulers {
+        Some(scheduler) => {
+            let (reg, name) = resolve_scheduler(&scheduler, &policy);
+            all_ok &= audit_one(&reg, &name, &spec, nodes);
+        }
+        None => {
+            let (reg, _) = resolve_scheduler("rips", &policy);
+            for name in reg.names().to_vec() {
+                all_ok &= audit_one(&reg, name, &spec, nodes);
+            }
+        }
+    }
+    if !all_ok {
+        std::process::exit(1);
+    }
+}
+
+fn cmd_lint() {
+    let root = arg("--root").unwrap_or_else(|| ".".into());
+    let format = arg("--format").unwrap_or_else(|| "human".into());
+    let report = match rips_repro::audit::lint_workspace(std::path::Path::new(&root)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cannot walk {root}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let rendered = match format.as_str() {
+        "json" => report.render_json(),
+        "human" => report.render_human(),
+        other => {
+            eprintln!("unknown --format '{other}' (human|json)");
+            std::process::exit(2);
+        }
+    };
+    match arg("--out") {
+        Some(path) => {
+            std::fs::write(&path, &rendered).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(2);
+            });
+            eprintln!(
+                "wrote {path}: {} finding(s) in {} file(s), {} suppressed",
+                report.findings.len(),
+                report.files_checked,
+                report.suppressed
+            );
+        }
+        None => print!("{rendered}"),
+    }
+    if !report.is_clean() {
+        std::process::exit(1);
+    }
+}
+
 fn cmd_plan() {
     let rows: usize = arg("--rows").and_then(|v| v.parse().ok()).unwrap_or(4);
     let cols: usize = arg("--cols").and_then(|v| v.parse().ok()).unwrap_or(4);
@@ -274,7 +375,9 @@ fn main() {
         Some("run") => cmd_run(),
         Some("trace") => cmd_trace(),
         Some("report") => cmd_report(),
+        Some("audit") => cmd_audit(),
         Some("plan") => cmd_plan(),
+        Some("lint") => cmd_lint(),
         Some("apps") => {
             for a in APPS {
                 println!("{a}");
@@ -286,7 +389,7 @@ fn main() {
             }
         }
         _ => {
-            eprintln!("usage: rips <run|trace|report|plan|apps|schedulers> [flags]");
+            eprintln!("usage: rips <run|trace|report|audit|plan|lint|apps|schedulers> [flags]");
             eprintln!(
                 "  run    --app queens13 --scheduler rips|random|gradient|rid|sid --nodes 32"
             );
@@ -294,7 +397,9 @@ fn main() {
                 "  trace  <scheduler> <app> [--nodes N] [--seed S] [--out trace.json] [--check]"
             );
             eprintln!("  report <scheduler> <app> [--nodes N] [--seed S] [--jsonl]");
+            eprintln!("  audit  <scheduler> <app> | --all  [--nodes N] [--seed S]");
             eprintln!("  plan   --rows 8 --cols 4 --loads 25,0,3,...");
+            eprintln!("  lint   [--root .] [--format human|json] [--out report.json]");
             std::process::exit(2);
         }
     }

@@ -4,6 +4,7 @@
 //! integration tests can `use rips_repro::...`.
 
 pub use rips_apps as apps;
+pub use rips_audit as audit;
 pub use rips_balancers as balancers;
 pub use rips_bench as bench;
 pub use rips_collectives as collectives;
