@@ -13,6 +13,9 @@
 //! tasks); a task's grain is its half-shell pair count within the
 //! cutoff, found by real cell-list neighbour search.
 
+use std::sync::Arc;
+
+use crate::live::{GrainSpec, GrainTable, GromosCtx};
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
 use rips_taskgraph::{TaskForest, Workload};
@@ -139,6 +142,13 @@ pub fn half_pair_counts(atoms: &[[f64; 3]], cutoff: f64) -> Vec<u64> {
 /// Builds the GROMOS workload: `steps` rounds of the same flat forest
 /// of `groups` tasks, grain = pair count × `ns_per_pair`.
 pub fn gromos(cfg: GromosConfig) -> Workload {
+    gromos_with_grains(cfg).0
+}
+
+/// Like [`gromos`], but also returns the [`GrainTable`] mapping each
+/// task to its group's pair search, for live execution. Every round
+/// shares the same specs (the forest repeats per MD step).
+pub fn gromos_with_grains(cfg: GromosConfig) -> (Workload, GrainTable) {
     assert!(
         cfg.groups >= 1 && cfg.groups <= cfg.atoms,
         "bad group count"
@@ -158,11 +168,21 @@ pub fn gromos(cfg: GromosConfig) -> Workload {
     // possible (sizes differ by at most one).
     let base = cfg.atoms / cfg.groups;
     let extra = cfg.atoms % cfg.groups;
+    let ctx = Arc::new(GromosCtx {
+        atoms,
+        cutoff: cfg.cutoff,
+    });
     let mut forest = TaskForest::new();
+    let mut specs = Vec::with_capacity(cfg.groups);
     let mut idx = 0usize;
     for g in 0..cfg.groups {
         let size = base + usize::from(g < extra);
         let pair_total: u64 = pairs[idx..idx + size].iter().sum();
+        specs.push(GrainSpec::GromosGroup {
+            ctx: Arc::clone(&ctx),
+            start: idx as u32,
+            len: size as u32,
+        });
         idx += size;
         // Every group costs at least its bookkeeping even with no
         // neighbours in range.
@@ -176,7 +196,8 @@ pub fn gromos(cfg: GromosConfig) -> Workload {
         rounds: vec![forest; cfg.steps],
     };
     debug_assert!(w.validate().is_ok());
-    w
+    let spec_rounds = vec![specs; cfg.steps];
+    (w, GrainTable::new(spec_rounds))
 }
 
 #[cfg(test)]

@@ -20,9 +20,11 @@
 //!   nonuniform grains from real cell-list neighbour counting.
 
 pub mod gromos;
+pub mod live;
 pub mod nqueens;
 pub mod puzzle;
 
-pub use gromos::{gromos, GromosConfig};
-pub use nqueens::{nqueens, NQueensConfig};
-pub use puzzle::{puzzle, PuzzleConfig};
+pub use gromos::{gromos, gromos_with_grains, GromosConfig};
+pub use live::{GrainOut, GrainSpec, GrainTable, GromosCtx};
+pub use nqueens::{nqueens, nqueens_with_grains, NQueensConfig};
+pub use puzzle::{puzzle, puzzle_with_grains, PuzzleConfig};

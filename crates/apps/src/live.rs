@@ -1,0 +1,352 @@
+//! Grain closures for live execution: the *real work* behind each task.
+//!
+//! The simulator only needs a task's modelled duration; a live backend
+//! (one OS thread per node, wall-clock time) needs the task's actual
+//! computation. Each app's `*_with_grains` constructor returns its
+//! [`Workload`](rips_taskgraph::Workload) together with a [`GrainTable`]
+//! mapping `(round, task id)` to a [`GrainSpec`] — a self-contained
+//! description of the work that task stands for:
+//!
+//! * N-Queens: interior tasks re-probe one row's free squares; leaf
+//!   tasks enumerate their whole subtree (nodes *and* solutions).
+//! * 15-puzzle: every task is a threshold-bounded DFS from its frontier
+//!   state (solutions = goals found at the final threshold).
+//! * GROMOS: every task counts its atom group's half-shell pairs within
+//!   the cutoff against the full position set.
+//!
+//! Running a spec yields a [`GrainOut`]: a deterministic, execution-
+//! derived checksum and a solution count. Both are summed
+//! order-independently across tasks, so a live run's totals must equal
+//! [`GrainTable::static_totals`] — computed without any scheduler —
+//! whatever the thread interleaving was. That equality (plus task
+//! conservation) is the cross-backend validation contract.
+
+use std::sync::Arc;
+
+use crate::nqueens;
+use crate::puzzle::{self, Board};
+
+/// What executing one grain produced.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GrainOut {
+    /// Deterministic fingerprint of the computation's result (mixing
+    /// measured quantities like node counts and pair sums — not just
+    /// the inputs), summed wrapping across tasks.
+    pub checksum: u64,
+    /// Solutions found (queens placements, puzzle goals; 0 for MD).
+    pub solutions: u64,
+}
+
+/// Shared context for GROMOS grains: every group's pair search scans
+/// the same position set.
+#[derive(Debug)]
+pub struct GromosCtx {
+    /// Spatially sorted atom positions (Å).
+    pub atoms: Vec<[f64; 3]>,
+    /// Nonbonded cutoff radius (Å).
+    pub cutoff: f64,
+}
+
+/// The real computation behind one task.
+#[derive(Debug, Clone)]
+pub enum GrainSpec {
+    /// N-Queens interior task: probe the free squares of row `row`
+    /// under the given occupancy masks (the expansion work whose valid
+    /// placements became this task's children).
+    QueensInterior {
+        /// Board size.
+        n: u32,
+        /// Row this prefix has reached.
+        row: u32,
+        /// Occupied-column mask.
+        cols: u32,
+        /// Occupied ↘-diagonal mask.
+        diag1: u32,
+        /// Occupied ↗-diagonal mask.
+        diag2: u32,
+    },
+    /// N-Queens leaf task: exhaustively enumerate the subtree under
+    /// this split-depth prefix.
+    QueensLeaf {
+        /// Board size.
+        n: u32,
+        /// Row this prefix has reached (the split depth).
+        row: u32,
+        /// Occupied-column mask.
+        cols: u32,
+        /// Occupied ↘-diagonal mask.
+        diag1: u32,
+        /// Occupied ↗-diagonal mask.
+        diag2: u32,
+    },
+    /// 15-puzzle task: threshold-bounded DFS from a frontier state.
+    PuzzleDfs {
+        /// Frontier position.
+        board: Board,
+        /// Moves already made to reach it.
+        g: u32,
+        /// Arriving move (as a direction index), so the DFS does not
+        /// immediately undo it.
+        last: Option<u8>,
+        /// This IDA* iteration's cost threshold.
+        threshold: u32,
+    },
+    /// GROMOS task: half-shell pair count for one contiguous atom
+    /// group against the whole molecule.
+    GromosGroup {
+        /// The molecule (shared by every group of the workload).
+        ctx: Arc<GromosCtx>,
+        /// First atom index of this group.
+        start: u32,
+        /// Number of atoms in this group.
+        len: u32,
+    },
+}
+
+/// FNV-1a-style mix of measured quantities into a fingerprint.
+fn mix(vals: &[u64]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &v in vals {
+        h ^= v;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl GrainSpec {
+    /// Runs the grain. Deterministic: same spec, same result, on any
+    /// thread.
+    pub fn run(&self) -> GrainOut {
+        match *self {
+            GrainSpec::QueensInterior {
+                n,
+                row,
+                cols,
+                diag1,
+                diag2,
+            } => {
+                let full = (1u32 << n) - 1;
+                let free = full & !(cols | diag1 | diag2);
+                GrainOut {
+                    checksum: mix(&[
+                        u64::from(row),
+                        u64::from(cols),
+                        u64::from(free),
+                        u64::from(free.count_ones()),
+                    ]),
+                    solutions: 0,
+                }
+            }
+            GrainSpec::QueensLeaf {
+                n,
+                row,
+                cols,
+                diag1,
+                diag2,
+            } => {
+                let (nodes, sols) = nqueens::enumerate(n, row, cols, diag1, diag2);
+                GrainOut {
+                    checksum: mix(&[nodes, sols, u64::from(cols), u64::from(diag1)]),
+                    solutions: sols,
+                }
+            }
+            GrainSpec::PuzzleDfs {
+                ref board,
+                g,
+                last,
+                threshold,
+            } => {
+                let (nodes, exceed, found) = puzzle::run_bounded(board, g, threshold, last);
+                GrainOut {
+                    checksum: mix(&[nodes, u64::from(exceed), u64::from(found)]),
+                    solutions: u64::from(found),
+                }
+            }
+            GrainSpec::GromosGroup {
+                ref ctx,
+                start,
+                len,
+            } => {
+                let atoms = &ctx.atoms;
+                let cut2 = ctx.cutoff * ctx.cutoff;
+                let mut pairs = 0u64;
+                let mut quantized = 0u64;
+                for i in start as usize..(start + len) as usize {
+                    let a = &atoms[i];
+                    for b in &atoms[i + 1..] {
+                        let d2 =
+                            (a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2) + (a[2] - b[2]).powi(2);
+                        if d2 <= cut2 {
+                            pairs += 1;
+                            // Stand-in for a force term: accumulate a
+                            // quantized function of the pair distance.
+                            quantized = quantized.wrapping_add((d2 * 4096.0) as u64);
+                        }
+                    }
+                }
+                GrainOut {
+                    checksum: mix(&[pairs, quantized, u64::from(start)]),
+                    solutions: 0,
+                }
+            }
+        }
+    }
+}
+
+/// Per-round grain specs for a workload, indexed exactly like its
+/// forests: `rounds[r][task_id]`.
+#[derive(Debug, Clone)]
+pub struct GrainTable {
+    rounds: Vec<Vec<GrainSpec>>,
+}
+
+impl GrainTable {
+    pub(crate) fn new(rounds: Vec<Vec<GrainSpec>>) -> Self {
+        GrainTable { rounds }
+    }
+
+    /// Number of rounds covered.
+    pub fn rounds(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// Number of tasks in round `r`.
+    pub fn tasks_in(&self, r: usize) -> usize {
+        self.rounds[r].len()
+    }
+
+    /// The spec for task `task` of round `round`.
+    ///
+    /// # Panics
+    /// Panics if the table does not cover that task — the table must be
+    /// built from the same config as the workload being executed.
+    pub fn spec(&self, round: u32, task: u32) -> &GrainSpec {
+        &self.rounds[round as usize][task as usize]
+    }
+
+    /// Runs task `task` of round `round`.
+    pub fn run(&self, round: u32, task: u32) -> GrainOut {
+        self.spec(round, task).run()
+    }
+
+    /// Runs every grain once, sequentially, summing the outputs: the
+    /// scheduler-independent reference a live run's totals must match.
+    pub fn static_totals(&self) -> GrainOut {
+        let mut out = GrainOut::default();
+        for round in &self.rounds {
+            for spec in round {
+                let r = spec.run();
+                out.checksum = out.checksum.wrapping_add(r.checksum);
+                out.solutions += r.solutions;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gromos::{gromos_with_grains, GromosConfig};
+    use crate::nqueens::{nqueens_with_grains, solve, NQueensConfig};
+    use crate::puzzle::{puzzle_with_grains, PuzzleConfig};
+
+    #[test]
+    fn queens_table_covers_workload_and_finds_all_solutions() {
+        let cfg = NQueensConfig::paper(9);
+        let (w, table) = nqueens_with_grains(cfg);
+        assert_eq!(table.rounds(), w.rounds.len());
+        for (r, forest) in w.rounds.iter().enumerate() {
+            assert_eq!(table.tasks_in(r), forest.len());
+        }
+        // Every complete placement lives in exactly one leaf subtree.
+        assert_eq!(table.static_totals().solutions, solve(9).1);
+    }
+
+    #[test]
+    fn queens_leaf_grains_do_the_measured_work() {
+        // A leaf's recorded grain is its subtree node count (scaled);
+        // re-running the spec must traverse that same subtree.
+        let cfg = NQueensConfig {
+            n: 8,
+            split_depth: 3,
+            root_depth: 2,
+            ns_per_node: 1000, // grain µs == node count
+        };
+        let (w, table) = nqueens_with_grains(cfg);
+        let f = &w.rounds[0];
+        for id in 0..f.len() as u32 {
+            if !f.task(id).children.is_empty() {
+                continue;
+            }
+            if let GrainSpec::QueensLeaf {
+                n,
+                row,
+                cols,
+                diag1,
+                diag2,
+            } = *table.spec(0, id)
+            {
+                let (nodes, _) = crate::nqueens::enumerate(n, row, cols, diag1, diag2);
+                assert_eq!(f.task(id).grain_us, nodes.max(1));
+            } else {
+                panic!("childless task {id} is not a leaf spec");
+            }
+        }
+    }
+
+    #[test]
+    fn puzzle_table_matches_rounds_and_solves() {
+        let cfg = PuzzleConfig {
+            scramble_len: 14,
+            seed: 5,
+            min_tasks: 16,
+            ns_per_node: 1000,
+            split_divisor: 1024,
+            split_floor_nodes: 20_000,
+        };
+        let (w, table) = puzzle_with_grains(cfg);
+        assert_eq!(table.rounds(), w.rounds.len());
+        for (r, forest) in w.rounds.iter().enumerate() {
+            assert_eq!(table.tasks_in(r), forest.len());
+        }
+        let totals = table.static_totals();
+        // The final iteration finds the goal (possibly through several
+        // frontier subtrees via transpositions).
+        assert!(totals.solutions >= 1, "no goal found");
+    }
+
+    #[test]
+    fn gromos_table_is_deterministic_and_solution_free() {
+        let mut cfg = GromosConfig::paper(8.0);
+        cfg.atoms = 400;
+        cfg.groups = 286;
+        let (w, table) = gromos_with_grains(cfg);
+        assert_eq!(table.rounds(), w.rounds.len());
+        assert_eq!(table.tasks_in(0), 286);
+        let a = table.static_totals();
+        let b = table.static_totals();
+        assert_eq!(a, b);
+        assert_eq!(a.solutions, 0);
+        assert_ne!(a.checksum, 0);
+    }
+
+    #[test]
+    fn builders_with_and_without_grains_agree() {
+        let qcfg = NQueensConfig::paper(8);
+        assert_eq!(crate::nqueens::nqueens(qcfg), nqueens_with_grains(qcfg).0);
+        let pcfg = PuzzleConfig {
+            scramble_len: 12,
+            seed: 7,
+            min_tasks: 8,
+            ns_per_node: 500,
+            split_divisor: 1024,
+            split_floor_nodes: 20_000,
+        };
+        assert_eq!(crate::puzzle::puzzle(pcfg), puzzle_with_grains(pcfg).0);
+        let mut gcfg = GromosConfig::paper(8.0);
+        gcfg.atoms = 300;
+        gcfg.groups = 200;
+        assert_eq!(crate::gromos::gromos(gcfg), gromos_with_grains(gcfg).0);
+    }
+}

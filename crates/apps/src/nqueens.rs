@@ -7,6 +7,7 @@
 //! reschedules incrementally — and leaf tasks carry the exact node
 //! count of the subtree they enumerate, converted to virtual time.
 
+use crate::live::{GrainSpec, GrainTable};
 use rips_taskgraph::{TaskForest, Workload};
 
 /// Parameters for the N-Queens workload.
@@ -46,7 +47,7 @@ impl NQueensConfig {
 /// `(nodes, solutions)` for the subtree under the given bitmask state.
 /// `cols`/`diag1`/`diag2` are the standard occupied-column and
 /// occupied-diagonal masks; a "node" is a placed queen.
-fn enumerate(n: u32, row: u32, cols: u32, diag1: u32, diag2: u32) -> (u64, u64) {
+pub(crate) fn enumerate(n: u32, row: u32, cols: u32, diag1: u32, diag2: u32) -> (u64, u64) {
     if row == n {
         return (0, 1);
     }
@@ -81,6 +82,9 @@ struct Builder {
     split_depth: u32,
     ns_per_node: u64,
     forest: TaskForest,
+    /// Grain specs in task-id order (one per forest task), for live
+    /// execution.
+    specs: Vec<GrainSpec>,
 }
 
 impl Builder {
@@ -103,6 +107,13 @@ impl Builder {
                 Some(p) => self.forest.add_child(p, grain),
                 None => self.forest.add_root(grain),
             };
+            self.specs.push(GrainSpec::QueensLeaf {
+                n: self.n,
+                row,
+                cols,
+                diag1,
+                diag2,
+            });
             return;
         }
         // Interior task: expanding one row costs ~one node per child
@@ -113,6 +124,13 @@ impl Builder {
             Some(p) => self.forest.add_child(p, expansion_cost),
             None => self.forest.add_root(expansion_cost),
         };
+        self.specs.push(GrainSpec::QueensInterior {
+            n: self.n,
+            row,
+            cols,
+            diag1,
+            diag2,
+        });
         while free != 0 {
             let bit = free & free.wrapping_neg();
             free ^= bit;
@@ -131,6 +149,12 @@ impl Builder {
 /// first-row placements; tasks expand until `split_depth`, where leaf
 /// grains carry the measured subtree sizes.
 pub fn nqueens(cfg: NQueensConfig) -> Workload {
+    nqueens_with_grains(cfg).0
+}
+
+/// Like [`nqueens`], but also returns the [`GrainTable`] mapping each
+/// task to its real computation, for live execution.
+pub fn nqueens_with_grains(cfg: NQueensConfig) -> (Workload, GrainTable) {
     assert!((1..=16).contains(&cfg.n), "board size out of range");
     assert!(cfg.split_depth >= 1 && cfg.split_depth <= cfg.n);
     assert!(cfg.root_depth <= cfg.split_depth, "roots below the split");
@@ -139,6 +163,7 @@ pub fn nqueens(cfg: NQueensConfig) -> Workload {
         split_depth: cfg.split_depth,
         ns_per_node: cfg.ns_per_node,
         forest: TaskForest::new(),
+        specs: Vec::new(),
     };
     // Enumerate the valid prefixes at `root_depth`; each becomes a root
     // task that expands (dynamically) down to the split depth.
@@ -161,7 +186,8 @@ pub fn nqueens(cfg: NQueensConfig) -> Workload {
     }
     let w = Workload::single(format!("{}-queens", cfg.n), b.forest);
     debug_assert!(w.validate().is_ok());
-    w
+    debug_assert_eq!(b.specs.len(), w.rounds[0].len());
+    (w, GrainTable::new(vec![b.specs]))
 }
 
 #[cfg(test)]

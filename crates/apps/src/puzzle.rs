@@ -9,6 +9,7 @@
 //! size may vary substantially, since it dynamically depends on the
 //! currently estimated cost."
 
+use crate::live::{GrainSpec, GrainTable};
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
 use rips_taskgraph::{TaskForest, Workload};
@@ -86,6 +87,16 @@ enum Dir {
 const DIRS: [Dir; 4] = [Dir::Up, Dir::Down, Dir::Left, Dir::Right];
 
 impl Dir {
+    /// Index into [`DIRS`] — the encoding grain specs store.
+    fn index(self) -> u8 {
+        match self {
+            Dir::Up => 0,
+            Dir::Down => 1,
+            Dir::Left => 2,
+            Dir::Right => 3,
+        }
+    }
+
     fn opposite(self) -> Dir {
         match self {
             Dir::Up => Dir::Down,
@@ -224,6 +235,21 @@ pub fn ida_star(board: &Board) -> (u32, Vec<u32>, Vec<u64>) {
     }
 }
 
+/// Runs one task's bounded DFS for live execution: `last` is a
+/// direction index as stored in [`GrainSpec::PuzzleDfs`]. Returns
+/// `(nodes_expanded, min_exceeded_f, found)`.
+pub(crate) fn run_bounded(
+    board: &Board,
+    g: u32,
+    threshold: u32,
+    last: Option<u8>,
+) -> (u64, u32, bool) {
+    let last = last.map(|i| DIRS[i as usize]);
+    let mut nodes = 0u64;
+    let (exceed, found) = bounded_dfs(board, g, threshold, last, &mut nodes);
+    (nodes, exceed, found)
+}
+
 /// A frontier entry: a state, its depth, and the move that reached it.
 #[derive(Clone, Copy)]
 struct Frontier {
@@ -288,10 +314,17 @@ fn expand_frontier(start: &Board, min_tasks: usize) -> Vec<Frontier> {
 /// frontier subtree (adaptively split so no subtree dominates the
 /// iteration), grains measured by the threshold-bounded DFS.
 pub fn puzzle(cfg: PuzzleConfig) -> Workload {
+    puzzle_with_grains(cfg).0
+}
+
+/// Like [`puzzle`], but also returns the [`GrainTable`] mapping each
+/// task to its bounded DFS, for live execution.
+pub fn puzzle_with_grains(cfg: PuzzleConfig) -> (Workload, GrainTable) {
     assert!(cfg.split_divisor > 0, "zero split divisor");
     let start = Board::scrambled(cfg.scramble_len, cfg.seed);
     let frontier = expand_frontier(&start, cfg.min_tasks);
     let mut rounds = Vec::new();
+    let mut spec_rounds = Vec::new();
     let mut threshold = start.manhattan();
     loop {
         // First pass: measure every base frontier subtree.
@@ -309,6 +342,7 @@ pub fn puzzle(cfg: PuzzleConfig) -> Workload {
         // until every task is below the split threshold (goal-carrying
         // tasks are kept whole — they end the search).
         let mut forest = TaskForest::new();
+        let mut specs = Vec::new();
         let mut next_threshold = u32::MAX;
         let mut found = false;
         while let Some((f, nodes, exceed, hit)) = measured.pop() {
@@ -324,6 +358,12 @@ pub fn puzzle(cfg: PuzzleConfig) -> Workload {
             // evaluation.
             let grain = ((nodes.max(1)) * cfg.ns_per_node).div_ceil(1000).max(1);
             forest.add_root(grain);
+            specs.push(GrainSpec::PuzzleDfs {
+                board: f.board,
+                g: f.g,
+                last: f.last.map(Dir::index),
+                threshold,
+            });
             if hit {
                 found = true;
             } else {
@@ -331,6 +371,7 @@ pub fn puzzle(cfg: PuzzleConfig) -> Workload {
             }
         }
         rounds.push(forest);
+        spec_rounds.push(specs);
         if found {
             break;
         }
@@ -345,7 +386,7 @@ pub fn puzzle(cfg: PuzzleConfig) -> Workload {
         rounds,
     };
     debug_assert!(w.validate().is_ok());
-    w
+    (w, GrainTable::new(spec_rounds))
 }
 
 #[cfg(test)]

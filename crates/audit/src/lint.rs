@@ -7,7 +7,7 @@
 //! | id | rule |
 //! |----|------|
 //! | RIPS-L001 | no `HashMap`/`HashSet` in the deterministic-path crates (`sched`, `balancers`, `runtime`, `core`): their iteration order is seeded per process and leaks into results |
-//! | RIPS-L002 | no `Instant`/`SystemTime`/`thread_rng` outside `crates/bench` and `shims`: simulated runs must not observe wall-clock time or ambient randomness |
+//! | RIPS-L002 | no `Instant`/`SystemTime`/`thread_rng` outside the reasoned [`TIMING_PATHS`] allowlist (`crates/bench`, `shims`, `crates/live`): simulated runs must not observe wall-clock time or ambient randomness |
 //! | RIPS-L003 | no `unwrap`/`expect`/`panic!`/`unreachable!` in the desim engine hot path (`crates/desim/src/engine.rs`) without a reasoned suppression |
 //! | RIPS-L004 | `unsafe` is forbidden outside the explicit allowlist (currently empty) |
 //! | RIPS-L005 | public items in `#![warn(missing_docs)]` crates must carry a doc comment |
@@ -129,9 +129,26 @@ const DETERMINISTIC_CRATES: &[&str] = &[
 ];
 
 /// Paths allowed to observe wall-clock time / ambient randomness
-/// (RIPS-L002 does not apply): the bench harness measures real elapsed
-/// time by design, and the vendored shims implement the timing APIs.
-const TIMING_PATHS: &[&str] = &["crates/bench/", "shims/"];
+/// (RIPS-L002 does not apply). Every entry carries a mandatory reason,
+/// mirroring the inline `allow(L00x, reason)` contract: an unexplained
+/// scope hole is itself a lint smell. Keep entries narrow — a crate
+/// goes here only if real time is its *purpose*, not a convenience.
+pub const TIMING_PATHS: &[(&str, &str)] = &[
+    (
+        "crates/bench/",
+        "the bench harness measures real elapsed time by design",
+    ),
+    (
+        "shims/",
+        "the vendored shims implement the timing APIs themselves",
+    ),
+    (
+        "crates/live/",
+        "the live backend's whole point is wall-clock execution: \
+         Instant anchors its monotonic Clock and recv_timeout drives \
+         its timer lanes",
+    ),
+];
 
 /// The desim engine hot path (RIPS-L003 scope).
 const ENGINE_HOT_PATH: &str = "crates/desim/src/engine.rs";
@@ -210,7 +227,7 @@ pub fn lint_source(path: &str, src: &str, missing_docs: bool) -> (Vec<Finding>, 
     let in_tests = |idx: usize| test_ranges.iter().any(|&(lo, hi)| idx >= lo && idx < hi);
 
     let l001 = DETERMINISTIC_CRATES.iter().any(|p| path.starts_with(p));
-    let l002 = !TIMING_PATHS.iter().any(|p| path.starts_with(p));
+    let l002 = !TIMING_PATHS.iter().any(|(p, _)| path.starts_with(p));
     let l003 = path == ENGINE_HOT_PATH;
     let l004 = !UNSAFE_ALLOWLIST.contains(&path);
 
@@ -589,6 +606,41 @@ mod tests {
         assert_eq!(lint_one("crates/apps/src/x.rs", src)[0].rule, "RIPS-L002");
         assert!(lint_one("crates/bench/src/bin/perf.rs", src).is_empty());
         assert!(lint_one("shims/criterion/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l002_allowlist_pins_live_scope_with_reasons() {
+        // The live backend is the one *runtime* crate allowed to
+        // observe wall-clock time — and only it. A rename or a new
+        // sibling crate must not silently inherit the exemption.
+        let src = "let t = std::time::Instant::now();\n";
+        assert!(lint_one("crates/live/src/lib.rs", src).is_empty());
+        for flagged in [
+            "crates/livex/src/lib.rs", // prefix must not over-match
+            "crates/runtime/src/driver.rs",
+            "crates/core/src/program.rs",
+            "crates/desim/src/engine.rs",
+            "crates/trace/src/lib.rs",
+        ] {
+            let f = lint_one(flagged, src);
+            assert_eq!(f.len(), 1, "{flagged} escaped L002");
+            assert_eq!(f[0].rule, "RIPS-L002", "{flagged}");
+        }
+        // Every allowlist hole documents why it exists.
+        for (path, reason) in TIMING_PATHS {
+            assert!(
+                !reason.trim().is_empty(),
+                "TIMING_PATHS entry {path:?} carries no reason"
+            );
+            assert!(
+                path.ends_with('/'),
+                "TIMING_PATHS entry {path:?} must be a directory prefix"
+            );
+        }
+        assert!(
+            TIMING_PATHS.iter().any(|(p, _)| *p == "crates/live/"),
+            "live backend missing from the timing allowlist"
+        );
     }
 
     #[test]

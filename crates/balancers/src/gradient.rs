@@ -12,9 +12,10 @@
 
 use std::sync::Arc;
 
-use rips_desim::{Ctx, LatencyModel, Time, WorkKind};
+use rips_desim::{LatencyModel, Time, WorkKind};
 use rips_runtime::{
-    run_policy, BalancerPolicy, Costs, Kernel, KernelMsg, RunOutcome, TaskInstance, TAG_POLICY_BASE,
+    run_policy, BalancerPolicy, Costs, ExecCtx, Kernel, KernelMsg, RunOutcome, TaskInstance,
+    TAG_POLICY_BASE,
 };
 use rips_taskgraph::Workload;
 use rips_topology::{NodeId, Topology};
@@ -44,15 +45,13 @@ impl Default for GradientParams {
 
 /// Gradient-model policy messages.
 #[derive(Debug, Clone, PartialEq, Eq)]
-enum GradientMsg {
+pub enum GradientMsg {
     /// Sender's proximity value.
     Proximity(u32),
 }
 
-type Ct<'a> = Ctx<'a, KernelMsg<GradientMsg>>;
-
 /// The gradient model as a [`BalancerPolicy`].
-struct GradientPolicy {
+pub struct GradientPolicy {
     params: GradientParams,
     neighbors: Vec<NodeId>,
     nb_prox: Vec<u32>,
@@ -72,7 +71,11 @@ impl GradientPolicy {
 
     /// Recomputes own proximity and ensures the periodic gradient tick
     /// is armed whenever there is something to advertise or push.
-    fn refresh_proximity(&mut self, k: &mut Kernel, ctx: &mut Ct<'_>) {
+    fn refresh_proximity(
+        &mut self,
+        k: &mut Kernel,
+        ctx: &mut impl ExecCtx<KernelMsg<GradientMsg>>,
+    ) {
         self.my_prox = if k.load() == 0 {
             0
         } else {
@@ -89,7 +92,7 @@ impl GradientPolicy {
     /// One gradient tick: advertise a changed proximity, push a small
     /// burst of tasks downhill, and re-arm while pressure remains —
     /// the continuous task flow of the gradient model.
-    fn gradient_tick(&mut self, k: &mut Kernel, ctx: &mut Ct<'_>) {
+    fn gradient_tick(&mut self, k: &mut Kernel, ctx: &mut impl ExecCtx<KernelMsg<GradientMsg>>) {
         self.notify_pending = false;
         self.my_prox = if k.load() == 0 {
             0
@@ -114,7 +117,7 @@ impl GradientPolicy {
 
     /// Pushes one task downhill if overloaded and an idle node is
     /// known somewhere.
-    fn push_one(&mut self, k: &mut Kernel, ctx: &mut Ct<'_>) {
+    fn push_one(&mut self, k: &mut Kernel, ctx: &mut impl ExecCtx<KernelMsg<GradientMsg>>) {
         if k.load() <= self.params.high_mark || self.min_nb_prox() >= self.cap {
             return;
         }
@@ -132,12 +135,18 @@ impl GradientPolicy {
 impl BalancerPolicy for GradientPolicy {
     type Msg = GradientMsg;
 
-    fn on_start(&mut self, k: &mut Kernel, ctx: &mut Ct<'_>) {
+    fn on_start(&mut self, k: &mut Kernel, ctx: &mut impl ExecCtx<KernelMsg<GradientMsg>>) {
         k.seed_round(ctx, 0);
         self.refresh_proximity(k, ctx);
     }
 
-    fn on_msg(&mut self, k: &mut Kernel, ctx: &mut Ct<'_>, from: NodeId, msg: GradientMsg) {
+    fn on_msg(
+        &mut self,
+        k: &mut Kernel,
+        ctx: &mut impl ExecCtx<KernelMsg<GradientMsg>>,
+        from: NodeId,
+        msg: GradientMsg,
+    ) {
         let GradientMsg::Proximity(p) = msg;
         let idx = self
             .neighbors
@@ -151,14 +160,19 @@ impl BalancerPolicy for GradientPolicy {
     fn on_tasks_accepted(
         &mut self,
         k: &mut Kernel,
-        ctx: &mut Ct<'_>,
+        ctx: &mut impl ExecCtx<KernelMsg<GradientMsg>>,
         _from: NodeId,
         _sender_load: i64,
     ) {
         self.refresh_proximity(k, ctx);
     }
 
-    fn on_timer(&mut self, k: &mut Kernel, ctx: &mut Ct<'_>, tag: u64) {
+    fn on_timer(
+        &mut self,
+        k: &mut Kernel,
+        ctx: &mut impl ExecCtx<KernelMsg<GradientMsg>>,
+        tag: u64,
+    ) {
         match tag {
             TAG_NOTIFY => self.gradient_tick(k, ctx),
             _ => unreachable!("unknown timer {tag}"),
@@ -167,17 +181,28 @@ impl BalancerPolicy for GradientPolicy {
 
     /// Children stay local; the gradient moves them later if pressure
     /// builds.
-    fn place_children(&mut self, k: &mut Kernel, ctx: &mut Ct<'_>, children: Vec<TaskInstance>) {
+    fn place_children(
+        &mut self,
+        k: &mut Kernel,
+        ctx: &mut impl ExecCtx<KernelMsg<GradientMsg>>,
+        children: Vec<TaskInstance>,
+    ) {
         let spawn = children.len() as Time * k.oracle.costs.spawn_us;
         ctx.compute(spawn, WorkKind::Overhead);
         k.exec.queue.extend(children);
     }
 
-    fn after_task(&mut self, k: &mut Kernel, ctx: &mut Ct<'_>) {
+    fn after_task(&mut self, k: &mut Kernel, ctx: &mut impl ExecCtx<KernelMsg<GradientMsg>>) {
         self.refresh_proximity(k, ctx);
     }
 
-    fn on_round_start(&mut self, k: &mut Kernel, ctx: &mut Ct<'_>, round: u32, _token: u32) {
+    fn on_round_start(
+        &mut self,
+        k: &mut Kernel,
+        ctx: &mut impl ExecCtx<KernelMsg<GradientMsg>>,
+        round: u32,
+        _token: u32,
+    ) {
         k.seed_round(ctx, round);
         self.refresh_proximity(k, ctx);
     }
@@ -196,19 +221,24 @@ pub fn gradient(
         latency.alpha_us > 0 || latency.per_hop_us > 0,
         "gradient model needs nonzero message latency to converge"
     );
-    let cap = topo.diameter() as u32 + 1;
     let topo2 = Arc::clone(&topo);
     let (outcome, _) = run_policy(workload, topo, latency, costs, seed, move |me| {
-        let neighbors = topo2.neighbors(me);
-        GradientPolicy {
-            params,
-            nb_prox: vec![cap; neighbors.len()],
-            neighbors,
-            my_prox: cap,
-            advertised: None,
-            notify_pending: false,
-            cap,
-        }
+        gradient_policy(topo2.as_ref(), me, params)
     });
     outcome
+}
+
+/// Node `me`'s gradient-model policy instance on `topo`.
+pub fn gradient_policy(topo: &dyn Topology, me: NodeId, params: GradientParams) -> GradientPolicy {
+    let cap = topo.diameter() as u32 + 1;
+    let neighbors = topo.neighbors(me);
+    GradientPolicy {
+        params,
+        nb_prox: vec![cap; neighbors.len()],
+        neighbors,
+        my_prox: cap,
+        advertised: None,
+        notify_pending: false,
+        cap,
+    }
 }

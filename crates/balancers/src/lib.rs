@@ -35,7 +35,7 @@ mod random;
 mod rid;
 mod sid;
 
-pub use gradient::{gradient, GradientParams};
-pub use random::random;
-pub use rid::{rid, RidParams};
-pub use sid::{sid, SidParams};
+pub use gradient::{gradient, gradient_policy, GradientParams, GradientPolicy};
+pub use random::{random, random_policy, RandomPolicy};
+pub use rid::{rid, rid_policy, RidParams, RidPolicy};
+pub use sid::{sid, sid_policy, SidParams, SidPolicy};

@@ -4,18 +4,22 @@
 use std::sync::Arc;
 
 use rand::RngExt;
-use rips_desim::{Ctx, LatencyModel};
+use rips_desim::LatencyModel;
 use rips_runtime::{
-    run_policy, BalancerPolicy, Costs, Kernel, KernelMsg, RunOutcome, TaskInstance,
+    run_policy, BalancerPolicy, Costs, ExecCtx, Kernel, KernelMsg, RunOutcome, TaskInstance,
 };
 use rips_taskgraph::Workload;
 use rips_topology::{NodeId, Topology};
 
-type Ct<'a> = Ctx<'a, KernelMsg<()>>;
-
 /// Randomized allocation as a [`BalancerPolicy`]: stateless — every
 /// placement decision is a fresh RNG draw.
-struct RandomPolicy;
+pub struct RandomPolicy;
+
+/// Node `_me`'s randomized-allocation policy instance (stateless; the
+/// per-node constructor exists so any backend can build a fleet).
+pub fn random_policy(_me: NodeId) -> RandomPolicy {
+    RandomPolicy
+}
 
 impl RandomPolicy {
     /// Seeds this node's block of the round and immediately scatters it:
@@ -23,7 +27,12 @@ impl RandomPolicy {
     /// included — to a uniformly random processor. (This is why the
     /// paper's Table I shows ~(N−1)/N of even the flat GROMOS task set
     /// as non-local under random allocation.)
-    fn seed_scattered(&mut self, k: &mut Kernel, ctx: &mut Ct<'_>, round: u32) {
+    fn seed_scattered(
+        &mut self,
+        k: &mut Kernel,
+        ctx: &mut impl ExecCtx<KernelMsg<()>>,
+        round: u32,
+    ) {
         let seeds = k.take_seeds(ctx, round);
         self.place_children(k, ctx, seeds);
         if k.oracle.outstanding() == 0 && k.me == 0 {
@@ -37,18 +46,29 @@ impl RandomPolicy {
 impl BalancerPolicy for RandomPolicy {
     type Msg = ();
 
-    fn on_start(&mut self, k: &mut Kernel, ctx: &mut Ct<'_>) {
+    fn on_start(&mut self, k: &mut Kernel, ctx: &mut impl ExecCtx<KernelMsg<()>>) {
         self.seed_scattered(k, ctx, 0);
     }
 
-    fn on_msg(&mut self, _k: &mut Kernel, _ctx: &mut Ct<'_>, _from: NodeId, msg: ()) {
+    fn on_msg(
+        &mut self,
+        _k: &mut Kernel,
+        _ctx: &mut impl ExecCtx<KernelMsg<()>>,
+        _from: NodeId,
+        msg: (),
+    ) {
         unreachable!("random allocation sends no policy messages, got {msg:?}");
     }
 
     /// Ships `children` to uniformly random nodes, batching per
     /// destination; local picks stay in the queue. Shipping is free for
     /// the sender — the receiver pays the spawn overhead on acceptance.
-    fn place_children(&mut self, k: &mut Kernel, ctx: &mut Ct<'_>, children: Vec<TaskInstance>) {
+    fn place_children(
+        &mut self,
+        k: &mut Kernel,
+        ctx: &mut impl ExecCtx<KernelMsg<()>>,
+        children: Vec<TaskInstance>,
+    ) {
         if children.is_empty() {
             return;
         }
@@ -72,7 +92,13 @@ impl BalancerPolicy for RandomPolicy {
         }
     }
 
-    fn on_round_start(&mut self, k: &mut Kernel, ctx: &mut Ct<'_>, round: u32, _token: u32) {
+    fn on_round_start(
+        &mut self,
+        k: &mut Kernel,
+        ctx: &mut impl ExecCtx<KernelMsg<()>>,
+        round: u32,
+        _token: u32,
+    ) {
         self.seed_scattered(k, ctx, round);
     }
 }
@@ -86,6 +112,6 @@ pub fn random(
     costs: Costs,
     seed: u64,
 ) -> RunOutcome {
-    let (outcome, _) = run_policy(workload, topo, latency, costs, seed, |_me| RandomPolicy);
+    let (outcome, _) = run_policy(workload, topo, latency, costs, seed, random_policy);
     outcome
 }

@@ -9,9 +9,10 @@
 
 use std::sync::Arc;
 
-use rips_desim::{Ctx, LatencyModel, Time, WorkKind};
+use rips_desim::{LatencyModel, Time, WorkKind};
 use rips_runtime::{
-    run_policy, BalancerPolicy, Costs, Kernel, KernelMsg, RunOutcome, TaskInstance, TAG_POLICY_BASE,
+    run_policy, BalancerPolicy, Costs, ExecCtx, Kernel, KernelMsg, RunOutcome, TaskInstance,
+    TAG_POLICY_BASE,
 };
 use rips_taskgraph::Workload;
 use rips_topology::{NodeId, Topology};
@@ -52,17 +53,15 @@ impl Default for RidParams {
 
 /// RID policy messages.
 #[derive(Debug, Clone, PartialEq, Eq)]
-enum RidMsg {
+pub enum RidMsg {
     /// Sender's current load.
     LoadInfo(i64),
     /// Request for up to this many tasks.
     TaskRequest(i64),
 }
 
-type Ct<'a> = Ctx<'a, KernelMsg<RidMsg>>;
-
 /// Receiver-initiated diffusion as a [`BalancerPolicy`].
-struct RidPolicy {
+pub struct RidPolicy {
     params: RidParams,
     neighbors: Vec<NodeId>,
     nb_load: Vec<i64>,
@@ -81,7 +80,7 @@ impl RidPolicy {
     }
 
     /// Broadcasts own load to neighbours when it drifted enough.
-    fn maybe_broadcast(&mut self, k: &mut Kernel, ctx: &mut Ct<'_>) {
+    fn maybe_broadcast(&mut self, k: &mut Kernel, ctx: &mut impl ExecCtx<KernelMsg<RidMsg>>) {
         let load = k.load();
         let threshold = (((1.0 - self.params.u) * self.last_broadcast.max(0) as f64) as i64).max(1);
         if (load - self.last_broadcast).abs() >= threshold {
@@ -100,7 +99,7 @@ impl RidPolicy {
     /// average is split over the above-average neighbours in proportion
     /// to their excess — the proportional-hunk rule of Willebeek-LeMair
     /// & Reeves' RID.
-    fn maybe_request(&mut self, k: &mut Kernel, ctx: &mut Ct<'_>) {
+    fn maybe_request(&mut self, k: &mut Kernel, ctx: &mut impl ExecCtx<KernelMsg<RidMsg>>) {
         if self.pending_replies > 0 || k.load() >= self.params.l_low || self.neighbors.is_empty() {
             return;
         }
@@ -136,7 +135,13 @@ impl RidPolicy {
     /// Donates up to `amount` tasks, keeping `l_threshold` for itself.
     /// A donor with nothing to spare stays silent — the requester finds
     /// out by timing out.
-    fn donate(&mut self, k: &mut Kernel, ctx: &mut Ct<'_>, to: NodeId, amount: i64) {
+    fn donate(
+        &mut self,
+        k: &mut Kernel,
+        ctx: &mut impl ExecCtx<KernelMsg<RidMsg>>,
+        to: NodeId,
+        amount: i64,
+    ) {
         let surplus = (k.load() - self.params.l_threshold).max(0);
         let give = surplus.min(amount).min(k.exec.queue.len() as i64);
         if give == 0 {
@@ -159,12 +164,18 @@ impl RidPolicy {
 impl BalancerPolicy for RidPolicy {
     type Msg = RidMsg;
 
-    fn on_start(&mut self, k: &mut Kernel, ctx: &mut Ct<'_>) {
+    fn on_start(&mut self, k: &mut Kernel, ctx: &mut impl ExecCtx<KernelMsg<RidMsg>>) {
         k.seed_round(ctx, 0);
         self.maybe_broadcast(k, ctx);
     }
 
-    fn on_msg(&mut self, k: &mut Kernel, ctx: &mut Ct<'_>, from: NodeId, msg: RidMsg) {
+    fn on_msg(
+        &mut self,
+        k: &mut Kernel,
+        ctx: &mut impl ExecCtx<KernelMsg<RidMsg>>,
+        from: NodeId,
+        msg: RidMsg,
+    ) {
         match msg {
             RidMsg::LoadInfo(load) => {
                 let idx = self.nb_index(from);
@@ -178,7 +189,7 @@ impl BalancerPolicy for RidPolicy {
     fn on_tasks_accepted(
         &mut self,
         k: &mut Kernel,
-        ctx: &mut Ct<'_>,
+        ctx: &mut impl ExecCtx<KernelMsg<RidMsg>>,
         from: NodeId,
         sender_load: i64,
     ) {
@@ -189,7 +200,7 @@ impl BalancerPolicy for RidPolicy {
         self.maybe_request(k, ctx);
     }
 
-    fn on_timer(&mut self, k: &mut Kernel, ctx: &mut Ct<'_>, tag: u64) {
+    fn on_timer(&mut self, k: &mut Kernel, ctx: &mut impl ExecCtx<KernelMsg<RidMsg>>, tag: u64) {
         match tag {
             TAG_REQ_TIMEOUT => {
                 // Whatever was still outstanding is treated as refused.
@@ -201,18 +212,29 @@ impl BalancerPolicy for RidPolicy {
     }
 
     /// Children stay local; underloaded neighbours will come asking.
-    fn place_children(&mut self, k: &mut Kernel, ctx: &mut Ct<'_>, children: Vec<TaskInstance>) {
+    fn place_children(
+        &mut self,
+        k: &mut Kernel,
+        ctx: &mut impl ExecCtx<KernelMsg<RidMsg>>,
+        children: Vec<TaskInstance>,
+    ) {
         let spawn = children.len() as Time * k.oracle.costs.spawn_us;
         ctx.compute(spawn, WorkKind::Overhead);
         k.exec.queue.extend(children);
     }
 
-    fn after_task(&mut self, k: &mut Kernel, ctx: &mut Ct<'_>) {
+    fn after_task(&mut self, k: &mut Kernel, ctx: &mut impl ExecCtx<KernelMsg<RidMsg>>) {
         self.maybe_broadcast(k, ctx);
         self.maybe_request(k, ctx);
     }
 
-    fn on_round_start(&mut self, k: &mut Kernel, ctx: &mut Ct<'_>, round: u32, _token: u32) {
+    fn on_round_start(
+        &mut self,
+        k: &mut Kernel,
+        ctx: &mut impl ExecCtx<KernelMsg<RidMsg>>,
+        round: u32,
+        _token: u32,
+    ) {
         self.pending_replies = 0;
         k.seed_round(ctx, round);
         self.maybe_broadcast(k, ctx);
@@ -234,14 +256,19 @@ pub fn rid(
     );
     let topo2 = Arc::clone(&topo);
     let (outcome, _) = run_policy(workload, topo, latency, costs, seed, move |me| {
-        let neighbors = topo2.neighbors(me);
-        RidPolicy {
-            params,
-            nb_load: vec![0; neighbors.len()],
-            neighbors,
-            last_broadcast: 0,
-            pending_replies: 0,
-        }
+        rid_policy(topo2.as_ref(), me, params)
     });
     outcome
+}
+
+/// Node `me`'s receiver-initiated-diffusion policy instance on `topo`.
+pub fn rid_policy(topo: &dyn Topology, me: NodeId, params: RidParams) -> RidPolicy {
+    let neighbors = topo.neighbors(me);
+    RidPolicy {
+        params,
+        nb_load: vec![0; neighbors.len()],
+        neighbors,
+        last_broadcast: 0,
+        pending_replies: 0,
+    }
 }

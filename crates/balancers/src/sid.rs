@@ -11,9 +11,9 @@
 
 use std::sync::Arc;
 
-use rips_desim::{Ctx, LatencyModel, Time, WorkKind};
+use rips_desim::{LatencyModel, Time, WorkKind};
 use rips_runtime::{
-    run_policy, BalancerPolicy, Costs, Kernel, KernelMsg, RunOutcome, TaskInstance,
+    run_policy, BalancerPolicy, Costs, ExecCtx, Kernel, KernelMsg, RunOutcome, TaskInstance,
 };
 use rips_taskgraph::Workload;
 use rips_topology::{NodeId, Topology};
@@ -46,15 +46,13 @@ impl Default for SidParams {
 
 /// SID policy messages.
 #[derive(Debug, Clone, PartialEq, Eq)]
-enum SidMsg {
+pub enum SidMsg {
     /// Sender's current load.
     LoadInfo(i64),
 }
 
-type Ct<'a> = Ctx<'a, KernelMsg<SidMsg>>;
-
 /// Sender-initiated diffusion as a [`BalancerPolicy`].
-struct SidPolicy {
+pub struct SidPolicy {
     params: SidParams,
     neighbors: Vec<NodeId>,
     nb_load: Vec<i64>,
@@ -70,7 +68,7 @@ impl SidPolicy {
     }
 
     /// Broadcasts own load to neighbours when it drifted enough.
-    fn maybe_broadcast(&mut self, k: &mut Kernel, ctx: &mut Ct<'_>) {
+    fn maybe_broadcast(&mut self, k: &mut Kernel, ctx: &mut impl ExecCtx<KernelMsg<SidMsg>>) {
         let load = k.load();
         let threshold = (((1.0 - self.params.u) * self.last_broadcast.max(0) as f64) as i64).max(1);
         if (load - self.last_broadcast).abs() >= threshold {
@@ -88,7 +86,7 @@ impl SidPolicy {
     /// Pushes surplus to the least-loaded known neighbour when
     /// overloaded: half the pairwise difference, keeping at least
     /// `l_threshold` for ourselves.
-    fn maybe_push(&mut self, k: &mut Kernel, ctx: &mut Ct<'_>) {
+    fn maybe_push(&mut self, k: &mut Kernel, ctx: &mut impl ExecCtx<KernelMsg<SidMsg>>) {
         if k.load() <= self.params.l_high || self.neighbors.is_empty() {
             return;
         }
@@ -128,13 +126,19 @@ impl SidPolicy {
 impl BalancerPolicy for SidPolicy {
     type Msg = SidMsg;
 
-    fn on_start(&mut self, k: &mut Kernel, ctx: &mut Ct<'_>) {
+    fn on_start(&mut self, k: &mut Kernel, ctx: &mut impl ExecCtx<KernelMsg<SidMsg>>) {
         k.seed_round(ctx, 0);
         self.maybe_broadcast(k, ctx);
         self.maybe_push(k, ctx);
     }
 
-    fn on_msg(&mut self, k: &mut Kernel, ctx: &mut Ct<'_>, from: NodeId, msg: SidMsg) {
+    fn on_msg(
+        &mut self,
+        k: &mut Kernel,
+        ctx: &mut impl ExecCtx<KernelMsg<SidMsg>>,
+        from: NodeId,
+        msg: SidMsg,
+    ) {
         let SidMsg::LoadInfo(load) = msg;
         let idx = self.nb_index(from);
         self.nb_load[idx] = load;
@@ -144,7 +148,7 @@ impl BalancerPolicy for SidPolicy {
     fn on_tasks_accepted(
         &mut self,
         k: &mut Kernel,
-        ctx: &mut Ct<'_>,
+        ctx: &mut impl ExecCtx<KernelMsg<SidMsg>>,
         from: NodeId,
         sender_load: i64,
     ) {
@@ -155,18 +159,29 @@ impl BalancerPolicy for SidPolicy {
     }
 
     /// Children stay local until load pressure pushes them away.
-    fn place_children(&mut self, k: &mut Kernel, ctx: &mut Ct<'_>, children: Vec<TaskInstance>) {
+    fn place_children(
+        &mut self,
+        k: &mut Kernel,
+        ctx: &mut impl ExecCtx<KernelMsg<SidMsg>>,
+        children: Vec<TaskInstance>,
+    ) {
         let spawn = children.len() as Time * k.oracle.costs.spawn_us;
         ctx.compute(spawn, WorkKind::Overhead);
         k.exec.queue.extend(children);
     }
 
-    fn after_task(&mut self, k: &mut Kernel, ctx: &mut Ct<'_>) {
+    fn after_task(&mut self, k: &mut Kernel, ctx: &mut impl ExecCtx<KernelMsg<SidMsg>>) {
         self.maybe_broadcast(k, ctx);
         self.maybe_push(k, ctx);
     }
 
-    fn on_round_start(&mut self, k: &mut Kernel, ctx: &mut Ct<'_>, round: u32, _token: u32) {
+    fn on_round_start(
+        &mut self,
+        k: &mut Kernel,
+        ctx: &mut impl ExecCtx<KernelMsg<SidMsg>>,
+        round: u32,
+        _token: u32,
+    ) {
         k.seed_round(ctx, round);
         self.maybe_broadcast(k, ctx);
         self.maybe_push(k, ctx);
@@ -188,13 +203,18 @@ pub fn sid(
     );
     let topo2 = Arc::clone(&topo);
     let (outcome, _) = run_policy(workload, topo, latency, costs, seed, move |me| {
-        let neighbors = topo2.neighbors(me);
-        SidPolicy {
-            params,
-            nb_load: vec![0; neighbors.len()],
-            neighbors,
-            last_broadcast: 0,
-        }
+        sid_policy(topo2.as_ref(), me, params)
     });
     outcome
+}
+
+/// Node `me`'s sender-initiated-diffusion policy instance on `topo`.
+pub fn sid_policy(topo: &dyn Topology, me: NodeId, params: SidParams) -> SidPolicy {
+    let neighbors = topo.neighbors(me);
+    SidPolicy {
+        params,
+        nb_load: vec![0; neighbors.len()],
+        neighbors,
+        last_broadcast: 0,
+    }
 }

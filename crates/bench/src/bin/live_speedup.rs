@@ -1,0 +1,207 @@
+//! `live_speedup` — wall-clock speedup curves on the live backend.
+//!
+//! Runs RIPS on real OS threads (1, 2, 4 per app) executing real
+//! application grains, and writes `BENCH_LIVE.json` with
+//! threads-vs-wall-clock rows per app in two grain modes:
+//!
+//! * `compute` — only the real application closures run; speedup then
+//!   reflects the host's physical parallelism (a 1-core container
+//!   shows ~1x, honestly recorded as such).
+//! * `timed`  — each grain additionally occupies its node for the
+//!   task's modelled duration, so node-level concurrency (the thing
+//!   the scheduler controls) is measurable on any host: sleeping
+//!   nodes overlap regardless of core count.
+//!
+//! Every run is cross-validated: solutions and execution checksum must
+//! equal the sequential reference, or the binary panics.
+//!
+//! ```text
+//! live_speedup [--out BENCH_LIVE.json] [--repeats 2] [--seed 1]
+//! ```
+
+use std::sync::Arc;
+
+use rips_apps::{
+    gromos_with_grains, nqueens_with_grains, puzzle_with_grains, GrainTable, GromosConfig,
+    NQueensConfig, PuzzleConfig,
+};
+use rips_bench::live::{live_opts, live_run};
+use rips_bench::{arg_usize, registry};
+use rips_live::GrainMode;
+use rips_taskgraph::Workload;
+
+const THREADS: &[usize] = &[1, 2, 4];
+
+struct Cell {
+    threads: usize,
+    wall_us: u64,
+    speedup: f64,
+}
+
+struct Series {
+    app: String,
+    tasks: usize,
+    solutions: u64,
+    mode: &'static str,
+    cells: Vec<Cell>,
+}
+
+fn arg(name: &str) -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == name {
+            return args.next();
+        }
+    }
+    None
+}
+
+/// Benchmark-sized instances: real algorithms, minutes not hours.
+fn apps() -> Vec<(String, Arc<Workload>, Arc<GrainTable>)> {
+    let (qw, qt) = nqueens_with_grains(NQueensConfig {
+        n: 10,
+        split_depth: 3,
+        root_depth: 2,
+        ns_per_node: 1800,
+    });
+    let (pw, pt) = puzzle_with_grains(PuzzleConfig {
+        scramble_len: 20,
+        seed: 3,
+        min_tasks: 32,
+        ns_per_node: 1500,
+        split_divisor: 1024,
+        split_floor_nodes: 20_000,
+    });
+    let mut gcfg = GromosConfig::paper(8.0);
+    gcfg.atoms = 800;
+    gcfg.groups = 571;
+    let (gw, gt) = gromos_with_grains(gcfg);
+    vec![
+        ("10-queens".into(), Arc::new(qw), Arc::new(qt)),
+        ("15-puzzle (s20)".into(), Arc::new(pw), Arc::new(pt)),
+        ("gromos 8A (800 atoms)".into(), Arc::new(gw), Arc::new(gt)),
+    ]
+}
+
+fn measure(
+    name: &str,
+    workload: &Arc<Workload>,
+    table: &Arc<GrainTable>,
+    mode: GrainMode,
+    mode_label: &'static str,
+    repeats: usize,
+    seed: u64,
+) -> Series {
+    let truth = table.static_totals();
+    let mut cells = Vec::new();
+    let mut base_us = 0u64;
+    for &threads in THREADS {
+        // Best-of-N damps OS-scheduler noise; every repeat is still
+        // fully cross-validated.
+        let mut best = u64::MAX;
+        for r in 0..repeats {
+            let out = live_run(
+                "RIPS",
+                workload,
+                threads,
+                0.4,
+                seed + r as u64,
+                live_opts(table, mode, 1.0),
+            );
+            assert_eq!(out.solutions, truth.solutions, "{name} at {threads}t");
+            assert_eq!(out.checksum, truth.checksum, "{name} at {threads}t");
+            best = best.min(out.wall_us);
+        }
+        if threads == 1 {
+            base_us = best;
+        }
+        cells.push(Cell {
+            threads,
+            wall_us: best,
+            speedup: base_us as f64 / best.max(1) as f64,
+        });
+        eprintln!(
+            "  {name} [{mode_label}] {threads} threads: {:.3} s (speedup {:.2})",
+            best as f64 / 1e6,
+            base_us as f64 / best.max(1) as f64
+        );
+    }
+    Series {
+        app: name.to_string(),
+        tasks: workload.stats().tasks,
+        solutions: truth.solutions,
+        mode: mode_label,
+        cells,
+    }
+}
+
+fn main() {
+    let out_path = arg("--out").unwrap_or_else(|| "BENCH_LIVE.json".into());
+    let repeats = arg_usize("--repeats", 2).max(1);
+    let seed: u64 = arg("--seed").and_then(|v| v.parse().ok()).unwrap_or(1);
+    let host = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+
+    let mut series = Vec::new();
+    for (name, workload, table) in apps() {
+        eprintln!("{name}: {} tasks", workload.stats().tasks);
+        for (mode, label) in [(GrainMode::Compute, "compute"), (GrainMode::Timed, "timed")] {
+            series.push(measure(
+                &name, &workload, &table, mode, label, repeats, seed,
+            ));
+        }
+    }
+
+    let best_timed_4t = series
+        .iter()
+        .filter(|s| s.mode == "timed")
+        .filter_map(|s| {
+            s.cells
+                .iter()
+                .find(|c| c.threads == 4)
+                .map(|c| (s.app.as_str(), c.speedup))
+        })
+        .max_by(|a, b| a.1.total_cmp(&b.1));
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"live_speedup\",\n");
+    json.push_str("  \"scheduler\": \"RIPS\",\n");
+    json.push_str(&format!("  \"host_parallelism\": {host},\n"));
+    json.push_str(&format!("  \"repeats\": {repeats},\n"));
+    json.push_str(&format!("  \"seed\": {seed},\n"));
+    json.push_str(&format!("  \"roster\": {:?},\n", registry().names()));
+    if let Some((app, s)) = best_timed_4t {
+        json.push_str(&format!(
+            "  \"best_timed_speedup_at_4_threads\": {{\"app\": {app:?}, \"speedup\": {s:.3}}},\n"
+        ));
+    }
+    json.push_str("  \"series\": [\n");
+    for (i, s) in series.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"app\": {:?}, \"mode\": {:?}, \"tasks\": {}, \"solutions\": {}, \"runs\": [",
+            s.app, s.mode, s.tasks, s.solutions
+        ));
+        for (j, c) in s.cells.iter().enumerate() {
+            json.push_str(&format!(
+                "{{\"threads\": {}, \"wall_us\": {}, \"speedup\": {:.3}}}{}",
+                c.threads,
+                c.wall_us,
+                c.speedup,
+                if j + 1 < s.cells.len() { ", " } else { "" }
+            ));
+        }
+        json.push_str(&format!(
+            "]}}{}\n",
+            if i + 1 < series.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    if let Some((app, s)) = best_timed_4t {
+        println!("best timed speedup at 4 threads: {s:.2}x on {app}");
+    }
+    println!("wrote {out_path}");
+}

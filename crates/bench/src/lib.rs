@@ -19,6 +19,8 @@
 //! | `timeline`          | per-node utilization Gantt charts |
 //! | `phase_anatomy`     | §5's 15-Queens system-phase breakdown |
 
+pub mod live;
+
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 

@@ -1,0 +1,166 @@
+//! Live-backend experiment driver: runs any roster scheduler on real
+//! OS threads (one per node) with real application grains, for
+//! cross-validation against the simulator and wall-clock speedup
+//! measurement (`BENCH_LIVE.json`, the `live-smoke` CI job, and
+//! `rips live`).
+//!
+//! The scheduler roster here is *the same* as [`registry`](crate::registry) —
+//! both dispatch by the same names onto the same policy constructors —
+//! so every cross-backend comparison runs identical policy code on
+//! both backends.
+
+use std::sync::Arc;
+
+use rips_apps::{
+    gromos_with_grains, nqueens_with_grains, puzzle_with_grains, GrainTable, GromosConfig,
+    NQueensConfig, PuzzleConfig,
+};
+use rips_balancers::{gradient_policy, random_policy, rid_policy, sid_policy, RidParams};
+use rips_core::{Machine, RipsConfig, RipsFleet};
+use rips_live::{run_live, GrainMode, GrainResult, GrainRunner, LiveOpts, LiveOutcome};
+use rips_runtime::{Costs, TaskInstance};
+use rips_taskgraph::Workload;
+use rips_topology::{Mesh2D, Topology};
+
+use crate::{App, RegistryTuning};
+
+/// Adapts an app [`GrainTable`] to the live backend's [`GrainRunner`]
+/// contract: each executed task runs its recorded real computation.
+pub struct TableRunner(pub Arc<GrainTable>);
+
+impl GrainRunner for TableRunner {
+    fn run(&self, inst: &TaskInstance) -> GrainResult {
+        let out = self.0.run(inst.round, inst.task);
+        GrainResult {
+            checksum: out.checksum,
+            solutions: out.solutions,
+        }
+    }
+}
+
+/// A workload paired with the grain table that executes it for real.
+pub struct LiveApp {
+    /// The task structure (same object both backends schedule).
+    pub workload: Arc<Workload>,
+    /// The real work behind each task.
+    pub table: Arc<GrainTable>,
+}
+
+impl App {
+    /// Builds the workload together with its grain table (the live
+    /// counterpart of [`App::build`]).
+    pub fn build_live(&self) -> LiveApp {
+        let (w, t) = match *self {
+            App::Queens(n) => nqueens_with_grains(NQueensConfig::paper(n)),
+            App::Ida(c) => puzzle_with_grains(PuzzleConfig::paper(c)),
+            App::Gromos(r) => gromos_with_grains(GromosConfig::paper(r)),
+        };
+        LiveApp {
+            workload: Arc::new(w),
+            table: Arc::new(t),
+        }
+    }
+}
+
+/// Builds [`LiveOpts`] running grains out of `table`.
+pub fn live_opts(table: &Arc<GrainTable>, mode: GrainMode, timed_scale: f64) -> LiveOpts {
+    LiveOpts {
+        mode,
+        timed_scale,
+        runner: Arc::new(TableRunner(Arc::clone(table))),
+        ..LiveOpts::default()
+    }
+}
+
+/// Runs one roster scheduler (by its [`registry`](crate::registry)
+/// name) on the live backend: `threads` OS threads over the same
+/// near-square mesh the simulator uses, default costs, paper-default
+/// tuning. For RIPS the outcome's `system_phases` is filled from the
+/// fleet.
+///
+/// # Panics
+/// If `scheduler` is not a roster name, or the run lost or duplicated
+/// tasks.
+pub fn live_run(
+    scheduler: &str,
+    workload: &Arc<Workload>,
+    threads: usize,
+    rid_u: f64,
+    seed: u64,
+    opts: LiveOpts,
+) -> LiveOutcome {
+    let t = RegistryTuning::default();
+    let topo: Arc<dyn Topology> = Arc::new(Mesh2D::near_square(threads));
+    let costs = Costs::default();
+    let w = Arc::clone(workload);
+    let out = match scheduler {
+        "Random" => run_live(w, topo, costs, seed, opts, random_policy).0,
+        "Gradient" => {
+            let t2 = Arc::clone(&topo);
+            run_live(w, topo, costs, seed, opts, move |me| {
+                gradient_policy(t2.as_ref(), me, t.gradient)
+            })
+            .0
+        }
+        "RID" => {
+            let t2 = Arc::clone(&topo);
+            let params = RidParams { u: rid_u, ..t.rid };
+            run_live(w, topo, costs, seed, opts, move |me| {
+                rid_policy(t2.as_ref(), me, params)
+            })
+            .0
+        }
+        "SID" => {
+            let t2 = Arc::clone(&topo);
+            run_live(w, topo, costs, seed, opts, move |me| {
+                sid_policy(t2.as_ref(), me, t.sid)
+            })
+            .0
+        }
+        "RIPS" => {
+            let fleet = RipsFleet::new(t.rips, Machine::Mesh(Mesh2D::near_square(threads)));
+            let ftopo = fleet.topology();
+            let (mut out, policies) = run_live(w, ftopo, costs, seed, opts, |me| fleet.make(me));
+            drop(policies);
+            let (phases, _logs) = fleet.finish();
+            out.system_phases = phases;
+            out
+        }
+        other => panic!("unknown scheduler {other:?}"),
+    };
+    out.verify_complete(workload)
+        .unwrap_or_else(|e| panic!("{scheduler} live on {}: {e}", workload.name));
+    // `system_phases` stays 0 for the baselines, like the simulator's
+    // RunOutcome.
+    out
+}
+
+/// Runs RIPS live with an explicit configuration (CLI support).
+pub fn live_run_rips(
+    workload: &Arc<Workload>,
+    threads: usize,
+    cfg: RipsConfig,
+    seed: u64,
+    opts: LiveOpts,
+) -> LiveOutcome {
+    let fleet = RipsFleet::new(cfg, Machine::Mesh(Mesh2D::near_square(threads)));
+    let topo = fleet.topology();
+    let (mut out, policies) = run_live(
+        Arc::clone(workload),
+        topo,
+        costs_default(),
+        seed,
+        opts,
+        |me| fleet.make(me),
+    );
+    drop(policies);
+    let (phases, _logs) = fleet.finish();
+    out.system_phases = phases;
+    out.verify_complete(workload)
+        .unwrap_or_else(|e| panic!("RIPS live on {}: {e}", workload.name));
+    out
+}
+
+fn costs_default() -> Costs {
+    Costs::default()
+}

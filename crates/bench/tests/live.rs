@@ -1,0 +1,132 @@
+//! Cross-backend validation: the live (real-threads) backend and the
+//! simulator must agree on everything scheduling cannot change.
+//!
+//! For every scheduler in the roster, on N-Queens and a 15-puzzle
+//! instance, at 2 and 4 threads:
+//!
+//! * both backends execute every task exactly once (conservation —
+//!   `verify_complete` returns no `VerifyError`), and
+//! * the live run's solution count and execution checksum equal the
+//!   scheduler-independent static totals of the grain table — i.e.
+//!   running the *real application* under real concurrency finds
+//!   exactly the answers the sequential reference finds, no matter how
+//!   the OS interleaved the threads.
+
+use std::sync::Arc;
+
+use rips_apps::{nqueens_with_grains, puzzle_with_grains, GrainTable, NQueensConfig, PuzzleConfig};
+use rips_bench::live::{live_opts, live_run};
+use rips_bench::{registry, run_cell};
+use rips_live::GrainMode;
+use rips_taskgraph::Workload;
+
+fn queens9() -> (Arc<Workload>, Arc<GrainTable>) {
+    let (w, t) = nqueens_with_grains(NQueensConfig {
+        n: 9,
+        split_depth: 3,
+        root_depth: 2,
+        ns_per_node: 1800,
+    });
+    (Arc::new(w), Arc::new(t))
+}
+
+fn puzzle14() -> (Arc<Workload>, Arc<GrainTable>) {
+    let (w, t) = puzzle_with_grains(PuzzleConfig {
+        scramble_len: 14,
+        seed: 5,
+        min_tasks: 16,
+        ns_per_node: 1000,
+        split_divisor: 1024,
+        split_floor_nodes: 20_000,
+    });
+    (Arc::new(w), Arc::new(t))
+}
+
+/// Runs the whole roster on both backends at `threads` nodes and
+/// checks the cross-backend contract.
+fn cross_validate(workload: &Arc<Workload>, table: &Arc<GrainTable>, threads: usize) {
+    let reg = registry();
+    let expected_tasks = workload.stats().tasks as u64;
+    let truth = table.static_totals();
+    for scheduler in reg.names() {
+        // Simulator side: run_cell panics on any VerifyError.
+        let sim = run_cell(&reg, scheduler, workload, threads, 0.4, 42);
+        assert_eq!(
+            sim.outcome.total_executed(),
+            expected_tasks,
+            "{scheduler} sim executed-count at {threads} nodes"
+        );
+        // Live side: live_run panics on any VerifyError.
+        let live = live_run(
+            scheduler,
+            workload,
+            threads,
+            0.4,
+            42,
+            live_opts(table, GrainMode::Compute, 0.0),
+        );
+        assert_eq!(
+            live.total_executed(),
+            expected_tasks,
+            "{scheduler} live executed-count at {threads} threads"
+        );
+        assert_eq!(
+            live.solutions, truth.solutions,
+            "{scheduler} live solutions at {threads} threads"
+        );
+        assert_eq!(
+            live.checksum, truth.checksum,
+            "{scheduler} live checksum at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn queens9_roster_agrees_at_2_threads() {
+    let (w, t) = queens9();
+    assert_eq!(t.static_totals().solutions, 352, "9-queens ground truth");
+    cross_validate(&w, &t, 2);
+}
+
+#[test]
+fn queens9_roster_agrees_at_4_threads() {
+    let (w, t) = queens9();
+    cross_validate(&w, &t, 4);
+}
+
+#[test]
+fn puzzle_roster_agrees_at_2_threads() {
+    let (w, t) = puzzle14();
+    assert!(t.static_totals().solutions >= 1, "puzzle must be solved");
+    cross_validate(&w, &t, 2);
+}
+
+#[test]
+fn puzzle_roster_agrees_at_4_threads() {
+    let (w, t) = puzzle14();
+    cross_validate(&w, &t, 4);
+}
+
+#[test]
+fn live_solutions_stable_across_seeds_and_modes() {
+    // Different seeds (different migration patterns) and the timed
+    // grain mode must not change what the application computes.
+    let (w, t) = queens9();
+    let truth = t.static_totals();
+    for seed in [1u64, 7, 1234] {
+        let out = live_run(
+            "RIPS",
+            &w,
+            4,
+            0.4,
+            seed,
+            live_opts(&t, GrainMode::Compute, 0.0),
+        );
+        assert_eq!(out.solutions, truth.solutions, "seed {seed}");
+        assert_eq!(out.checksum, truth.checksum, "seed {seed}");
+    }
+    // Timed mode at a tiny scale: same answers, nonzero wall time.
+    let out = live_run("RID", &w, 2, 0.4, 3, live_opts(&t, GrainMode::Timed, 0.001));
+    assert_eq!(out.solutions, truth.solutions);
+    assert!(out.wall_us > 0);
+}

@@ -31,5 +31,8 @@
 
 mod program;
 
-pub use program::{rips, GlobalPolicy, LoadMetric, LocalPolicy, Machine, RipsConfig, RipsOutcome};
+pub use program::{
+    rips, GlobalPolicy, LoadMetric, LocalPolicy, Machine, RipsConfig, RipsFleet, RipsOutcome,
+    RipsPolicy,
+};
 pub use rips_runtime::PhaseLog;

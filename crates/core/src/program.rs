@@ -10,15 +10,13 @@
 //! user phase, exactly the "every processor finishes the current task
 //! execution and enters the system phase" of the paper.
 
-use std::cell::RefCell;
 use std::collections::{BTreeMap, VecDeque};
-use std::rc::Rc;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use rips_collectives::{dem_steps, mwa_steps, twa_steps};
-use rips_desim::{Ctx, LatencyModel, Time, WorkKind};
+use rips_desim::{LatencyModel, Time, WorkKind};
 use rips_runtime::{
-    exec_step, run_policy, BalancerPolicy, Costs, Kernel, KernelMsg, PhaseLog, RunOutcome,
+    exec_step, run_policy, BalancerPolicy, Costs, ExecCtx, Kernel, KernelMsg, PhaseLog, RunOutcome,
     TaskInstance, TAG_POLICY_BASE,
 };
 use rips_sched::TransferPlan;
@@ -191,7 +189,7 @@ pub struct RipsOutcome {
 /// RIPS control messages — everything that is not task migration or
 /// round pacing (the kernel owns those).
 #[derive(Debug, Clone, PartialEq, Eq)]
-enum RipsCtl {
+pub enum RipsCtl {
     /// Enter system phase `p`.
     Init(u32),
     /// ALL policy: this subtree is ready for phase `p`.
@@ -203,8 +201,6 @@ enum RipsCtl {
 const TAG_PLAN: u64 = TAG_POLICY_BASE;
 const TAG_POLL: u64 = TAG_POLICY_BASE + 2;
 const TAG_RECHECK: u64 = TAG_POLICY_BASE + 3;
-
-type Ct<'a> = Ctx<'a, KernelMsg<RipsCtl>>;
 
 /// Per-phase rendezvous state shared by one engine's policies.
 #[derive(Default)]
@@ -247,10 +243,10 @@ enum Mode {
 
 /// The RIPS transfer policy: one instance per node, plugged into the
 /// kernel's [`NodeDriver`](rips_runtime::NodeDriver).
-struct RipsPolicy {
+pub struct RipsPolicy {
     cfg: RipsConfig,
-    machine: Rc<Machine>,
-    shared: Rc<RefCell<Shared>>,
+    machine: Arc<Machine>,
+    shared: Arc<Mutex<Shared>>,
     /// Eager policy's ready-to-schedule queue (unused under Lazy).
     rts: VecDeque<TaskInstance>,
     mode: Mode,
@@ -343,7 +339,7 @@ impl RipsPolicy {
 
     /// Acts on a satisfied local condition according to the global
     /// policy.
-    fn check_transfer(&mut self, k: &mut Kernel, ctx: &mut Ct<'_>) {
+    fn check_transfer(&mut self, k: &mut Kernel, ctx: &mut impl ExecCtx<KernelMsg<RipsCtl>>) {
         if !self.local_condition(k) {
             return;
         }
@@ -389,14 +385,19 @@ impl RipsPolicy {
             }
             GlobalPolicy::Periodic(_) => {
                 // Flag it; node 0's next poll turns it into an init.
-                self.shared.borrow_mut().want_phase = true;
+                self.shared.lock().unwrap().want_phase = true;
             }
         }
     }
 
     /// ALL policy: forward the ready signal once this node and all its
     /// logical-tree children are ready; the root initiates instead.
-    fn try_send_ready(&mut self, k: &mut Kernel, ctx: &mut Ct<'_>, phase: u32) {
+    fn try_send_ready(
+        &mut self,
+        k: &mut Kernel,
+        ctx: &mut impl ExecCtx<KernelMsg<RipsCtl>>,
+        phase: u32,
+    ) {
         if self.local_ready_for != Some(phase) || self.ready_sent_for == Some(phase) {
             return;
         }
@@ -425,7 +426,7 @@ impl RipsPolicy {
 
     /// Reports the load for phase `p`; the last reporter computes the
     /// plan (or detects round termination).
-    fn enter_system(&mut self, k: &mut Kernel, ctx: &mut Ct<'_>, p: u32) {
+    fn enter_system(&mut self, k: &mut Kernel, ctx: &mut impl ExecCtx<KernelMsg<RipsCtl>>, p: u32) {
         if std::env::var_os("RIPS_DEBUG").is_some() {
             eprintln!(
                 "[t={}] node {} enter phase {} mode {:?} load {}",
@@ -482,7 +483,7 @@ impl RipsPolicy {
             });
             tr.emit(now, me, || TraceEvent::LoadSample { load });
         }
-        let mut shared = self.shared.borrow_mut();
+        let mut shared = self.shared.lock().unwrap();
         let entry = shared.entries.entry(p).or_insert_with(|| Entry {
             reported: vec![None; n],
             entered: 0,
@@ -561,7 +562,7 @@ impl RipsPolicy {
 
     /// Executes this node's part of phase `p`'s plan and returns to the
     /// user phase.
-    fn apply_plan(&mut self, k: &mut Kernel, ctx: &mut Ct<'_>, p: u32) {
+    fn apply_plan(&mut self, k: &mut Kernel, ctx: &mut impl ExecCtx<KernelMsg<RipsCtl>>, p: u32) {
         if std::env::var_os("RIPS_DEBUG").is_some() {
             eprintln!(
                 "[t={}] node {} APPLY plan {p} mode {:?}",
@@ -589,7 +590,7 @@ impl RipsPolicy {
         // RTS queues and distributes them evenly to the RTE queues").
         let rts = std::mem::take(&mut self.rts);
         k.exec.queue.extend(rts);
-        let shared = self.shared.borrow();
+        let shared = self.shared.lock().unwrap();
         let plan = shared.plans.get(&p).expect("plan must exist");
         let outgoing = plan.outgoing[k.me].clone();
         let expected = plan.expected_in[k.me];
@@ -659,8 +660,8 @@ impl RipsPolicy {
         // one task inline guarantees every phase advances the
         // computation — the paper's "every processor finishes the
         // current task execution".
-        exec_step(self, k, ctx);
-        self.check_transfer(k, ctx);
+        exec_step(self, k, &mut *ctx);
+        self.check_transfer(k, &mut *ctx);
         if let Some(next) = self.pending_init.take() {
             if next > self.phase_index {
                 self.phase_index = next;
@@ -672,7 +673,13 @@ impl RipsPolicy {
     /// Seeds a round's block of roots and synchronously enters the
     /// round-opening system phase ("a RIPS system starts with a system
     /// phase which schedules initial tasks").
-    fn start_round(&mut self, k: &mut Kernel, ctx: &mut Ct<'_>, round: u32, phase: u32) {
+    fn start_round(
+        &mut self,
+        k: &mut Kernel,
+        ctx: &mut impl ExecCtx<KernelMsg<RipsCtl>>,
+        round: u32,
+        phase: u32,
+    ) {
         let seeds = k.take_seeds(ctx, round);
         k.exec.queue.extend(seeds);
         let now = ctx.now();
@@ -685,7 +692,7 @@ impl RipsPolicy {
 impl BalancerPolicy for RipsPolicy {
     type Msg = RipsCtl;
 
-    fn on_start(&mut self, k: &mut Kernel, ctx: &mut Ct<'_>) {
+    fn on_start(&mut self, k: &mut Kernel, ctx: &mut impl ExecCtx<KernelMsg<RipsCtl>>) {
         if k.oracle.tracer.enabled() {
             // Every node boots inside user phase 0 (closed the moment
             // the round-opening system phase is entered).
@@ -705,7 +712,13 @@ impl BalancerPolicy for RipsPolicy {
         self.start_round(k, ctx, 0, 1);
     }
 
-    fn on_msg(&mut self, k: &mut Kernel, ctx: &mut Ct<'_>, from: NodeId, msg: RipsCtl) {
+    fn on_msg(
+        &mut self,
+        k: &mut Kernel,
+        ctx: &mut impl ExecCtx<KernelMsg<RipsCtl>>,
+        from: NodeId,
+        msg: RipsCtl,
+    ) {
         match msg {
             RipsCtl::Init(p) => {
                 if p <= self.phase_index {
@@ -731,7 +744,13 @@ impl BalancerPolicy for RipsPolicy {
         }
     }
 
-    fn on_tasks_accepted(&mut self, k: &mut Kernel, ctx: &mut Ct<'_>, _from: NodeId, _load: i64) {
+    fn on_tasks_accepted(
+        &mut self,
+        k: &mut Kernel,
+        ctx: &mut impl ExecCtx<KernelMsg<RipsCtl>>,
+        _from: NodeId,
+        _load: i64,
+    ) {
         if std::env::var_os("RIPS_DEBUG").is_some() {
             eprintln!(
                 "[t={}] node {} RECV tasks mode {:?} recv {}/{}",
@@ -757,7 +776,7 @@ impl BalancerPolicy for RipsPolicy {
         }
     }
 
-    fn on_timer(&mut self, k: &mut Kernel, ctx: &mut Ct<'_>, tag: u64) {
+    fn on_timer(&mut self, k: &mut Kernel, ctx: &mut impl ExecCtx<KernelMsg<RipsCtl>>, tag: u64) {
         match tag {
             TAG_RECHECK => {
                 self.recheck_armed = false;
@@ -772,9 +791,9 @@ impl BalancerPolicy for RipsPolicy {
                 // Keep exactly one poll chain alive; it dies with the
                 // machine when the final phase halts the engine.
                 ctx.set_timer(interval, TAG_POLL);
-                let fire = self.shared.borrow().want_phase && self.mode == Mode::User;
+                let fire = self.shared.lock().unwrap().want_phase && self.mode == Mode::User;
                 if fire && k.received_in == k.expected_in {
-                    self.shared.borrow_mut().want_phase = false;
+                    self.shared.lock().unwrap().want_phase = false;
                     let next = self.phase_index + 1;
                     self.phase_index = next;
                     ctx.send_all(
@@ -806,7 +825,12 @@ impl BalancerPolicy for RipsPolicy {
     }
 
     /// Places freshly generated children according to the local policy.
-    fn place_children(&mut self, k: &mut Kernel, ctx: &mut Ct<'_>, children: Vec<TaskInstance>) {
+    fn place_children(
+        &mut self,
+        k: &mut Kernel,
+        ctx: &mut impl ExecCtx<KernelMsg<RipsCtl>>,
+        children: Vec<TaskInstance>,
+    ) {
         ctx.compute(
             k.oracle.costs.spawn_us * children.len() as Time,
             WorkKind::Overhead,
@@ -817,7 +841,7 @@ impl BalancerPolicy for RipsPolicy {
         }
     }
 
-    fn after_task(&mut self, k: &mut Kernel, ctx: &mut Ct<'_>) {
+    fn after_task(&mut self, k: &mut Kernel, ctx: &mut impl ExecCtx<KernelMsg<RipsCtl>>) {
         self.check_transfer(k, ctx);
     }
 
@@ -833,12 +857,87 @@ impl BalancerPolicy for RipsPolicy {
         self.phase_index + 1
     }
 
-    fn on_round_start(&mut self, k: &mut Kernel, ctx: &mut Ct<'_>, round: u32, token: u32) {
+    fn on_round_start(
+        &mut self,
+        k: &mut Kernel,
+        ctx: &mut impl ExecCtx<KernelMsg<RipsCtl>>,
+        round: u32,
+        token: u32,
+    ) {
         self.start_round(k, ctx, round, token);
     }
 
-    fn on_round_announced(&mut self, k: &mut Kernel, ctx: &mut Ct<'_>, round: u32, token: u32) {
+    fn on_round_announced(
+        &mut self,
+        k: &mut Kernel,
+        ctx: &mut impl ExecCtx<KernelMsg<RipsCtl>>,
+        round: u32,
+        token: u32,
+    ) {
         self.start_round(k, ctx, round, token);
+    }
+}
+
+/// Backend-agnostic factory for a machine's worth of RIPS policies.
+///
+/// Both backends use it the same way: build the fleet, hand
+/// [`RipsFleet::make`] to the backend as the per-node constructor, run,
+/// drop the policies, then call [`RipsFleet::finish`] for the shared
+/// phase log. The fleet owns the rendezvous state
+/// ([`Machine`] + phase entries/plans) that one run's policies share.
+pub struct RipsFleet {
+    cfg: RipsConfig,
+    machine: Arc<Machine>,
+    shared: Arc<Mutex<Shared>>,
+    n: usize,
+}
+
+impl RipsFleet {
+    /// A fleet for `machine` under `cfg`.
+    pub fn new(cfg: RipsConfig, machine: Machine) -> Self {
+        let n = machine.topology().len();
+        RipsFleet {
+            cfg,
+            machine: Arc::new(machine),
+            shared: Arc::new(Mutex::new(Shared::default())),
+            n,
+        }
+    }
+
+    /// The machine's topology.
+    pub fn topology(&self) -> Arc<dyn Topology> {
+        self.machine.topology()
+    }
+
+    /// Builds node `_me`'s policy instance.
+    pub fn make(&self, _me: NodeId) -> RipsPolicy {
+        RipsPolicy {
+            cfg: self.cfg,
+            machine: Arc::clone(&self.machine),
+            shared: Arc::clone(&self.shared),
+            rts: VecDeque::new(),
+            mode: Mode::User,
+            phase_index: 0,
+            pending_init: None,
+            user_phase_since: 0,
+            recheck_armed: false,
+            tree: BinaryTree::new(self.n),
+            local_ready_for: None,
+            ready_sent_for: None,
+            children_ready: BTreeMap::new(),
+            trace_idle_open: None,
+        }
+    }
+
+    /// Consumes the fleet after a run, returning the system-phase count
+    /// and the per-phase log. Panics if policies made by this fleet are
+    /// still alive (they hold the shared state).
+    pub fn finish(self) -> (u32, Vec<PhaseLog>) {
+        let shared = Arc::try_unwrap(self.shared)
+            .unwrap_or_else(|_| panic!("shared state still referenced"))
+            .into_inner()
+            .unwrap_or_else(|p| p.into_inner());
+        (shared.phases, shared.logs)
     }
 }
 
@@ -853,36 +952,11 @@ pub fn rips(
     seed: u64,
     cfg: RipsConfig,
 ) -> RipsOutcome {
-    let topo = machine.topology();
-    let n = topo.len();
-    let machine = Rc::new(machine);
-    let shared = Rc::new(RefCell::new(Shared::default()));
-    let shared2 = Rc::clone(&shared);
-    let (mut run, policies) = run_policy(workload, topo, latency, costs, seed, move |_me| {
-        RipsPolicy {
-            cfg,
-            machine: Rc::clone(&machine),
-            shared: Rc::clone(&shared2),
-            rts: VecDeque::new(),
-            mode: Mode::User,
-            phase_index: 0,
-            pending_init: None,
-            user_phase_since: 0,
-            recheck_armed: false,
-            tree: BinaryTree::new(n),
-            local_ready_for: None,
-            ready_sent_for: None,
-            children_ready: BTreeMap::new(),
-            trace_idle_open: None,
-        }
-    });
-    drop(policies); // release the policies' handles on `shared`
-    let shared = Rc::try_unwrap(shared)
-        .unwrap_or_else(|_| panic!("shared state still referenced"))
-        .into_inner();
-    run.system_phases = shared.phases;
-    RipsOutcome {
-        run,
-        phases: shared.logs,
-    }
+    let fleet = RipsFleet::new(cfg, machine);
+    let topo = fleet.topology();
+    let (mut run, policies) = run_policy(workload, topo, latency, costs, seed, |me| fleet.make(me));
+    drop(policies); // release the policies' handles on the shared state
+    let (phases, logs) = fleet.finish();
+    run.system_phases = phases;
+    RipsOutcome { run, phases: logs }
 }

@@ -1,0 +1,622 @@
+//! The live execution backend: real OS threads, real channels, real
+//! work — the same policy kernel as the simulator.
+//!
+//! `rips-desim` runs every scheduler in *virtual* time on one thread;
+//! this crate runs the identical [`BalancerPolicy`] implementations as
+//! an SPMD program over genuine concurrency: one OS thread per node,
+//! a `std::sync::mpsc` mailbox per node (a cloned `Sender` per edge, so
+//! per-edge FIFO matches the simulator's ordered links), and a
+//! wall-clock monotonic [`Clock`] stamping trace events. The paper's
+//! protocols run for real here — ANY idle detection as an initiator
+//! broadcast with phase-index dedup, ALL as tree ready/init over the
+//! channels, packed task migration, and the system-phase barrier —
+//! because the policies are *the same code*, dispatched through
+//! `rips-runtime`'s [`ExecCtx`] seam instead of the simulator's `Ctx`.
+//!
+//! # What is and is not shared with the simulator
+//!
+//! Shared unchanged: the policy implementations, the kernel dispatch
+//! (`dispatch_start`/`dispatch_message`/`dispatch_timer`), the
+//! [`Oracle`]'s round accounting, and the trace event vocabulary.
+//! Replaced: virtual time becomes [`WallClock`] µs, modelled `compute`
+//! charges become no-ops (live overheads are the real code path), and
+//! [`ExecCtx::execute_grain`] actually runs the application closure via
+//! a [`GrainRunner`] instead of charging `grain_us` of virtual time.
+//!
+//! # Determinism
+//!
+//! A live run is *not* deterministic: message interleaving follows the
+//! OS scheduler. What is invariant — and what the cross-backend tests
+//! pin — is everything the paper's Theorem 1 protects: every task
+//! executes exactly once (conservation), the solution count and the
+//! order-independent execution checksum equal the simulator's, and the
+//! audited trace invariants (barrier pairing, phase monotonicity)
+//! hold. Timings, migration patterns, and phase counts may differ
+//! run to run.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rips_desim::{Time, WorkKind};
+use rips_runtime::{
+    dispatch_message, dispatch_start, dispatch_timer, BalancerPolicy, Costs, ExecCtx, Kernel,
+    KernelMsg, Oracle, TaskInstance, VerifyError,
+};
+use rips_taskgraph::Workload;
+use rips_topology::{NodeId, Topology};
+use rips_trace::{Clock, ClockKind};
+
+/// Monotonic wall-clock time source, anchored at construction.
+///
+/// The one legitimate use of `Instant` in this workspace (see
+/// RIPS-L002's allowlist): live runs measure real elapsed time. Pass
+/// the *same* instance to [`rips_trace::with_sink_clocked`] and to
+/// [`LiveOpts::clock`] so trace timestamps and the backend's `now()`
+/// share one origin.
+pub struct WallClock {
+    start: Instant,
+}
+
+impl WallClock {
+    /// A clock whose µs count starts now.
+    pub fn new() -> Self {
+        WallClock {
+            start: Instant::now(),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now_us(&self) -> Time {
+        self.start.elapsed().as_micros() as Time
+    }
+    fn kind(&self) -> ClockKind {
+        ClockKind::WallMonotonic
+    }
+}
+
+/// What actually executing one task's grain produced.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GrainResult {
+    /// Order-independent fingerprint of the work (summed wrapping over
+    /// all executed tasks and compared across backends — it proves both
+    /// backends executed the same task multiset with the same results).
+    pub checksum: u64,
+    /// Solutions found by this grain (queens placements, puzzle goals).
+    pub solutions: u64,
+}
+
+/// Executes the real application work behind a [`TaskInstance`].
+///
+/// The live backend calls this once per executed task. Implementations
+/// map `(round, task)` back to the app-level closure (a queens subtree,
+/// a puzzle bounded DFS, an MD interaction group) — `rips-apps` builds
+/// such tables alongside its workloads.
+pub trait GrainRunner: Send + Sync {
+    /// Runs the grain of `inst`.
+    fn run(&self, inst: &TaskInstance) -> GrainResult;
+}
+
+/// Runner for synthetic workloads with no application behind them:
+/// every grain is a no-op with checksum 0.
+pub struct NullRunner;
+
+impl GrainRunner for NullRunner {
+    fn run(&self, _inst: &TaskInstance) -> GrainResult {
+        GrainResult::default()
+    }
+}
+
+/// How the live backend realises a task's modelled `grain_us`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GrainMode {
+    /// Run only the real application closure. Honest CPU work; wall
+    /// clock speedup then depends on the host's physical parallelism.
+    Compute,
+    /// Run the closure, then *also* occupy the node for the task's
+    /// modelled `grain_us` (scaled by [`LiveOpts::timed_scale`]) via a
+    /// sleep. This emulates the paper's grain durations: concurrency
+    /// is visible even on a host with fewer cores than nodes, because
+    /// sleeping nodes overlap.
+    Timed,
+}
+
+/// Options for a live run.
+pub struct LiveOpts {
+    /// Grain realisation mode.
+    pub mode: GrainMode,
+    /// Scale factor applied to `grain_us` in [`GrainMode::Timed`]
+    /// (e.g. 0.1 = sleep a tenth of the modelled grain).
+    pub timed_scale: f64,
+    /// Application closures behind the task graph.
+    pub runner: Arc<dyn GrainRunner>,
+    /// Time source. Defaults to a fresh [`WallClock`]; pass the clock
+    /// given to [`rips_trace::with_sink_clocked`] when tracing so both
+    /// share one origin.
+    pub clock: Option<Arc<dyn Clock>>,
+}
+
+impl Default for LiveOpts {
+    fn default() -> Self {
+        LiveOpts {
+            mode: GrainMode::Compute,
+            timed_scale: 1.0,
+            runner: Arc::new(NullRunner),
+            clock: None,
+        }
+    }
+}
+
+/// Outcome of one live run — the cross-backend comparable counters
+/// plus wall-clock duration.
+#[derive(Debug, Clone)]
+pub struct LiveOutcome {
+    /// Wall-clock duration of the run (µs).
+    pub wall_us: u64,
+    /// Tasks executed per node.
+    pub executed: Vec<u64>,
+    /// Tasks executed off their origin node, total.
+    pub nonlocal: u64,
+    /// Wrapping sum of per-task [`GrainResult::checksum`] over every
+    /// executed task (order-independent).
+    pub checksum: u64,
+    /// Total solutions found by executed grains.
+    pub solutions: u64,
+    /// Total modelled grain µs executed (for efficiency estimates).
+    pub grain_us: u64,
+    /// System phases (RIPS; 0 for the baselines). Filled by the caller
+    /// from the policy fleet, like the simulator path does.
+    pub system_phases: u32,
+}
+
+impl LiveOutcome {
+    /// Outcome of running nothing on `n` nodes.
+    pub fn empty(n: usize) -> Self {
+        LiveOutcome {
+            wall_us: 0,
+            executed: vec![0; n],
+            nonlocal: 0,
+            checksum: 0,
+            solutions: 0,
+            grain_us: 0,
+            system_phases: 0,
+        }
+    }
+
+    /// Total tasks executed.
+    pub fn total_executed(&self) -> u64 {
+        self.executed.iter().sum()
+    }
+
+    /// Sanity check: every task of the workload ran exactly once
+    /// (same contract as `RunOutcome::verify_complete`).
+    pub fn verify_complete(&self, workload: &Workload) -> Result<(), VerifyError> {
+        let expected: u64 = workload.rounds.iter().map(|r| r.len() as u64).sum();
+        let executed = self.total_executed();
+        match executed.cmp(&expected) {
+            std::cmp::Ordering::Equal => Ok(()),
+            std::cmp::Ordering::Less => Err(VerifyError::TasksLost { executed, expected }),
+            std::cmp::Ordering::Greater => Err(VerifyError::DoubleExecution { executed, expected }),
+        }
+    }
+}
+
+/// One mailbox message: a kernel event from a peer, or the shutdown
+/// marker broadcast by the halting node.
+enum LiveMsg<M> {
+    Ev(NodeId, M),
+    Halt,
+}
+
+/// Per-node execution context: the [`ExecCtx`] the kernel dispatch
+/// sees on a live thread.
+struct LiveCtx<'a, M> {
+    clock: &'a dyn Clock,
+    me: NodeId,
+    n: usize,
+    rng: &'a mut SmallRng,
+    senders: &'a [Sender<LiveMsg<M>>],
+    timers: &'a mut BinaryHeap<Reverse<(Time, u64, u64)>>,
+    timer_seq: &'a mut u64,
+    halted: &'a mut bool,
+    mode: GrainMode,
+    timed_scale: f64,
+    runner: &'a dyn GrainRunner,
+    checksum: &'a mut u64,
+    solutions: &'a mut u64,
+    grain_us: &'a mut u64,
+}
+
+impl<M: Clone> ExecCtx<M> for LiveCtx<'_, M> {
+    fn now(&self) -> Time {
+        self.clock.now_us()
+    }
+    fn me(&self) -> NodeId {
+        self.me
+    }
+    fn num_nodes(&self) -> usize {
+        self.n
+    }
+    fn rng(&mut self) -> &mut SmallRng {
+        self.rng
+    }
+    fn compute(&mut self, _dur: Time, _kind: WorkKind) {
+        // Modelled CPU charges describe the simulator's cost model; on
+        // a live node every overhead is the real code path it runs.
+    }
+    fn send(&mut self, to: NodeId, msg: M, _bytes: usize) {
+        // A send can only fail after halt, once receivers have exited;
+        // in-flight messages are then intentionally dropped.
+        let _ = self.senders[to].send(LiveMsg::Ev(self.me, msg));
+    }
+    fn send_all(&mut self, msg: M, bytes: usize) {
+        for to in 0..self.n {
+            if to != self.me {
+                self.send(to, msg.clone(), bytes);
+            }
+        }
+    }
+    fn signal_all(&mut self, msg: M) {
+        self.send_all(msg, 0);
+    }
+    fn set_timer(&mut self, delay: Time, tag: u64) {
+        let deadline = self.clock.now_us() + delay;
+        *self.timer_seq += 1;
+        self.timers.push(Reverse((deadline, *self.timer_seq, tag)));
+    }
+    fn halt(&mut self) {
+        *self.halted = true;
+    }
+    fn execute_grain(&mut self, inst: &TaskInstance) {
+        let r = self.runner.run(inst);
+        *self.checksum = self.checksum.wrapping_add(r.checksum);
+        *self.solutions += r.solutions;
+        *self.grain_us += inst.grain_us;
+        if self.mode == GrainMode::Timed {
+            let us = (inst.grain_us as f64 * self.timed_scale) as u64;
+            if us > 0 {
+                std::thread::sleep(Duration::from_micros(us));
+            }
+        }
+    }
+}
+
+/// What one node thread hands back when it exits.
+struct NodeReport<P> {
+    executed: u64,
+    nonlocal: u64,
+    checksum: u64,
+    solutions: u64,
+    grain_us: u64,
+    policy: P,
+}
+
+/// The next thing a node loop should do, decided before any `&mut`
+/// context is constructed.
+enum Step<M> {
+    Msg(NodeId, M),
+    Timer(u64),
+    Halt,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn node_loop<P: BalancerPolicy>(
+    me: NodeId,
+    n: usize,
+    mut kernel: Kernel,
+    mut policy: P,
+    rx: Receiver<LiveMsg<KernelMsg<P::Msg>>>,
+    senders: Vec<Sender<LiveMsg<KernelMsg<P::Msg>>>>,
+    clock: Arc<dyn Clock>,
+    runner: Arc<dyn GrainRunner>,
+    mode: GrainMode,
+    timed_scale: f64,
+    seed: u64,
+) -> NodeReport<P> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ (me as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut timers: BinaryHeap<Reverse<(Time, u64, u64)>> = BinaryHeap::new();
+    let mut timer_seq = 0u64;
+    let mut checksum = 0u64;
+    let mut solutions = 0u64;
+    let mut grain_us = 0u64;
+    let mut halted = false;
+
+    macro_rules! ctx {
+        () => {
+            LiveCtx {
+                clock: clock.as_ref(),
+                me,
+                n,
+                rng: &mut rng,
+                senders: &senders,
+                timers: &mut timers,
+                timer_seq: &mut timer_seq,
+                halted: &mut halted,
+                mode,
+                timed_scale,
+                runner: runner.as_ref(),
+                checksum: &mut checksum,
+                solutions: &mut solutions,
+                grain_us: &mut grain_us,
+            }
+        };
+    }
+
+    dispatch_start(&mut policy, &mut kernel, &mut ctx!());
+
+    while !halted {
+        // Mailbox first (so a busy exec loop still sees inits and task
+        // arrivals promptly), then due timers, then block until one or
+        // the other. EXEC timers are armed with delay 0, so an empty
+        // mailbox never sleeps past queued work.
+        let step = match rx.try_recv() {
+            Ok(LiveMsg::Ev(from, msg)) => Step::Msg(from, msg),
+            Ok(LiveMsg::Halt) | Err(TryRecvError::Disconnected) => Step::Halt,
+            Err(TryRecvError::Empty) => {
+                let now = clock.now_us();
+                match timers.peek() {
+                    Some(&Reverse((deadline, _, _))) if deadline <= now => {
+                        let Reverse((_, _, tag)) = timers.pop().expect("peeked");
+                        Step::Timer(tag)
+                    }
+                    Some(&Reverse((deadline, _, _))) => {
+                        match rx.recv_timeout(Duration::from_micros(deadline - now)) {
+                            Ok(LiveMsg::Ev(from, msg)) => Step::Msg(from, msg),
+                            Ok(LiveMsg::Halt) => Step::Halt,
+                            Err(RecvTimeoutError::Timeout) => continue,
+                            Err(RecvTimeoutError::Disconnected) => Step::Halt,
+                        }
+                    }
+                    None => match rx.recv() {
+                        Ok(LiveMsg::Ev(from, msg)) => Step::Msg(from, msg),
+                        Ok(LiveMsg::Halt) | Err(_) => Step::Halt,
+                    },
+                }
+            }
+        };
+        match step {
+            Step::Halt => break,
+            Step::Msg(from, msg) => {
+                dispatch_message(&mut policy, &mut kernel, &mut ctx!(), from, msg);
+            }
+            Step::Timer(tag) => {
+                dispatch_timer(&mut policy, &mut kernel, &mut ctx!(), tag);
+            }
+        }
+    }
+    if halted {
+        // This node's handler called `halt()` (it detected global
+        // termination): wake everyone else out of their blocking
+        // receives. A send to an already-exited node is a no-op.
+        for (to, s) in senders.iter().enumerate() {
+            if to != me {
+                let _ = s.send(LiveMsg::Halt);
+            }
+        }
+    }
+    NodeReport {
+        executed: kernel.exec.executed,
+        nonlocal: kernel.exec.nonlocal_executed,
+        checksum,
+        solutions,
+        grain_us,
+        policy,
+    }
+}
+
+/// Runs `workload` on `topo.len()` OS threads under `policy` instances
+/// built by `make` (one per node), returning the outcome and the final
+/// policy states — the live counterpart of `rips_runtime::run_policy`.
+///
+/// Tracing: if a sink is installed via
+/// [`rips_trace::with_sink_clocked`] around this call, every node
+/// thread emits through it (the sink is mutex-shared); pass the same
+/// clock in [`LiveOpts::clock`] so event timestamps and trace
+/// bookkeeping agree.
+pub fn run_live<P, F>(
+    workload: Arc<Workload>,
+    topo: Arc<dyn Topology>,
+    costs: Costs,
+    seed: u64,
+    opts: LiveOpts,
+    make: F,
+) -> (LiveOutcome, Vec<P>)
+where
+    P: BalancerPolicy + Send,
+    P::Msg: Send,
+    F: FnMut(NodeId) -> P,
+{
+    let n = topo.len();
+    if workload.rounds.is_empty() {
+        return (LiveOutcome::empty(n), Vec::new());
+    }
+    let clock: Arc<dyn Clock> = opts
+        .clock
+        .clone()
+        .unwrap_or_else(|| Arc::new(WallClock::new()));
+    let oracle = Oracle::new(Arc::clone(&workload), topo.as_ref(), costs);
+    let mut make = make;
+    type Mailbox<M> = Sender<LiveMsg<KernelMsg<M>>>;
+    let mut chans: Vec<(Mailbox<P::Msg>, _)> = (0..n).map(|_| channel()).collect();
+    let senders: Vec<Mailbox<P::Msg>> = chans.iter().map(|(s, _)| s.clone()).collect();
+    let started = clock.now_us();
+    let mut reports: Vec<Option<NodeReport<P>>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chans
+            .drain(..)
+            .enumerate()
+            .map(|(me, (_tx, rx))| {
+                let kernel = Kernel::new(me, oracle.clone());
+                let policy = make(me);
+                let senders = senders.clone();
+                let clock = Arc::clone(&clock);
+                let runner = Arc::clone(&opts.runner);
+                let (mode, timed_scale) = (opts.mode, opts.timed_scale);
+                scope.spawn(move || {
+                    node_loop(
+                        me,
+                        n,
+                        kernel,
+                        policy,
+                        rx,
+                        senders,
+                        clock,
+                        runner,
+                        mode,
+                        timed_scale,
+                        seed,
+                    )
+                })
+            })
+            .collect();
+        // Drop the main thread's senders so a node blocked in `recv`
+        // can observe disconnection if every peer has already exited.
+        drop(senders);
+        for (me, h) in handles.into_iter().enumerate() {
+            reports[me] = Some(h.join().expect("live node thread panicked"));
+        }
+    });
+    let wall_us = clock.now_us().saturating_sub(started);
+    let mut out = LiveOutcome::empty(n);
+    out.wall_us = wall_us;
+    let mut policies = Vec::with_capacity(n);
+    for (me, rep) in reports.into_iter().enumerate() {
+        let rep = rep.expect("every node reported");
+        out.executed[me] = rep.executed;
+        out.nonlocal += rep.nonlocal;
+        out.checksum = out.checksum.wrapping_add(rep.checksum);
+        out.solutions += rep.solutions;
+        out.grain_us += rep.grain_us;
+        policies.push(rep.policy);
+    }
+    (out, policies)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rips_taskgraph::flat_uniform;
+    use rips_topology::Mesh2D;
+
+    /// Runner whose checksum encodes the task id, so double or missed
+    /// executions shift the sum.
+    struct IdRunner;
+    impl GrainRunner for IdRunner {
+        fn run(&self, inst: &TaskInstance) -> GrainResult {
+            GrainResult {
+                checksum: (inst.task as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                solutions: 1,
+            }
+        }
+    }
+
+    fn expected_checksum(tasks: u64) -> u64 {
+        (0..tasks).fold(0u64, |acc, t| {
+            acc.wrapping_add((t + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        })
+    }
+
+    #[test]
+    fn wall_clock_is_monotonic_and_wall_kind() {
+        let c = WallClock::new();
+        let a = c.now_us();
+        let b = c.now_us();
+        assert!(b >= a);
+        assert_eq!(c.kind(), ClockKind::WallMonotonic);
+    }
+
+    #[test]
+    fn random_policy_runs_live_and_conserves_tasks() {
+        let w = Arc::new(flat_uniform(40, 5, 10, 7));
+        let topo: Arc<dyn Topology> = Arc::new(Mesh2D::near_square(4));
+        let opts = LiveOpts {
+            runner: Arc::new(IdRunner),
+            ..LiveOpts::default()
+        };
+        let (out, _) = run_live(
+            Arc::clone(&w),
+            topo,
+            Costs::default(),
+            3,
+            opts,
+            rips_balancers::random_policy,
+        );
+        out.verify_complete(&w).expect("conservation");
+        assert_eq!(out.total_executed(), 40);
+        assert_eq!(out.solutions, 40);
+        assert_eq!(out.checksum, expected_checksum(40));
+    }
+
+    #[test]
+    fn empty_workload_short_circuits() {
+        let w = Arc::new(Workload {
+            name: "empty".into(),
+            rounds: Vec::new(),
+        });
+        let topo: Arc<dyn Topology> = Arc::new(Mesh2D::near_square(2));
+        let (out, ps) = run_live(
+            w,
+            topo,
+            Costs::default(),
+            0,
+            LiveOpts::default(),
+            rips_balancers::random_policy,
+        );
+        assert_eq!(out.total_executed(), 0);
+        assert!(ps.is_empty());
+    }
+
+    #[test]
+    fn multi_round_workload_completes_live() {
+        let one = flat_uniform(12, 2, 4, 1).rounds[0].clone();
+        let w = Arc::new(Workload {
+            name: "three-round".into(),
+            rounds: vec![one.clone(), one.clone(), one],
+        });
+        let topo: Arc<dyn Topology> = Arc::new(Mesh2D::near_square(4));
+        let (out, _) = run_live(
+            Arc::clone(&w),
+            topo,
+            Costs::default(),
+            5,
+            LiveOpts::default(),
+            rips_balancers::random_policy,
+        );
+        out.verify_complete(&w).expect("conservation over rounds");
+        assert_eq!(out.total_executed(), 36);
+    }
+
+    #[test]
+    fn rips_runs_live_with_fleet() {
+        use rips_core::{Machine, RipsConfig, RipsFleet};
+        let w = Arc::new(flat_uniform(30, 5, 10, 2));
+        let fleet = RipsFleet::new(RipsConfig::default(), Machine::Mesh(Mesh2D::near_square(4)));
+        let topo = fleet.topology();
+        let (out, policies) = run_live(
+            Arc::clone(&w),
+            topo,
+            Costs::default(),
+            1,
+            LiveOpts::default(),
+            |me| fleet.make(me),
+        );
+        drop(policies);
+        let (phases, _logs) = fleet.finish();
+        out.verify_complete(&w).expect("conservation");
+        assert!(phases >= 1, "RIPS opens with a system phase");
+    }
+}

@@ -18,6 +18,18 @@
 //! implementation (see `examples/custom_balancer.rs`), not a fork of
 //! the event loop.
 //!
+//! # The execution-backend seam
+//!
+//! Policies never touch the simulator directly: every hook receives an
+//! `&mut impl `[`ExecCtx`] — the narrow surface (time, sends, timers,
+//! compute, grain execution) that both backends provide. Under the
+//! discrete-event simulator the context is [`rips_desim::Ctx`]
+//! (virtual time, modelled costs); under `rips-live` it is a real
+//! thread's channel-backed context (wall-clock time, actual work). The
+//! three `dispatch_*` entry points are the backend-facing API: desim
+//! calls them from its [`rips_desim::Program`] handlers (via
+//! [`NodeDriver`]), the live backend from its per-node thread loop.
+//!
 //! # Invariants the kernel maintains
 //!
 //! * **Migration counters.** `received_in` counts `Tasks` messages ever
@@ -37,6 +49,7 @@
 
 use std::sync::Arc;
 
+use rand::rngs::SmallRng;
 use rips_desim::{Ctx, Engine, LatencyModel, Time, WorkKind};
 use rips_taskgraph::Workload;
 use rips_topology::{NodeId, Topology};
@@ -66,6 +79,82 @@ pub enum KernelMsg<M> {
     /// A policy-specific message, delivered to
     /// [`BalancerPolicy::on_msg`].
     Policy(M),
+}
+
+/// The execution-backend seam: everything a [`Kernel`] and its
+/// [`BalancerPolicy`] may ask of the machine they run on.
+///
+/// Implemented by the discrete-event simulator's [`rips_desim::Ctx`]
+/// (virtual time, modelled compute) and by `rips-live`'s per-thread
+/// context (wall-clock time, real channels, real work). Writing the
+/// policy kernel against this trait — and only this trait — is what
+/// lets one scheduler implementation run on both backends unchanged.
+pub trait ExecCtx<M: Clone> {
+    /// Current time in µs: virtual under the simulator, monotonic
+    /// wall-clock under a live backend.
+    fn now(&self) -> Time;
+    /// This node's id.
+    fn me(&self) -> NodeId;
+    /// Number of nodes in the machine.
+    fn num_nodes(&self) -> usize;
+    /// Deterministic per-node random number generator.
+    fn rng(&mut self) -> &mut SmallRng;
+    /// Consume `dur` µs of CPU classified as `kind`. The simulator
+    /// advances virtual time; a live backend treats modelled overhead
+    /// charges as free (its overheads are real and implicit).
+    fn compute(&mut self, dur: Time, kind: WorkKind);
+    /// Send `msg` (`bytes` of payload) to node `to`.
+    fn send(&mut self, to: NodeId, msg: M, bytes: usize);
+    /// Send a copy of `msg` to every other node (software broadcast:
+    /// the sender pays a per-recipient send cost).
+    fn send_all(&mut self, msg: M, bytes: usize);
+    /// Broadcast a hardware-assisted signal to every other node: no
+    /// payload, no sender CPU (the paper's eureka/or-barrier).
+    fn signal_all(&mut self, msg: M);
+    /// Arrange for the backend to call the timer dispatch with `tag`
+    /// after `delay` µs.
+    fn set_timer(&mut self, delay: Time, tag: u64);
+    /// Stop the whole machine once this handler returns.
+    fn halt(&mut self);
+    /// Execute the grain of `inst`. The default charges its modelled
+    /// duration as user compute (what the simulator measures); a live
+    /// backend overrides this to run the actual application closure.
+    fn execute_grain(&mut self, inst: &TaskInstance) {
+        self.compute(inst.grain_us, WorkKind::User);
+    }
+}
+
+impl<M: Clone> ExecCtx<M> for Ctx<'_, M> {
+    fn now(&self) -> Time {
+        Ctx::now(self)
+    }
+    fn me(&self) -> NodeId {
+        Ctx::me(self)
+    }
+    fn num_nodes(&self) -> usize {
+        Ctx::num_nodes(self)
+    }
+    fn rng(&mut self) -> &mut SmallRng {
+        Ctx::rng(self)
+    }
+    fn compute(&mut self, dur: Time, kind: WorkKind) {
+        Ctx::compute(self, dur, kind);
+    }
+    fn send(&mut self, to: NodeId, msg: M, bytes: usize) {
+        Ctx::send(self, to, msg, bytes);
+    }
+    fn send_all(&mut self, msg: M, bytes: usize) {
+        Ctx::send_all(self, msg, bytes);
+    }
+    fn signal_all(&mut self, msg: M) {
+        Ctx::signal_all(self, msg);
+    }
+    fn set_timer(&mut self, delay: Time, tag: u64) {
+        let _ = Ctx::set_timer(self, delay, tag);
+    }
+    fn halt(&mut self) {
+        Ctx::halt(self);
+    }
 }
 
 /// Per-node kernel state: the task queue, execution counters, the
@@ -113,7 +202,7 @@ impl Kernel {
 
     /// Ensures an EXEC timer is pending if there is work to do and the
     /// exec loop is enabled. Idempotent.
-    pub fn kick<M>(&mut self, ctx: &mut Ctx<'_, KernelMsg<M>>) {
+    pub fn kick<M: Clone>(&mut self, ctx: &mut impl ExecCtx<KernelMsg<M>>) {
         if !self.exec_scheduled && self.exec_enabled && !self.exec.queue.is_empty() {
             ctx.set_timer(0, TAG_EXEC);
             self.exec_scheduled = true;
@@ -124,9 +213,9 @@ impl Kernel {
     /// spawn overhead, *without* enqueueing them — for policies that
     /// place even the initial tasks themselves (random allocation,
     /// RIPS's opening system phase).
-    pub fn take_seeds<M>(
+    pub fn take_seeds<M: Clone>(
         &mut self,
-        ctx: &mut Ctx<'_, KernelMsg<M>>,
+        ctx: &mut impl ExecCtx<KernelMsg<M>>,
         round: u32,
     ) -> Vec<TaskInstance> {
         let seeds = self.oracle.seed_for(self.me, round);
@@ -145,7 +234,7 @@ impl Kernel {
 
     /// Seeds this node's block of the round's roots and kicks the loop.
     /// An empty round is announced as complete right away (by node 0).
-    pub fn seed_round<M>(&mut self, ctx: &mut Ctx<'_, KernelMsg<M>>, round: u32) {
+    pub fn seed_round<M: Clone>(&mut self, ctx: &mut impl ExecCtx<KernelMsg<M>>, round: u32) {
         let seeds = self.take_seeds(ctx, round);
         self.exec.queue.extend(seeds);
         if self.oracle.outstanding() == 0 && self.me == 0 {
@@ -158,7 +247,7 @@ impl Kernel {
     /// Schedules the round-barrier announcement on this node: after the
     /// modelled barrier delay the driver advances the round (telling
     /// everyone) or halts the machine.
-    pub fn announce_round<M>(&mut self, ctx: &mut Ctx<'_, KernelMsg<M>>) {
+    pub fn announce_round<M: Clone>(&mut self, ctx: &mut impl ExecCtx<KernelMsg<M>>) {
         if self.oracle.tracer.enabled() {
             let (t, round) = (ctx.now(), self.oracle.round());
             self.oracle
@@ -172,9 +261,9 @@ impl Kernel {
     /// the sender's current load. Charges the per-descriptor wire size;
     /// the *receiver* pays the spawn overhead on acceptance. Policies
     /// that model a packing cost charge it themselves before calling.
-    pub fn send_tasks<M>(
+    pub fn send_tasks<M: Clone>(
         &mut self,
-        ctx: &mut Ctx<'_, KernelMsg<M>>,
+        ctx: &mut impl ExecCtx<KernelMsg<M>>,
         to: NodeId,
         batch: Vec<TaskInstance>,
         load: i64,
@@ -193,16 +282,17 @@ impl Kernel {
 /// A transfer policy plugged into the [`NodeDriver`].
 ///
 /// The driver calls these hooks from its event handlers; each receives
-/// the node's [`Kernel`] and the simulator context. Defaults implement
-/// the plain round-paced scheduler with local child placement disabled
-/// (placement is the one hook every policy must provide).
+/// the node's [`Kernel`] and an [`ExecCtx`] for whichever backend is
+/// running the node. Defaults implement the plain round-paced scheduler
+/// with local child placement disabled (placement is the one hook every
+/// policy must provide).
 pub trait BalancerPolicy: Sized {
     /// Policy-specific message payload (delivered via
     /// [`KernelMsg::Policy`]). Use `()` if the policy has none.
     type Msg: Clone + std::fmt::Debug;
 
     /// Machine boot. Default: seed round 0 and start executing.
-    fn on_start(&mut self, k: &mut Kernel, ctx: &mut Ctx<'_, KernelMsg<Self::Msg>>) {
+    fn on_start(&mut self, k: &mut Kernel, ctx: &mut impl ExecCtx<KernelMsg<Self::Msg>>) {
         k.seed_round(ctx, 0);
     }
 
@@ -210,7 +300,7 @@ pub trait BalancerPolicy: Sized {
     fn on_msg(
         &mut self,
         k: &mut Kernel,
-        ctx: &mut Ctx<'_, KernelMsg<Self::Msg>>,
+        ctx: &mut impl ExecCtx<KernelMsg<Self::Msg>>,
         from: NodeId,
         msg: Self::Msg,
     );
@@ -222,14 +312,19 @@ pub trait BalancerPolicy: Sized {
     fn on_tasks_accepted(
         &mut self,
         _k: &mut Kernel,
-        _ctx: &mut Ctx<'_, KernelMsg<Self::Msg>>,
+        _ctx: &mut impl ExecCtx<KernelMsg<Self::Msg>>,
         _from: NodeId,
         _sender_load: i64,
     ) {
     }
 
     /// A policy timer (tag `>=` [`TAG_POLICY_BASE`]) fired.
-    fn on_timer(&mut self, _k: &mut Kernel, _ctx: &mut Ctx<'_, KernelMsg<Self::Msg>>, tag: u64) {
+    fn on_timer(
+        &mut self,
+        _k: &mut Kernel,
+        _ctx: &mut impl ExecCtx<KernelMsg<Self::Msg>>,
+        tag: u64,
+    ) {
         unreachable!("policy armed no timer, got tag {tag}");
     }
 
@@ -240,7 +335,7 @@ pub trait BalancerPolicy: Sized {
     fn place_children(
         &mut self,
         k: &mut Kernel,
-        ctx: &mut Ctx<'_, KernelMsg<Self::Msg>>,
+        ctx: &mut impl ExecCtx<KernelMsg<Self::Msg>>,
         children: Vec<TaskInstance>,
     );
 
@@ -248,7 +343,7 @@ pub trait BalancerPolicy: Sized {
     /// round counter is decremented, and the exec loop is re-armed —
     /// the policy's chance to rebalance (broadcast load, request work,
     /// check a transfer condition, …).
-    fn after_task(&mut self, _k: &mut Kernel, _ctx: &mut Ctx<'_, KernelMsg<Self::Msg>>) {}
+    fn after_task(&mut self, _k: &mut Kernel, _ctx: &mut impl ExecCtx<KernelMsg<Self::Msg>>) {}
 
     /// Whether the driver announces the round barrier when this node
     /// executes the round's last task. RIPS returns `false`: its empty
@@ -270,7 +365,7 @@ pub trait BalancerPolicy: Sized {
     fn on_round_start(
         &mut self,
         k: &mut Kernel,
-        ctx: &mut Ctx<'_, KernelMsg<Self::Msg>>,
+        ctx: &mut impl ExecCtx<KernelMsg<Self::Msg>>,
         round: u32,
         _token: u32,
     ) {
@@ -286,7 +381,7 @@ pub trait BalancerPolicy: Sized {
     fn on_round_announced(
         &mut self,
         k: &mut Kernel,
-        ctx: &mut Ctx<'_, KernelMsg<Self::Msg>>,
+        ctx: &mut impl ExecCtx<KernelMsg<Self::Msg>>,
         round: u32,
         _token: u32,
     ) {
@@ -307,7 +402,7 @@ pub trait BalancerPolicy: Sized {
 pub fn exec_step<P: BalancerPolicy>(
     policy: &mut P,
     k: &mut Kernel,
-    ctx: &mut Ctx<'_, KernelMsg<P::Msg>>,
+    ctx: &mut impl ExecCtx<KernelMsg<P::Msg>>,
 ) {
     if !k.exec_enabled {
         return;
@@ -318,7 +413,7 @@ pub fn exec_step<P: BalancerPolicy>(
     let traced = k.oracle.tracer.enabled();
     let t0 = if traced { ctx.now() } else { 0 };
     ctx.compute(k.oracle.costs.dispatch_us, WorkKind::Overhead);
-    ctx.compute(inst.grain_us, WorkKind::User);
+    ctx.execute_grain(&inst);
     k.exec.record(&inst, k.me);
     if traced {
         // Stamped at the grain's start (dispatch already charged), so
@@ -343,7 +438,7 @@ pub fn exec_step<P: BalancerPolicy>(
             .tracer
             .emit(t, k.me, || TraceEvent::Spawn { round, count });
     }
-    policy.place_children(k, ctx, children);
+    policy.place_children(k, &mut *ctx, children);
     // The round counter must drop for every execution; only the node
     // completing the round's last task sees `true`.
     if k.oracle.task_done() && policy.announces_rounds() {
@@ -359,6 +454,92 @@ pub fn exec_step<P: BalancerPolicy>(
     policy.after_task(k, ctx);
 }
 
+/// Backend entry point: the machine booted; run the policy's start
+/// hook on this node. Called once per node at time 0.
+pub fn dispatch_start<P: BalancerPolicy>(
+    policy: &mut P,
+    k: &mut Kernel,
+    ctx: &mut impl ExecCtx<KernelMsg<P::Msg>>,
+) {
+    policy.on_start(k, ctx);
+}
+
+/// Backend entry point: a [`KernelMsg`] arrived from `from`. Handles
+/// the kernel-owned messages (task migration, round start) and routes
+/// policy payloads to [`BalancerPolicy::on_msg`].
+pub fn dispatch_message<P: BalancerPolicy>(
+    policy: &mut P,
+    k: &mut Kernel,
+    ctx: &mut impl ExecCtx<KernelMsg<P::Msg>>,
+    from: NodeId,
+    msg: KernelMsg<P::Msg>,
+) {
+    match msg {
+        KernelMsg::Tasks(tasks, sender_load) => {
+            k.received_in += 1;
+            let count = tasks.len() as u32;
+            ctx.compute(
+                k.oracle.costs.spawn_us * tasks.len() as Time,
+                WorkKind::Overhead,
+            );
+            k.exec.queue.extend(tasks);
+            if k.oracle.tracer.enabled() {
+                let (t, depth) = (ctx.now(), k.exec.queue.len() as u32);
+                k.oracle
+                    .tracer
+                    .emit(t, k.me, || TraceEvent::MigrateIn { from, count });
+                k.oracle
+                    .tracer
+                    .emit(t, k.me, || TraceEvent::QueueDepth { depth });
+            }
+            k.kick(ctx);
+            policy.on_tasks_accepted(k, ctx, from, sender_load);
+        }
+        KernelMsg::RoundStart(round, token) => {
+            if k.oracle.tracer.enabled() {
+                let t = ctx.now();
+                k.oracle
+                    .tracer
+                    .emit(t, k.me, || TraceEvent::RoundBegin { round });
+            }
+            policy.on_round_start(k, ctx, round, token);
+        }
+        KernelMsg::Policy(m) => policy.on_msg(k, ctx, from, m),
+    }
+}
+
+/// Backend entry point: a timer fired with `tag`. Handles the kernel's
+/// EXEC and ROUND tags and forwards policy tags (`>=`
+/// [`TAG_POLICY_BASE`]) to [`BalancerPolicy::on_timer`].
+pub fn dispatch_timer<P: BalancerPolicy>(
+    policy: &mut P,
+    k: &mut Kernel,
+    ctx: &mut impl ExecCtx<KernelMsg<P::Msg>>,
+    tag: u64,
+) {
+    match tag {
+        TAG_EXEC => {
+            k.exec_scheduled = false;
+            exec_step(policy, k, ctx);
+        }
+        TAG_ROUND => match k.oracle.advance_round() {
+            Some(next) => {
+                let token = policy.round_token(k);
+                ctx.send_all(KernelMsg::RoundStart(next, token), k.oracle.costs.ctl_bytes);
+                if k.oracle.tracer.enabled() {
+                    let t = ctx.now();
+                    k.oracle
+                        .tracer
+                        .emit(t, k.me, || TraceEvent::RoundBegin { round: next });
+                }
+                policy.on_round_announced(k, ctx, next, token);
+            }
+            None => ctx.halt(),
+        },
+        tag => policy.on_timer(k, ctx, tag),
+    }
+}
+
 /// The generic SPMD node program: [`Kernel`] mechanics driven by a
 /// [`BalancerPolicy`]. One instance per node; see the module docs.
 pub struct NodeDriver<P: BalancerPolicy> {
@@ -372,74 +553,15 @@ impl<P: BalancerPolicy> rips_desim::Program for NodeDriver<P> {
     type Msg = KernelMsg<P::Msg>;
 
     fn on_start(&mut self, ctx: &mut Ctx<'_, Self::Msg>) {
-        self.policy.on_start(&mut self.kernel, ctx);
+        dispatch_start(&mut self.policy, &mut self.kernel, ctx);
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<'_, Self::Msg>, from: NodeId, msg: Self::Msg) {
-        match msg {
-            KernelMsg::Tasks(tasks, sender_load) => {
-                let k = &mut self.kernel;
-                k.received_in += 1;
-                let count = tasks.len() as u32;
-                ctx.compute(
-                    k.oracle.costs.spawn_us * tasks.len() as Time,
-                    WorkKind::Overhead,
-                );
-                k.exec.queue.extend(tasks);
-                if k.oracle.tracer.enabled() {
-                    let (t, depth) = (ctx.now(), k.exec.queue.len() as u32);
-                    k.oracle
-                        .tracer
-                        .emit(t, k.me, || TraceEvent::MigrateIn { from, count });
-                    k.oracle
-                        .tracer
-                        .emit(t, k.me, || TraceEvent::QueueDepth { depth });
-                }
-                k.kick(ctx);
-                self.policy.on_tasks_accepted(k, ctx, from, sender_load);
-            }
-            KernelMsg::RoundStart(round, token) => {
-                let k = &mut self.kernel;
-                if k.oracle.tracer.enabled() {
-                    let t = ctx.now();
-                    k.oracle
-                        .tracer
-                        .emit(t, k.me, || TraceEvent::RoundBegin { round });
-                }
-                self.policy
-                    .on_round_start(&mut self.kernel, ctx, round, token);
-            }
-            KernelMsg::Policy(m) => self.policy.on_msg(&mut self.kernel, ctx, from, m),
-        }
+        dispatch_message(&mut self.policy, &mut self.kernel, ctx, from, msg);
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_, Self::Msg>, tag: u64) {
-        match tag {
-            TAG_EXEC => {
-                self.kernel.exec_scheduled = false;
-                exec_step(&mut self.policy, &mut self.kernel, ctx);
-            }
-            TAG_ROUND => match self.kernel.oracle.advance_round() {
-                Some(next) => {
-                    let token = self.policy.round_token(&self.kernel);
-                    ctx.send_all(
-                        KernelMsg::RoundStart(next, token),
-                        self.kernel.oracle.costs.ctl_bytes,
-                    );
-                    let k = &self.kernel;
-                    if k.oracle.tracer.enabled() {
-                        let t = ctx.now();
-                        k.oracle
-                            .tracer
-                            .emit(t, k.me, || TraceEvent::RoundBegin { round: next });
-                    }
-                    self.policy
-                        .on_round_announced(&mut self.kernel, ctx, next, token);
-                }
-                None => ctx.halt(),
-            },
-            tag => self.policy.on_timer(&mut self.kernel, ctx, tag),
-        }
+        dispatch_timer(&mut self.policy, &mut self.kernel, ctx, tag);
     }
 }
 

@@ -35,15 +35,13 @@ pub mod driver;
 pub mod registry;
 
 pub use driver::{
-    exec_step, run_policy, BalancerPolicy, Kernel, KernelMsg, NodeDriver, TAG_EXEC,
-    TAG_POLICY_BASE, TAG_ROUND,
+    dispatch_message, dispatch_start, dispatch_timer, exec_step, run_policy, BalancerPolicy,
+    ExecCtx, Kernel, KernelMsg, NodeDriver, TAG_EXEC, TAG_POLICY_BASE, TAG_ROUND,
 };
 pub use registry::{RunSpec, ScheduledRun, SchedulerCtor, SchedulerRegistry};
 
-use std::cell::RefCell;
 use std::collections::VecDeque;
-use std::rc::Rc;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 use rips_desim::Time;
 use rips_taskgraph::{TaskId, Workload};
@@ -106,8 +104,13 @@ impl Default for Costs {
 }
 
 /// Shared per-engine state (see module docs for the rules of use).
+///
+/// Under the simulator the mutex is uncontended (one engine thread);
+/// under the live backend it is the one genuinely shared structure
+/// between node threads, and every critical section is a few counter
+/// updates.
 pub struct Oracle {
-    inner: Rc<RefCell<OracleState>>,
+    inner: Arc<Mutex<OracleState>>,
     /// The workload being executed (immutable, shared).
     pub workload: Arc<Workload>,
     /// Cost constants.
@@ -151,7 +154,7 @@ pub struct SchedScratch {
 impl Clone for Oracle {
     fn clone(&self) -> Self {
         Oracle {
-            inner: Rc::clone(&self.inner),
+            inner: Arc::clone(&self.inner),
             workload: Arc::clone(&self.workload),
             costs: self.costs,
             tracer: self.tracer.clone(),
@@ -180,7 +183,7 @@ impl Oracle {
             Arc::new(Vec::new())
         };
         Oracle {
-            inner: Rc::new(RefCell::new(OracleState {
+            inner: Arc::new(Mutex::new(OracleState {
                 round: 0,
                 outstanding: first_round,
                 round_announced: false,
@@ -211,9 +214,16 @@ impl Oracle {
         self.n
     }
 
+    /// Locks the shared state, recovering from poisoning: if a live
+    /// node thread panicked mid-update the counters may be stale, but
+    /// the surviving threads' shutdown paths still need to run.
+    fn st(&self) -> std::sync::MutexGuard<'_, OracleState> {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
     /// Current round index.
     pub fn round(&self) -> u32 {
-        self.inner.borrow().round
+        self.st().round
     }
 
     /// Unexecuted tasks remaining in the current round (including tasks
@@ -221,7 +231,7 @@ impl Oracle {
     /// forest is known to the oracle; what matters is that it reaches
     /// zero exactly when the round's last task finishes).
     pub fn outstanding(&self) -> u64 {
-        self.inner.borrow().outstanding
+        self.st().outstanding
     }
 
     /// Root task instances of round `round` owned by `node` under the
@@ -247,7 +257,7 @@ impl Oracle {
     /// exactly once per round: to the caller that completed the round's
     /// last task (the node that then announces the barrier).
     pub fn task_done(&self) -> bool {
-        let mut st = self.inner.borrow_mut();
+        let mut st = self.st();
         assert!(st.outstanding > 0, "task_done underflow");
         st.outstanding -= 1;
         st.outstanding == 0 && !std::mem::replace(&mut st.round_announced, true)
@@ -273,7 +283,7 @@ impl Oracle {
     /// Returns the new round index, or `None` if the workload is
     /// complete.
     pub fn advance_round(&self) -> Option<u32> {
-        let mut st = self.inner.borrow_mut();
+        let mut st = self.st();
         debug_assert_eq!(st.outstanding, 0, "advancing with work outstanding");
         let next = st.round + 1;
         if (next as usize) >= self.workload.rounds.len() {
@@ -292,9 +302,10 @@ impl Oracle {
         2 * self.diameter as Time * self.costs.comm_step_us
     }
 
-    /// Mutable access to the scheduler scratch space.
-    pub fn scratch_mut(&self) -> std::cell::RefMut<'_, SchedScratch> {
-        std::cell::RefMut::map(self.inner.borrow_mut(), |st| &mut st.scratch)
+    /// Runs `f` with mutable access to the scheduler scratch space,
+    /// holding the oracle lock for the duration.
+    pub fn with_scratch<R>(&self, f: impl FnOnce(&mut SchedScratch) -> R) -> R {
+        f(&mut self.st().scratch)
     }
 }
 

@@ -43,13 +43,76 @@ pub use chrome::chrome_trace_json;
 pub use report::{PhaseReport, PhaseRow};
 
 use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
-/// Virtual time in microseconds (matches `rips_desim::Time`).
+/// Time in microseconds — virtual (matches `rips_desim::Time`) or
+/// wall-clock monotonic, depending on the installed [`Clock`].
 pub type Time = u64;
 
 /// Node identifier (matches `rips_topology::NodeId`).
 pub type NodeId = usize;
+
+/// What kind of time a trace's timestamps are measured in.
+///
+/// The simulator stamps events with *virtual* microseconds computed by
+/// its cost model; the live execution backend (`rips-live`) stamps them
+/// with *wall-clock* microseconds read from a monotonic clock. Both are
+/// µs and both satisfy [`validate`]'s per-node monotonicity, but they
+/// must never be compared against each other — exporters label them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum ClockKind {
+    /// Simulated time from the discrete-event engine's cost model.
+    #[default]
+    Virtual,
+    /// Real elapsed time from a monotonic clock.
+    WallMonotonic,
+}
+
+impl ClockKind {
+    /// Human-readable unit label used by exporters.
+    pub fn label(self) -> &'static str {
+        match self {
+            ClockKind::Virtual => "virtual µs",
+            ClockKind::WallMonotonic => "wall-clock µs",
+        }
+    }
+
+    /// Short machine-readable name used in JSONL output.
+    pub fn name(self) -> &'static str {
+        match self {
+            ClockKind::Virtual => "virtual",
+            ClockKind::WallMonotonic => "wall",
+        }
+    }
+}
+
+/// A pluggable time source attached to an installed sink.
+///
+/// The simulator's emitters compute timestamps themselves (virtual time
+/// travels with every event), so [`VirtualClock::now_us`] is never
+/// meaningful and returns 0. A live backend installs a wall-clock
+/// implementation (defined in `rips-live`, the one crate allowed to
+/// read `Instant`) and uses the *same* clock instance for execution
+/// pacing and trace stamping, so exported spans line up with reality.
+pub trait Clock: Send + Sync {
+    /// Microseconds elapsed on this clock since its epoch.
+    fn now_us(&self) -> Time;
+    /// What kind of time this clock measures.
+    fn kind(&self) -> ClockKind;
+}
+
+/// The default clock: virtual time, carried by the emitters themselves.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VirtualClock;
+
+impl Clock for VirtualClock {
+    fn now_us(&self) -> Time {
+        0
+    }
+    fn kind(&self) -> ClockKind {
+        ClockKind::Virtual
+    }
+}
 
 /// Whether a phase span covers user execution or the scheduling system
 /// phase — the paper's fundamental dichotomy ("computation proceeds in
@@ -251,9 +314,19 @@ impl TraceBuffer {
 
     /// Aggregates the stream into a [`PhaseReport`]; spans still open
     /// at `end_time` (e.g. the final termination phase, which ends when
-    /// the machine halts) are closed there.
+    /// the machine halts) are closed there. Timestamps are labelled as
+    /// virtual time; use [`TraceBuffer::report_with_clock`] for traces
+    /// recorded under another [`ClockKind`].
     pub fn report(&self, end_time: Time) -> PhaseReport {
-        report::build(self, end_time)
+        self.report_with_clock(end_time, ClockKind::Virtual)
+    }
+
+    /// [`TraceBuffer::report`] with an explicit time-unit label, for
+    /// traces stamped by a non-virtual clock (the live backend).
+    pub fn report_with_clock(&self, end_time: Time, clock: ClockKind) -> PhaseReport {
+        let mut rep = report::build(self, end_time);
+        rep.clock = clock;
+        rep
     }
 
     /// Renders the stream as Chrome trace-event JSON (see
@@ -292,13 +365,30 @@ impl<A: TraceSink, B: TraceSink> TraceSink for Tee<A, B> {
     }
 }
 
+/// An installed sink plus the clock its timestamps come from.
+#[derive(Clone)]
+struct Installed {
+    sink: Arc<Mutex<dyn TraceSink + Send>>,
+    clock: Arc<dyn Clock>,
+}
+
 thread_local! {
-    static CURRENT: RefCell<Option<Rc<RefCell<dyn TraceSink>>>> = const { RefCell::new(None) };
+    static CURRENT: RefCell<Option<Installed>> = const { RefCell::new(None) };
+}
+
+/// Un-poisons a sink mutex: if a node thread panicked mid-record, the
+/// collected prefix is still the best evidence available.
+fn lock_sink<'a>(
+    sink: &'a Mutex<dyn TraceSink + Send + 'static>,
+) -> std::sync::MutexGuard<'a, dyn TraceSink + Send + 'static> {
+    sink.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
 /// Installs `sink` as the thread's active trace sink, runs `f`, and
 /// returns the sink together with `f`'s result. Instrumented layers
 /// pick the sink up via [`Tracer::current`] when a run is constructed.
+/// The sink is stamped by the default [`VirtualClock`]; a live backend
+/// uses [`with_sink_clocked`] instead.
 ///
 /// The previous sink (if any) is restored afterwards, and the install
 /// is cleared even if `f` panics.
@@ -306,8 +396,21 @@ thread_local! {
 /// # Panics
 /// Panics if an instrumented component retains a handle on the sink
 /// past the end of `f` (runs release their tracers when they return).
-pub fn with_sink<S: TraceSink + 'static, R>(sink: S, f: impl FnOnce() -> R) -> (S, R) {
-    struct Restore(Option<Rc<RefCell<dyn TraceSink>>>);
+pub fn with_sink<S: TraceSink + Send + 'static, R>(sink: S, f: impl FnOnce() -> R) -> (S, R) {
+    with_sink_clocked(sink, Arc::new(VirtualClock), f)
+}
+
+/// [`with_sink`] with an explicit time source: tracers cloned under the
+/// install report `clock.kind()` and can read `clock.now_us()`. The
+/// sink is shared behind a mutex, so tracers cloned from this install
+/// may emit from *other* threads spawned inside `f` (the live backend's
+/// node threads), as long as they are joined before `f` returns.
+pub fn with_sink_clocked<S: TraceSink + Send + 'static, R>(
+    sink: S,
+    clock: Arc<dyn Clock>,
+    f: impl FnOnce() -> R,
+) -> (S, R) {
+    struct Restore(Option<Installed>);
     impl Drop for Restore {
         fn drop(&mut self) {
             let prev = self.0.take();
@@ -315,15 +418,21 @@ pub fn with_sink<S: TraceSink + 'static, R>(sink: S, f: impl FnOnce() -> R) -> (
         }
     }
 
-    let cell: Rc<RefCell<S>> = Rc::new(RefCell::new(sink));
-    let erased: Rc<RefCell<dyn TraceSink>> = Rc::clone(&cell) as _;
-    let prev = CURRENT.with(|c| c.borrow_mut().replace(erased));
+    let cell: Arc<Mutex<S>> = Arc::new(Mutex::new(sink));
+    let erased: Arc<Mutex<dyn TraceSink + Send>> = Arc::clone(&cell) as _;
+    let prev = CURRENT.with(|c| {
+        c.borrow_mut().replace(Installed {
+            sink: erased,
+            clock,
+        })
+    });
     let restore = Restore(prev);
     let out = f();
     drop(restore);
-    let sink = Rc::try_unwrap(cell)
+    let sink = Arc::try_unwrap(cell)
         .unwrap_or_else(|_| panic!("trace sink still referenced after the traced run"))
-        .into_inner();
+        .into_inner()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
     (sink, out)
 }
 
@@ -335,7 +444,7 @@ pub fn with_sink<S: TraceSink + 'static, R>(sink: S, f: impl FnOnce() -> R) -> (
 /// the event payload is never evaluated.
 #[derive(Clone, Default)]
 pub struct Tracer {
-    sink: Option<Rc<RefCell<dyn TraceSink>>>,
+    installed: Option<Installed>,
 }
 
 impl std::fmt::Debug for Tracer {
@@ -349,14 +458,14 @@ impl std::fmt::Debug for Tracer {
 impl Tracer {
     /// A disabled tracer (no sink).
     pub fn off() -> Self {
-        Tracer { sink: None }
+        Tracer { installed: None }
     }
 
     /// The thread's current tracer: attached to the sink installed by
     /// the innermost [`with_sink`], or disabled if none is installed.
     pub fn current() -> Self {
         CURRENT.with(|c| Tracer {
-            sink: c.borrow().clone(),
+            installed: c.borrow().clone(),
         })
     }
 
@@ -364,15 +473,30 @@ impl Tracer {
     /// must precompute values (e.g. a timestamp before a state change).
     #[inline(always)]
     pub fn enabled(&self) -> bool {
-        self.sink.is_some()
+        self.installed.is_some()
+    }
+
+    /// The kind of time this tracer's timestamps are measured in
+    /// (virtual when no sink is installed).
+    pub fn clock_kind(&self) -> ClockKind {
+        self.installed
+            .as_ref()
+            .map_or(ClockKind::Virtual, |i| i.clock.kind())
+    }
+
+    /// Reads the attached clock, or `None` when no sink is installed.
+    /// Only meaningful for wall-clock installs — the [`VirtualClock`]
+    /// returns 0 (virtual timestamps travel with the events).
+    pub fn clock_now(&self) -> Option<Time> {
+        self.installed.as_ref().map(|i| i.clock.now_us())
     }
 
     /// Records the event built by `f` at `(time_us, node)` if a sink is
     /// attached; otherwise does nothing and never evaluates `f`.
     #[inline(always)]
     pub fn emit(&self, time_us: Time, node: NodeId, f: impl FnOnce() -> TraceEvent) {
-        if let Some(sink) = &self.sink {
-            sink.borrow_mut().record(time_us, node, f());
+        if let Some(installed) = &self.installed {
+            lock_sink(&installed.sink).record(time_us, node, f());
         }
     }
 }
@@ -585,6 +709,46 @@ mod tests {
         });
         assert_eq!(outer.records.len(), 1);
         assert_eq!(outer.records[0].time, 2);
+    }
+
+    #[test]
+    fn clocked_install_reports_kind_and_now() {
+        struct FixedClock;
+        impl Clock for FixedClock {
+            fn now_us(&self) -> Time {
+                77
+            }
+            fn kind(&self) -> ClockKind {
+                ClockKind::WallMonotonic
+            }
+        }
+        assert_eq!(Tracer::current().clock_kind(), ClockKind::Virtual);
+        assert_eq!(Tracer::current().clock_now(), None);
+        let (buf, _) = with_sink_clocked(TraceBuffer::new(), Arc::new(FixedClock), || {
+            let t = Tracer::current();
+            assert_eq!(t.clock_kind(), ClockKind::WallMonotonic);
+            assert_eq!(t.clock_now(), Some(77));
+            t.emit(t.clock_now().unwrap(), 0, || TraceEvent::QueueDepth {
+                depth: 1,
+            });
+        });
+        assert_eq!(buf.records[0].time, 77);
+        assert_eq!(Tracer::current().clock_kind(), ClockKind::Virtual);
+    }
+
+    #[test]
+    fn sink_is_shared_across_threads_spawned_inside_install() {
+        let (buf, _) = with_sink(TraceBuffer::new(), || {
+            let tracers: Vec<Tracer> = (0..4).map(|_| Tracer::current()).collect();
+            std::thread::scope(|s| {
+                for (i, t) in tracers.into_iter().enumerate() {
+                    s.spawn(move || {
+                        t.emit(i as Time, i, || TraceEvent::QueueDepth { depth: i as u32 })
+                    });
+                }
+            });
+        });
+        assert_eq!(buf.records.len(), 4);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 
 use std::collections::BTreeMap;
 
-use crate::{Hist, PhaseKind, SysStage, Time, TraceBuffer, TraceEvent};
+use crate::{ClockKind, Hist, PhaseKind, SysStage, Time, TraceBuffer, TraceEvent};
 
 /// Aggregated anatomy of one system phase.
 #[derive(Debug, Clone, Default)]
@@ -64,6 +64,10 @@ pub struct PhaseReport {
     pub rounds: u32,
     /// Run end time the report was built against (µs).
     pub end_time: Time,
+    /// What the µs columns measure: virtual (simulator) or wall-clock
+    /// (live backend) time. Set by [`TraceBuffer::report_with_clock`];
+    /// defaults to virtual.
+    pub clock: ClockKind,
 }
 
 /// Builds the report. Spans still open at `end_time` (the final
@@ -210,9 +214,11 @@ fn hist3(h: &mut Hist) -> String {
 }
 
 impl PhaseReport {
-    /// Renders the report as an aligned text table (durations in µs,
-    /// `p50/p95/max` triplets). Takes `&mut self` because percentile
-    /// queries sort the underlying samples lazily.
+    /// Renders the report as an aligned text table (durations in the
+    /// µs of [`PhaseReport::clock`] — virtual or wall-clock time,
+    /// labelled in the header — as `p50/p95/max` triplets). Takes
+    /// `&mut self` because percentile queries sort the underlying
+    /// samples lazily.
     pub fn render(&mut self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
@@ -223,6 +229,7 @@ impl PhaseReport {
             self.end_time as f64 / 1e6,
             self.peak_queue_depth,
         ));
+        out.push_str(&format!("time unit: {}\n", self.clock.label()));
         out.push_str(&format!(
             "task grain   µs p50/p95/max: {:>24}   ({} execs)\n",
             hist3(&mut self.task_grain_us),
@@ -290,11 +297,12 @@ impl PhaseReport {
     pub fn to_jsonl(&mut self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "{{\"type\":\"summary\",\"tasks\":{},\"nonlocal\":{},\"rounds\":{},\
+            "{{\"type\":\"summary\",\"clock\":\"{}\",\"tasks\":{},\"nonlocal\":{},\"rounds\":{},\
              \"end_us\":{},\"peak_queue_depth\":{},\"migrated_tasks\":{},\"migrate_msgs\":{},\
              \"task_grain_p50\":{},\"task_grain_p95\":{},\"task_grain_max\":{},\
              \"user_phase_p50\":{},\"user_phase_p95\":{},\
              \"idle_detect_p50\":{},\"idle_detect_p95\":{},\"idle_detect_max\":{}}}\n",
+            self.clock.name(),
             self.tasks,
             self.nonlocal_tasks,
             self.rounds,
@@ -345,6 +353,18 @@ impl PhaseReport {
 mod tests {
     use super::*;
     use crate::TraceSink;
+
+    #[test]
+    fn report_labels_time_units_per_clock() {
+        let mut b = TraceBuffer::new();
+        phase_events(&mut b, 0, 1, 0);
+        let mut virt = b.report(100);
+        assert!(virt.render().contains("time unit: virtual µs"));
+        assert!(virt.to_jsonl().contains("\"clock\":\"virtual\""));
+        let mut wall = b.report_with_clock(100, ClockKind::WallMonotonic);
+        assert!(wall.render().contains("time unit: wall-clock µs"));
+        assert!(wall.to_jsonl().contains("\"clock\":\"wall\""));
+    }
 
     fn phase_events(b: &mut TraceBuffer, node: usize, p: u32, t0: Time) {
         b.record(

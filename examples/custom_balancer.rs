@@ -13,14 +13,13 @@
 use std::sync::Arc;
 
 use rips_repro::bench::registry;
-use rips_repro::desim::{Ctx, LatencyModel};
+use rips_repro::desim::LatencyModel;
 use rips_repro::runtime::{
-    run_policy, BalancerPolicy, Costs, Kernel, KernelMsg, RunSpec, ScheduledRun, TaskInstance,
+    run_policy, BalancerPolicy, Costs, ExecCtx, Kernel, KernelMsg, RunSpec, ScheduledRun,
+    TaskInstance,
 };
 use rips_repro::taskgraph::geometric_tree;
 use rips_repro::topology::{Mesh2D, NodeId, Topology};
-
-type Ct<'a> = Ctx<'a, KernelMsg<()>>;
 
 /// Round-robin handoff: children scatter over the neighbours in strict
 /// rotation. Blind (no load information, like randomized allocation)
@@ -34,11 +33,22 @@ impl BalancerPolicy for RoundRobin {
     /// No policy messages: placement is the whole algorithm.
     type Msg = ();
 
-    fn on_msg(&mut self, _k: &mut Kernel, _ctx: &mut Ct<'_>, _from: NodeId, _msg: ()) {
+    fn on_msg(
+        &mut self,
+        _k: &mut Kernel,
+        _ctx: &mut impl ExecCtx<KernelMsg<()>>,
+        _from: NodeId,
+        _msg: (),
+    ) {
         unreachable!("round-robin sends no policy messages");
     }
 
-    fn place_children(&mut self, k: &mut Kernel, ctx: &mut Ct<'_>, children: Vec<TaskInstance>) {
+    fn place_children(
+        &mut self,
+        k: &mut Kernel,
+        ctx: &mut impl ExecCtx<KernelMsg<()>>,
+        children: Vec<TaskInstance>,
+    ) {
         for child in children {
             let dst = self.neighbors[self.next];
             self.next = (self.next + 1) % self.neighbors.len();

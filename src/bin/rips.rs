@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! rips run    --app queens13 --scheduler rips --nodes 32 [--policy any-lazy] [--seed 1]
+//! rips live   [<scheduler>] <app> --threads 4 [--mode compute|timed] [--audit] [--trace-out f]
 //! rips trace  <scheduler> <app> [--nodes 32] [--seed 1] [--out trace.json] [--check]
 //! rips report <scheduler> <app> [--nodes 32] [--seed 1] [--jsonl]
 //! rips audit  <scheduler> <app> [--nodes 32] [--seed 1]   # check paper invariants
@@ -20,18 +21,28 @@
 //! any paper invariant (Theorem 1/2, conservation, barrier pairing) is
 //! violated. `lint` runs the rips-lint static analysis pass over the
 //! workspace source (rules RIPS-L001…L005; see DESIGN §7).
+//!
+//! `live` runs the scheduler on the *live* backend — one OS thread per
+//! node, channel mailboxes, wall-clock time — executing the real
+//! application grains, and checks the solution count and execution
+//! checksum against the sequential reference. `--audit` additionally
+//! streams the live trace through the same [`Auditor`] the simulator
+//! uses (DESIGN §8).
 
 use std::sync::Arc;
 
+use rips_repro::apps::GrainTable;
 use rips_repro::audit::Auditor;
+use rips_repro::bench::live::{live_opts, live_run, live_run_rips};
 use rips_repro::bench::{registry_with, RegistryTuning};
 use rips_repro::core::{GlobalPolicy, LocalPolicy, RipsConfig};
 use rips_repro::desim::LatencyModel;
+use rips_repro::live::{GrainMode, WallClock};
 use rips_repro::runtime::{Costs, RunSpec, SchedulerRegistry};
 use rips_repro::sched::{min_nonlocal_tasks, mwa};
 use rips_repro::taskgraph::Workload;
 use rips_repro::topology::{Mesh2D, Topology};
-use rips_repro::trace::{validate, TraceBuffer};
+use rips_repro::trace::{validate, Clock, Tee, TraceBuffer};
 
 fn arg(name: &str) -> Option<String> {
     let mut args = std::env::args();
@@ -48,8 +59,11 @@ const APPS: &[&str] = &[
     "ida2", "ida3", "gromos8", "gromos12", "gromos16",
 ];
 
-fn build_app(name: &str) -> Workload {
-    use rips_repro::apps::{gromos, nqueens, puzzle, GromosConfig, NQueensConfig, PuzzleConfig};
+fn build_app_live(name: &str) -> (Workload, GrainTable) {
+    use rips_repro::apps::{
+        gromos_with_grains, nqueens_with_grains, puzzle_with_grains, GromosConfig, NQueensConfig,
+        PuzzleConfig,
+    };
     // The sub-paper sizes (smoke tests, CI traces) split shallower so
     // the task count stays proportionate to the tiny boards.
     let small_queens = |n| NQueensConfig {
@@ -59,24 +73,28 @@ fn build_app(name: &str) -> Workload {
         ns_per_node: 1800,
     };
     match name {
-        "queens9" => nqueens(small_queens(9)),
-        "queens10" => nqueens(small_queens(10)),
-        "queens11" => nqueens(NQueensConfig::paper(11)),
-        "queens12" => nqueens(NQueensConfig::paper(12)),
-        "queens13" => nqueens(NQueensConfig::paper(13)),
-        "queens14" => nqueens(NQueensConfig::paper(14)),
-        "queens15" => nqueens(NQueensConfig::paper(15)),
-        "ida1" => puzzle(PuzzleConfig::paper(1)),
-        "ida2" => puzzle(PuzzleConfig::paper(2)),
-        "ida3" => puzzle(PuzzleConfig::paper(3)),
-        "gromos8" => gromos(GromosConfig::paper(8.0)),
-        "gromos12" => gromos(GromosConfig::paper(12.0)),
-        "gromos16" => gromos(GromosConfig::paper(16.0)),
+        "queens9" => nqueens_with_grains(small_queens(9)),
+        "queens10" => nqueens_with_grains(small_queens(10)),
+        "queens11" => nqueens_with_grains(NQueensConfig::paper(11)),
+        "queens12" => nqueens_with_grains(NQueensConfig::paper(12)),
+        "queens13" => nqueens_with_grains(NQueensConfig::paper(13)),
+        "queens14" => nqueens_with_grains(NQueensConfig::paper(14)),
+        "queens15" => nqueens_with_grains(NQueensConfig::paper(15)),
+        "ida1" => puzzle_with_grains(PuzzleConfig::paper(1)),
+        "ida2" => puzzle_with_grains(PuzzleConfig::paper(2)),
+        "ida3" => puzzle_with_grains(PuzzleConfig::paper(3)),
+        "gromos8" => gromos_with_grains(GromosConfig::paper(8.0)),
+        "gromos12" => gromos_with_grains(GromosConfig::paper(12.0)),
+        "gromos16" => gromos_with_grains(GromosConfig::paper(16.0)),
         other => {
             eprintln!("unknown app '{other}'; available: {APPS:?}");
             std::process::exit(2);
         }
     }
+}
+
+fn build_app(name: &str) -> Workload {
+    build_app_live(name).0
 }
 
 /// Builds the registry for `--policy` and resolves a case-insensitive
@@ -134,7 +152,8 @@ fn cmd_run() {
     let policy = arg("--policy").unwrap_or_else(|| "any-lazy".into());
 
     eprintln!("building workload '{app}' ...");
-    let workload = Arc::new(build_app(&app));
+    let (workload, table) = build_app_live(&app);
+    let workload = Arc::new(workload);
     let stats = workload.stats();
     println!(
         "workload: {} | {} tasks | {} rounds | Ts = {:.2} s",
@@ -170,6 +189,157 @@ fn cmd_run() {
     println!("  peak evt queue  : {}", outcome.stats.peak_queue_depth);
     if phases > 0 {
         println!("  system phases   : {phases}");
+    }
+    // The simulator schedules grains without running them; the app's
+    // answer comes from the sequential grain-table reference (what a
+    // live run must reproduce — compare with `rips live`).
+    let truth = table.static_totals();
+    println!("  solutions       : {}", truth.solutions);
+    println!("  grain checksum  : {:#018x}", truth.checksum);
+}
+
+fn cmd_live() {
+    // Positionals may appear before, between, or after flags
+    // (`rips live --threads 4 queens9` and `rips live rid queens9
+    // --threads 2` both work).
+    let mut positionals = Vec::new();
+    let mut args = std::env::args().skip(2);
+    while let Some(a) = args.next() {
+        if a.starts_with("--") {
+            if a != "--audit" {
+                args.next(); // skip the flag's value
+            }
+        } else {
+            positionals.push(a);
+        }
+    }
+    let mut pos = positionals.into_iter();
+    let (scheduler, app) = match (pos.next(), pos.next()) {
+        (Some(s), Some(a)) => (s, a),
+        (Some(a), None) => ("rips".to_string(), a),
+        _ => {
+            eprintln!(
+                "usage: rips live [<scheduler>] <app> [--threads N] [--mode compute|timed] \
+                 [--timed-scale F] [--seed S] [--policy P] [--audit] [--trace-out f.json]"
+            );
+            std::process::exit(2);
+        }
+    };
+    let threads: usize = arg("--threads").and_then(|v| v.parse().ok()).unwrap_or(4);
+    let seed: u64 = arg("--seed").and_then(|v| v.parse().ok()).unwrap_or(1);
+    let policy = arg("--policy").unwrap_or_else(|| "any-lazy".into());
+    let mode = match arg("--mode").as_deref() {
+        None | Some("compute") => GrainMode::Compute,
+        Some("timed") => GrainMode::Timed,
+        Some(other) => {
+            eprintln!("unknown --mode '{other}' (compute|timed)");
+            std::process::exit(2);
+        }
+    };
+    let timed_scale: f64 = arg("--timed-scale")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0);
+    let audit = arg_flag("--audit");
+    let trace_out = arg("--trace-out");
+
+    eprintln!("building workload '{app}' ...");
+    let (workload, table) = build_app_live(&app);
+    let workload = Arc::new(workload);
+    let table = Arc::new(table);
+    let (_, name) = resolve_scheduler(&scheduler, &policy);
+    let truth = table.static_totals();
+
+    let clock: Arc<WallClock> = Arc::new(WallClock::new());
+    let run = |clock: &Arc<WallClock>| {
+        let mut opts = live_opts(&table, mode, timed_scale);
+        opts.clock = Some(Arc::clone(clock) as Arc<dyn Clock>);
+        if name == "RIPS" {
+            let (local, global) = match policy.as_str() {
+                "any-lazy" => (LocalPolicy::Lazy, GlobalPolicy::Any),
+                "any-eager" => (LocalPolicy::Eager, GlobalPolicy::Any),
+                "all-lazy" => (LocalPolicy::Lazy, GlobalPolicy::All),
+                _ => (LocalPolicy::Eager, GlobalPolicy::All),
+            };
+            let cfg = RipsConfig {
+                local,
+                global,
+                ..RipsConfig::default()
+            };
+            live_run_rips(&workload, threads, cfg, seed, opts)
+        } else {
+            live_run(&name, &workload, threads, 0.4, seed, opts)
+        }
+    };
+
+    eprintln!(
+        "live run: {name} on {threads} threads (mode {:?}, seed {seed}) ...",
+        mode
+    );
+    let (out, audit_ok) = if audit || trace_out.is_some() {
+        // One install feeds both consumers: the invariant auditor
+        // rides beside the buffer destined for the Perfetto export.
+        let sink = Tee(Auditor::new(threads), TraceBuffer::new());
+        let (Tee(auditor, buf), out) = rips_repro::trace::with_sink_clocked(
+            sink,
+            Arc::clone(&clock) as Arc<dyn Clock>,
+            || run(&clock),
+        );
+        let mut ok = true;
+        if audit {
+            let report = auditor.finish();
+            print!("{}", report.render_human());
+            ok = report.is_ok();
+        }
+        if let Some(path) = trace_out {
+            let label = format!("{name} · {app} · {threads} threads (live) · seed {seed}");
+            let json = buf.chrome_json(&label, out.wall_us);
+            std::fs::write(&path, &json).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            });
+            eprintln!(
+                "wrote {path}: {} events ({} bytes)",
+                buf.records.len(),
+                json.len()
+            );
+        }
+        (out, ok)
+    } else {
+        (run(&clock), true)
+    };
+
+    println!("\nlive results ({name}, {threads} threads):");
+    println!("  wall clock      : {:.3} s", out.wall_us as f64 / 1e6);
+    println!("  tasks executed  : {}", out.total_executed());
+    println!("  non-local tasks : {}", out.nonlocal);
+    println!(
+        "  grain time      : {:.3} s (modelled)",
+        out.grain_us as f64 / 1e6
+    );
+    if out.system_phases > 0 {
+        println!("  system phases   : {}", out.system_phases);
+    }
+    println!("  solutions       : {}", out.solutions);
+    println!("  grain checksum  : {:#018x}", out.checksum);
+    let matches = out.solutions == truth.solutions && out.checksum == truth.checksum;
+    println!(
+        "  vs sequential   : {}",
+        if matches {
+            "MATCH (solutions and checksum)"
+        } else {
+            "MISMATCH"
+        }
+    );
+    if !matches {
+        eprintln!(
+            "cross-validation FAILED: expected {} solutions / {:#018x}",
+            truth.solutions, truth.checksum
+        );
+        std::process::exit(1);
+    }
+    if !audit_ok {
+        eprintln!("audit FAILED on the live trace");
+        std::process::exit(1);
     }
 }
 
@@ -373,6 +543,7 @@ fn cmd_plan() {
 fn main() {
     match std::env::args().nth(1).as_deref() {
         Some("run") => cmd_run(),
+        Some("live") => cmd_live(),
         Some("trace") => cmd_trace(),
         Some("report") => cmd_report(),
         Some("audit") => cmd_audit(),
@@ -389,9 +560,14 @@ fn main() {
             }
         }
         _ => {
-            eprintln!("usage: rips <run|trace|report|audit|plan|lint|apps|schedulers> [flags]");
+            eprintln!(
+                "usage: rips <run|live|trace|report|audit|plan|lint|apps|schedulers> [flags]"
+            );
             eprintln!(
                 "  run    --app queens13 --scheduler rips|random|gradient|rid|sid --nodes 32"
+            );
+            eprintln!(
+                "  live   [<scheduler>] <app> [--threads N] [--mode compute|timed] [--audit] [--trace-out f]"
             );
             eprintln!(
                 "  trace  <scheduler> <app> [--nodes N] [--seed S] [--out trace.json] [--check]"

@@ -11,6 +11,7 @@ pub use rips_collectives as collectives;
 pub use rips_core as core;
 pub use rips_desim as desim;
 pub use rips_flow as flow;
+pub use rips_live as live;
 pub use rips_metrics as metrics;
 pub use rips_runtime as runtime;
 pub use rips_sched as sched;
