@@ -9,7 +9,7 @@
 //! | RIPS-L001 | no `HashMap`/`HashSet` in the deterministic-path crates (`sched`, `balancers`, `runtime`, `core`): their iteration order is seeded per process and leaks into results |
 //! | RIPS-L002 | no `Instant`/`SystemTime`/`thread_rng` outside the reasoned [`TIMING_PATHS`] allowlist (`crates/bench`, `shims`, `crates/live`): simulated runs must not observe wall-clock time or ambient randomness |
 //! | RIPS-L003 | no `unwrap`/`expect`/`panic!`/`unreachable!` in the desim engine hot path (`crates/desim/src/engine.rs`) without a reasoned suppression |
-//! | RIPS-L004 | `unsafe` is forbidden outside the explicit allowlist (currently empty) |
+//! | RIPS-L004 | `unsafe` is forbidden outside the reasoned [`UNSAFE_ALLOWLIST`] (exactly two files: the live backend's SPSC ring and the runtime's RCU cell) |
 //! | RIPS-L005 | public items in `#![warn(missing_docs)]` crates must carry a doc comment |
 //!
 //! # Suppressions
@@ -145,19 +145,34 @@ pub const TIMING_PATHS: &[(&str, &str)] = &[
     (
         "crates/live/",
         "the live backend's whole point is wall-clock execution: \
-         Instant anchors its monotonic Clock and recv_timeout drives \
-         its timer lanes",
+         Instant anchors its monotonic Clock, and park timeouts / \
+         recv_timeout realise its timer-wheel deadlines",
     ),
 ];
 
 /// The desim engine hot path (RIPS-L003 scope).
 const ENGINE_HOT_PATH: &str = "crates/desim/src/engine.rs";
 
-/// Files allowed to contain `unsafe` (RIPS-L004). Currently empty: the
-/// whole workspace is safe Rust, and the safe crates additionally carry
-/// `#![forbid(unsafe_code)]`. Adding an entry here requires a matching
-/// DESIGN §7 note.
-const UNSAFE_ALLOWLIST: &[&str] = &[];
+/// Files allowed to contain `unsafe` (RIPS-L004), pinned to exact file
+/// paths with a mandatory reason (same contract as [`TIMING_PATHS`]).
+/// Everything else is safe Rust, and the safe crates additionally carry
+/// `#![forbid(unsafe_code)]` (or `#![deny]` with a module-scoped allow
+/// for exactly these files). Adding an entry here requires a matching
+/// DESIGN §7 note and a safety argument in the file's module docs.
+pub const UNSAFE_ALLOWLIST: &[(&str, &str)] = &[
+    (
+        "crates/live/src/ring.rs",
+        "SPSC ring slots are UnsafeCell<MaybeUninit>; non-Clone &mut \
+         handles plus the head/tail acquire/release protocol make every \
+         slot access data-race-free (safety argument in module docs)",
+    ),
+    (
+        "crates/runtime/src/rcu.rs",
+        "RCU cell with end-of-run reclamation: superseded snapshots are \
+         only freed when the cell drops, so every read() borrow outlives \
+         nothing it shouldn't (safety argument in module docs)",
+    ),
+];
 
 /// A parsed `rips-lint: allow(...)` comment.
 struct Suppression {
@@ -229,7 +244,7 @@ pub fn lint_source(path: &str, src: &str, missing_docs: bool) -> (Vec<Finding>, 
     let l001 = DETERMINISTIC_CRATES.iter().any(|p| path.starts_with(p));
     let l002 = !TIMING_PATHS.iter().any(|(p, _)| path.starts_with(p));
     let l003 = path == ENGINE_HOT_PATH;
-    let l004 = !UNSAFE_ALLOWLIST.contains(&path);
+    let l004 = !UNSAFE_ALLOWLIST.iter().any(|(p, _)| *p == path);
 
     for (i, t) in toks.iter().enumerate() {
         if t.kind != TokKind::Ident {
@@ -667,6 +682,46 @@ mod tests {
     fn l004_fires_everywhere() {
         let f = lint_one("crates/desim/src/engine.rs", "unsafe { *p }\n");
         assert_eq!(f[0].rule, "RIPS-L004");
+    }
+
+    #[test]
+    fn l004_allowlist_pins_unsafe_scope_with_reasons() {
+        // Exactly two audited files may contain `unsafe`: the live
+        // backend's SPSC ring and the runtime's RCU cell. A rename, a
+        // sibling module, or a new crate must not silently inherit the
+        // exemption.
+        let src = "unsafe { core::ptr::read(p) }\n";
+        assert!(lint_one("crates/live/src/ring.rs", src).is_empty());
+        assert!(lint_one("crates/runtime/src/rcu.rs", src).is_empty());
+        for flagged in [
+            "crates/live/src/lib.rs", // siblings don't inherit
+            "crates/live/src/transport.rs",
+            "crates/live/src/ring2.rs", // exact file match, not prefix
+            "crates/runtime/src/lib.rs",
+            "crates/runtime/src/driver.rs",
+            "crates/desim/src/engine.rs",
+        ] {
+            let f = lint_one(flagged, src);
+            assert_eq!(f.len(), 1, "{flagged} escaped L004");
+            assert_eq!(f[0].rule, "RIPS-L004", "{flagged}");
+        }
+        // Every hole is an exact .rs file path and documents why it
+        // exists (the reason doubles as the audit pointer).
+        for (path, reason) in UNSAFE_ALLOWLIST {
+            assert!(
+                path.ends_with(".rs"),
+                "UNSAFE_ALLOWLIST entry {path:?} must be a single file, not a prefix"
+            );
+            assert!(
+                !reason.trim().is_empty(),
+                "UNSAFE_ALLOWLIST entry {path:?} carries no reason"
+            );
+        }
+        assert_eq!(
+            UNSAFE_ALLOWLIST.len(),
+            2,
+            "a new unsafe file needs its own safety audit and DESIGN §7 note"
+        );
     }
 
     #[test]

@@ -1,0 +1,160 @@
+//! `bench_transport` — fabric microbenchmark: mpsc vs SPSC rings.
+//!
+//! Isolates the transport swap from everything else the live backend
+//! does: N producer threads hammer one consumer with `u64` payloads,
+//! once over a shared `std::sync::mpsc` channel (the old fabric, one
+//! MPSC queue per receiver) and once over one `rips_live::ring::spsc`
+//! ring per producer with the consumer round-robin draining them (the
+//! new fabric, sharded per edge). Both sides busy-poll the consumer so
+//! the comparison is queue mechanics, not wakeup policy.
+//!
+//! Paper connection: incremental scheduling's protocol traffic is many
+//! tiny messages on latency-sensitive paths; §"message batching" of
+//! DESIGN.md motivates why per-message transfer cost is the number to
+//! shrink. This binary prints ns/message for 1..=4 producers and the
+//! ring:mpsc ratio, and exits nonzero only on lost messages.
+//!
+//! ```text
+//! bench_transport [--msgs 200000] [--repeats 3]
+//! ```
+
+use std::sync::mpsc;
+use std::time::Instant;
+
+use rips_bench::arg_usize;
+use rips_live::ring::spsc;
+
+/// Consumer-side checksum folding order-independent content: count and
+/// wrapping sum pin that nothing was lost or duplicated.
+#[derive(Default, PartialEq, Eq, Debug)]
+struct Tally {
+    count: u64,
+    sum: u64,
+}
+
+impl Tally {
+    fn add(&mut self, v: u64) {
+        self.count += 1;
+        self.sum = self.sum.wrapping_add(v);
+    }
+}
+
+fn expected(producers: usize, msgs: usize) -> Tally {
+    let mut t = Tally::default();
+    for p in 0..producers {
+        for i in 0..msgs {
+            t.add((p as u64) << 32 | i as u64);
+        }
+    }
+    t
+}
+
+/// All producers share one mpsc sender; the consumer drains the single
+/// queue. This is the live backend's fallback fabric shape.
+fn run_mpsc(producers: usize, msgs: usize) -> (u64, Tally) {
+    let (tx, rx) = mpsc::channel::<u64>();
+    let start = Instant::now();
+    let tally = std::thread::scope(|s| {
+        for p in 0..producers {
+            let tx = tx.clone();
+            s.spawn(move || {
+                for i in 0..msgs {
+                    tx.send((p as u64) << 32 | i as u64).unwrap();
+                }
+            });
+        }
+        drop(tx);
+        let mut tally = Tally::default();
+        while let Ok(v) = rx.recv() {
+            tally.add(v);
+        }
+        tally
+    });
+    (start.elapsed().as_nanos() as u64, tally)
+}
+
+/// One SPSC ring per producer; the consumer round-robins across them.
+/// This is the live backend's sharded fast-path fabric shape.
+fn run_ring(producers: usize, msgs: usize) -> (u64, Tally) {
+    let total = (producers * msgs) as u64;
+    let mut txs = Vec::new();
+    let mut rxs = Vec::new();
+    for _ in 0..producers {
+        let (tx, rx) = spsc::<u64>(256);
+        txs.push(tx);
+        rxs.push(rx);
+    }
+    let start = Instant::now();
+    let tally = std::thread::scope(|s| {
+        for (p, mut tx) in txs.into_iter().enumerate() {
+            s.spawn(move || {
+                for i in 0..msgs {
+                    let mut v = (p as u64) << 32 | i as u64;
+                    // Full ring: yield until the consumer catches up,
+                    // like the live sender does under backpressure
+                    // (essential on hosts with fewer cores than
+                    // threads — a pure spin starves the consumer).
+                    while let Err(back) = tx.push(v) {
+                        v = back;
+                        std::thread::yield_now();
+                    }
+                }
+            });
+        }
+        let mut tally = Tally::default();
+        let mut cursor = 0usize;
+        let mut idle = 0usize;
+        while tally.count < total {
+            if let Some(v) = rxs[cursor].pop() {
+                tally.add(v);
+                idle = 0;
+            } else {
+                // A full empty sweep means the producers are behind —
+                // give them the core instead of burning it.
+                idle += 1;
+                if idle >= rxs.len() {
+                    idle = 0;
+                    std::thread::yield_now();
+                }
+            }
+            cursor = (cursor + 1) % rxs.len();
+        }
+        tally
+    });
+    (start.elapsed().as_nanos() as u64, tally)
+}
+
+fn main() {
+    let msgs = arg_usize("--msgs", 200_000);
+    let repeats = arg_usize("--repeats", 3).max(1);
+    println!("transport microbenchmark: {msgs} msgs/producer, best of {repeats}");
+    println!(
+        "{:>9} {:>14} {:>14} {:>12}",
+        "producers", "mpsc ns/msg", "ring ns/msg", "ring:mpsc"
+    );
+    let mut lost = false;
+    for producers in 1..=4 {
+        let want = expected(producers, msgs);
+        let total = (producers * msgs) as f64;
+        let mut best_mpsc = u64::MAX;
+        let mut best_ring = u64::MAX;
+        for _ in 0..repeats {
+            let (ns, tally) = run_mpsc(producers, msgs);
+            lost |= tally != want;
+            best_mpsc = best_mpsc.min(ns);
+            let (ns, tally) = run_ring(producers, msgs);
+            lost |= tally != want;
+            best_ring = best_ring.min(ns);
+        }
+        println!(
+            "{producers:>9} {:>14.1} {:>14.1} {:>11.2}x",
+            best_mpsc as f64 / total,
+            best_ring as f64 / total,
+            best_mpsc as f64 / best_ring as f64
+        );
+    }
+    if lost {
+        eprintln!("FAILED: a fabric lost or duplicated messages");
+        std::process::exit(1);
+    }
+}

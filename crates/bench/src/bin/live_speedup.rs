@@ -2,7 +2,7 @@
 //!
 //! Runs RIPS on real OS threads (1, 2, 4 per app) executing real
 //! application grains, and writes `BENCH_LIVE.json` with
-//! threads-vs-wall-clock rows per app in two grain modes:
+//! threads-vs-wall-clock rows per app, per grain mode, per transport:
 //!
 //! * `compute` — only the real application closures run; speedup then
 //!   reflects the host's physical parallelism (a 1-core container
@@ -12,11 +12,24 @@
 //!   the scheduler controls) is measurable on any host: sleeping
 //!   nodes overlap regardless of core count.
 //!
+//! The transport axis compares the sharded SPSC ring fabric (`ring`,
+//! the default fast path) against the `mpsc` fallback it replaced, so
+//! the fabric's cost shows up in the same table as the speedup it buys.
+//!
+//! Honesty fields: every series entry repeats the host's
+//! `available_parallelism` (`host_parallelism`) and its `transport`,
+//! so a number can never be quoted without the hardware and fabric
+//! that produced it. Every cell carries its parallelism ceiling
+//! (`tasks / threads`) — when that ratio is small (the 38-task
+//! 15-puzzle instance at 4 threads, for example) poor speedup is a
+//! property of the instance, not a scheduler regression.
+//!
 //! Every run is cross-validated: solutions and execution checksum must
 //! equal the sequential reference, or the binary panics.
 //!
 //! ```text
 //! live_speedup [--out BENCH_LIVE.json] [--repeats 2] [--seed 1]
+//!              [--transport ring|mpsc|both]
 //! ```
 
 use std::sync::Arc;
@@ -27,7 +40,7 @@ use rips_apps::{
 };
 use rips_bench::live::{live_opts, live_run};
 use rips_bench::{arg_usize, registry};
-use rips_live::GrainMode;
+use rips_live::{GrainMode, TransportKind};
 use rips_taskgraph::Workload;
 
 const THREADS: &[usize] = &[1, 2, 4];
@@ -36,6 +49,10 @@ struct Cell {
     threads: usize,
     wall_us: u64,
     speedup: f64,
+    /// Tasks per thread at this width — the instance's parallelism
+    /// ceiling. Speedup cannot meaningfully exceed ~min(ceiling,
+    /// host cores); small values flag instance-limited rows.
+    ceiling: f64,
 }
 
 struct Series {
@@ -43,6 +60,7 @@ struct Series {
     tasks: usize,
     solutions: u64,
     mode: &'static str,
+    transport: &'static str,
     cells: Vec<Cell>,
 }
 
@@ -83,16 +101,19 @@ fn apps() -> Vec<(String, Arc<Workload>, Arc<GrainTable>)> {
     ]
 }
 
+#[allow(clippy::too_many_arguments)]
 fn measure(
     name: &str,
     workload: &Arc<Workload>,
     table: &Arc<GrainTable>,
     mode: GrainMode,
     mode_label: &'static str,
+    transport: TransportKind,
     repeats: usize,
     seed: u64,
 ) -> Series {
     let truth = table.static_totals();
+    let tasks = workload.stats().tasks;
     let mut cells = Vec::new();
     let mut base_us = 0u64;
     for &threads in THREADS {
@@ -100,14 +121,9 @@ fn measure(
         // fully cross-validated.
         let mut best = u64::MAX;
         for r in 0..repeats {
-            let out = live_run(
-                "RIPS",
-                workload,
-                threads,
-                0.4,
-                seed + r as u64,
-                live_opts(table, mode, 1.0),
-            );
+            let mut opts = live_opts(table, mode, 1.0);
+            opts.transport = transport;
+            let out = live_run("RIPS", workload, threads, 0.4, seed + r as u64, opts);
             assert_eq!(out.solutions, truth.solutions, "{name} at {threads}t");
             assert_eq!(out.checksum, truth.checksum, "{name} at {threads}t");
             best = best.min(out.wall_us);
@@ -115,30 +131,66 @@ fn measure(
         if threads == 1 {
             base_us = best;
         }
+        let ceiling = tasks as f64 / threads as f64;
         cells.push(Cell {
             threads,
             wall_us: best,
             speedup: base_us as f64 / best.max(1) as f64,
+            ceiling,
         });
+        let note = if ceiling < 16.0 {
+            format!(" [ceiling {ceiling:.1} tasks/thread — instance-limited]")
+        } else {
+            String::new()
+        };
         eprintln!(
-            "  {name} [{mode_label}] {threads} threads: {:.3} s (speedup {:.2})",
+            "  {name} [{mode_label}/{}] {threads} threads: {:.3} s (speedup {:.2}){note}",
+            transport.name(),
             best as f64 / 1e6,
             base_us as f64 / best.max(1) as f64
         );
     }
     Series {
         app: name.to_string(),
-        tasks: workload.stats().tasks,
+        tasks,
         solutions: truth.solutions,
         mode: mode_label,
+        transport: transport.name(),
         cells,
     }
+}
+
+fn best_at_4_threads<'a>(
+    series: &'a [Series],
+    mode: &str,
+    transport: &str,
+) -> Option<(&'a str, f64)> {
+    series
+        .iter()
+        .filter(|s| s.mode == mode && s.transport == transport)
+        .filter_map(|s| {
+            s.cells
+                .iter()
+                .find(|c| c.threads == 4)
+                .map(|c| (s.app.as_str(), c.speedup))
+        })
+        .max_by(|a, b| a.1.total_cmp(&b.1))
 }
 
 fn main() {
     let out_path = arg("--out").unwrap_or_else(|| "BENCH_LIVE.json".into());
     let repeats = arg_usize("--repeats", 2).max(1);
     let seed: u64 = arg("--seed").and_then(|v| v.parse().ok()).unwrap_or(1);
+    let transports: Vec<TransportKind> = match arg("--transport").as_deref() {
+        None | Some("both") => vec![TransportKind::Ring, TransportKind::Mpsc],
+        Some(other) => match TransportKind::parse(other) {
+            Some(t) => vec![t],
+            None => {
+                eprintln!("unknown --transport '{other}' (ring|mpsc|both)");
+                std::process::exit(2);
+            }
+        },
+    };
     let host = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(1);
@@ -146,29 +198,31 @@ fn main() {
     let mut series = Vec::new();
     for (name, workload, table) in apps() {
         eprintln!("{name}: {} tasks", workload.stats().tasks);
-        for (mode, label) in [(GrainMode::Compute, "compute"), (GrainMode::Timed, "timed")] {
-            series.push(measure(
-                &name, &workload, &table, mode, label, repeats, seed,
-            ));
+        for &transport in &transports {
+            for (mode, label) in [(GrainMode::Compute, "compute"), (GrainMode::Timed, "timed")] {
+                series.push(measure(
+                    &name, &workload, &table, mode, label, transport, repeats, seed,
+                ));
+            }
         }
     }
 
-    let best_timed_4t = series
-        .iter()
-        .filter(|s| s.mode == "timed")
-        .filter_map(|s| {
-            s.cells
-                .iter()
-                .find(|c| c.threads == 4)
-                .map(|c| (s.app.as_str(), c.speedup))
-        })
-        .max_by(|a, b| a.1.total_cmp(&b.1));
+    let best_timed_4t = best_at_4_threads(&series, "timed", transports[0].name());
+    let best_compute_ring_4t = best_at_4_threads(&series, "compute", "ring");
 
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str("  \"bench\": \"live_speedup\",\n");
     json.push_str("  \"scheduler\": \"RIPS\",\n");
     json.push_str(&format!("  \"host_parallelism\": {host},\n"));
+    json.push_str(&format!(
+        "  \"transports\": [{}],\n",
+        transports
+            .iter()
+            .map(|t| format!("{:?}", t.name()))
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
     json.push_str(&format!("  \"repeats\": {repeats},\n"));
     json.push_str(&format!("  \"seed\": {seed},\n"));
     json.push_str(&format!("  \"roster\": {:?},\n", registry().names()));
@@ -177,18 +231,26 @@ fn main() {
             "  \"best_timed_speedup_at_4_threads\": {{\"app\": {app:?}, \"speedup\": {s:.3}}},\n"
         ));
     }
+    if let Some((app, s)) = best_compute_ring_4t {
+        json.push_str(&format!(
+            "  \"best_compute_speedup_at_4_threads_ring\": \
+             {{\"app\": {app:?}, \"speedup\": {s:.3}}},\n"
+        ));
+    }
     json.push_str("  \"series\": [\n");
     for (i, s) in series.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"app\": {:?}, \"mode\": {:?}, \"tasks\": {}, \"solutions\": {}, \"runs\": [",
-            s.app, s.mode, s.tasks, s.solutions
+            "    {{\"app\": {:?}, \"mode\": {:?}, \"transport\": {:?}, \
+             \"host_parallelism\": {host}, \"tasks\": {}, \"solutions\": {}, \"runs\": [",
+            s.app, s.mode, s.transport, s.tasks, s.solutions
         ));
         for (j, c) in s.cells.iter().enumerate() {
             json.push_str(&format!(
-                "{{\"threads\": {}, \"wall_us\": {}, \"speedup\": {:.3}}}{}",
+                "{{\"threads\": {}, \"wall_us\": {}, \"speedup\": {:.3}, \"ceiling\": {:.1}}}{}",
                 c.threads,
                 c.wall_us,
                 c.speedup,
+                c.ceiling,
                 if j + 1 < s.cells.len() { ", " } else { "" }
             ));
         }
@@ -202,6 +264,9 @@ fn main() {
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
     if let Some((app, s)) = best_timed_4t {
         println!("best timed speedup at 4 threads: {s:.2}x on {app}");
+    }
+    if let Some((app, s)) = best_compute_ring_4t {
+        println!("best compute speedup at 4 threads (ring): {s:.2}x on {app} (host cores: {host})");
     }
     println!("wrote {out_path}");
 }

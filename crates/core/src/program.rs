@@ -11,10 +11,12 @@
 //! execution and enters the system phase" of the paper.
 
 use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 
 use rips_collectives::{dem_steps, mwa_steps, twa_steps};
 use rips_desim::{LatencyModel, Time, WorkKind};
+use rips_runtime::rcu::RcuCell;
 use rips_runtime::{
     exec_step, run_policy, BalancerPolicy, Costs, ExecCtx, Kernel, KernelMsg, PhaseLog, RunOutcome,
     TaskInstance, TAG_POLICY_BASE,
@@ -202,16 +204,28 @@ const TAG_PLAN: u64 = TAG_POLICY_BASE;
 const TAG_POLL: u64 = TAG_POLICY_BASE + 2;
 const TAG_RECHECK: u64 = TAG_POLICY_BASE + 3;
 
-/// Per-phase rendezvous state shared by one engine's policies.
+/// Rendezvous state shared by one engine's policies, split by access
+/// pattern so the live backend's node threads don't serialize on reads.
+#[derive(Default)]
+struct FleetShared {
+    /// Write-heavy phase bookkeeping (load reports, logs): mutex.
+    mu: Mutex<Shared>,
+    /// The plan board: written once per system phase by the last
+    /// reporter, then read by every node applying the plan. RCU-style
+    /// publication makes each read one atomic load, with no lock and
+    /// no per-access clone of the plan.
+    plans: RcuCell<BTreeMap<u32, Arc<PhasePlan>>>,
+    /// Periodic policy: some node's local condition is set and waiting
+    /// for the next poll. Checked every poll tick on every node, so it
+    /// is a lock-free flag.
+    want_phase: AtomicBool,
+}
+
+/// Per-phase rendezvous state behind [`FleetShared::mu`].
 #[derive(Default)]
 struct Shared {
-    /// Periodic policy: some node's local condition is set and waiting
-    /// for the next poll.
-    want_phase: bool,
     /// Loads reported per phase.
     entries: BTreeMap<u32, Entry>,
-    /// Computed plans per phase.
-    plans: BTreeMap<u32, PhasePlan>,
     /// Completed system phases.
     phases: u32,
     /// Per-phase log.
@@ -246,7 +260,7 @@ enum Mode {
 pub struct RipsPolicy {
     cfg: RipsConfig,
     machine: Arc<Machine>,
-    shared: Arc<Mutex<Shared>>,
+    shared: Arc<FleetShared>,
     /// Eager policy's ready-to-schedule queue (unused under Lazy).
     rts: VecDeque<TaskInstance>,
     mode: Mode,
@@ -385,7 +399,7 @@ impl RipsPolicy {
             }
             GlobalPolicy::Periodic(_) => {
                 // Flag it; node 0's next poll turns it into an init.
-                self.shared.lock().unwrap().want_phase = true;
+                self.shared.want_phase.store(true, Ordering::Release);
             }
         }
     }
@@ -483,7 +497,7 @@ impl RipsPolicy {
             });
             tr.emit(now, me, || TraceEvent::LoadSample { load });
         }
-        let mut shared = self.shared.lock().unwrap();
+        let mut shared = self.shared.mu.lock().unwrap();
         let entry = shared.entries.entry(p).or_insert_with(|| Entry {
             reported: vec![None; n],
             entered: 0,
@@ -511,7 +525,6 @@ impl RipsPolicy {
         shared.phases += 1;
         if p >= 2 {
             shared.entries.remove(&(p - 2));
-            shared.plans.remove(&(p - 2));
         }
         if total == 0 {
             // No work anywhere: the round (and possibly the job) ended.
@@ -536,14 +549,24 @@ impl RipsPolicy {
             migrated,
             edge_cost: plan.edge_cost(),
         });
-        shared.plans.insert(
+        drop(shared);
+        // Publish the plan RCU-style: one writer per phase (the last
+        // reporter, uniquely determined under the lock above), and
+        // phases are globally sequential, so read-clone-publish cannot
+        // race another publisher. Peers read the board only after the
+        // PlanReady message, whose delivery orders the publication.
+        let mut plans = self.shared.plans.read().clone();
+        if p >= 2 {
+            plans.remove(&(p - 2));
+        }
+        plans.insert(
             p,
-            PhasePlan {
+            Arc::new(PhasePlan {
                 outgoing,
                 expected_in,
-            },
+            }),
         );
-        drop(shared);
+        self.shared.plans.publish(plans);
         if k.oracle.tracer.enabled() {
             // The plan stage lives on the computing node only; it
             // closes when the TAG_PLAN timer fires.
@@ -590,11 +613,10 @@ impl RipsPolicy {
         // RTS queues and distributes them evenly to the RTE queues").
         let rts = std::mem::take(&mut self.rts);
         k.exec.queue.extend(rts);
-        let shared = self.shared.lock().unwrap();
-        let plan = shared.plans.get(&p).expect("plan must exist");
+        // Lock-free snapshot read of the plan board (see FleetShared).
+        let plan = Arc::clone(self.shared.plans.read().get(&p).expect("plan must exist"));
         let outgoing = plan.outgoing[k.me].clone();
         let expected = plan.expected_in[k.me];
-        drop(shared);
         for (dst, amount) in outgoing {
             if std::env::var_os("RIPS_DEBUG").is_some() {
                 eprintln!(
@@ -791,9 +813,10 @@ impl BalancerPolicy for RipsPolicy {
                 // Keep exactly one poll chain alive; it dies with the
                 // machine when the final phase halts the engine.
                 ctx.set_timer(interval, TAG_POLL);
-                let fire = self.shared.lock().unwrap().want_phase && self.mode == Mode::User;
+                let fire =
+                    self.shared.want_phase.load(Ordering::Acquire) && self.mode == Mode::User;
                 if fire && k.received_in == k.expected_in {
-                    self.shared.lock().unwrap().want_phase = false;
+                    self.shared.want_phase.store(false, Ordering::Release);
                     let next = self.phase_index + 1;
                     self.phase_index = next;
                     ctx.send_all(
@@ -888,7 +911,7 @@ impl BalancerPolicy for RipsPolicy {
 pub struct RipsFleet {
     cfg: RipsConfig,
     machine: Arc<Machine>,
-    shared: Arc<Mutex<Shared>>,
+    shared: Arc<FleetShared>,
     n: usize,
 }
 
@@ -899,7 +922,7 @@ impl RipsFleet {
         RipsFleet {
             cfg,
             machine: Arc::new(machine),
-            shared: Arc::new(Mutex::new(Shared::default())),
+            shared: Arc::new(FleetShared::default()),
             n,
         }
     }
@@ -935,6 +958,7 @@ impl RipsFleet {
     pub fn finish(self) -> (u32, Vec<PhaseLog>) {
         let shared = Arc::try_unwrap(self.shared)
             .unwrap_or_else(|_| panic!("shared state still referenced"))
+            .mu
             .into_inner()
             .unwrap_or_else(|p| p.into_inner());
         (shared.phases, shared.logs)

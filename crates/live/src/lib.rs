@@ -1,17 +1,38 @@
-//! The live execution backend: real OS threads, real channels, real
-//! work — the same policy kernel as the simulator.
+//! The live execution backend: real OS threads, real work, and a
+//! fabric engineered so the scheduler's own chatter stays cheap — the
+//! same policy kernel as the simulator.
 //!
 //! `rips-desim` runs every scheduler in *virtual* time on one thread;
 //! this crate runs the identical [`BalancerPolicy`] implementations as
-//! an SPMD program over genuine concurrency: one OS thread per node,
-//! a `std::sync::mpsc` mailbox per node (a cloned `Sender` per edge, so
-//! per-edge FIFO matches the simulator's ordered links), and a
-//! wall-clock monotonic [`Clock`] stamping trace events. The paper's
-//! protocols run for real here — ANY idle detection as an initiator
-//! broadcast with phase-index dedup, ALL as tree ready/init over the
-//! channels, packed task migration, and the system-phase barrier —
-//! because the policies are *the same code*, dispatched through
-//! `rips-runtime`'s [`ExecCtx`] seam instead of the simulator's `Ctx`.
+//! an SPMD program over genuine concurrency: one OS thread per node
+//! and a wall-clock monotonic [`Clock`] stamping trace events. The
+//! paper's protocols run for real here — ANY idle detection as an
+//! initiator broadcast with phase-index dedup, ALL as tree ready/init,
+//! packed task migration, and the system-phase barrier — because the
+//! policies are *the same code*, dispatched through `rips-runtime`'s
+//! [`ExecCtx`] seam instead of the simulator's `Ctx`.
+//!
+//! # The fast path
+//!
+//! The paper's claim only holds if scheduler communication is near
+//! zero-cost, so the backend's hot loop is built around four ideas
+//! (see DESIGN §8 for the full protocol):
+//!
+//! * **batching** ([`transport::Outbox`]): every message a dispatch
+//!   handler emits is binned per destination and flushed as one
+//!   [`Packet`] per touched edge when the handler returns;
+//! * **sharded SPSC rings** ([`ring`]): the default [`TransportKind::Ring`]
+//!   fabric gives each directed edge its own lock-free ring with
+//!   park/unpark wakeups; the original mpsc mailbox survives as
+//!   [`TransportKind::Mpsc`], a fallback and differential-testing
+//!   oracle;
+//! * **a hashed timer wheel** ([`wheel::TimerWheel`]) per node thread,
+//!   checked only at dispatch boundaries — delay-0 EXEC self-kicks
+//!   never touch the clock or a heap;
+//! * **snapshot reads** for shared state: the grain table and hop
+//!   tables are immutable `Arc`s, RIPS plans are published through an
+//!   RCU cell (`rips_runtime::rcu`), and the [`Oracle`]'s round
+//!   counters are plain atomics — no locks on the per-task path.
 //!
 //! # What is and is not shared with the simulator
 //!
@@ -27,19 +48,21 @@
 //!
 //! A live run is *not* deterministic: message interleaving follows the
 //! OS scheduler. What is invariant — and what the cross-backend tests
-//! pin — is everything the paper's Theorem 1 protects: every task
-//! executes exactly once (conservation), the solution count and the
-//! order-independent execution checksum equal the simulator's, and the
-//! audited trace invariants (barrier pairing, phase monotonicity)
-//! hold. Timings, migration patterns, and phase counts may differ
-//! run to run.
+//! pin on both transports, batched and unbatched — is everything the
+//! paper's Theorem 1 protects: every task executes exactly once
+//! (conservation), the solution count and the order-independent
+//! execution checksum equal the simulator's, and the audited trace
+//! invariants (barrier pairing, phase monotonicity) hold. Timings,
+//! migration patterns, and phase counts may differ run to run.
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
-use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
+#[allow(unsafe_code)]
+pub mod ring;
+pub mod transport;
+pub mod wheel;
+
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -52,7 +75,12 @@ use rips_runtime::{
 };
 use rips_taskgraph::Workload;
 use rips_topology::{NodeId, Topology};
-use rips_trace::{Clock, ClockKind};
+use rips_trace::{Clock, ClockKind, TraceEvent};
+
+pub use transport::{Outbox, Packet, TransportKind};
+pub use wheel::TimerWheel;
+
+use transport::{NodeRx, NodeTx, Recv};
 
 /// Monotonic wall-clock time source, anchored at construction.
 ///
@@ -148,6 +176,15 @@ pub struct LiveOpts {
     /// given to [`rips_trace::with_sink_clocked`] when tracing so both
     /// share one origin.
     pub clock: Option<Arc<dyn Clock>>,
+    /// Fabric carrying packets between node threads. Defaults to
+    /// [`TransportKind::Ring`]; [`TransportKind::Mpsc`] is the fallback
+    /// and differential-testing oracle.
+    pub transport: TransportKind,
+    /// Coalesce each dispatch round's messages into one packet per
+    /// destination (default). Disable only to differentially test the
+    /// batching layer — one message per packet, as the old backend
+    /// behaved.
+    pub batch: bool,
 }
 
 impl Default for LiveOpts {
@@ -157,6 +194,8 @@ impl Default for LiveOpts {
             timed_scale: 1.0,
             runner: Arc::new(NullRunner),
             clock: None,
+            transport: TransportKind::Ring,
+            batch: true,
         }
     }
 }
@@ -215,13 +254,6 @@ impl LiveOutcome {
     }
 }
 
-/// One mailbox message: a kernel event from a peer, or the shutdown
-/// marker broadcast by the halting node.
-enum LiveMsg<M> {
-    Ev(NodeId, M),
-    Halt,
-}
-
 /// Per-node execution context: the [`ExecCtx`] the kernel dispatch
 /// sees on a live thread.
 struct LiveCtx<'a, M> {
@@ -229,9 +261,10 @@ struct LiveCtx<'a, M> {
     me: NodeId,
     n: usize,
     rng: &'a mut SmallRng,
-    senders: &'a [Sender<LiveMsg<M>>],
-    timers: &'a mut BinaryHeap<Reverse<(Time, u64, u64)>>,
-    timer_seq: &'a mut u64,
+    tx: &'a mut NodeTx<M>,
+    outbox: &'a mut Outbox<M>,
+    batch: bool,
+    wheel: &'a mut TimerWheel,
     halted: &'a mut bool,
     mode: GrainMode,
     timed_scale: f64,
@@ -259,9 +292,18 @@ impl<M: Clone> ExecCtx<M> for LiveCtx<'_, M> {
         // a live node every overhead is the real code path it runs.
     }
     fn send(&mut self, to: NodeId, msg: M, _bytes: usize) {
-        // A send can only fail after halt, once receivers have exited;
-        // in-flight messages are then intentionally dropped.
-        let _ = self.senders[to].send(LiveMsg::Ev(self.me, msg));
+        if self.batch {
+            self.outbox.push(to, msg);
+        } else {
+            // Unbatched differential mode: one message per packet.
+            self.tx.send(
+                to,
+                Packet {
+                    from: self.me,
+                    msgs: vec![msg],
+                },
+            );
+        }
     }
     fn send_all(&mut self, msg: M, bytes: usize) {
         for to in 0..self.n {
@@ -274,9 +316,7 @@ impl<M: Clone> ExecCtx<M> for LiveCtx<'_, M> {
         self.send_all(msg, 0);
     }
     fn set_timer(&mut self, delay: Time, tag: u64) {
-        let deadline = self.clock.now_us() + delay;
-        *self.timer_seq += 1;
-        self.timers.push(Reverse((deadline, *self.timer_seq, tag)));
+        self.wheel.set(self.clock.now_us(), delay, tag);
     }
     fn halt(&mut self) {
         *self.halted = true;
@@ -308,7 +348,7 @@ struct NodeReport<P> {
 /// The next thing a node loop should do, decided before any `&mut`
 /// context is constructed.
 enum Step<M> {
-    Msg(NodeId, M),
+    Pkt(Packet<M>),
     Timer(u64),
     Halt,
 }
@@ -319,21 +359,27 @@ fn node_loop<P: BalancerPolicy>(
     n: usize,
     mut kernel: Kernel,
     mut policy: P,
-    rx: Receiver<LiveMsg<KernelMsg<P::Msg>>>,
-    senders: Vec<Sender<LiveMsg<KernelMsg<P::Msg>>>>,
+    mut tx: NodeTx<KernelMsg<P::Msg>>,
+    mut rx: NodeRx<KernelMsg<P::Msg>>,
     clock: Arc<dyn Clock>,
     runner: Arc<dyn GrainRunner>,
     mode: GrainMode,
     timed_scale: f64,
     seed: u64,
+    batch: bool,
 ) -> NodeReport<P> {
+    // Register for wakeups before anything can be sent to us; the
+    // guard marks us exited (even on panic) so no peer spins forever.
+    let _guard = rx.register();
     let mut rng = SmallRng::seed_from_u64(seed ^ (me as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-    let mut timers: BinaryHeap<Reverse<(Time, u64, u64)>> = BinaryHeap::new();
-    let mut timer_seq = 0u64;
+    let mut wheel = TimerWheel::new(clock.now_us());
+    let mut outbox: Outbox<KernelMsg<P::Msg>> = Outbox::new(n);
     let mut checksum = 0u64;
     let mut solutions = 0u64;
     let mut grain_us = 0u64;
     let mut halted = false;
+    let tracer = kernel.oracle.tracer.clone();
+    let traced = tracer.enabled();
 
     macro_rules! ctx {
         () => {
@@ -342,9 +388,10 @@ fn node_loop<P: BalancerPolicy>(
                 me,
                 n,
                 rng: &mut rng,
-                senders: &senders,
-                timers: &mut timers,
-                timer_seq: &mut timer_seq,
+                tx: &mut tx,
+                outbox: &mut outbox,
+                batch,
+                wheel: &mut wheel,
                 halted: &mut halted,
                 mode,
                 timed_scale,
@@ -356,57 +403,80 @@ fn node_loop<P: BalancerPolicy>(
         };
     }
 
+    // Flush the outbox: one packet per touched destination, emitted at
+    // every dispatch boundary. Usually empty — `is_empty` gates all
+    // work, so the per-task cost of batching is one Vec peek.
+    macro_rules! flush {
+        () => {
+            if !outbox.is_empty() {
+                if traced {
+                    let t = clock.now_us();
+                    outbox.flush(me, &mut tx, |to, len| {
+                        tracer.emit(t, me, || TraceEvent::BatchSend {
+                            to,
+                            msgs: len as u32,
+                        })
+                    });
+                } else {
+                    outbox.flush(me, &mut tx, |_, _| {});
+                }
+            }
+        };
+    }
+
     dispatch_start(&mut policy, &mut kernel, &mut ctx!());
+    flush!();
 
     while !halted {
-        // Mailbox first (so a busy exec loop still sees inits and task
-        // arrivals promptly), then due timers, then block until one or
+        // Fabric first (so a busy exec loop still sees inits and task
+        // arrivals promptly), then due timers, then park until one or
         // the other. EXEC timers are armed with delay 0, so an empty
-        // mailbox never sleeps past queued work.
+        // fabric never sleeps past queued work.
         let step = match rx.try_recv() {
-            Ok(LiveMsg::Ev(from, msg)) => Step::Msg(from, msg),
-            Ok(LiveMsg::Halt) | Err(TryRecvError::Disconnected) => Step::Halt,
-            Err(TryRecvError::Empty) => {
+            Recv::Packet(p) => Step::Pkt(p),
+            Recv::Halt => Step::Halt,
+            Recv::Empty => {
                 let now = clock.now_us();
-                match timers.peek() {
-                    Some(&Reverse((deadline, _, _))) if deadline <= now => {
-                        let Reverse((_, _, tag)) = timers.pop().expect("peeked");
-                        Step::Timer(tag)
-                    }
-                    Some(&Reverse((deadline, _, _))) => {
-                        match rx.recv_timeout(Duration::from_micros(deadline - now)) {
-                            Ok(LiveMsg::Ev(from, msg)) => Step::Msg(from, msg),
-                            Ok(LiveMsg::Halt) => Step::Halt,
-                            Err(RecvTimeoutError::Timeout) => continue,
-                            Err(RecvTimeoutError::Disconnected) => Step::Halt,
-                        }
-                    }
-                    None => match rx.recv() {
-                        Ok(LiveMsg::Ev(from, msg)) => Step::Msg(from, msg),
-                        Ok(LiveMsg::Halt) | Err(_) => Step::Halt,
+                match wheel.pop_due(now) {
+                    Some(tag) => Step::Timer(tag),
+                    None => match rx.recv_wait(wheel.next_deadline(), clock.as_ref()) {
+                        Recv::Packet(p) => Step::Pkt(p),
+                        Recv::Halt => Step::Halt,
+                        Recv::Empty => continue,
                     },
                 }
             }
         };
         match step {
             Step::Halt => break,
-            Step::Msg(from, msg) => {
-                dispatch_message(&mut policy, &mut kernel, &mut ctx!(), from, msg);
+            Step::Pkt(p) => {
+                if traced {
+                    if let Some(depth) = rx.occupancy() {
+                        tracer.emit(clock.now_us(), me, || TraceEvent::RingDepth {
+                            depth: depth as u32,
+                        });
+                    }
+                }
+                let from = p.from;
+                for msg in p.msgs {
+                    dispatch_message(&mut policy, &mut kernel, &mut ctx!(), from, msg);
+                    if halted {
+                        break;
+                    }
+                }
             }
             Step::Timer(tag) => {
                 dispatch_timer(&mut policy, &mut kernel, &mut ctx!(), tag);
             }
         }
+        flush!();
     }
     if halted {
         // This node's handler called `halt()` (it detected global
-        // termination): wake everyone else out of their blocking
-        // receives. A send to an already-exited node is a no-op.
-        for (to, s) in senders.iter().enumerate() {
-            if to != me {
-                let _ = s.send(LiveMsg::Halt);
-            }
-        }
+        // termination): flush stragglers, then wake everyone else out
+        // of their parks/receives. Sends to exited nodes are no-ops.
+        flush!();
+        tx.broadcast_halt();
     }
     NodeReport {
         executed: kernel.exec.executed,
@@ -450,42 +520,37 @@ where
         .unwrap_or_else(|| Arc::new(WallClock::new()));
     let oracle = Oracle::new(Arc::clone(&workload), topo.as_ref(), costs);
     let mut make = make;
-    type Mailbox<M> = Sender<LiveMsg<KernelMsg<M>>>;
-    let mut chans: Vec<(Mailbox<P::Msg>, _)> = (0..n).map(|_| channel()).collect();
-    let senders: Vec<Mailbox<P::Msg>> = chans.iter().map(|(s, _)| s.clone()).collect();
+    let fabric = transport::build::<KernelMsg<P::Msg>>(opts.transport, n);
     let started = clock.now_us();
     let mut reports: Vec<Option<NodeReport<P>>> = (0..n).map(|_| None).collect();
     std::thread::scope(|scope| {
-        let handles: Vec<_> = chans
-            .drain(..)
+        let handles: Vec<_> = fabric
+            .into_iter()
             .enumerate()
-            .map(|(me, (_tx, rx))| {
+            .map(|(me, (tx, rx))| {
                 let kernel = Kernel::new(me, oracle.clone());
                 let policy = make(me);
-                let senders = senders.clone();
                 let clock = Arc::clone(&clock);
                 let runner = Arc::clone(&opts.runner);
-                let (mode, timed_scale) = (opts.mode, opts.timed_scale);
+                let (mode, timed_scale, batch) = (opts.mode, opts.timed_scale, opts.batch);
                 scope.spawn(move || {
                     node_loop(
                         me,
                         n,
                         kernel,
                         policy,
+                        tx,
                         rx,
-                        senders,
                         clock,
                         runner,
                         mode,
                         timed_scale,
                         seed,
+                        batch,
                     )
                 })
             })
             .collect();
-        // Drop the main thread's senders so a node blocked in `recv`
-        // can observe disconnection if every peer has already exited.
-        drop(senders);
         for (me, h) in handles.into_iter().enumerate() {
             reports[me] = Some(h.join().expect("live node thread panicked"));
         }
@@ -530,6 +595,15 @@ mod tests {
         })
     }
 
+    fn opts_for(transport: TransportKind, batch: bool) -> LiveOpts {
+        LiveOpts {
+            runner: Arc::new(IdRunner),
+            transport,
+            batch,
+            ..LiveOpts::default()
+        }
+    }
+
     #[test]
     fn wall_clock_is_monotonic_and_wall_kind() {
         let c = WallClock::new();
@@ -541,24 +615,25 @@ mod tests {
 
     #[test]
     fn random_policy_runs_live_and_conserves_tasks() {
-        let w = Arc::new(flat_uniform(40, 5, 10, 7));
-        let topo: Arc<dyn Topology> = Arc::new(Mesh2D::near_square(4));
-        let opts = LiveOpts {
-            runner: Arc::new(IdRunner),
-            ..LiveOpts::default()
-        };
-        let (out, _) = run_live(
-            Arc::clone(&w),
-            topo,
-            Costs::default(),
-            3,
-            opts,
-            rips_balancers::random_policy,
-        );
-        out.verify_complete(&w).expect("conservation");
-        assert_eq!(out.total_executed(), 40);
-        assert_eq!(out.solutions, 40);
-        assert_eq!(out.checksum, expected_checksum(40));
+        // All four fabric configurations must agree with the workload.
+        for transport in [TransportKind::Ring, TransportKind::Mpsc] {
+            for batch in [true, false] {
+                let w = Arc::new(flat_uniform(40, 5, 10, 7));
+                let topo: Arc<dyn Topology> = Arc::new(Mesh2D::near_square(4));
+                let (out, _) = run_live(
+                    Arc::clone(&w),
+                    topo,
+                    Costs::default(),
+                    3,
+                    opts_for(transport, batch),
+                    rips_balancers::random_policy,
+                );
+                out.verify_complete(&w).expect("conservation");
+                assert_eq!(out.total_executed(), 40);
+                assert_eq!(out.solutions, 40);
+                assert_eq!(out.checksum, expected_checksum(40));
+            }
+        }
     }
 
     #[test]
@@ -582,22 +657,24 @@ mod tests {
 
     #[test]
     fn multi_round_workload_completes_live() {
-        let one = flat_uniform(12, 2, 4, 1).rounds[0].clone();
-        let w = Arc::new(Workload {
-            name: "three-round".into(),
-            rounds: vec![one.clone(), one.clone(), one],
-        });
-        let topo: Arc<dyn Topology> = Arc::new(Mesh2D::near_square(4));
-        let (out, _) = run_live(
-            Arc::clone(&w),
-            topo,
-            Costs::default(),
-            5,
-            LiveOpts::default(),
-            rips_balancers::random_policy,
-        );
-        out.verify_complete(&w).expect("conservation over rounds");
-        assert_eq!(out.total_executed(), 36);
+        for transport in [TransportKind::Ring, TransportKind::Mpsc] {
+            let one = flat_uniform(12, 2, 4, 1).rounds[0].clone();
+            let w = Arc::new(Workload {
+                name: "three-round".into(),
+                rounds: vec![one.clone(), one.clone(), one],
+            });
+            let topo: Arc<dyn Topology> = Arc::new(Mesh2D::near_square(4));
+            let (out, _) = run_live(
+                Arc::clone(&w),
+                topo,
+                Costs::default(),
+                5,
+                opts_for(transport, true),
+                rips_balancers::random_policy,
+            );
+            out.verify_complete(&w).expect("conservation over rounds");
+            assert_eq!(out.total_executed(), 36);
+        }
     }
 
     #[test]
@@ -618,5 +695,24 @@ mod tests {
         let (phases, _logs) = fleet.finish();
         out.verify_complete(&w).expect("conservation");
         assert!(phases >= 1, "RIPS opens with a system phase");
+    }
+
+    #[test]
+    fn rips_runs_live_on_mpsc_fallback() {
+        use rips_core::{Machine, RipsConfig, RipsFleet};
+        let w = Arc::new(flat_uniform(30, 5, 10, 2));
+        let fleet = RipsFleet::new(RipsConfig::default(), Machine::Mesh(Mesh2D::near_square(4)));
+        let topo = fleet.topology();
+        let opts = LiveOpts {
+            transport: TransportKind::Mpsc,
+            ..LiveOpts::default()
+        };
+        let (out, policies) = run_live(Arc::clone(&w), topo, Costs::default(), 1, opts, |me| {
+            fleet.make(me)
+        });
+        drop(policies);
+        let (phases, _logs) = fleet.finish();
+        out.verify_complete(&w).expect("conservation");
+        assert!(phases >= 1);
     }
 }

@@ -1,0 +1,625 @@
+//! The live fabric: batched packets over pluggable transports.
+//!
+//! Every kernel message a node emits during one dispatch round is
+//! coalesced into a per-destination [`Packet`] and the packet — not the
+//! individual message — is what travels an edge. A system phase that
+//! sends dozens of protocol messages to the same peer therefore costs
+//! O(edges) transport operations instead of O(messages), on *either*
+//! transport.
+//!
+//! Two fabrics implement delivery behind the crate-private
+//! `NodeTx`/`NodeRx` seam:
+//!
+//! * [`TransportKind::Ring`] (default): one SPSC ring per directed
+//!   edge ([`crate::ring`]), polled round-robin, with park/unpark
+//!   wakeups. An idle receiver advertises `parked = true`, issues a
+//!   `SeqCst` fence, re-polls every ring, and only then parks; a
+//!   sender publishes its push, issues the matching fence, and unparks
+//!   the receiver iff it observed the parked flag. The fence pair
+//!   makes a lost wakeup impossible: whichever fence comes first in
+//!   the total order, either the receiver's re-poll sees the push or
+//!   the sender's load sees the park.
+//! * [`TransportKind::Mpsc`]: the original per-node
+//!   `std::sync::mpsc` mailbox with one cloned `Sender` per edge. Kept
+//!   as a fallback and as a differential-testing oracle for the ring
+//!   path (the cross-backend suite runs both).
+//!
+//! Shutdown differs per fabric: mpsc broadcasts a `Halt` marker
+//! message; the ring fabric raises a global halt flag and unparks
+//! everyone (a marker would have to out-race full rings). Both drop
+//! in-flight packets after halt — by then the workload is complete
+//! (halt is only decided once the final round's outstanding count hit
+//! zero), so only protocol chatter is lost.
+
+use std::sync::atomic::{fence, AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::sync::{Arc, Mutex};
+use std::thread::Thread;
+use std::time::Duration;
+
+use rips_desim::Time;
+use rips_topology::NodeId;
+use rips_trace::Clock;
+
+use crate::ring::{self, RingRx, RingTx};
+
+/// Capacity (packets) of each per-edge SPSC ring. A full ring makes
+/// the sender spin-yield, so this only bounds memory, not correctness.
+const RING_CAP: usize = 256;
+
+/// Which fabric carries packets between live node threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportKind {
+    /// Sharded SPSC rings with park/unpark wakeups (the fast path).
+    Ring,
+    /// Per-node `std::sync::mpsc` mailboxes (fallback + oracle).
+    Mpsc,
+}
+
+impl TransportKind {
+    /// Stable lowercase name, used in CLI flags and bench JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            TransportKind::Ring => "ring",
+            TransportKind::Mpsc => "mpsc",
+        }
+    }
+
+    /// Parses a CLI value (`ring` / `mpsc`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "ring" => Some(TransportKind::Ring),
+            "mpsc" => Some(TransportKind::Mpsc),
+            _ => None,
+        }
+    }
+}
+
+/// One batch of kernel messages travelling a single directed edge.
+pub struct Packet<M> {
+    /// Sending node.
+    pub from: NodeId,
+    /// Messages in emission order (per-edge FIFO is preserved
+    /// end-to-end: outbox order within a packet, ring/channel order
+    /// across packets).
+    pub msgs: Vec<M>,
+}
+
+/// What actually travels on the wire.
+pub(crate) enum Delivery<M> {
+    Packet(Packet<M>),
+    /// mpsc-only shutdown marker (the ring fabric uses the halt flag).
+    Halt,
+}
+
+/// Result of one receive attempt.
+pub(crate) enum Recv<M> {
+    Packet(Packet<M>),
+    Halt,
+    Empty,
+}
+
+/// Per-node wakeup state for the ring fabric.
+struct PeerCtl {
+    /// Set by the node before parking; checked by senders after
+    /// publishing (see module docs for the fence protocol).
+    parked: AtomicBool,
+    /// Set when the node's loop has exited (normally or by panic), so
+    /// senders never spin forever on its full rings.
+    exited: AtomicBool,
+    /// The node's thread handle, registered before its loop starts.
+    thread: Mutex<Option<Thread>>,
+}
+
+/// Run-global control block for the ring fabric.
+pub(crate) struct RunCtl {
+    /// Global shutdown flag (the ring fabric's `Halt` broadcast).
+    halt: AtomicBool,
+    peers: Vec<PeerCtl>,
+}
+
+impl RunCtl {
+    fn new(n: usize) -> Self {
+        RunCtl {
+            halt: AtomicBool::new(false),
+            peers: (0..n)
+                .map(|_| PeerCtl {
+                    parked: AtomicBool::new(false),
+                    exited: AtomicBool::new(false),
+                    thread: Mutex::new(None),
+                })
+                .collect(),
+        }
+    }
+
+    fn wake(&self, node: NodeId) {
+        let guard = self.peers[node]
+            .thread
+            .lock()
+            .unwrap_or_else(|p| p.into_inner());
+        if let Some(t) = guard.as_ref() {
+            t.unpark();
+        }
+    }
+
+    fn wake_all(&self) {
+        for node in 0..self.peers.len() {
+            self.wake(node);
+        }
+    }
+}
+
+/// A node's sending half: one handle per destination edge.
+pub(crate) enum NodeTx<M> {
+    Mpsc {
+        me: NodeId,
+        senders: Vec<Sender<Delivery<M>>>,
+    },
+    Ring {
+        txs: Vec<Option<RingTx<Delivery<M>>>>,
+        ctl: Arc<RunCtl>,
+    },
+}
+
+impl<M> NodeTx<M> {
+    /// Delivers one packet to `to`. Failure modes are deliberate
+    /// no-ops: after halt, in-flight packets are dropped on both
+    /// fabrics (see module docs).
+    pub fn send(&mut self, to: NodeId, packet: Packet<M>) {
+        match self {
+            NodeTx::Mpsc { senders, .. } => {
+                let _ = senders[to].send(Delivery::Packet(packet));
+            }
+            NodeTx::Ring { txs, ctl } => {
+                let tx = txs[to].as_mut().expect("ring edge exists");
+                let mut item = Delivery::Packet(packet);
+                loop {
+                    match tx.push(item) {
+                        Ok(()) => break,
+                        Err(back) => {
+                            if ctl.halt.load(Ordering::Acquire)
+                                || ctl.peers[to].exited.load(Ordering::Acquire)
+                            {
+                                return; // machine is shutting down: drop
+                            }
+                            item = back;
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+                // Dekker-style wakeup: the push's Release store, then a
+                // SeqCst fence, then the parked check — pairs with the
+                // receiver's store-fence-repoll sequence in recv_wait.
+                fence(Ordering::SeqCst);
+                if ctl.peers[to].parked.load(Ordering::Relaxed) {
+                    ctl.wake(to);
+                }
+            }
+        }
+    }
+
+    /// Announces global shutdown to every peer.
+    pub fn broadcast_halt(&mut self) {
+        match self {
+            NodeTx::Mpsc { me, senders } => {
+                for (to, s) in senders.iter().enumerate() {
+                    if to != *me {
+                        let _ = s.send(Delivery::Halt);
+                    }
+                }
+            }
+            NodeTx::Ring { ctl, .. } => {
+                ctl.halt.store(true, Ordering::SeqCst);
+                ctl.wake_all();
+            }
+        }
+    }
+}
+
+/// A node's receiving half.
+pub(crate) enum NodeRx<M> {
+    Mpsc {
+        rx: Receiver<Delivery<M>>,
+    },
+    Ring {
+        me: NodeId,
+        rxs: Vec<Option<RingRx<Delivery<M>>>>,
+        ctl: Arc<RunCtl>,
+        /// Round-robin cursor over source rings, for fairness.
+        cursor: usize,
+    },
+}
+
+impl<M> NodeRx<M> {
+    /// Registers the calling thread for wakeups and arms the exit
+    /// guard. Must be called on the node's own thread before its loop.
+    pub fn register(&self) -> ExitGuard {
+        match self {
+            NodeRx::Mpsc { .. } => ExitGuard { ctl: None, me: 0 },
+            NodeRx::Ring { me, ctl, .. } => {
+                *ctl.peers[*me]
+                    .thread
+                    .lock()
+                    .unwrap_or_else(|p| p.into_inner()) = Some(std::thread::current());
+                ExitGuard {
+                    ctl: Some(Arc::clone(ctl)),
+                    me: *me,
+                }
+            }
+        }
+    }
+
+    /// Non-blocking poll.
+    pub fn try_recv(&mut self) -> Recv<M> {
+        match self {
+            NodeRx::Mpsc { rx } => match rx.try_recv() {
+                Ok(Delivery::Packet(p)) => Recv::Packet(p),
+                Ok(Delivery::Halt) | Err(TryRecvError::Disconnected) => Recv::Halt,
+                Err(TryRecvError::Empty) => Recv::Empty,
+            },
+            NodeRx::Ring {
+                rxs, ctl, cursor, ..
+            } => {
+                if ctl.halt.load(Ordering::Acquire) {
+                    return Recv::Halt;
+                }
+                let n = rxs.len();
+                for i in 0..n {
+                    let idx = (*cursor + i) % n;
+                    if let Some(r) = rxs[idx].as_mut() {
+                        match r.pop() {
+                            Some(Delivery::Packet(p)) => {
+                                *cursor = (idx + 1) % n;
+                                return Recv::Packet(p);
+                            }
+                            Some(Delivery::Halt) => return Recv::Halt,
+                            None => {}
+                        }
+                    }
+                }
+                Recv::Empty
+            }
+        }
+    }
+
+    /// Blocks until a message may be available or `deadline` (absolute
+    /// µs on `clock`) passes. `Recv::Empty` means "re-poll and re-check
+    /// timers" — the caller loops, so spurious wakeups are harmless.
+    pub fn recv_wait(&mut self, deadline: Option<Time>, clock: &dyn Clock) -> Recv<M> {
+        // mpsc: the channel itself blocks.
+        if let NodeRx::Mpsc { rx } = self {
+            return match deadline {
+                Some(d) => {
+                    let now = clock.now_us();
+                    if d <= now {
+                        return Recv::Empty;
+                    }
+                    match rx.recv_timeout(Duration::from_micros(d - now)) {
+                        Ok(Delivery::Packet(p)) => Recv::Packet(p),
+                        Ok(Delivery::Halt) | Err(RecvTimeoutError::Disconnected) => Recv::Halt,
+                        Err(RecvTimeoutError::Timeout) => Recv::Empty,
+                    }
+                }
+                None => match rx.recv() {
+                    Ok(Delivery::Packet(p)) => Recv::Packet(p),
+                    Ok(Delivery::Halt) | Err(_) => Recv::Halt,
+                },
+            };
+        }
+        // Ring: advertise the park, fence, re-poll, then really park.
+        let (me, ctl) = match self {
+            NodeRx::Ring { me, ctl, .. } => (*me, Arc::clone(ctl)),
+            NodeRx::Mpsc { .. } => unreachable!("handled above"),
+        };
+        ctl.peers[me].parked.store(true, Ordering::SeqCst);
+        fence(Ordering::SeqCst);
+        match self.try_recv() {
+            Recv::Empty => {}
+            found => {
+                ctl.peers[me].parked.store(false, Ordering::Relaxed);
+                return found;
+            }
+        }
+        match deadline {
+            Some(d) => {
+                let now = clock.now_us();
+                if d > now {
+                    std::thread::park_timeout(Duration::from_micros(d - now));
+                }
+            }
+            None => std::thread::park(),
+        }
+        ctl.peers[me].parked.store(false, Ordering::Relaxed);
+        Recv::Empty
+    }
+
+    /// Total packets currently queued across this node's receive rings
+    /// (`None` on mpsc, whose queue depth is not observable). Feeds the
+    /// `RingDepth` trace counter.
+    pub fn occupancy(&self) -> Option<u64> {
+        match self {
+            NodeRx::Mpsc { .. } => None,
+            NodeRx::Ring { rxs, .. } => Some(rxs.iter().flatten().map(|r| r.len() as u64).sum()),
+        }
+    }
+}
+
+/// Marks the node exited (and, on panic, halts the whole machine) so
+/// no peer spins or parks forever waiting on a dead thread. Held by
+/// the node loop; `Drop` runs on unwind too.
+pub(crate) struct ExitGuard {
+    ctl: Option<Arc<RunCtl>>,
+    me: NodeId,
+}
+
+impl Drop for ExitGuard {
+    fn drop(&mut self) {
+        if let Some(ctl) = &self.ctl {
+            ctl.peers[self.me].exited.store(true, Ordering::SeqCst);
+            if std::thread::panicking() {
+                ctl.halt.store(true, Ordering::SeqCst);
+            }
+            ctl.wake_all();
+        }
+    }
+}
+
+/// Builds the fabric for an `n`-node run: one `(tx, rx)` pair per
+/// node, to be moved into the node threads.
+pub(crate) fn build<M>(kind: TransportKind, n: usize) -> Vec<(NodeTx<M>, NodeRx<M>)> {
+    match kind {
+        TransportKind::Mpsc => {
+            let (senders, receivers): (Vec<_>, Vec<_>) = (0..n).map(|_| channel()).unzip();
+            receivers
+                .into_iter()
+                .enumerate()
+                .map(|(me, rx)| {
+                    (
+                        NodeTx::Mpsc {
+                            me,
+                            senders: senders.clone(),
+                        },
+                        NodeRx::Mpsc { rx },
+                    )
+                })
+                .collect()
+        }
+        TransportKind::Ring => {
+            let ctl = Arc::new(RunCtl::new(n));
+            let mut tx_grid: Vec<Vec<Option<RingTx<Delivery<M>>>>> =
+                (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
+            let mut rx_grid: Vec<Vec<Option<RingRx<Delivery<M>>>>> =
+                (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
+            for src in 0..n {
+                for dst in 0..n {
+                    let (t, r) = ring::spsc(RING_CAP);
+                    tx_grid[src][dst] = Some(t);
+                    rx_grid[dst][src] = Some(r);
+                }
+            }
+            tx_grid
+                .into_iter()
+                .zip(rx_grid)
+                .map(|(txs, rxs)| {
+                    (
+                        NodeTx::Ring {
+                            txs,
+                            ctl: Arc::clone(&ctl),
+                        },
+                        NodeRx::Ring {
+                            me: 0, // patched below
+                            rxs,
+                            ctl: Arc::clone(&ctl),
+                            cursor: 0,
+                        },
+                    )
+                })
+                .enumerate()
+                .map(|(me, (tx, mut rx))| {
+                    if let NodeRx::Ring { me: m, .. } = &mut rx {
+                        *m = me;
+                    }
+                    (tx, rx)
+                })
+                .collect()
+        }
+    }
+}
+
+/// Per-dispatch outgoing message batcher: every message the kernel
+/// emits while handling one event lands in a per-destination bin, and
+/// the node loop flushes each touched bin as a single [`Packet`] when
+/// the handler returns.
+pub struct Outbox<M> {
+    bins: Vec<Vec<M>>,
+    touched: Vec<NodeId>,
+}
+
+impl<M> Outbox<M> {
+    /// An empty outbox for an `n`-node run.
+    pub fn new(n: usize) -> Self {
+        Outbox {
+            bins: (0..n).map(|_| Vec::new()).collect(),
+            touched: Vec::with_capacity(n),
+        }
+    }
+
+    /// Queues `msg` for `to`.
+    pub fn push(&mut self, to: NodeId, msg: M) {
+        if self.bins[to].is_empty() {
+            self.touched.push(to);
+        }
+        self.bins[to].push(msg);
+    }
+
+    /// True when nothing is queued (the common case at a dispatch
+    /// boundary — checked before any flush work).
+    pub fn is_empty(&self) -> bool {
+        self.touched.is_empty()
+    }
+
+    /// Sends every touched bin as one packet, invoking `on_batch(to,
+    /// len)` per packet (the trace hook).
+    pub(crate) fn flush(
+        &mut self,
+        from: NodeId,
+        tx: &mut NodeTx<M>,
+        mut on_batch: impl FnMut(NodeId, usize),
+    ) {
+        for to in self.touched.drain(..) {
+            let msgs = std::mem::take(&mut self.bins[to]);
+            on_batch(to, msgs.len());
+            tx.send(to, Packet { from, msgs });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rips_trace::ClockKind;
+
+    struct ZeroClock;
+    impl Clock for ZeroClock {
+        fn now_us(&self) -> Time {
+            0
+        }
+        fn kind(&self) -> ClockKind {
+            ClockKind::Virtual
+        }
+    }
+
+    fn drain_one<M>(rx: &mut NodeRx<M>) -> Option<Packet<M>> {
+        match rx.try_recv() {
+            Recv::Packet(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    #[test]
+    fn outbox_batches_per_destination_in_order() {
+        let mut fabric = build::<u32>(TransportKind::Ring, 3);
+        let (mut tx0, _rx0) = fabric.remove(0);
+        let mut ob = Outbox::new(3);
+        assert!(ob.is_empty());
+        ob.push(1, 10);
+        ob.push(2, 20);
+        ob.push(1, 11);
+        let mut batches = Vec::new();
+        ob.flush(0, &mut tx0, |to, len| batches.push((to, len)));
+        assert!(ob.is_empty());
+        assert_eq!(batches, vec![(1, 2), (2, 1)]);
+        let (_tx1, mut rx1) = fabric.remove(0); // node 1
+        let p = drain_one(&mut rx1).expect("packet for node 1");
+        assert_eq!(p.from, 0);
+        assert_eq!(p.msgs, vec![10, 11]);
+    }
+
+    #[test]
+    fn both_transports_deliver_fifo_per_edge() {
+        for kind in [TransportKind::Ring, TransportKind::Mpsc] {
+            let mut fabric = build::<u64>(kind, 2);
+            let (mut tx0, _rx0) = fabric.remove(0);
+            let (_tx1, mut rx1) = fabric.remove(0);
+            for i in 0..10u64 {
+                tx0.send(
+                    1,
+                    Packet {
+                        from: 0,
+                        msgs: vec![i],
+                    },
+                );
+            }
+            for i in 0..10u64 {
+                let p = drain_one(&mut rx1).unwrap_or_else(|| panic!("{} pkt {i}", kind.name()));
+                assert_eq!(p.msgs, vec![i]);
+            }
+            assert!(matches!(rx1.try_recv(), Recv::Empty));
+        }
+    }
+
+    #[test]
+    fn halt_broadcast_reaches_peers() {
+        for kind in [TransportKind::Ring, TransportKind::Mpsc] {
+            let mut fabric = build::<u8>(kind, 2);
+            let (mut tx0, _rx0) = fabric.remove(0);
+            let (_tx1, mut rx1) = fabric.remove(0);
+            tx0.broadcast_halt();
+            assert!(
+                matches!(rx1.try_recv(), Recv::Halt),
+                "halt lost on {}",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn parked_receiver_is_woken_by_send() {
+        let mut fabric = build::<u32>(TransportKind::Ring, 2);
+        let (mut tx0, _rx0) = fabric.remove(0);
+        let (_tx1, mut rx1) = fabric.remove(0);
+        std::thread::scope(|s| {
+            let h = s.spawn(move || {
+                let _guard = rx1.register();
+                // Park with no deadline until the packet arrives.
+                loop {
+                    match rx1.recv_wait(None, &ZeroClock) {
+                        Recv::Packet(p) => return p.msgs,
+                        Recv::Halt => panic!("unexpected halt"),
+                        Recv::Empty => continue,
+                    }
+                }
+            });
+            std::thread::sleep(Duration::from_millis(20));
+            tx0.send(
+                1,
+                Packet {
+                    from: 0,
+                    msgs: vec![7],
+                },
+            );
+            assert_eq!(h.join().expect("receiver"), vec![7]);
+        });
+    }
+
+    #[test]
+    fn recv_wait_times_out_against_clock() {
+        let mut fabric = build::<u32>(TransportKind::Ring, 1);
+        let (_tx, mut rx) = fabric.remove(0);
+        let _guard = rx.register();
+        // Deadline in the past returns Empty promptly (no park).
+        assert!(matches!(rx.recv_wait(Some(0), &ZeroClock), Recv::Empty));
+        // Future deadline parks and wakes by timeout.
+        assert!(matches!(rx.recv_wait(Some(2000), &ZeroClock), Recv::Empty));
+    }
+
+    #[test]
+    fn occupancy_counts_queued_packets() {
+        let mut fabric = build::<u16>(TransportKind::Ring, 2);
+        let (mut tx0, rx0) = fabric.remove(0);
+        let (_tx1, rx1) = fabric.remove(0);
+        assert_eq!(rx1.occupancy(), Some(0));
+        for _ in 0..3 {
+            tx0.send(
+                1,
+                Packet {
+                    from: 0,
+                    msgs: vec![1],
+                },
+            );
+        }
+        assert_eq!(rx1.occupancy(), Some(3));
+        drop(rx0);
+        let mut fabric = build::<u16>(TransportKind::Mpsc, 1);
+        let (_t, r) = fabric.remove(0);
+        assert_eq!(r.occupancy(), None);
+    }
+
+    #[test]
+    fn transport_kind_names_round_trip() {
+        for kind in [TransportKind::Ring, TransportKind::Mpsc] {
+            assert_eq!(TransportKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(TransportKind::parse("carrier-pigeon"), None);
+    }
+}

@@ -1,0 +1,250 @@
+//! Hashed timer wheel for live node threads.
+//!
+//! The old live backend kept pending timers in a `BinaryHeap` and
+//! derived a `recv_timeout` for every blocking wait — which meant a
+//! heap peek plus a clock read plus a syscall-backed timed wait on
+//! *every* loop iteration, even when the node was saturated with work.
+//! The wheel inverts that cost model for the hot path:
+//!
+//! * **delay-0 timers** (the EXEC self-kick that drives every task
+//!   execution) never touch the wheel or the clock at all — they go
+//!   into a plain FIFO and are popped O(1) at the next dispatch
+//!   boundary;
+//! * **real delays** (round barriers, RIPS polling) hash into one of
+//!   [`WHEEL_SLOTS`] buckets by `deadline >> GRAN_SHIFT`; the wheel is
+//!   only advanced when the node actually reaches a dispatch boundary,
+//!   so an arbitrarily busy node pays nothing for pending timers;
+//! * the expensive full scan ([`TimerWheel::next_deadline`]) runs only
+//!   when the node is about to go idle and needs a park timeout.
+//!
+//! Entries whose deadline lands a full lap (or more) ahead stay in
+//! their bucket across intermediate visits: each entry carries its
+//! absolute deadline and is only released once the cursor's tick
+//! reaches it. Ties fire in arming order via a per-wheel sequence
+//! number, matching the old heap's `(deadline, seq)` order.
+
+use rips_desim::Time;
+use std::collections::VecDeque;
+
+/// Timer granularity as a power of two: 2^6 = 64 µs per tick.
+pub const GRAN_SHIFT: u32 = 6;
+/// Number of hash buckets; one lap covers 256 * 64 µs ≈ 16.4 ms.
+pub const WHEEL_SLOTS: usize = 256;
+
+type Entry = (Time, u64, u64); // (absolute deadline µs, seq, tag)
+
+/// Per-node timer wheel. Single-threaded; owned by the node loop.
+pub struct TimerWheel {
+    /// Delay-0 timers, fired FIFO ahead of anything later.
+    immediate: VecDeque<Entry>,
+    /// Hash buckets keyed by `(deadline >> GRAN_SHIFT) % WHEEL_SLOTS`.
+    slots: Vec<Vec<Entry>>,
+    /// Entries already released from their bucket, sorted by
+    /// `(deadline, seq)`, waiting for `now` to catch up.
+    due: VecDeque<Entry>,
+    /// Last tick (`now >> GRAN_SHIFT`) the cursor has swept through.
+    tick: u64,
+    /// Number of entries still parked in `slots`.
+    in_slots: usize,
+    /// Arm-order tiebreaker.
+    seq: u64,
+}
+
+impl TimerWheel {
+    /// Creates a wheel whose cursor starts at `now`.
+    pub fn new(now: Time) -> Self {
+        TimerWheel {
+            immediate: VecDeque::new(),
+            slots: (0..WHEEL_SLOTS).map(|_| Vec::new()).collect(),
+            due: VecDeque::new(),
+            tick: now >> GRAN_SHIFT,
+            in_slots: 0,
+            seq: 0,
+        }
+    }
+
+    /// Arms `tag` to fire `delay_us` after `now`.
+    pub fn set(&mut self, now: Time, delay_us: u64, tag: u64) {
+        let seq = self.seq;
+        self.seq += 1;
+        if delay_us == 0 {
+            self.immediate.push_back((now, seq, tag));
+            return;
+        }
+        let deadline = now + delay_us;
+        let tick = deadline >> GRAN_SHIFT;
+        if tick <= self.tick {
+            // Lands in a tick the cursor already swept: straight to due.
+            self.insert_due((deadline, seq, tag));
+        } else {
+            self.slots[(tick % WHEEL_SLOTS as u64) as usize].push((deadline, seq, tag));
+            self.in_slots += 1;
+        }
+    }
+
+    fn insert_due(&mut self, e: Entry) {
+        let at = self
+            .due
+            .binary_search_by_key(&(e.0, e.1), |d| (d.0, d.1))
+            .unwrap_or_else(|i| i);
+        self.due.insert(at, e);
+    }
+
+    /// Sweeps the cursor forward to `now`, releasing matured buckets.
+    fn advance(&mut self, now: Time) {
+        let target = now >> GRAN_SHIFT;
+        if target <= self.tick || self.in_slots == 0 {
+            self.tick = self.tick.max(target);
+            return;
+        }
+        // Jumping more than a lap visits every bucket exactly once.
+        let steps = (target - self.tick).min(WHEEL_SLOTS as u64);
+        for i in 1..=steps {
+            let slot = ((self.tick + i) % WHEEL_SLOTS as u64) as usize;
+            let mut kept = 0;
+            for j in 0..self.slots[slot].len() {
+                let e = self.slots[slot][j];
+                if e.0 >> GRAN_SHIFT <= target {
+                    self.in_slots -= 1;
+                    self.insert_due(e);
+                } else {
+                    self.slots[slot][kept] = e;
+                    kept += 1;
+                }
+            }
+            self.slots[slot].truncate(kept);
+        }
+        self.tick = target;
+    }
+
+    /// Pops the tag of the earliest timer due at `now`, if any.
+    ///
+    /// Ordering matches the old heap: strictly by `(deadline, seq)`,
+    /// where a delay-0 timer's deadline is its arming time.
+    pub fn pop_due(&mut self, now: Time) -> Option<u64> {
+        self.advance(now);
+        let imm = self.immediate.front().copied();
+        let due = self.due.front().copied().filter(|e| e.0 <= now);
+        match (imm, due) {
+            (Some(a), Some(b)) => {
+                if (a.0, a.1) <= (b.0, b.1) {
+                    self.immediate.pop_front().map(|e| e.2)
+                } else {
+                    self.due.pop_front().map(|e| e.2)
+                }
+            }
+            (Some(_), None) => self.immediate.pop_front().map(|e| e.2),
+            (None, Some(_)) => self.due.pop_front().map(|e| e.2),
+            (None, None) => None,
+        }
+    }
+
+    /// Earliest absolute deadline across all pending timers, or `None`
+    /// if nothing is armed. Scans the buckets, so call it only when
+    /// about to go idle.
+    pub fn next_deadline(&self) -> Option<Time> {
+        let mut best: Option<Time> = self
+            .immediate
+            .front()
+            .map(|e| e.0)
+            .into_iter()
+            .chain(self.due.front().map(|e| e.0))
+            .min();
+        if self.in_slots > 0 {
+            for slot in &self.slots {
+                for e in slot {
+                    if best.is_none_or(|b| e.0 < b) {
+                        best = Some(e.0);
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// Total number of armed timers (for tests and diagnostics).
+    pub fn pending(&self) -> usize {
+        self.immediate.len() + self.due.len() + self.in_slots
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delay_zero_fires_fifo_immediately() {
+        let mut w = TimerWheel::new(1000);
+        w.set(1000, 0, 10);
+        w.set(1000, 0, 11);
+        assert_eq!(w.pop_due(1000), Some(10));
+        assert_eq!(w.pop_due(1000), Some(11));
+        assert_eq!(w.pop_due(1000), None);
+    }
+
+    #[test]
+    fn delayed_timer_waits_for_deadline() {
+        let mut w = TimerWheel::new(0);
+        w.set(0, 500, 42);
+        assert_eq!(w.pop_due(0), None);
+        assert_eq!(w.pop_due(499), None);
+        assert_eq!(w.next_deadline(), Some(500));
+        assert_eq!(w.pop_due(500), Some(42));
+        assert_eq!(w.pending(), 0);
+    }
+
+    #[test]
+    fn earlier_deadline_beats_later_immediate() {
+        // An expired delayed timer (deadline 90) must fire before a
+        // delay-0 timer armed later (deadline = arm time 100), same as
+        // the old (deadline, seq) heap order.
+        let mut w = TimerWheel::new(0);
+        w.set(0, 90, 1);
+        w.set(100, 0, 2);
+        assert_eq!(w.pop_due(100), Some(1));
+        assert_eq!(w.pop_due(100), Some(2));
+    }
+
+    #[test]
+    fn full_lap_deadline_does_not_fire_early() {
+        let lap = (WHEEL_SLOTS as u64) << GRAN_SHIFT;
+        let mut w = TimerWheel::new(0);
+        // Lands in the same bucket as a near deadline, one lap later.
+        w.set(0, 64, 1);
+        w.set(0, 64 + lap, 2);
+        assert_eq!(w.pop_due(64), Some(1));
+        assert_eq!(w.pop_due(64), None);
+        assert_eq!(w.pop_due(lap), None);
+        assert_eq!(w.pop_due(64 + lap), Some(2));
+    }
+
+    #[test]
+    fn big_time_jump_releases_everything_in_order() {
+        let mut w = TimerWheel::new(0);
+        for (delay, tag) in [(5000u64, 3u64), (100, 1), (70_000, 4), (200, 2)] {
+            w.set(0, delay, tag);
+        }
+        let far = 1_000_000;
+        let fired: Vec<u64> = std::iter::from_fn(|| w.pop_due(far)).collect();
+        assert_eq!(fired, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn ties_fire_in_arm_order() {
+        let mut w = TimerWheel::new(0);
+        w.set(0, 100, 7);
+        w.set(0, 100, 8);
+        assert_eq!(w.pop_due(100), Some(7));
+        assert_eq!(w.pop_due(100), Some(8));
+    }
+
+    #[test]
+    fn next_deadline_sees_immediate_and_bucketed() {
+        let mut w = TimerWheel::new(0);
+        assert_eq!(w.next_deadline(), None);
+        w.set(0, 10_000, 1);
+        assert_eq!(w.next_deadline(), Some(10_000));
+        w.set(50, 0, 2);
+        assert_eq!(w.next_deadline(), Some(50));
+    }
+}

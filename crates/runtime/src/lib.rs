@@ -30,8 +30,11 @@
 //! golden tests, and CLI enumerate).
 
 #![warn(missing_docs)]
+#![deny(unsafe_code)]
 
 pub mod driver;
+#[allow(unsafe_code)]
+pub mod rcu;
 pub mod registry;
 
 pub use driver::{
@@ -41,6 +44,7 @@ pub use driver::{
 pub use registry::{RunSpec, ScheduledRun, SchedulerCtor, SchedulerRegistry};
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use rips_desim::Time;
@@ -105,12 +109,13 @@ impl Default for Costs {
 
 /// Shared per-engine state (see module docs for the rules of use).
 ///
-/// Under the simulator the mutex is uncontended (one engine thread);
-/// under the live backend it is the one genuinely shared structure
-/// between node threads, and every critical section is a few counter
-/// updates.
+/// The round counters are plain atomics: [`Oracle::task_done`] — the
+/// one call on the per-task hot path — is a single `fetch_sub`, so
+/// under the live backend node threads never contend on a lock to
+/// retire tasks. Only the scheduler scratch space (system-phase
+/// rendezvous data, off the per-task path) still sits behind a mutex.
 pub struct Oracle {
-    inner: Arc<Mutex<OracleState>>,
+    shared: Arc<OracleShared>,
     /// The workload being executed (immutable, shared).
     pub workload: Arc<Workload>,
     /// Cost constants.
@@ -127,13 +132,14 @@ pub struct Oracle {
     diameter: usize,
 }
 
-struct OracleState {
-    round: u32,
-    outstanding: u64,
-    round_announced: bool,
+struct OracleShared {
+    round: AtomicU32,
+    outstanding: AtomicU64,
+    round_announced: AtomicBool,
     /// Scratch space for scheduler-specific rendezvous (e.g. loads
-    /// reported to a RIPS system phase).
-    pub scratch: SchedScratch,
+    /// reported to a RIPS system phase). Touched only during system
+    /// phases / barriers, never per task.
+    scratch: Mutex<SchedScratch>,
 }
 
 /// Scheduler-specific rendezvous data living inside the oracle.
@@ -154,7 +160,7 @@ pub struct SchedScratch {
 impl Clone for Oracle {
     fn clone(&self) -> Self {
         Oracle {
-            inner: Arc::clone(&self.inner),
+            shared: Arc::clone(&self.shared),
             workload: Arc::clone(&self.workload),
             costs: self.costs,
             tracer: self.tracer.clone(),
@@ -183,12 +189,12 @@ impl Oracle {
             Arc::new(Vec::new())
         };
         Oracle {
-            inner: Arc::new(Mutex::new(OracleState {
-                round: 0,
-                outstanding: first_round,
-                round_announced: false,
-                scratch: SchedScratch::default(),
-            })),
+            shared: Arc::new(OracleShared {
+                round: AtomicU32::new(0),
+                outstanding: AtomicU64::new(first_round),
+                round_announced: AtomicBool::new(false),
+                scratch: Mutex::new(SchedScratch::default()),
+            }),
             workload,
             costs,
             tracer,
@@ -214,16 +220,9 @@ impl Oracle {
         self.n
     }
 
-    /// Locks the shared state, recovering from poisoning: if a live
-    /// node thread panicked mid-update the counters may be stale, but
-    /// the surviving threads' shutdown paths still need to run.
-    fn st(&self) -> std::sync::MutexGuard<'_, OracleState> {
-        self.inner.lock().unwrap_or_else(|p| p.into_inner())
-    }
-
     /// Current round index.
     pub fn round(&self) -> u32 {
-        self.st().round
+        self.shared.round.load(Ordering::Acquire)
     }
 
     /// Unexecuted tasks remaining in the current round (including tasks
@@ -231,7 +230,7 @@ impl Oracle {
     /// forest is known to the oracle; what matters is that it reaches
     /// zero exactly when the round's last task finishes).
     pub fn outstanding(&self) -> u64 {
-        self.st().outstanding
+        self.shared.outstanding.load(Ordering::Acquire)
     }
 
     /// Root task instances of round `round` owned by `node` under the
@@ -256,11 +255,14 @@ impl Oracle {
     /// Marks one task of the current round executed. Returns `true`
     /// exactly once per round: to the caller that completed the round's
     /// last task (the node that then announces the barrier).
+    ///
+    /// Lock-free: one `fetch_sub` on the hot path, and the
+    /// announcement token is claimed with a `swap` so concurrent
+    /// finishers of the last two tasks cannot both win.
     pub fn task_done(&self) -> bool {
-        let mut st = self.st();
-        assert!(st.outstanding > 0, "task_done underflow");
-        st.outstanding -= 1;
-        st.outstanding == 0 && !std::mem::replace(&mut st.round_announced, true)
+        let prev = self.shared.outstanding.fetch_sub(1, Ordering::AcqRel);
+        assert!(prev > 0, "task_done underflow");
+        prev == 1 && !self.shared.round_announced.swap(true, Ordering::AcqRel)
     }
 
     /// Child instances generated by completing `inst` on `node`.
@@ -282,18 +284,36 @@ impl Oracle {
     /// Advances to the next round, resetting the outstanding counter.
     /// Returns the new round index, or `None` if the workload is
     /// complete.
+    ///
+    /// Only the barrier announcer calls this (the node whose
+    /// [`Oracle::task_done`] returned `true`), so it never races with
+    /// itself; peers act on the new round only after receiving the
+    /// announcer's `RoundStart` message, whose delivery provides the
+    /// happens-before edge for these stores.
     pub fn advance_round(&self) -> Option<u32> {
-        let mut st = self.st();
-        debug_assert_eq!(st.outstanding, 0, "advancing with work outstanding");
-        let next = st.round + 1;
+        debug_assert_eq!(self.outstanding(), 0, "advancing with work outstanding");
+        let next = self.round() + 1;
         if (next as usize) >= self.workload.rounds.len() {
             return None;
         }
-        st.round = next;
-        st.outstanding = self.workload.rounds[next as usize].len() as u64;
-        st.round_announced = false;
-        st.scratch = SchedScratch::default();
+        *self.scratch_lock() = SchedScratch::default();
+        self.shared.outstanding.store(
+            self.workload.rounds[next as usize].len() as u64,
+            Ordering::Release,
+        );
+        self.shared.round_announced.store(false, Ordering::Release);
+        self.shared.round.store(next, Ordering::Release);
         Some(next)
+    }
+
+    /// Locks the scratch space, recovering from poisoning: if a live
+    /// node thread panicked mid-update the rendezvous data may be
+    /// stale, but the surviving threads' shutdown paths still run.
+    fn scratch_lock(&self) -> std::sync::MutexGuard<'_, SchedScratch> {
+        self.shared
+            .scratch
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
     }
 
     /// Modelled latency of the inter-round barrier: a convergecast plus
@@ -303,9 +323,10 @@ impl Oracle {
     }
 
     /// Runs `f` with mutable access to the scheduler scratch space,
-    /// holding the oracle lock for the duration.
+    /// holding its lock for the duration (system-phase rendezvous
+    /// only — never called on the per-task path).
     pub fn with_scratch<R>(&self, f: impl FnOnce(&mut SchedScratch) -> R) -> R {
-        f(&mut self.st().scratch)
+        f(&mut self.scratch_lock())
     }
 }
 

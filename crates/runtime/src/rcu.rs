@@ -1,0 +1,190 @@
+//! A minimal RCU-style publication cell for read-mostly shared state.
+//!
+//! The live backend's read-mostly structures (the RIPS phase-plan
+//! board, most prominently) are written rarely — once per system
+//! phase — but read on latency-sensitive paths by every node thread.
+//! A mutex makes every reader pay for the writer's rarity; an
+//! [`RcuCell`] makes reads a single atomic pointer load.
+//!
+//! # Reclamation model
+//!
+//! Classic RCU defers freeing an old version until every reader that
+//! might hold it has passed a quiescent point. This cell uses the
+//! simplest sound variant for *run-scoped* state: superseded versions
+//! are parked in a graveyard owned by the cell and freed only when the
+//! cell itself drops (at end of run). That makes
+//! [`RcuCell::read`]'s returned reference valid for the cell's whole
+//! lifetime — no guard object, no epoch counters — at the cost of
+//! keeping old versions alive until the run ends. Publications are
+//! bounded by the phase count (a few dozen small maps per run), so the
+//! graveyard stays tiny; [`RcuCell::retired`] exposes its length so
+//! tests can pin that assumption.
+//!
+//! This is the one place in `rips-runtime` that uses `unsafe`; the
+//! audit lint RIPS-L004 pins the allowlist to exactly this file.
+
+// rips-lint: allow(L004, deferred reclamation makes every published
+// snapshot outlive every reader borrow; see module docs)
+use std::sync::atomic::{AtomicPtr, Ordering};
+use std::sync::Mutex;
+
+/// A read-mostly cell whose readers pay one atomic load and whose
+/// writers swap in a fresh heap-allocated version.
+pub struct RcuCell<T> {
+    cur: AtomicPtr<T>,
+    /// Superseded versions, freed on drop (see module docs).
+    graveyard: Mutex<Vec<*mut T>>,
+}
+
+// SAFETY: the cell hands out &T to any thread (so T: Sync is
+// required) and drops T values that may have been published by other
+// threads (so T: Send is required). The raw pointers in the graveyard
+// are uniquely owned by the cell.
+unsafe impl<T: Send + Sync> Send for RcuCell<T> {}
+unsafe impl<T: Send + Sync> Sync for RcuCell<T> {}
+
+impl<T> RcuCell<T> {
+    /// A cell initially holding `value`.
+    pub fn new(value: T) -> Self {
+        RcuCell {
+            cur: AtomicPtr::new(Box::into_raw(Box::new(value))),
+            graveyard: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Reads the current version: one `Acquire` pointer load.
+    ///
+    /// The reference is valid for the cell's whole lifetime — even
+    /// across concurrent [`RcuCell::publish`] calls — because
+    /// superseded versions are only freed when the cell drops.
+    pub fn read(&self) -> &T {
+        // SAFETY: `cur` always points at a live Box<T>: it is set from
+        // Box::into_raw in new/publish, and any pointer it ever held
+        // is either still current or parked in the graveyard, which is
+        // drained only in Drop (which takes &mut self, so no &T from
+        // read() can outlive it).
+        unsafe { &*self.cur.load(Ordering::Acquire) }
+    }
+
+    /// Publishes a new version. Readers that already loaded the old
+    /// pointer keep a valid reference; new reads see `value`.
+    pub fn publish(&self, value: T) {
+        let fresh = Box::into_raw(Box::new(value));
+        let old = self.cur.swap(fresh, Ordering::AcqRel);
+        self.graveyard
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .push(old);
+    }
+
+    /// Number of superseded versions awaiting end-of-run reclamation.
+    /// Bounded by the number of `publish` calls; tests pin that this
+    /// stays small (one per system phase).
+    pub fn retired(&self) -> usize {
+        self.graveyard
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .len()
+    }
+}
+
+impl<T> Drop for RcuCell<T> {
+    fn drop(&mut self) {
+        // SAFETY: &mut self guarantees no outstanding read() borrows;
+        // every pointer (current + graveyard) came from Box::into_raw
+        // and is freed exactly once here.
+        unsafe {
+            drop(Box::from_raw(self.cur.load(Ordering::Relaxed)));
+            for p in self.graveyard.get_mut().unwrap_or_else(|p| p.into_inner()) {
+                drop(Box::from_raw(*p));
+            }
+        }
+    }
+}
+
+impl<T: Default> Default for RcuCell<T> {
+    fn default() -> Self {
+        RcuCell::new(T::default())
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for RcuCell<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RcuCell")
+            .field("cur", self.read())
+            .field("retired", &self.retired())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    #[test]
+    fn read_sees_latest_publish() {
+        let cell = RcuCell::new(1u32);
+        assert_eq!(*cell.read(), 1);
+        cell.publish(2);
+        assert_eq!(*cell.read(), 2);
+        assert_eq!(cell.retired(), 1);
+    }
+
+    #[test]
+    fn old_reference_survives_publish() {
+        let cell = RcuCell::new(vec![1, 2, 3]);
+        let old = cell.read();
+        cell.publish(vec![4]);
+        // The old snapshot is still alive and unchanged.
+        assert_eq!(old, &[1, 2, 3]);
+        assert_eq!(cell.read(), &[4]);
+    }
+
+    #[test]
+    fn drop_frees_every_version_exactly_once() {
+        struct Counted(Arc<AtomicUsize>);
+        impl Drop for Counted {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let drops = Arc::new(AtomicUsize::new(0));
+        {
+            let cell = RcuCell::new(Counted(Arc::clone(&drops)));
+            for _ in 0..5 {
+                cell.publish(Counted(Arc::clone(&drops)));
+            }
+            assert_eq!(cell.retired(), 5);
+            assert_eq!(drops.load(Ordering::SeqCst), 0, "nothing freed early");
+        }
+        assert_eq!(drops.load(Ordering::SeqCst), 6, "all versions freed");
+    }
+
+    #[test]
+    fn concurrent_readers_and_writer() {
+        let cell = Arc::new(RcuCell::new(0u64));
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                let cell = Arc::clone(&cell);
+                s.spawn(move || {
+                    let mut last = 0;
+                    for _ in 0..10_000 {
+                        let v = *cell.read();
+                        assert!(v >= last, "versions move forward");
+                        last = v;
+                    }
+                });
+            }
+            let writer = Arc::clone(&cell);
+            s.spawn(move || {
+                for v in 1..=100 {
+                    writer.publish(v);
+                }
+            });
+        });
+        assert_eq!(*cell.read(), 100);
+        assert_eq!(cell.retired(), 100);
+    }
+}

@@ -136,6 +136,21 @@ pub fn chrome_trace_json(buf: &TraceBuffer, label: &str, end_time: Time) -> Stri
                 );
                 push_event(&mut out, 'i', "msg-send", t, node, &extra);
             }
+            TraceEvent::BatchSend { to, msgs } => {
+                let extra = format!(",\"s\":\"t\",\"args\":{{\"to\":{to},\"msgs\":{msgs}}}");
+                push_event(&mut out, 'i', "batch-send", t, node, &extra);
+            }
+            TraceEvent::RingDepth { depth } => {
+                let extra = format!(",\"args\":{{\"depth\":{depth}}}");
+                push_event(
+                    &mut out,
+                    'C',
+                    &format!("ring depth n{node}"),
+                    t,
+                    node,
+                    &extra,
+                );
+            }
         }
     }
 

@@ -273,6 +273,22 @@ pub enum TraceEvent {
         /// Route length in hops.
         hops: u32,
     },
+    /// The live backend flushed one batched packet toward `to`
+    /// (instant; the batch-size distribution measures how well the
+    /// outbox coalesces protocol chatter).
+    BatchSend {
+        /// Destination node.
+        to: NodeId,
+        /// Kernel messages coalesced into the packet.
+        msgs: u32,
+    },
+    /// Occupancy sample of a live node's receive rings, taken as a
+    /// packet is drained (ring transport only; counts packets still
+    /// queued across all source rings).
+    RingDepth {
+        /// Packets queued across this node's receive rings.
+        depth: u32,
+    },
 }
 
 /// Receiver of trace records.

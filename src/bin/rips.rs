@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! rips run    --app queens13 --scheduler rips --nodes 32 [--policy any-lazy] [--seed 1]
-//! rips live   [<scheduler>] <app> --threads 4 [--mode compute|timed] [--audit] [--trace-out f]
+//! rips live   [<scheduler>] <app> --threads 4 [--mode compute|timed] [--transport ring|mpsc]
+//!             [--audit] [--trace-out f]
 //! rips trace  <scheduler> <app> [--nodes 32] [--seed 1] [--out trace.json] [--check]
 //! rips report <scheduler> <app> [--nodes 32] [--seed 1] [--jsonl]
 //! rips audit  <scheduler> <app> [--nodes 32] [--seed 1]   # check paper invariants
@@ -23,11 +24,12 @@
 //! workspace source (rules RIPS-L001…L005; see DESIGN §7).
 //!
 //! `live` runs the scheduler on the *live* backend — one OS thread per
-//! node, channel mailboxes, wall-clock time — executing the real
-//! application grains, and checks the solution count and execution
-//! checksum against the sequential reference. `--audit` additionally
-//! streams the live trace through the same [`Auditor`] the simulator
-//! uses (DESIGN §8).
+//! node, batched packets over sharded SPSC rings (`--transport mpsc`
+//! falls back to the old channel mailboxes), wall-clock time —
+//! executing the real application grains, and checks the solution
+//! count and execution checksum against the sequential reference.
+//! `--audit` additionally streams the live trace through the same
+//! [`Auditor`] the simulator uses (DESIGN §8).
 
 use std::sync::Arc;
 
@@ -37,7 +39,7 @@ use rips_repro::bench::live::{live_opts, live_run, live_run_rips};
 use rips_repro::bench::{registry_with, RegistryTuning};
 use rips_repro::core::{GlobalPolicy, LocalPolicy, RipsConfig};
 use rips_repro::desim::LatencyModel;
-use rips_repro::live::{GrainMode, WallClock};
+use rips_repro::live::{GrainMode, TransportKind, WallClock};
 use rips_repro::runtime::{Costs, RunSpec, SchedulerRegistry};
 use rips_repro::sched::{min_nonlocal_tasks, mwa};
 use rips_repro::taskgraph::Workload;
@@ -220,7 +222,8 @@ fn cmd_live() {
         _ => {
             eprintln!(
                 "usage: rips live [<scheduler>] <app> [--threads N] [--mode compute|timed] \
-                 [--timed-scale F] [--seed S] [--policy P] [--audit] [--trace-out f.json]"
+                 [--transport ring|mpsc] [--timed-scale F] [--seed S] [--policy P] [--audit] \
+                 [--trace-out f.json]"
             );
             std::process::exit(2);
         }
@@ -239,6 +242,13 @@ fn cmd_live() {
     let timed_scale: f64 = arg("--timed-scale")
         .and_then(|v| v.parse().ok())
         .unwrap_or(1.0);
+    let transport = match arg("--transport") {
+        None => TransportKind::Ring,
+        Some(v) => TransportKind::parse(&v).unwrap_or_else(|| {
+            eprintln!("unknown --transport '{v}' (ring|mpsc)");
+            std::process::exit(2);
+        }),
+    };
     let audit = arg_flag("--audit");
     let trace_out = arg("--trace-out");
 
@@ -252,6 +262,7 @@ fn cmd_live() {
     let clock: Arc<WallClock> = Arc::new(WallClock::new());
     let run = |clock: &Arc<WallClock>| {
         let mut opts = live_opts(&table, mode, timed_scale);
+        opts.transport = transport;
         opts.clock = Some(Arc::clone(clock) as Arc<dyn Clock>);
         if name == "RIPS" {
             let (local, global) = match policy.as_str() {
@@ -272,8 +283,9 @@ fn cmd_live() {
     };
 
     eprintln!(
-        "live run: {name} on {threads} threads (mode {:?}, seed {seed}) ...",
-        mode
+        "live run: {name} on {threads} threads (mode {:?}, transport {}, seed {seed}) ...",
+        mode,
+        transport.name()
     );
     let (out, audit_ok) = if audit || trace_out.is_some() {
         // One install feeds both consumers: the invariant auditor
@@ -567,7 +579,8 @@ fn main() {
                 "  run    --app queens13 --scheduler rips|random|gradient|rid|sid --nodes 32"
             );
             eprintln!(
-                "  live   [<scheduler>] <app> [--threads N] [--mode compute|timed] [--audit] [--trace-out f]"
+                "  live   [<scheduler>] <app> [--threads N] [--mode compute|timed] \
+                 [--transport ring|mpsc] [--audit] [--trace-out f]"
             );
             eprintln!(
                 "  trace  <scheduler> <app> [--nodes N] [--seed S] [--out trace.json] [--check]"
