@@ -123,9 +123,11 @@ pub struct RegistryTuning {
 }
 
 /// The canonical scheduler roster with paper-default tuning: the four
-/// Table I schedulers in paper order, plus SID (the `sid_vs_rid`
-/// counterpart). Everything that enumerates schedulers — the grid,
-/// the golden tests, the `rips` CLI — goes through this table.
+/// Table I schedulers in paper order, plus RIPS-H (RIPS on the
+/// hierarchical tiled planner, for large meshes) and SID (the
+/// `sid_vs_rid` counterpart). Everything that enumerates schedulers —
+/// the grid, the golden tests, the `rips` CLI — goes through this
+/// table.
 pub fn registry() -> SchedulerRegistry {
     registry_with(RegistryTuning::default())
 }
@@ -180,6 +182,23 @@ pub fn registry_with(t: RegistryTuning) -> SchedulerRegistry {
             let out = rips(
                 Arc::clone(&s.workload),
                 Machine::Mesh(Mesh2D::near_square(s.nodes)),
+                s.latency,
+                s.costs,
+                s.seed,
+                t.rips,
+            );
+            ScheduledRun {
+                outcome: out.run,
+                phases: out.phases,
+            }
+        }),
+    );
+    reg.register(
+        "RIPS-H",
+        Box::new(move |s: &RunSpec| {
+            let out = rips(
+                Arc::clone(&s.workload),
+                Machine::MeshHier(Mesh2D::near_square(s.nodes)),
                 s.latency,
                 s.costs,
                 s.seed,
@@ -399,7 +418,7 @@ mod tests {
         let reg = registry();
         assert_eq!(
             reg.names(),
-            vec!["Random", "Gradient", "RID", "RIPS", "SID"]
+            vec!["Random", "Gradient", "RID", "RIPS", "RIPS-H", "SID"]
         );
         for s in reg.names() {
             let row = run_cell(&reg, s, &w, 8, 0.4, 1);

@@ -126,6 +126,15 @@ pub fn live_run(
             out.system_phases = phases;
             out
         }
+        "RIPS-H" => {
+            let fleet = RipsFleet::new(t.rips, Machine::MeshHier(Mesh2D::near_square(threads)));
+            let ftopo = fleet.topology();
+            let (mut out, policies) = run_live(w, ftopo, costs, seed, opts, |me| fleet.make(me));
+            drop(policies);
+            let (phases, _logs) = fleet.finish();
+            out.system_phases = phases;
+            out
+        }
         other => panic!("unknown scheduler {other:?}"),
     };
     out.verify_complete(workload)

@@ -18,8 +18,22 @@ use std::sync::Arc;
 use rips_apps::{nqueens, NQueensConfig};
 use rips_audit::{lint_workspace, Auditor};
 use rips_bench::{registry, run_cell, run_scheduler};
+use rips_sched::TileGrid;
 use rips_taskgraph::{geometric_tree, Workload};
+use rips_topology::Mesh2D;
 use rips_trace::{with_sink, Tee, TraceBuffer};
+
+/// The auditor matching a scheduler's planning mode: RIPS-H gets the
+/// tiling-aware auditor (per-tile Theorem 1, Lemma 1 as a lower
+/// bound), everything else the flat one.
+fn auditor_for(sched: &str, nodes: usize) -> Auditor {
+    if sched == "RIPS-H" {
+        let mesh = Mesh2D::near_square(nodes);
+        Auditor::with_tiles(nodes, TileGrid::new(&mesh).assignment())
+    } else {
+        Auditor::new(nodes)
+    }
+}
 
 fn queens9() -> Arc<Workload> {
     Arc::new(nqueens(NQueensConfig {
@@ -44,13 +58,15 @@ fn cells() -> Vec<(&'static str, Arc<Workload>, usize, u64)> {
         ("SID", queens9(), 8, 1),
         ("RID", tree(), 9, 3),
         ("RIPS", tree(), 9, 3),
+        ("RIPS-H", queens9(), 8, 1),
+        ("RIPS-H", tree(), 9, 3),
     ]
 }
 
 #[test]
 fn every_golden_cell_upholds_the_paper_invariants() {
     for (sched, w, nodes, seed) in cells() {
-        let (auditor, row) = with_sink(Auditor::new(nodes), || {
+        let (auditor, row) = with_sink(auditor_for(sched, nodes), || {
             run_scheduler(sched, &w, nodes, 0.4, seed)
         });
         let report = auditor.finish();
@@ -67,16 +83,19 @@ fn every_golden_cell_upholds_the_paper_invariants() {
             "{sched}: audited execution count diverges from RunStats"
         );
         assert_eq!(report.phases_incomplete, 0, "{sched}: phase lost loads");
-        if sched == "RIPS" {
+        if sched.starts_with("RIPS") {
             // The theorem checks must actually bite on RIPS cells: one
             // checked phase per system phase the run reported, with a
             // post-schedule spread within Theorem 1's bound.
             assert_eq!(
                 report.phases_checked, row.outcome.system_phases as usize,
-                "RIPS: audited phases diverge from the run's phase count"
+                "{sched}: audited phases diverge from the run's phase count"
             );
-            assert!(report.phases_checked > 0, "RIPS ran no system phases");
+            assert!(report.phases_checked > 0, "{sched} ran no system phases");
             assert!(report.max_spread <= 1, "Theorem 1 spread escaped the check");
+            if sched == "RIPS-H" {
+                assert!(report.tiles > 1, "tiled audit mode was not active");
+            }
         } else {
             // Baselines never enter a system phase; the theorem checks
             // are vacuous but conservation and barriers still held.
@@ -93,7 +112,7 @@ fn auditing_never_perturbs_the_simulation() {
         let plain = run_cell(&reg, s, &w, 8, 0.4, 1);
         // Fan out to a TraceBuffer *and* the auditor — the worst-case
         // instrumentation a user can attach.
-        let (sink, audited) = with_sink(Tee(TraceBuffer::new(), Auditor::new(8)), || {
+        let (sink, audited) = with_sink(Tee(TraceBuffer::new(), auditor_for(s, 8)), || {
             run_cell(&reg, s, &w, 8, 0.4, 1)
         });
         let Tee(buf, auditor) = sink;

@@ -101,11 +101,13 @@ fn cells() -> Vec<(&'static str, Arc<Workload>, usize, u64)> {
         ("SID", queens9(), 8, 1),
         ("RID", tree(), 9, 3),
         ("RIPS", tree(), 9, 3),
+        ("RIPS-H", queens9(), 8, 1),
+        ("RIPS-H", tree(), 9, 3),
     ]
 }
 
 #[rustfmt::skip]
-const GOLDEN: [&str; 7] = [
+const GOLDEN: [&str; 9] = [
     "end=24197 events=508 msgs=209 bytes=12576 hops=428 exec=[30, 33, 43, 44, 32, 30, 33, 45] nonlocal=262 fnv=0xa873474ae8354021", // Random
     "end=18761 events=369 msgs=47 bytes=848 hops=47 exec=[38, 38, 34, 35, 36, 34, 37, 38] nonlocal=3 fnv=0x1ac6bb9cf312ae13", // Gradient
     "end=21278 events=516 msgs=217 bytes=3888 hops=217 exec=[37, 35, 36, 38, 37, 34, 35, 38] nonlocal=9 fnv=0x64d08f17305229b7", // RID
@@ -113,6 +115,8 @@ const GOLDEN: [&str; 7] = [
     "end=49051 events=1101 msgs=802 bytes=31888 hops=802 exec=[38, 45, 24, 13, 39, 33, 51, 47] nonlocal=129 fnv=0x7d9275675c88ed6a", // SID
     "end=30107 events=450 msgs=329 bytes=6080 hops=329 exec=[21, 12, 6, 16, 7, 5, 6, 9, 0] nonlocal=21 fnv=0x265d236cf4288215", // RID
     "end=40607 events=449 msgs=372 bytes=6784 hops=740 exec=[12, 9, 9, 11, 9, 11, 7, 6, 8] nonlocal=24 fnv=0xb2c53342bee47891", // RIPS
+    "end=38948 events=598 msgs=305 bytes=5376 hops=602 exec=[39, 36, 35, 35, 35, 35, 36, 39] nonlocal=7 fnv=0x77e9c31cf65924e2", // RIPS-H
+    "end=44067 events=417 msgs=355 bytes=6528 hops=703 exec=[11, 10, 10, 12, 9, 10, 7, 5, 8] nonlocal=23 fnv=0x7e10421406286b2f", // RIPS-H
 ];
 
 #[test]

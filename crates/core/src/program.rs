@@ -11,7 +11,7 @@
 //! execution and enters the system phase" of the paper.
 
 use std::collections::{BTreeMap, VecDeque};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::{Arc, Mutex};
 
 use rips_collectives::{dem_steps, mwa_steps, twa_steps};
@@ -81,8 +81,11 @@ pub struct RipsConfig {
     pub plan_cpu_per_step_us: Time,
     /// Use hardware or-barrier signalling ("the eureka mode in Cray
     /// T3D") for the ANY policy's init broadcast: the initiator pays no
-    /// per-recipient CPU and the signal carries no payload. Only
-    /// meaningful under [`GlobalPolicy::Any`].
+    /// per-recipient CPU, the signal carries no payload, and re-asserts
+    /// of an already-raised wire are absorbed — exactly one wavefront
+    /// per phase even when every node goes idle in the same instant
+    /// (the software broadcast degenerates to O(n²) init messages
+    /// there). Only meaningful under [`GlobalPolicy::Any`].
     pub eureka: bool,
     /// What counts as "load" when the system phase balances.
     ///
@@ -129,6 +132,12 @@ impl Default for RipsConfig {
 pub enum Machine {
     /// 2-D mesh scheduled by the Mesh Walking Algorithm.
     Mesh(Mesh2D),
+    /// 2-D mesh scheduled hierarchically (`rips-h`): the Mesh Walking
+    /// Algorithm inside `⌈n^(1/4)⌉`-sided tiles plus a cross-tile
+    /// exchange — same post-schedule loads as [`Machine::Mesh`]
+    /// (Theorem 1 exactly) in `O(n^(1/4))` instead of `O(√n)`
+    /// communication steps, for meshes too large for the full walk.
+    MeshHier(Mesh2D),
     /// Binary tree scheduled by the Tree Walking Algorithm.
     Tree(BinaryTree),
     /// Hypercube scheduled by the Dimension Exchange Method.
@@ -139,7 +148,7 @@ impl Machine {
     /// The underlying topology.
     pub fn topology(&self) -> Arc<dyn Topology> {
         match self {
-            Machine::Mesh(m) => Arc::new(m.clone()),
+            Machine::Mesh(m) | Machine::MeshHier(m) => Arc::new(m.clone()),
             Machine::Tree(t) => Arc::new(t.clone()),
             Machine::Cube(c) => Arc::new(c.clone()),
         }
@@ -155,6 +164,11 @@ impl Machine {
                 let (plan, steps) = rips_sched::mwa_distributed(m, loads);
                 (plan, Some(steps))
             }
+            // The hierarchical planner is the same centralized
+            // arithmetic every node would run; its two-level step
+            // bound (see `steps`) already reflects the shorter walks,
+            // so the distributed flag does not change the plan.
+            (Machine::MeshHier(m), _) => (rips_sched::tiled_mwa(m, loads).0, None),
             (Machine::Tree(t), false) => (rips_sched::twa(t, loads), None),
             (Machine::Tree(t), true) => {
                 let (plan, steps) = rips_sched::twa_distributed(t, loads);
@@ -172,6 +186,7 @@ impl Machine {
     fn steps(&self) -> usize {
         match self {
             Machine::Mesh(m) => mwa_steps(m),
+            Machine::MeshHier(m) => rips_sched::TileGrid::new(m).hier_steps(),
             Machine::Tree(t) => twa_steps(t.height().max(1)),
             Machine::Cube(c) => dem_steps(c.dim().max(1)),
         }
@@ -219,6 +234,13 @@ struct FleetShared {
     /// for the next poll. Checked every poll tick on every node, so it
     /// is a lock-free flag.
     want_phase: AtomicBool,
+    /// Eureka mode: highest phase whose or-barrier wire has been
+    /// raised. Hardware absorbs re-asserts, so only the node that wins
+    /// the `fetch_max` race delivers the wavefront — without this the
+    /// simultaneous-idle case degenerates into `n` initiators each
+    /// fanning out `n` signals (an O(n²) event storm per phase that
+    /// dominates the event count beyond a few hundred nodes).
+    eureka_raised: AtomicU32,
 }
 
 /// Per-phase rendezvous state behind [`FleetShared::mu`].
@@ -332,6 +354,7 @@ impl RipsPolicy {
     }
 
     /// This node's load under the configured metric.
+    #[inline]
     fn load(&self, k: &Kernel) -> i64 {
         match self.cfg.metric {
             LoadMetric::TaskCount => (k.exec.queue.len() + self.rts.len()) as i64,
@@ -347,6 +370,7 @@ impl RipsPolicy {
 
     /// Local transfer condition (paper §2): the RTE queue is empty —
     /// and no migration from the previous system phase is still owed.
+    #[inline]
     fn local_condition(&self, k: &Kernel) -> bool {
         self.mode == Mode::User && k.exec.queue.is_empty() && k.received_in == k.expected_in
     }
@@ -384,7 +408,16 @@ impl RipsPolicy {
                 // Become the initiator: broadcast init and enter.
                 self.phase_index = next;
                 if self.cfg.eureka {
-                    ctx.signal_all(KernelMsg::Policy(RipsCtl::Init(next)));
+                    // Or-barrier semantics: raising an already-raised
+                    // wire is free and invisible, so exactly one
+                    // wavefront per phase is delivered no matter how
+                    // many nodes go idle in the same instant (see
+                    // [`FleetShared::eureka_raised`]). Losers still
+                    // enter immediately — same as winning, minus the
+                    // fan-out.
+                    if self.shared.eureka_raised.fetch_max(next, Ordering::AcqRel) < next {
+                        ctx.signal_all(KernelMsg::Policy(RipsCtl::Init(next)));
+                    }
                 } else {
                     ctx.send_all(
                         KernelMsg::Policy(RipsCtl::Init(next)),
@@ -615,9 +648,10 @@ impl RipsPolicy {
         k.exec.queue.extend(rts);
         // Lock-free snapshot read of the plan board (see FleetShared).
         let plan = Arc::clone(self.shared.plans.read().get(&p).expect("plan must exist"));
-        let outgoing = plan.outgoing[k.me].clone();
         let expected = plan.expected_in[k.me];
-        for (dst, amount) in outgoing {
+        // The Arc keeps the plan alive for the loop; no per-node clone
+        // of the outgoing vector is needed.
+        for &(dst, amount) in &plan.outgoing[k.me] {
             if std::env::var_os("RIPS_DEBUG").is_some() {
                 eprintln!(
                     "[t={}] node {} SEND {amount} -> {dst} (phase {p}, have {})",
@@ -626,7 +660,14 @@ impl RipsPolicy {
                     k.exec.queue.len()
                 );
             }
-            let mut batch = Vec::new();
+            // Under TaskCount `amount` is the exact batch size; under
+            // EstimatedWeight it is µs of work, so size the batch by
+            // the queue instead.
+            let cap = match self.cfg.metric {
+                LoadMetric::TaskCount => amount as usize,
+                LoadMetric::EstimatedWeight => k.exec.queue.len().min(amount as usize),
+            };
+            let mut batch = Vec::with_capacity(cap);
             match self.cfg.metric {
                 LoadMetric::TaskCount => {
                     for _ in 0..amount {

@@ -38,6 +38,7 @@ fn arb_workload() -> impl Strategy<Value = Workload> {
 fn arb_machine() -> impl Strategy<Value = Machine> {
     prop_oneof![
         ((1usize..=4), (1usize..=4)).prop_map(|(r, c)| Machine::Mesh(Mesh2D::new(r, c))),
+        ((1usize..=4), (1usize..=4)).prop_map(|(r, c)| Machine::MeshHier(Mesh2D::new(r, c))),
         (1usize..=12).prop_map(|n| Machine::Tree(BinaryTree::new(n))),
         (0usize..=3).prop_map(|d| Machine::Cube(Hypercube::new(d))),
     ]

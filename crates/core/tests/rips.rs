@@ -134,6 +134,29 @@ fn initial_system_phase_balances_block_seeds() {
 }
 
 #[test]
+fn hierarchical_mesh_machine_balances_block_seeds() {
+    // Same workload as the flat-MWA balance test above: the tiled
+    // planner lands on the identical canonical quotas, so block
+    // seeding must balance just as evenly under RIPS-H.
+    let w = Arc::new(flat_uniform(160, 2000, 2000, 4));
+    let out = run(
+        &w,
+        Machine::MeshHier(Mesh2D::near_square(16)),
+        LocalPolicy::Lazy,
+        GlobalPolicy::Any,
+    );
+    out.run.verify_complete(&w).unwrap();
+    assert!(out.run.system_phases >= 1);
+    let max = *out.run.executed.iter().max().unwrap();
+    let min = *out.run.executed.iter().min().unwrap();
+    assert!(
+        max - min <= 2,
+        "uneven execution after tiled MWA: {:?}",
+        out.run.executed
+    );
+}
+
+#[test]
 fn rips_locality_beats_random_by_far() {
     // Table I: RIPS nonlocal counts are 10-20x smaller than random's.
     let w = Arc::new(geometric_tree(16, 5, 3, 2000, 21));
@@ -279,6 +302,18 @@ fn eureka_signalling_completes_and_cuts_init_overhead() {
         "eureka {} bytes vs plain {}",
         eureka.run.stats.net.bytes,
         plain.run.stats.net.bytes
+    );
+    // The or-barrier absorbs re-asserts: one wavefront (≤ n - 1
+    // deliveries) per phase no matter how many nodes go idle in the
+    // same instant. The software broadcast has no such bound — every
+    // simultaneous initiator fans out n - 1 sends — so without dedup
+    // the init traffic is O(n²) per phase and dominates the event
+    // count on large machines.
+    assert!(
+        eureka.run.stats.events < plain.run.stats.events,
+        "eureka {} events vs plain {} — wavefront dedup not visible",
+        eureka.run.stats.events,
+        plain.run.stats.events
     );
 }
 

@@ -20,10 +20,23 @@
 //!   exactly what the re-push scheme produced — is pushed at the
 //!   node's free time. Stale markers (the lane minimum changed, or
 //!   the node was re-busied first) are lazily discarded on pop.
-//! * **Cached routing.** Hop distances are materialised into a flat
-//!   `n × n` table at construction; next-hop routes and per-link
-//!   free times use dense arrays, built when contention is enabled.
-//!   The per-send virtual calls into `dyn Topology` are gone.
+//! * **Threshold routing.** At or below [`TABLE_THRESHOLD`] nodes,
+//!   hop distances are materialised into a flat `n × n` table at
+//!   construction (next-hop routes likewise when contention is
+//!   enabled), eliminating per-send virtual calls into
+//!   `dyn Topology`. Above the threshold, topologies advertising
+//!   [`Topology::computed_routes`] are routed on the fly from their
+//!   closed forms instead — the tables would be terabytes at a
+//!   million nodes. Both paths return identical values (the topology
+//!   crate cross-validates closed forms against BFS), so the switch
+//!   is invisible to simulated results.
+//! * **Struct-of-arrays state.** Global event-queue state
+//!   ([`EventCore`]: heap, sequence counter, timer identity,
+//!   cancellations) and dense per-node vectors ([`NodeCore`]:
+//!   programs, ready times, stats, RNGs, deferral lanes, wake
+//!   markers) are grouped dslab-style; every per-node entry is O(1)
+//!   bytes, so an idle node costs a few hundred bytes and a
+//!   million-node machine stays in the hundreds of megabytes.
 //! * **Buffered broadcasts.** `send_all`/`signal_all` buffer one
 //!   request holding one payload; the fan-out to `N - 1` point-to-point
 //!   messages happens at apply time (clone per recipient except the
@@ -38,7 +51,7 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use rips_topology::{NodeId, Topology};
 
-use crate::{LatencyModel, NetStats, NodeStats, RunStats, Time, WorkKind};
+use crate::{LatencyModel, MemStats, NetStats, NodeStats, RunStats, Time, WorkKind};
 
 /// Handle to a pending timer, used for cancellation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -316,40 +329,217 @@ impl<M> Ord for LaneEvent<M> {
 /// `armed[node]` sentinel: no wake marker outstanding.
 const UNARMED: (Time, u64) = (0, u64::MAX);
 
-/// The simulation engine: owns the nodes, the event queue, the clock,
-/// and all accounting.
-pub struct Engine<P: Program> {
+/// Node count at or below which the engine materialises flat `n × n`
+/// routing tables. Below this, the tables (32 MB of distances at the
+/// threshold) measurably beat virtual dispatch into `dyn Topology`;
+/// above it they dwarf every other structure — 2 TB of distances and
+/// 4 TB of next hops at a million nodes — so topologies advertising
+/// [`Topology::computed_routes`] are routed on the fly instead.
+pub const TABLE_THRESHOLD: usize = 4096;
+
+/// The routing seam: every hop-distance or next-hop query goes through
+/// here, backed either by flat tables (small machines, or topologies
+/// without closed-form routes) or by the topology's own O(1)/O(log n)
+/// computations. Both backends return identical values — the topology
+/// crate's invariant tests cross-validate the closed forms against BFS
+/// — so which one is active never shows in simulated results.
+struct Routing {
     topo: Arc<dyn Topology>,
-    latency: LatencyModel,
+    n: usize,
+    /// `true` when the flat tables are in use.
+    tabled: bool,
+    /// Flat `n × n` hop-distance table (`dist[from * n + to]`); empty
+    /// in computed mode.
+    dist: Vec<u16>,
+    /// Flat `n × n` next-hop table (`u32::MAX` on the diagonal), built
+    /// lazily when contention is first enabled; empty in computed mode.
+    next_hop: Vec<u32>,
+}
+
+impl Routing {
+    fn new(topo: Arc<dyn Topology>) -> Self {
+        let n = topo.len();
+        let tabled = n <= TABLE_THRESHOLD || !topo.computed_routes();
+        let mut dist = Vec::new();
+        if tabled {
+            dist = vec![0u16; n * n];
+            for from in 0..n {
+                for to in 0..n {
+                    let d = topo.distance(from, to);
+                    // Release-mode guard (was a debug_assert): a custom
+                    // topology without computed routes can exceed the
+                    // u16 diameter ceiling here, and storing a silently
+                    // truncated distance would corrupt every latency in
+                    // the run. (Provided topologies can't trip this:
+                    // below TABLE_THRESHOLD the diameter is < n ≤ 4096,
+                    // and above it they all advertise computed routes.)
+                    assert!(
+                        d <= u16::MAX as usize,
+                        "hop distance {d} overflows the u16 routing table; \
+                         implement Topology::computed_routes for this topology"
+                    );
+                    dist[from * n + to] = d as u16;
+                }
+            }
+        }
+        Routing {
+            topo,
+            n,
+            tabled,
+            dist,
+            next_hop: Vec::new(),
+        }
+    }
+
+    /// Hop distance `from → to`.
+    #[inline]
+    fn hops(&self, from: NodeId, to: NodeId) -> usize {
+        if self.tabled {
+            self.dist[from * self.n + to] as usize
+        } else {
+            self.topo.distance(from, to)
+        }
+    }
+
+    /// The next hop on the deterministic route `at → to`. Callers
+    /// guarantee `at != to`.
+    #[inline]
+    fn hop_toward(&self, at: NodeId, to: NodeId) -> NodeId {
+        if self.tabled {
+            let hop = self.next_hop[at * self.n + to];
+            debug_assert!(hop != u32::MAX, "forward event at destination");
+            hop as NodeId
+        } else {
+            self.topo
+                .route_next_hop(at, to)
+                // rips-lint: allow(L003, the topology is connected and the router only asks with at != to, so a route exists)
+                .expect("no route between distinct nodes")
+        }
+    }
+
+    /// Materialises the next-hop table (contention mode, tabled only).
+    fn build_next_hop_table(&mut self) {
+        if !self.tabled || !self.next_hop.is_empty() {
+            return;
+        }
+        let n = self.n;
+        self.next_hop = vec![u32::MAX; n * n];
+        for at in 0..n {
+            for to in 0..n {
+                if at != to {
+                    let hop = self
+                        .topo
+                        .route_next_hop(at, to)
+                        // rips-lint: allow(L003, the topology is connected; a route exists between any two distinct nodes)
+                        .expect("no route between distinct nodes");
+                    self.next_hop[at * n + to] = hop as u32;
+                }
+            }
+        }
+    }
+
+    /// Bytes held in materialised tables (0 in computed mode).
+    fn table_bytes(&self) -> u64 {
+        (self.dist.len() * std::mem::size_of::<u16>()
+            + self.next_hop.len() * std::mem::size_of::<u32>()) as u64
+    }
+}
+
+/// The global event core, grouped after the dslab simulator idiom
+/// (SNIPPETS.md): the clock-ordered heap, the deterministic
+/// interleaving counter, timer identity, and the cancellation set
+/// travel together, separate from per-node state.
+struct EventCore<M> {
+    queue: BinaryHeap<std::cmp::Reverse<Event<M>>>,
+    /// Global (time, seq) interleaving tiebreaker; also the identity
+    /// replayed by deferral-lane wake markers.
+    seq: u64,
+    /// Events dispatched so far (the run's event count).
+    processed: u64,
+    next_timer_id: u64,
+    cancelled: HashSet<u64>,
+}
+
+impl<M> EventCore<M> {
+    /// Pushes an event stamped with the next sequence number.
+    #[inline]
+    fn push_next(&mut self, time: Time, node: NodeId, kind: EventKind<M>) {
+        self.seq += 1;
+        self.queue.push(std::cmp::Reverse(Event {
+            time,
+            seq: self.seq,
+            node,
+            kind,
+        }));
+    }
+
+    /// Pushes an event replaying an explicit sequence number (wake
+    /// markers reuse the parked event's original seq so global
+    /// interleaving matches the historical re-push scheme exactly).
+    #[inline]
+    fn push_at(&mut self, time: Time, seq: u64, node: NodeId, kind: EventKind<M>) {
+        self.queue.push(std::cmp::Reverse(Event {
+            time,
+            seq,
+            node,
+            kind,
+        }));
+    }
+}
+
+/// Per-node engine state in struct-of-arrays layout: dense parallel
+/// vectors indexed by node id. Every entry is O(1) bytes — empty heaps
+/// and unarmed markers don't allocate — so an idle node costs a fixed
+/// few hundred bytes and the layout scales linearly to 10⁶ nodes.
+struct NodeCore<P: Program> {
     programs: Vec<P>,
     ready_at: Vec<Time>,
     stats: Vec<NodeStats>,
-    net: NetStats,
-    queue: BinaryHeap<std::cmp::Reverse<Event<P::Msg>>>,
-    seq: u64,
-    events_processed: u64,
-    next_timer_id: u64,
-    cancelled: HashSet<u64>,
     rngs: Vec<SmallRng>,
-    last_activity: Time,
-    timelines: Option<Vec<Vec<crate::BusySpan>>>,
-    /// Flat `n × n` hop-distance table (`dist[from * n + to]`), built
-    /// once at construction.
-    dist: Vec<u16>,
-    /// Flat `n × n` next-hop table for the router; built lazily when
-    /// contention is first enabled (`u32::MAX` on the diagonal).
-    next_hop: Vec<u32>,
-    /// Store-and-forward link contention: directed links serialize
-    /// transmissions. Off by default (contention-free network).
-    contention: bool,
-    /// Dense per-directed-link free times (`link_free[at * n + next]`);
-    /// sized with `next_hop`.
-    link_free: Vec<Time>,
     /// Per-node deferral lanes: events that arrived while the node was
     /// busy, ordered by original sequence number.
     lanes: Vec<BinaryHeap<std::cmp::Reverse<LaneEvent<P::Msg>>>>,
     /// The (time, seq) of each node's valid wake marker, or [`UNARMED`].
     armed: Vec<(Time, u64)>,
+}
+
+impl<P: Program> NodeCore<P> {
+    fn len(&self) -> usize {
+        self.programs.len()
+    }
+
+    /// Fixed bytes per node across the parallel vectors (the modelled
+    /// idle-node cost; lane/heap contents are counted via peak depth).
+    fn fixed_bytes_per_node() -> u64 {
+        (std::mem::size_of::<P>()
+            + std::mem::size_of::<Time>()
+            + std::mem::size_of::<NodeStats>()
+            + std::mem::size_of::<SmallRng>()
+            + std::mem::size_of::<BinaryHeap<std::cmp::Reverse<LaneEvent<P::Msg>>>>()
+            + std::mem::size_of::<(Time, u64)>()) as u64
+    }
+}
+
+/// The simulation engine: owns the nodes, the event queue, the clock,
+/// and all accounting.
+pub struct Engine<P: Program> {
+    latency: LatencyModel,
+    /// Per-node state, struct-of-arrays.
+    nodes: NodeCore<P>,
+    /// Global event-queue state.
+    core: EventCore<P::Msg>,
+    /// Table-or-computed routing seam.
+    routing: Routing,
+    net: NetStats,
+    last_activity: Time,
+    timelines: Option<Vec<Vec<crate::BusySpan>>>,
+    /// Store-and-forward link contention: directed links serialize
+    /// transmissions. Off by default (contention-free network).
+    contention: bool,
+    /// Dense per-directed-link free times (`link_free[at * n + next]`);
+    /// built when contention is enabled. Contention is inherently
+    /// per-link O(n²) state and is not supported past table scale.
+    link_free: Vec<Time>,
     /// Total events currently parked across all lanes.
     parked: u64,
     /// High-water mark of outstanding events (global heap + lanes).
@@ -379,7 +569,7 @@ impl<P: Program> Engine<P> {
         let rngs = (0..n)
             .map(|i| SmallRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ i as u64))
             .collect();
-        let mut queue = BinaryHeap::with_capacity(n * 4);
+        let mut queue = BinaryHeap::with_capacity((n * 4).min(1 << 20));
         for node in 0..n {
             queue.push(std::cmp::Reverse(Event {
                 time: 0,
@@ -388,35 +578,29 @@ impl<P: Program> Engine<P> {
                 kind: EventKind::Start,
             }));
         }
-        let mut dist = vec![0u16; n * n];
-        for from in 0..n {
-            for to in 0..n {
-                let d = topo.distance(from, to);
-                debug_assert!(d <= u16::MAX as usize, "distance overflows u16");
-                dist[from * n + to] = d as u16;
-            }
-        }
         Engine {
-            topo,
             latency,
-            ready_at: vec![0; n],
-            stats: vec![NodeStats::default(); n],
+            nodes: NodeCore {
+                programs,
+                ready_at: vec![0; n],
+                stats: vec![NodeStats::default(); n],
+                rngs,
+                lanes: (0..n).map(|_| BinaryHeap::new()).collect(),
+                armed: vec![UNARMED; n],
+            },
+            core: EventCore {
+                queue,
+                seq: n as u64,
+                processed: 0,
+                next_timer_id: 0,
+                cancelled: HashSet::new(),
+            },
+            routing: Routing::new(topo),
             net: NetStats::default(),
-            programs,
-            queue,
-            seq: n as u64,
-            events_processed: 0,
-            next_timer_id: 0,
-            cancelled: HashSet::new(),
-            rngs,
             last_activity: 0,
             timelines: None,
-            dist,
-            next_hop: Vec::new(),
             contention: false,
             link_free: Vec::new(),
-            lanes: (0..n).map(|_| BinaryHeap::new()).collect(),
-            armed: vec![UNARMED; n],
             parked: 0,
             peak_depth: 0,
             tracer: rips_trace::Tracer::off(),
@@ -434,21 +618,9 @@ impl<P: Program> Engine<P> {
     /// latency up front).
     pub fn enable_contention(&mut self, on: bool) {
         self.contention = on;
-        let n = self.programs.len();
-        if on && self.next_hop.is_empty() {
-            self.next_hop = vec![u32::MAX; n * n];
-            for at in 0..n {
-                for to in 0..n {
-                    if at != to {
-                        let hop = self
-                            .topo
-                            .route_next_hop(at, to)
-                            // rips-lint: allow(L003, the topology is connected; a route exists between any two distinct nodes)
-                            .expect("no route between distinct nodes");
-                        self.next_hop[at * n + to] = hop as u32;
-                    }
-                }
-            }
+        let n = self.nodes.len();
+        if on && self.link_free.is_empty() {
+            self.routing.build_next_hop_table();
             self.link_free = vec![0; n * n];
         }
     }
@@ -468,7 +640,7 @@ impl<P: Program> Engine<P> {
     /// engine.
     pub fn record_timeline(&mut self, on: bool) {
         self.timelines = if on {
-            Some(vec![Vec::new(); self.programs.len()])
+            Some(vec![Vec::new(); self.nodes.len()])
         } else {
             None
         };
@@ -476,22 +648,29 @@ impl<P: Program> Engine<P> {
 
     /// Number of nodes.
     pub fn len(&self) -> usize {
-        self.programs.len()
+        self.nodes.len()
     }
 
     /// `true` when the machine has no nodes (constructor forbids this).
     pub fn is_empty(&self) -> bool {
-        self.programs.is_empty()
+        self.nodes.len() == 0
     }
 
     /// The interconnect.
     pub fn topology(&self) -> &Arc<dyn Topology> {
-        &self.topo
+        &self.routing.topo
+    }
+
+    /// `true` when this engine materialised flat routing tables (small
+    /// machine or no closed-form routes); `false` when it routes on the
+    /// fly and holds no O(n²) state.
+    pub fn routing_tabled(&self) -> bool {
+        self.routing.tabled
     }
 
     /// Immutable access to a node's program (post-run inspection).
     pub fn program(&self, node: NodeId) -> &P {
-        &self.programs[node]
+        &self.nodes.programs[node]
     }
 
     /// Advances a contention-mode message one hop: waits for the
@@ -506,15 +685,12 @@ impl<P: Program> Engine<P> {
         msg: P::Msg,
         bytes: usize,
     ) {
-        let n = self.programs.len();
-        let next = self.next_hop[at * n + final_to];
-        debug_assert!(next != u32::MAX, "forward event at destination");
-        let next = next as NodeId;
+        let n = self.nodes.len();
+        let next = self.routing.hop_toward(at, final_to);
         let link = at * n + next;
         let transmit = self.latency.per_hop_us + (bytes as Time * self.latency.per_byte_ns) / 1000;
         let done = self.link_free[link].max(now) + transmit.max(1);
         self.link_free[link] = done;
-        self.seq += 1;
         let kind = if next == final_to {
             EventKind::Message { from, msg }
         } else {
@@ -525,12 +701,7 @@ impl<P: Program> Engine<P> {
                 bytes,
             }
         };
-        self.queue.push(std::cmp::Reverse(Event {
-            time: done,
-            seq: self.seq,
-            node: next,
-            kind,
-        }));
+        self.core.push_next(done, next, kind);
     }
 
     /// Registers one outgoing message: accounting, then either hand it
@@ -544,10 +715,9 @@ impl<P: Program> Engine<P> {
         bytes: usize,
         at_offset: Time,
     ) {
-        let n = self.programs.len();
-        let hops = self.dist[from * n + to] as usize;
-        self.stats[from].msgs_sent += 1;
-        self.stats[from].bytes_sent += bytes as u64;
+        let hops = self.routing.hops(from, to);
+        self.nodes.stats[from].msgs_sent += 1;
+        self.nodes.stats[from].bytes_sent += bytes as u64;
         self.net.msgs += 1;
         self.net.bytes += bytes as u64;
         self.net.hops += hops as u64;
@@ -558,29 +728,23 @@ impl<P: Program> Engine<P> {
                 hops: hops as u32,
             }
         });
-        self.seq += 1;
         if self.contention && hops > 0 {
             // Inject after the fixed startup cost; the router takes it
             // from there, link by link.
-            self.queue.push(std::cmp::Reverse(Event {
-                time: start + at_offset + self.latency.alpha_us,
-                seq: self.seq,
-                node: from,
-                kind: EventKind::Forward {
+            self.core.push_next(
+                start + at_offset + self.latency.alpha_us,
+                from,
+                EventKind::Forward {
                     from,
                     final_to: to,
                     msg,
                     bytes,
                 },
-            }));
+            );
         } else {
             let arrive = start + at_offset + self.latency.wire_latency(bytes, hops);
-            self.queue.push(std::cmp::Reverse(Event {
-                time: arrive,
-                seq: self.seq,
-                node: to,
-                kind: EventKind::Message { from, msg },
-            }));
+            self.core
+                .push_next(arrive, to, EventKind::Message { from, msg });
         }
     }
 
@@ -589,20 +753,15 @@ impl<P: Program> Engine<P> {
     /// the same (time, seq) is left alone; anything else outstanding
     /// becomes stale and is discarded when popped.
     fn arm(&mut self, node: NodeId) {
-        match self.lanes[node].peek() {
+        match self.nodes.lanes[node].peek() {
             Some(std::cmp::Reverse(head)) => {
-                let mark = (self.ready_at[node], head.seq);
-                if self.armed[node] != mark {
-                    self.armed[node] = mark;
-                    self.queue.push(std::cmp::Reverse(Event {
-                        time: mark.0,
-                        seq: mark.1,
-                        node,
-                        kind: EventKind::Wake,
-                    }));
+                let mark = (self.nodes.ready_at[node], head.seq);
+                if self.nodes.armed[node] != mark {
+                    self.nodes.armed[node] = mark;
+                    self.core.push_at(mark.0, mark.1, node, EventKind::Wake);
                 }
             }
-            None => self.armed[node] = UNARMED,
+            None => self.nodes.armed[node] = UNARMED,
         }
     }
 
@@ -612,16 +771,16 @@ impl<P: Program> Engine<P> {
     where
         P::Msg: Clone,
     {
-        self.events_processed += 1;
+        self.core.processed += 1;
         assert!(
-            self.events_processed <= self.max_events,
+            self.core.processed <= self.max_events,
             "event limit exceeded: protocol livelock?"
         );
 
         let mut ctx = Ctx {
             now: start,
             me: node,
-            n: self.programs.len(),
+            n: self.nodes.programs.len(),
             consumed_user: 0,
             consumed_overhead: 0,
             effects: &mut self.effects_buf,
@@ -629,16 +788,16 @@ impl<P: Program> Engine<P> {
             cancels: &mut self.cancel_buf,
             halt: false,
             send_cpu_us: self.latency.send_cpu_us,
-            next_timer_id: &mut self.next_timer_id,
-            rng: &mut self.rngs[node],
+            next_timer_id: &mut self.core.next_timer_id,
+            rng: &mut self.nodes.rngs[node],
         };
         match kind {
-            EventKind::Start => self.programs[node].on_start(&mut ctx),
+            EventKind::Start => self.nodes.programs[node].on_start(&mut ctx),
             EventKind::Message { from, msg } => {
                 ctx.consumed_overhead += self.latency.recv_cpu_us;
-                self.programs[node].on_message(&mut ctx, from, msg)
+                self.nodes.programs[node].on_message(&mut ctx, from, msg)
             }
-            EventKind::Timer { tag, .. } => self.programs[node].on_timer(&mut ctx, tag),
+            EventKind::Timer { tag, .. } => self.nodes.programs[node].on_timer(&mut ctx, tag),
             EventKind::Forward { .. } | EventKind::Wake => {
                 // rips-lint: allow(L003, routing and wake markers are intercepted by the event loop before dispatch)
                 unreachable!("router/marker events never dispatch to a program")
@@ -650,9 +809,9 @@ impl<P: Program> Engine<P> {
         let consumed = consumed_user + consumed_overhead;
         let halt = ctx.halt;
 
-        self.stats[node].user_us += consumed_user;
-        self.stats[node].overhead_us += consumed_overhead;
-        self.ready_at[node] = start + consumed;
+        self.nodes.stats[node].user_us += consumed_user;
+        self.nodes.stats[node].overhead_us += consumed_overhead;
+        self.nodes.ready_at[node] = start + consumed;
         self.last_activity = self.last_activity.max(start + consumed);
         if let Some(timelines) = &mut self.timelines {
             if consumed_overhead > 0 {
@@ -688,7 +847,7 @@ impl<P: Program> Engine<P> {
                     base_offset,
                     signal,
                 } => {
-                    let n = self.programs.len();
+                    let n = self.nodes.len();
                     let step = if signal { 0 } else { self.latency.send_cpu_us };
                     let last = if node == n - 1 {
                         n.wrapping_sub(2)
@@ -718,21 +877,19 @@ impl<P: Program> Engine<P> {
 
         let mut timers = std::mem::take(&mut self.timer_buf);
         for t in timers.drain(..) {
-            self.seq += 1;
-            self.queue.push(std::cmp::Reverse(Event {
-                time: start + t.fire_offset,
-                seq: self.seq,
+            self.core.push_next(
+                start + t.fire_offset,
                 node,
-                kind: EventKind::Timer {
+                EventKind::Timer {
                     id: t.id,
                     tag: t.tag,
                 },
-            }));
+            );
         }
         self.timer_buf = timers;
 
         if !self.cancel_buf.is_empty() {
-            let cancelled = &mut self.cancelled;
+            let cancelled = &mut self.core.cancelled;
             cancelled.extend(self.cancel_buf.drain(..));
         }
         halt
@@ -748,8 +905,8 @@ impl<P: Program> Engine<P> {
     where
         P::Msg: Clone,
     {
-        'sim: while let Some(std::cmp::Reverse(ev)) = self.queue.pop() {
-            let depth = self.queue.len() as u64 + self.parked + 1;
+        'sim: while let Some(std::cmp::Reverse(ev)) = self.core.queue.pop() {
+            let depth = self.core.queue.len() as u64 + self.parked + 1;
             if depth > self.peak_depth {
                 self.peak_depth = depth;
             }
@@ -763,23 +920,23 @@ impl<P: Program> Engine<P> {
                     msg,
                     bytes,
                 } => {
-                    self.events_processed += 1;
+                    self.core.processed += 1;
                     self.route_hop(ev.time, node, from, final_to, msg, bytes);
                 }
                 EventKind::Wake => {
-                    if self.armed[node] != (ev.time, ev.seq) {
+                    if self.nodes.armed[node] != (ev.time, ev.seq) {
                         continue; // stale marker
                     }
-                    let head = self.lanes[node]
+                    let head = self.nodes.lanes[node]
                         .pop()
                         // rips-lint: allow(L003, a node is armed only when its lane is non-empty; the pop cannot fail)
                         .expect("armed node with empty lane")
                         .0;
                     debug_assert_eq!(head.seq, ev.seq);
                     self.parked -= 1;
-                    self.armed[node] = UNARMED;
+                    self.nodes.armed[node] = UNARMED;
                     if let EventKind::Timer { id, .. } = &head.kind {
-                        if self.cancelled.remove(id) {
+                        if self.core.cancelled.remove(id) {
                             self.arm(node);
                             continue;
                         }
@@ -795,16 +952,17 @@ impl<P: Program> Engine<P> {
                     // busy node parks in the node's deferral lane; the
                     // wake marker replays it (in original seq order) at
                     // the time the re-push scheme would have.
-                    if self.ready_at[node] > ev.time {
-                        self.lanes[node].push(std::cmp::Reverse(LaneEvent { seq: ev.seq, kind }));
+                    if self.nodes.ready_at[node] > ev.time {
+                        self.nodes.lanes[node]
+                            .push(std::cmp::Reverse(LaneEvent { seq: ev.seq, kind }));
                         self.parked += 1;
-                        if ev.seq < self.armed[node].1 {
+                        if ev.seq < self.nodes.armed[node].1 {
                             self.arm(node);
                         }
                         continue;
                     }
                     if let EventKind::Timer { id, .. } = &kind {
-                        if self.cancelled.remove(id) {
+                        if self.core.cancelled.remove(id) {
                             continue;
                         }
                     }
@@ -817,15 +975,22 @@ impl<P: Program> Engine<P> {
             }
         }
 
+        let mem = MemStats {
+            routing_table_bytes: self.routing.table_bytes(),
+            link_state_bytes: (self.link_free.len() * std::mem::size_of::<Time>()) as u64,
+            node_state_bytes: self.nodes.len() as u64 * NodeCore::<P>::fixed_bytes_per_node(),
+            peak_event_bytes: self.peak_depth * std::mem::size_of::<Event<P::Msg>>() as u64,
+        };
         let stats = RunStats {
             end_time: self.last_activity,
-            nodes: self.stats,
+            nodes: self.nodes.stats,
             net: self.net,
-            events: self.events_processed,
+            events: self.core.processed,
             peak_queue_depth: self.peak_depth,
+            mem,
             timelines: self.timelines,
         };
-        (self.programs, stats)
+        (self.nodes.programs, stats)
     }
 }
 
@@ -1121,6 +1286,76 @@ mod tests {
     #[test]
     fn deterministic_under_seed() {
         assert_eq!(spray_run(99), spray_run(99));
+    }
+
+    /// Mesh wrapper that hides its closed-form routes, forcing the
+    /// engine into table mode at any size.
+    struct OpaqueMesh(Mesh2D);
+
+    impl Topology for OpaqueMesh {
+        fn len(&self) -> usize {
+            self.0.len()
+        }
+        fn neighbors(&self, node: NodeId) -> Vec<NodeId> {
+            self.0.neighbors(node)
+        }
+        fn distance(&self, a: NodeId, b: NodeId) -> usize {
+            self.0.distance(a, b)
+        }
+        fn route_next_hop(&self, from: NodeId, to: NodeId) -> Option<NodeId> {
+            self.0.route_next_hop(from, to)
+        }
+        fn diameter(&self) -> usize {
+            self.0.diameter()
+        }
+        fn label(&self) -> String {
+            self.0.label()
+        }
+        // computed_routes: default false.
+    }
+
+    /// Above [`TABLE_THRESHOLD`], a computed-routes topology must give
+    /// bit-for-bit the same simulation as the same topology forced
+    /// into table mode — the threshold is a memory decision, never a
+    /// semantic one.
+    #[test]
+    fn computed_and_tabled_routing_agree_across_threshold() {
+        // 70 × 60 = 4200 nodes, just past the 4096 threshold.
+        let run = |topo: Arc<dyn Topology>| {
+            let eng = Engine::new(topo, LatencyModel::paragon(), 77, |_| RandomSpray {
+                log: vec![],
+                hops_left: 40,
+            });
+            let tabled = eng.routing_tabled();
+            let (progs, stats) = eng.run();
+            let logs: Vec<_> = progs.into_iter().map(|p| p.log).collect();
+            (tabled, logs, stats)
+        };
+        let (tabled_a, logs_a, stats_a) = run(Arc::new(Mesh2D::new(70, 60)));
+        let (tabled_b, logs_b, stats_b) = run(Arc::new(OpaqueMesh(Mesh2D::new(70, 60))));
+        assert!(!tabled_a, "mesh past the threshold should route computed");
+        assert!(tabled_b, "opaque wrapper should force tables");
+        assert_eq!(logs_a, logs_b);
+        assert_eq!(stats_a.end_time, stats_b.end_time);
+        assert_eq!(stats_a.net, stats_b.net);
+        assert_eq!(stats_a.events, stats_b.events);
+        // Only the memory accounting may differ: no O(n²) bytes on the
+        // computed side, n² table bytes on the tabled side.
+        assert_eq!(stats_a.mem.routing_table_bytes, 0);
+        assert_eq!(stats_b.mem.routing_table_bytes, (4200u64 * 4200) * 2);
+    }
+
+    /// Below the threshold the provided topologies still use tables
+    /// (they measurably win at small n).
+    #[test]
+    fn small_machines_stay_tabled() {
+        let eng = Engine::new(mesh(16), LatencyModel::paragon(), 1, |_| PingPong {
+            seen: vec![],
+        });
+        assert!(eng.routing_tabled());
+        let (_, stats) = eng.run();
+        assert_eq!(stats.mem.routing_table_bytes, 16 * 16 * 2);
+        assert!(stats.mem.node_state_bytes > 0);
     }
 
     #[test]

@@ -22,7 +22,7 @@ mod stats;
 
 pub use engine::{Ctx, Engine, Program, TimerId};
 pub use latency::LatencyModel;
-pub use stats::{BusySpan, NetStats, NodeStats, RunStats, WorkKind};
+pub use stats::{BusySpan, MemStats, NetStats, NodeStats, RunStats, WorkKind};
 
 /// Virtual time in microseconds.
 pub type Time = u64;

@@ -51,6 +51,44 @@ pub struct NetStats {
     pub hops: u64,
 }
 
+/// Modelled memory footprint of the engine's scale-sensitive state.
+///
+/// These are **deterministic modelled bytes** computed from structure
+/// sizes — not measured RSS, which would vary run to run and break the
+/// bit-for-bit reproducibility contract (`RunStats` is `Eq`-compared
+/// across traced/untraced runs). The scale-curve bench pairs these
+/// with the process's real `VmHWM` for the checked-in report.
+///
+/// The headline number is `routing_table_bytes`: zero means the run
+/// routed on the fly via [`rips_topology::Topology::computed_routes`]
+/// and materialised no O(n²) structure.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// Bytes in materialised flat routing tables (hop-distance plus
+    /// next-hop when built). Zero when the topology's closed-form
+    /// routes were computed on the fly.
+    pub routing_table_bytes: u64,
+    /// Bytes of per-directed-link contention state (`n²` link free
+    /// times when store-and-forward contention is enabled, else 0).
+    pub link_state_bytes: u64,
+    /// Fixed per-node engine state (lanes, wake markers, ready times,
+    /// RNGs, counters) — O(1) per node, summed over nodes.
+    pub node_state_bytes: u64,
+    /// Peak outstanding events (heap + deferral lanes) times the
+    /// per-event footprint.
+    pub peak_event_bytes: u64,
+}
+
+impl MemStats {
+    /// Total modelled bytes across all categories.
+    pub fn total_bytes(&self) -> u64 {
+        self.routing_table_bytes
+            + self.link_state_bytes
+            + self.node_state_bytes
+            + self.peak_event_bytes
+    }
+}
+
 /// One contiguous stretch of CPU activity on a node (timeline
 /// recording only).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -78,6 +116,9 @@ pub struct RunStats {
     /// High-water mark of outstanding events (heap + deferral lanes) —
     /// the simulator's working-set diagnostic.
     pub peak_queue_depth: u64,
+    /// Modelled memory footprint of the engine's scale-sensitive
+    /// structures (deterministic; see [`MemStats`]).
+    pub mem: MemStats,
     /// Per-node busy spans, present when the engine ran with
     /// `record_timeline` — the raw material for utilization charts.
     pub timelines: Option<Vec<Vec<BusySpan>>>,
@@ -161,6 +202,7 @@ mod tests {
             net: NetStats::default(),
             events: 0,
             peak_queue_depth: 0,
+            mem: MemStats::default(),
             timelines: None,
         };
         assert!((stats.efficiency() - 1.0).abs() < 1e-12);
@@ -180,6 +222,7 @@ mod tests {
             net: NetStats::default(),
             events: 0,
             peak_queue_depth: 0,
+            mem: MemStats::default(),
             timelines: None,
         };
         assert!((stats.efficiency() - 0.5).abs() < 1e-12);

@@ -518,7 +518,7 @@ where
         .clock
         .clone()
         .unwrap_or_else(|| Arc::new(WallClock::new()));
-    let oracle = Oracle::new(Arc::clone(&workload), topo.as_ref(), costs);
+    let oracle = Oracle::new(Arc::clone(&workload), Arc::clone(&topo), costs);
     let mut make = make;
     let fabric = transport::build::<KernelMsg<P::Msg>>(opts.transport, n);
     let started = clock.now_us();

@@ -81,6 +81,7 @@ mod tests {
             net: NetStats::default(),
             events: 0,
             peak_queue_depth: 0,
+            mem: Default::default(),
             timelines: Some(spans),
         }
     }
@@ -180,6 +181,7 @@ mod tests {
             net: NetStats::default(),
             events: 0,
             peak_queue_depth: 0,
+            mem: Default::default(),
             timelines: None,
         };
         assert!(utilization_chart(&stats, 5).contains("no timeline"));

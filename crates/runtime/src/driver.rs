@@ -196,6 +196,7 @@ impl Kernel {
     }
 
     /// Current queue length — the default notion of "load".
+    #[inline]
     pub fn load(&self) -> i64 {
         self.exec.queue.len() as i64
     }
@@ -588,7 +589,7 @@ where
     if workload.rounds.is_empty() {
         return (RunOutcome::empty(topo.len()), Vec::new());
     }
-    let oracle = Oracle::new(Arc::clone(&workload), topo.as_ref(), costs);
+    let oracle = Oracle::new(Arc::clone(&workload), Arc::clone(&topo), costs);
     let tracer = oracle.tracer.clone();
     let mut make = make;
     let mut engine = Engine::new(topo, latency, seed, move |me| NodeDriver {

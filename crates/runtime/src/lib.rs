@@ -124,10 +124,12 @@ pub struct Oracle {
     /// sink ([`rips_trace::with_sink`]) at construction; disabled
     /// otherwise. The kernel and policies emit through it.
     pub tracer: rips_trace::Tracer,
-    /// Flat `n × n` hop-distance table for task-locality trace events.
-    /// Built only when the tracer is enabled (empty otherwise), so the
-    /// untraced path pays nothing for it.
-    dist: Arc<Vec<u16>>,
+    /// The machine topology, for task-locality trace annotations.
+    /// Distances are computed on the fly — an `n × n` table here would
+    /// be 2 TB at a million nodes, and every provided topology answers
+    /// `distance` in closed form (see
+    /// [`rips_topology::Topology::computed_routes`]).
+    topo: Arc<dyn Topology>,
     n: usize,
     diameter: usize,
 }
@@ -164,7 +166,7 @@ impl Clone for Oracle {
             workload: Arc::clone(&self.workload),
             costs: self.costs,
             tracer: self.tracer.clone(),
-            dist: Arc::clone(&self.dist),
+            topo: Arc::clone(&self.topo),
             n: self.n,
             diameter: self.diameter,
         }
@@ -173,21 +175,10 @@ impl Clone for Oracle {
 
 impl Oracle {
     /// Creates the oracle for one engine run.
-    pub fn new(workload: Arc<Workload>, topo: &dyn Topology, costs: Costs) -> Self {
+    pub fn new(workload: Arc<Workload>, topo: Arc<dyn Topology>, costs: Costs) -> Self {
         let first_round = workload.rounds.first().map_or(0, |r| r.len() as u64);
         let tracer = rips_trace::Tracer::current();
         let n = topo.len();
-        let dist = if tracer.enabled() {
-            let mut d = vec![0u16; n * n];
-            for from in 0..n {
-                for to in 0..n {
-                    d[from * n + to] = topo.distance(from, to) as u16;
-                }
-            }
-            Arc::new(d)
-        } else {
-            Arc::new(Vec::new())
-        };
         Oracle {
             shared: Arc::new(OracleShared {
                 round: AtomicU32::new(0),
@@ -198,20 +189,20 @@ impl Oracle {
             workload,
             costs,
             tracer,
-            dist,
-            n,
             diameter: topo.diameter(),
+            topo,
+            n,
         }
     }
 
     /// Hop distance between two nodes, for trace locality annotations.
-    /// Only meaningful while tracing (returns 0 otherwise — the table
-    /// is not built for untraced runs).
+    /// Only meaningful while tracing (returns 0 otherwise, matching
+    /// the historical table-free untraced path bit for bit).
     pub fn hops(&self, from: NodeId, to: NodeId) -> u32 {
-        if self.dist.is_empty() {
-            0
+        if self.tracer.enabled() {
+            self.topo.distance(from, to) as u32
         } else {
-            self.dist[from * self.n + to] as u32
+            0
         }
     }
 
@@ -435,6 +426,7 @@ impl RunOutcome {
                 net: Default::default(),
                 events: 0,
                 peak_queue_depth: 0,
+                mem: Default::default(),
                 timelines: None,
             },
             executed: vec![0; n],
@@ -491,7 +483,7 @@ mod tests {
     fn oracle(tasks: usize, nodes: usize) -> Oracle {
         let w = Arc::new(flat_uniform(tasks, 5, 10, 1));
         let topo = Mesh2D::near_square(nodes);
-        Oracle::new(w, &topo, Costs::default())
+        Oracle::new(w, Arc::new(topo), Costs::default())
     }
 
     #[test]
@@ -542,7 +534,7 @@ mod tests {
             ],
         });
         let topo = Mesh2D::new(1, 2);
-        let o = Oracle::new(w, &topo, Costs::default());
+        let o = Oracle::new(w, Arc::new(topo), Costs::default());
         o.task_done();
         o.task_done();
         assert_eq!(o.advance_round(), Some(1));

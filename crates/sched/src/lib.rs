@@ -14,6 +14,11 @@
 //!   final loads within one task of each other (Theorem 1), the
 //!   minimum possible number of non-local tasks (Theorem 2), and
 //!   optimal `Σ eₖ` on ≤ 4 processors (Lemma 2).
+//! * [`tiled_mwa`] — **hierarchical MWA** for very large meshes:
+//!   cross-tile exchange over `⌈n^(1/4)⌉`-sided tiles plus the
+//!   unmodified walk inside each tile; same final loads as [`mwa`]
+//!   (Theorem 1 exactly) in `O(n^(1/4))` instead of `O(√n)` steps,
+//!   trading away Theorem 2's migration-minimality equality.
 //! * [`twa`] — the **Tree Walking Algorithm** (reference \[25\]): on a
 //!   tree every edge's net flow is forced, so the plan is optimal in
 //!   `Σ eₖ`; `2·height` communication steps.
@@ -30,6 +35,7 @@ mod dmwa;
 mod dtwa;
 mod mwa;
 mod plan;
+mod tiled;
 mod twa;
 
 pub use ddem::dem_distributed;
@@ -38,4 +44,5 @@ pub use dmwa::mwa_distributed;
 pub use dtwa::twa_distributed;
 pub use mwa::{mwa, MwaTrace};
 pub use plan::{min_nonlocal_tasks, quota_vector, Move, TransferPlan};
+pub use tiled::{tiled_mwa, TileGrid, TiledTrace};
 pub use twa::twa;

@@ -73,6 +73,11 @@ impl Topology for Hypercube {
     fn label(&self) -> String {
         format!("hypercube d={}", self.dim)
     }
+
+    fn computed_routes(&self) -> bool {
+        // Hamming distance and e-cube routing are O(1) bit tricks.
+        true
+    }
 }
 
 #[cfg(test)]

@@ -58,6 +58,25 @@ pub trait Topology: Send + Sync {
 
     /// Short human-readable name, e.g. `"mesh 8x4"`.
     fn label(&self) -> String;
+
+    /// `true` when [`Topology::distance`] and
+    /// [`Topology::route_next_hop`] are cheap closed-form computations
+    /// (O(1)/O(log n)) rather than graph searches.
+    ///
+    /// Callers that would otherwise materialise `n × n` distance or
+    /// next-hop tables (2 TB / 4 TB at a million nodes) can skip the
+    /// tables entirely for such topologies and call the methods on the
+    /// fly. The provided mesh/ring/hypercube/tree implementations all
+    /// opt in; the default is conservative (`false`) so a custom
+    /// BFS-backed topology keeps table-based callers.
+    ///
+    /// Implementations answering `true` promise the closed forms agree
+    /// with BFS over `neighbors` — the trait-level invariant tests
+    /// cross-validate this exhaustively at small `n` and by sampling at
+    /// `n ≥ 100_000`.
+    fn computed_routes(&self) -> bool {
+        false
+    }
 }
 
 /// Walks the full deterministic route `from → to` (excluding `from`,
@@ -166,5 +185,95 @@ mod trait_tests {
         for n in [1, 2, 3, 4, 9, 16] {
             check_invariants(&Ring::new(n));
         }
+    }
+
+    #[test]
+    fn provided_topologies_advertise_computed_routes() {
+        let topos: [&dyn Topology; 4] = [
+            &Mesh2D::new(3, 4),
+            &Ring::new(9),
+            &Hypercube::new(4),
+            &BinaryTree::new(12),
+        ];
+        for t in topos {
+            assert!(t.computed_routes(), "{} lost its capability", t.label());
+        }
+    }
+
+    /// SplitMix64 — enough randomness for pair sampling, no deps.
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// The exhaustive `check_invariants` is O(n²); above ~100k nodes we
+    /// sample instead. For each drawn pair: closed-form `distance` must
+    /// equal BFS over `neighbors`, and the deterministic route must
+    /// reach the destination in exactly `distance` hops.
+    fn check_sampled(topo: &dyn Topology, pairs: usize, seed: u64) {
+        let n = topo.len();
+        assert!(
+            topo.computed_routes(),
+            "sampled check only makes sense for computed-route topologies"
+        );
+        let mut s = seed;
+        for _ in 0..pairs {
+            let a = (splitmix(&mut s) % n as u64) as NodeId;
+            let b = (splitmix(&mut s) % n as u64) as NodeId;
+            let d = topo.distance(a, b);
+            assert_eq!(d, topo.distance(b, a), "distance not symmetric");
+            assert_eq!(
+                d,
+                bfs_distance(topo, a, b),
+                "closed-form != BFS for {a}->{b} in {}",
+                topo.label()
+            );
+            // Walk the route, checking strict progress at every hop.
+            let mut cur = a;
+            let mut left = d;
+            while let Some(next) = topo.route_next_hop(cur, b) {
+                assert!(
+                    topo.neighbors(cur).contains(&next),
+                    "route hop {cur}->{next} is not a link"
+                );
+                left -= 1;
+                assert_eq!(
+                    topo.distance(next, b),
+                    left,
+                    "route does not progress at {cur}"
+                );
+                cur = next;
+            }
+            assert_eq!(cur, b, "route never reached the destination");
+            assert_eq!(left, 0);
+        }
+    }
+
+    #[test]
+    fn mesh_sampled_at_scale() {
+        // 350 × 300 = 105_000 nodes; the flat tables this replaces
+        // would be 22 GB here.
+        check_sampled(&Mesh2D::new(350, 300), 64, 0xA11CE);
+    }
+
+    #[test]
+    fn ring_sampled_at_scale() {
+        // Diameter 75_000 — far beyond u16; exercises the widened
+        // computed-distance path.
+        check_sampled(&Ring::new(150_000), 48, 0xB0B);
+    }
+
+    #[test]
+    fn hypercube_sampled_at_scale() {
+        // 2^17 = 131_072 nodes.
+        check_sampled(&Hypercube::new(17), 64, 0xCAFE);
+    }
+
+    #[test]
+    fn tree_sampled_at_scale() {
+        check_sampled(&BinaryTree::new(120_000), 64, 0xD00D);
     }
 }

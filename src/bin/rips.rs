@@ -429,9 +429,17 @@ fn arg_flag(name: &str) -> bool {
 }
 
 /// Runs one scheduler under the invariant [`Auditor`] and prints its
-/// report; returns whether every audited invariant held.
+/// report; returns whether every audited invariant held. RIPS-H runs
+/// get the tiling-aware auditor (per-tile Theorem 1, Lemma 1 as a
+/// lower bound) built from the same decomposition the planner uses.
 fn audit_one(reg: &SchedulerRegistry, name: &str, spec: &RunSpec, nodes: usize) -> bool {
-    let (auditor, run) = rips_repro::trace::with_sink(Auditor::new(nodes), || reg.run(name, spec));
+    let auditor = if name == "RIPS-H" {
+        let mesh = rips_repro::topology::Mesh2D::near_square(nodes);
+        Auditor::with_tiles(nodes, rips_repro::sched::TileGrid::new(&mesh).assignment())
+    } else {
+        Auditor::new(nodes)
+    };
+    let (auditor, run) = rips_repro::trace::with_sink(auditor, || reg.run(name, spec));
     let report = auditor.finish();
     println!("── {name} · {} nodes · seed {} ──", spec.nodes, spec.seed);
     print!("{}", report.render_human());
