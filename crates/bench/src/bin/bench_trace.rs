@@ -1,0 +1,153 @@
+//! `bench_trace` — observability microbenchmark: what one event costs.
+//!
+//! The telemetry story (DESIGN §10) rests on two claims: the tracer
+//! and the meter are a single predictable branch when nothing is
+//! installed, and cheap enough to leave always-on when something is.
+//! This binary measures both claims the same way `bench_transport`
+//! measures the fabric swap: a tight loop over one operation, best of
+//! N repeats, ns/op.
+//!
+//! Five rows:
+//!
+//! * `tracer-off`   — [`Tracer::emit`] with no sink installed (the
+//!   simulator's default); the event closure must never run.
+//! * `tracer-on`    — emit into an installed [`TraceBuffer`]: payload
+//!   construction + sink lock + record.
+//! * `flight-on`    — emit into a [`FlightRecorder`] overwrite ring,
+//!   the always-on live-run configuration.
+//! * `counter-add`  — [`Meter::inc`] against an installed registry:
+//!   one relaxed fetch-add on a cache-line-padded shard.
+//! * `histo-observe` — [`Meter::observe`]: fetch-adds on the log2
+//!   bucket, sum, and count cells.
+//!
+//! Exits nonzero if any instrumented run recorded the wrong number of
+//! events (a lost tap would make every cost number a lie).
+//!
+//! ```text
+//! bench_trace [--events 1000000] [--repeats 3]
+//! ```
+
+use std::time::Instant;
+
+use rips_bench::arg_usize;
+use rips_trace::metrics_rt::{Counter, Histo};
+use rips_trace::{
+    with_metrics, with_sink, FlightRecorder, Meter, MetricsRegistry, TraceBuffer, TraceEvent,
+    Tracer,
+};
+
+/// One emitted payload, varied per iteration so the compiler cannot
+/// hoist the closure body out of the loop.
+fn event(i: u64) -> TraceEvent {
+    TraceEvent::QueueDepth {
+        depth: (i & 0xffff) as u32,
+    }
+}
+
+/// Times `f` over `events` iterations and returns total ns.
+fn timed(f: impl FnOnce()) -> u64 {
+    let start = Instant::now();
+    f();
+    start.elapsed().as_nanos() as u64
+}
+
+fn run_tracer_off(events: u64) -> (u64, bool) {
+    // No sink installed: `current()` hands back a disabled tracer and
+    // every emit must take the single `installed.is_none()` branch.
+    let tracer = Tracer::current();
+    let mut closures_ran = 0u64;
+    let ns = timed(|| {
+        for i in 0..events {
+            tracer.emit(i, (i % 7) as usize, || {
+                closures_ran += 1;
+                event(i)
+            });
+        }
+    });
+    (ns, closures_ran == 0)
+}
+
+fn run_tracer_on(events: u64) -> (u64, bool) {
+    let mut ns = 0;
+    let (buf, ()) = with_sink(TraceBuffer::new(), || {
+        let tracer = Tracer::current();
+        ns = timed(|| {
+            for i in 0..events {
+                tracer.emit(i, (i % 7) as usize, || event(i));
+            }
+        });
+    });
+    (ns, buf.records.len() as u64 == events)
+}
+
+fn run_flight_on(events: u64) -> (u64, bool) {
+    let mut ns = 0;
+    let (rec, ()) = with_sink(FlightRecorder::new(8, 64), || {
+        let tracer = Tracer::current();
+        ns = timed(|| {
+            for i in 0..events {
+                tracer.emit(i, (i % 7) as usize, || event(i));
+            }
+        });
+    });
+    (ns, rec.total_recorded() == events)
+}
+
+fn run_counter_add(events: u64) -> (u64, bool) {
+    let reg = MetricsRegistry::new(8);
+    let mut ns = 0;
+    with_metrics(&reg, || {
+        let meter = Meter::current().for_shard(3);
+        ns = timed(|| {
+            for _ in 0..events {
+                meter.inc(Counter::TasksExecuted);
+            }
+        });
+    });
+    (ns, reg.counter_total(Counter::TasksExecuted) == events)
+}
+
+fn run_histo_observe(events: u64) -> (u64, bool) {
+    let reg = MetricsRegistry::new(8);
+    let mut ns = 0;
+    with_metrics(&reg, || {
+        let meter = Meter::current().for_shard(3);
+        ns = timed(|| {
+            for i in 0..events {
+                meter.observe(Histo::GrainExecNs, i);
+            }
+        });
+    });
+    (ns, reg.snapshot().histo(Histo::GrainExecNs).count == events)
+}
+
+fn main() {
+    let events = arg_usize("--events", 1_000_000) as u64;
+    let repeats = arg_usize("--repeats", 3).max(1);
+    println!("trace/metrics microbenchmark: {events} events/op, best of {repeats}");
+    println!("{:>14} {:>12}", "op", "ns/event");
+
+    /// One benchmark row: returns (total ns, event-count check).
+    type Row = fn(u64) -> (u64, bool);
+    let rows: &[(&str, Row)] = &[
+        ("tracer-off", run_tracer_off),
+        ("tracer-on", run_tracer_on),
+        ("flight-on", run_flight_on),
+        ("counter-add", run_counter_add),
+        ("histo-observe", run_histo_observe),
+    ];
+    let mut ok = true;
+    for &(label, f) in rows {
+        let mut best = u64::MAX;
+        for _ in 0..repeats {
+            let (ns, counted) = f(events);
+            ok &= counted;
+            best = best.min(ns);
+        }
+        println!("{label:>14} {:>12.2}", best as f64 / events as f64);
+    }
+    if !ok {
+        eprintln!("FAILED: an instrumented run lost events");
+        std::process::exit(1);
+    }
+}

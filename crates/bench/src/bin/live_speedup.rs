@@ -27,6 +27,15 @@
 //! Every run is cross-validated: solutions and execution checksum must
 //! equal the sequential reference, or the binary panics.
 //!
+//! Each series additionally carries an `overhead_breakdown`: one extra
+//! run at the widest thread count with the metrics registry, wall
+//! cycle clock, and a flight-recorder trace sink installed, so the
+//! per-dispatch cycle attribution ({grain setup, grain execute,
+//! transport send/recv, timer wheel, trace emission}; ROADMAP item 1)
+//! lands in the same JSON as the speedups. The profiled run is kept
+//! out of the timing cells — the published wall clocks stay
+//! measurement-free.
+//!
 //! ```text
 //! live_speedup [--out BENCH_LIVE.json] [--repeats 2] [--seed 1]
 //!              [--transport ring|mpsc|both]
@@ -40,10 +49,24 @@ use rips_apps::{
 };
 use rips_bench::live::{live_opts, live_run};
 use rips_bench::{arg_usize, registry};
-use rips_live::{GrainMode, TransportKind};
+use rips_live::{GrainMode, TransportKind, WallClock};
 use rips_taskgraph::Workload;
+use rips_trace::metrics_rt::{Counter, CycleClock, Histo};
+use rips_trace::{with_metrics_clocked, with_sink_clocked, Clock, FlightRecorder, MetricsRegistry};
 
 const THREADS: &[usize] = &[1, 2, 4];
+
+/// The profiled phases of a dispatch round, in rendering order.
+const PHASES: &[(&str, Histo)] = &[
+    ("dispatch_round", Histo::DispatchRoundNs),
+    ("grain_setup", Histo::GrainSetupNs),
+    ("grain_exec", Histo::GrainExecNs),
+    ("transport_send", Histo::TransportSendNs),
+    ("transport_recv", Histo::TransportRecvNs),
+    ("timer_wheel", Histo::TimerWheelNs),
+    ("trace_emit", Histo::TraceEmitNs),
+    ("park", Histo::ParkNs),
+];
 
 struct Cell {
     threads: usize,
@@ -55,6 +78,15 @@ struct Cell {
     ceiling: f64,
 }
 
+/// Per-dispatch cycle attribution from one profiled run at the widest
+/// thread count: where a dispatch round's non-grain time goes.
+struct Breakdown {
+    threads: usize,
+    dispatch_rounds: u64,
+    /// `(phase, sample count, total ns, mean ns)` in [`PHASES`] order.
+    phases: Vec<(&'static str, u64, u64, f64)>,
+}
+
 struct Series {
     app: String,
     tasks: usize,
@@ -62,6 +94,7 @@ struct Series {
     mode: &'static str,
     transport: &'static str,
     cells: Vec<Cell>,
+    breakdown: Breakdown,
 }
 
 fn arg(name: &str) -> Option<String> {
@@ -150,6 +183,52 @@ fn measure(
             base_us as f64 / best.max(1) as f64
         );
     }
+    // One extra profiled run at the widest width: metrics registry +
+    // wall cycle clock + flight-recorder sink (so trace-emission cost
+    // is exercised too). Separate from the timing cells above so the
+    // published wall clocks carry no measurement overhead.
+    let pthreads = *THREADS.last().unwrap();
+    let clock: Arc<WallClock> = Arc::new(WallClock::new());
+    let metrics = MetricsRegistry::new(pthreads);
+    let (_flight, out) =
+        with_metrics_clocked(&metrics, Arc::clone(&clock) as Arc<dyn CycleClock>, || {
+            with_sink_clocked(
+                FlightRecorder::new(pthreads, 64),
+                Arc::clone(&clock) as Arc<dyn Clock>,
+                || {
+                    let mut opts = live_opts(table, mode, 1.0);
+                    opts.transport = transport;
+                    opts.clock = Some(Arc::clone(&clock) as Arc<dyn Clock>);
+                    live_run("RIPS", workload, pthreads, 0.4, seed, opts)
+                },
+            )
+        });
+    assert_eq!(out.solutions, truth.solutions, "{name} profiled run");
+    assert_eq!(out.checksum, truth.checksum, "{name} profiled run");
+    let snap = metrics.snapshot();
+    let phases: Vec<(&'static str, u64, u64, f64)> = PHASES
+        .iter()
+        .map(|&(label, h)| {
+            let hs = snap.histo(h);
+            (label, hs.count, hs.sum, hs.mean())
+        })
+        .collect();
+    let breakdown = Breakdown {
+        threads: pthreads,
+        dispatch_rounds: snap.counter(Counter::DispatchRounds),
+        phases,
+    };
+    let round = snap.histo(Histo::DispatchRoundNs);
+    let setup = snap.histo(Histo::GrainSetupNs);
+    eprintln!(
+        "  {name} [{mode_label}/{}] overhead at {pthreads}t: {} rounds, \
+         mean {:.0} ns/round ({:.0} ns setup)",
+        transport.name(),
+        breakdown.dispatch_rounds,
+        round.mean(),
+        setup.mean()
+    );
+
     Series {
         app: name.to_string(),
         tasks,
@@ -157,6 +236,7 @@ fn measure(
         mode: mode_label,
         transport: transport.name(),
         cells,
+        breakdown,
     }
 }
 
@@ -255,7 +335,23 @@ fn main() {
             ));
         }
         json.push_str(&format!(
-            "]}}{}\n",
+            "], \"overhead_breakdown\": {{\"threads\": {}, \"dispatch_rounds\": {}, \
+             \"phases\": {{",
+            s.breakdown.threads, s.breakdown.dispatch_rounds
+        ));
+        for (j, (label, count, total, mean)) in s.breakdown.phases.iter().enumerate() {
+            json.push_str(&format!(
+                "{label:?}: {{\"count\": {count}, \"total_ns\": {total}, \
+                 \"mean_ns\": {mean:.1}}}{}",
+                if j + 1 < s.breakdown.phases.len() {
+                    ", "
+                } else {
+                    ""
+                }
+            ));
+        }
+        json.push_str(&format!(
+            "}}}}}}{}\n",
             if i + 1 < series.len() { "," } else { "" }
         ));
     }

@@ -546,6 +546,8 @@ pub struct Engine<P: Program> {
     peak_depth: u64,
     /// Trace handle; disabled by default ([`Engine::set_tracer`]).
     tracer: rips_trace::Tracer,
+    /// Metrics handle; disabled by default ([`Engine::set_meter`]).
+    meter: rips_trace::Meter,
     /// Reusable effect buffers lent to [`Ctx`] per handler call.
     effects_buf: Vec<Effect<P::Msg>>,
     timer_buf: Vec<TimerReq>,
@@ -604,6 +606,7 @@ impl<P: Program> Engine<P> {
             parked: 0,
             peak_depth: 0,
             tracer: rips_trace::Tracer::off(),
+            meter: rips_trace::Meter::off(),
             effects_buf: Vec::new(),
             timer_buf: Vec::new(),
             cancel_buf: Vec::new(),
@@ -631,6 +634,15 @@ impl<P: Program> Engine<P> {
     /// pays one never-taken branch per send.
     pub fn set_tracer(&mut self, tracer: rips_trace::Tracer) {
         self.tracer = tracer;
+    }
+
+    /// Attaches a metrics handle. The event loop then counts every
+    /// processed event (`rips_sim_events`), timer dispatch
+    /// (`rips_timer_fires`), and outgoing message (`rips_msgs_sent`)
+    /// into the per-node shards of the installed registry. With the
+    /// default disabled meter each tap is one never-taken branch.
+    pub fn set_meter(&mut self, meter: rips_trace::Meter) {
+        self.meter = meter;
     }
 
     /// Enables per-node busy-span recording (off by default: one span
@@ -721,6 +733,8 @@ impl<P: Program> Engine<P> {
         self.net.msgs += 1;
         self.net.bytes += bytes as u64;
         self.net.hops += hops as u64;
+        self.meter
+            .add_at(from, rips_trace::metrics_rt::Counter::MsgsSent, 1);
         self.tracer.emit(start + at_offset, from, || {
             rips_trace::TraceEvent::MsgSend {
                 to,
@@ -776,6 +790,12 @@ impl<P: Program> Engine<P> {
             self.core.processed <= self.max_events,
             "event limit exceeded: protocol livelock?"
         );
+        self.meter
+            .add_at(node, rips_trace::metrics_rt::Counter::SimEvents, 1);
+        if matches!(kind, EventKind::Timer { .. }) {
+            self.meter
+                .add_at(node, rips_trace::metrics_rt::Counter::TimerFires, 1);
+        }
 
         let mut ctx = Ctx {
             now: start,

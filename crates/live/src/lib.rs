@@ -61,6 +61,7 @@
 #[allow(unsafe_code)]
 pub mod ring;
 pub mod transport;
+pub mod watchdog;
 pub mod wheel;
 
 use std::sync::Arc;
@@ -75,9 +76,11 @@ use rips_runtime::{
 };
 use rips_taskgraph::Workload;
 use rips_topology::{NodeId, Topology};
+use rips_trace::metrics_rt::{Counter, CycleClock, Gauge, Histo};
 use rips_trace::{Clock, ClockKind, TraceEvent};
 
 pub use transport::{Outbox, Packet, TransportKind};
+pub use watchdog::{StallDetector, StallReport, Watchdog, WatchdogOpts};
 pub use wheel::TimerWheel;
 
 use transport::{NodeRx, NodeTx, Recv};
@@ -114,6 +117,16 @@ impl Clock for WallClock {
     }
     fn kind(&self) -> ClockKind {
         ClockKind::WallMonotonic
+    }
+}
+
+impl CycleClock for WallClock {
+    /// Nanosecond reads for the metrics registry's section timing
+    /// ([`rips_trace::with_metrics_clocked`]); shares the µs clock's
+    /// anchor so dispatch-profile histograms and trace timestamps
+    /// describe the same timeline.
+    fn now_ns(&self) -> u64 {
+        self.start.elapsed().as_nanos() as u64
     }
 }
 
@@ -272,6 +285,13 @@ struct LiveCtx<'a, M> {
     checksum: &'a mut u64,
     solutions: &'a mut u64,
     grain_us: &'a mut u64,
+    /// This node's metrics handle (disabled = one dead branch per tap).
+    meter: &'a rips_trace::Meter,
+    /// Nanoseconds spent inside `execute_grain` during the current
+    /// dispatch round; the node loop resets it per dispatch and
+    /// subtracts it from the round total to get "grain setup" —
+    /// the protocol bookkeeping the ROADMAP asks to be measured.
+    grain_ns: &'a mut u64,
 }
 
 impl<M: Clone> ExecCtx<M> for LiveCtx<'_, M> {
@@ -292,10 +312,12 @@ impl<M: Clone> ExecCtx<M> for LiveCtx<'_, M> {
         // a live node every overhead is the real code path it runs.
     }
     fn send(&mut self, to: NodeId, msg: M, _bytes: usize) {
+        self.meter.inc(Counter::MsgsSent);
         if self.batch {
             self.outbox.push(to, msg);
         } else {
             // Unbatched differential mode: one message per packet.
+            self.meter.inc(Counter::PacketsSent);
             self.tx.send(
                 to,
                 Packet {
@@ -322,6 +344,7 @@ impl<M: Clone> ExecCtx<M> for LiveCtx<'_, M> {
         *self.halted = true;
     }
     fn execute_grain(&mut self, inst: &TaskInstance) {
+        let t0 = self.meter.now_ns();
         let r = self.runner.run(inst);
         *self.checksum = self.checksum.wrapping_add(r.checksum);
         *self.solutions += r.solutions;
@@ -331,6 +354,14 @@ impl<M: Clone> ExecCtx<M> for LiveCtx<'_, M> {
             if us > 0 {
                 std::thread::sleep(Duration::from_micros(us));
             }
+        }
+        if let Some(t0) = t0 {
+            // Grain time includes the Timed-mode occupancy sleep: it
+            // is the node's unavailability, which is what "grain
+            // execute" means to the dispatch breakdown.
+            let dt = self.meter.now_ns().unwrap_or(t0).saturating_sub(t0);
+            self.meter.observe(Histo::GrainExecNs, dt);
+            *self.grain_ns += dt;
         }
     }
 }
@@ -377,9 +408,19 @@ fn node_loop<P: BalancerPolicy>(
     let mut checksum = 0u64;
     let mut solutions = 0u64;
     let mut grain_us = 0u64;
+    let mut grain_ns = 0u64;
     let mut halted = false;
     let tracer = kernel.oracle.tracer.clone();
     let traced = tracer.enabled();
+    // This node's metrics handle, already bound to shard `me`. When a
+    // clocked registry is installed the loop attributes every dispatch
+    // round's nanoseconds to {grain setup, grain execute, transport
+    // send/recv, timer wheel, park}; trace emission times itself
+    // inside `Tracer::emit`. `prof` gates the clock reads, so an
+    // unmetered run pays one dead branch per tap and reads no clocks.
+    let meter = kernel.meter.clone();
+    let prof = meter.now_ns().is_some();
+    let metered = meter.enabled();
 
     macro_rules! ctx {
         () => {
@@ -399,7 +440,29 @@ fn node_loop<P: BalancerPolicy>(
                 checksum: &mut checksum,
                 solutions: &mut solutions,
                 grain_us: &mut grain_us,
+                meter: &meter,
+                grain_ns: &mut grain_ns,
             }
+        };
+    }
+
+    // One kernel dispatch, profiled: the round's total wall time lands
+    // in DispatchRoundNs, and total minus the grain time accumulated by
+    // `execute_grain` lands in GrainSetupNs — the per-dispatch overhead
+    // the ROADMAP asks to be measured rather than guessed.
+    macro_rules! dispatch_profiled {
+        ($call:expr) => {
+            if prof {
+                grain_ns = 0;
+                let t0 = meter.now_ns().unwrap_or(0);
+                $call;
+                let dt = meter.now_ns().unwrap_or(t0).saturating_sub(t0);
+                meter.observe(Histo::DispatchRoundNs, dt);
+                meter.observe(Histo::GrainSetupNs, dt.saturating_sub(grain_ns));
+            } else {
+                $call;
+            }
+            meter.inc(Counter::DispatchRounds);
         };
     }
 
@@ -409,22 +472,30 @@ fn node_loop<P: BalancerPolicy>(
     macro_rules! flush {
         () => {
             if !outbox.is_empty() {
+                let send_t0 = if prof { meter.now_ns() } else { None };
+                let mut packets = 0u64;
                 if traced {
                     let t = clock.now_us();
                     outbox.flush(me, &mut tx, |to, len| {
+                        packets += 1;
                         tracer.emit(t, me, || TraceEvent::BatchSend {
                             to,
                             msgs: len as u32,
                         })
                     });
                 } else {
-                    outbox.flush(me, &mut tx, |_, _| {});
+                    outbox.flush(me, &mut tx, |_, _| packets += 1);
+                }
+                meter.add(Counter::PacketsSent, packets);
+                if let Some(t0) = send_t0 {
+                    let dt = meter.now_ns().unwrap_or(t0).saturating_sub(t0);
+                    meter.observe(Histo::TransportSendNs, dt);
                 }
             }
         };
     }
 
-    dispatch_start(&mut policy, &mut kernel, &mut ctx!());
+    dispatch_profiled!(dispatch_start(&mut policy, &mut kernel, &mut ctx!()));
     flush!();
 
     while !halted {
@@ -432,41 +503,76 @@ fn node_loop<P: BalancerPolicy>(
         // arrivals promptly), then due timers, then park until one or
         // the other. EXEC timers are armed with delay 0, so an empty
         // fabric never sleeps past queued work.
-        let step = match rx.try_recv() {
+        let recv_t0 = if prof { meter.now_ns() } else { None };
+        let polled = rx.try_recv();
+        if let Some(t0) = recv_t0 {
+            let dt = meter.now_ns().unwrap_or(t0).saturating_sub(t0);
+            meter.observe(Histo::TransportRecvNs, dt);
+        }
+        let step = match polled {
             Recv::Packet(p) => Step::Pkt(p),
             Recv::Halt => Step::Halt,
             Recv::Empty => {
+                let wheel_t0 = if prof { meter.now_ns() } else { None };
                 let now = clock.now_us();
-                match wheel.pop_due(now) {
+                let due = wheel.pop_due(now);
+                let deadline = if due.is_none() {
+                    wheel.next_deadline()
+                } else {
+                    None
+                };
+                if let Some(t0) = wheel_t0 {
+                    let dt = meter.now_ns().unwrap_or(t0).saturating_sub(t0);
+                    meter.observe(Histo::TimerWheelNs, dt);
+                }
+                match due {
                     Some(tag) => Step::Timer(tag),
-                    None => match rx.recv_wait(wheel.next_deadline(), clock.as_ref()) {
-                        Recv::Packet(p) => Step::Pkt(p),
-                        Recv::Halt => Step::Halt,
-                        Recv::Empty => continue,
-                    },
+                    None => {
+                        let park_t0 = if prof { meter.now_ns() } else { None };
+                        let parked = rx.recv_wait(deadline, clock.as_ref());
+                        if let Some(t0) = park_t0 {
+                            let dt = meter.now_ns().unwrap_or(t0).saturating_sub(t0);
+                            meter.observe(Histo::ParkNs, dt);
+                        }
+                        match parked {
+                            Recv::Packet(p) => Step::Pkt(p),
+                            Recv::Halt => Step::Halt,
+                            Recv::Empty => continue,
+                        }
+                    }
                 }
             }
         };
         match step {
             Step::Halt => break,
             Step::Pkt(p) => {
-                if traced {
+                if traced || metered {
                     if let Some(depth) = rx.occupancy() {
-                        tracer.emit(clock.now_us(), me, || TraceEvent::RingDepth {
-                            depth: depth as u32,
-                        });
+                        meter.set_gauge(Gauge::RingDepth, depth);
+                        if traced {
+                            tracer.emit(clock.now_us(), me, || TraceEvent::RingDepth {
+                                depth: depth as u32,
+                            });
+                        }
                     }
                 }
                 let from = p.from;
                 for msg in p.msgs {
-                    dispatch_message(&mut policy, &mut kernel, &mut ctx!(), from, msg);
+                    dispatch_profiled!(dispatch_message(
+                        &mut policy,
+                        &mut kernel,
+                        &mut ctx!(),
+                        from,
+                        msg
+                    ));
                     if halted {
                         break;
                     }
                 }
             }
             Step::Timer(tag) => {
-                dispatch_timer(&mut policy, &mut kernel, &mut ctx!(), tag);
+                meter.inc(Counter::TimerFires);
+                dispatch_profiled!(dispatch_timer(&mut policy, &mut kernel, &mut ctx!(), tag));
             }
         }
         flush!();

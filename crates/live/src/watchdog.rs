@@ -1,0 +1,296 @@
+//! Stall watchdog: turns a silent live-backend hang into a diagnosed
+//! failure.
+//!
+//! A live run can deadlock in ways the simulator cannot — a ring
+//! wakeup lost to a missed park token, a node parked past a timer it
+//! never armed, a halt broadcast that never reached a peer. Without
+//! supervision that is an infinite hang with no evidence. The
+//! watchdog samples each node's progress counter
+//! ([`Counter::DispatchRounds`], bumped once per kernel dispatch by
+//! the node loop) from the metrics registry on an interval, and trips
+//! when *global* progress freezes for a configured number of
+//! consecutive samples.
+//!
+//! Tripping on global progress rather than per-node progress is
+//! deliberate: an idle node waiting out another node's long grain is
+//! healthy, so "node i unchanged" must not alarm while anyone else
+//! advances. When the whole machine freezes, the per-node counters in
+//! the [`StallReport`] show who stopped first (the lowest counts are
+//! the likeliest culprits), and the trip handler — the CLI dumps the
+//! flight recorder — attaches the recent event history.
+//!
+//! The detection core ([`StallDetector`]) is pure and synchronous so
+//! tests can inject stalled nodes; [`Watchdog`] wraps it in the
+//! sampling thread.
+
+use rips_trace::metrics_rt::Counter;
+use rips_trace::MetricsRegistry;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Watchdog tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct WatchdogOpts {
+    /// Sampling interval in milliseconds.
+    pub interval_ms: u64,
+    /// Consecutive frozen samples before tripping. The stall horizon
+    /// is `interval_ms * stall_samples`; it must comfortably exceed
+    /// the longest legitimate quiet period (a Timed-mode grain sleep,
+    /// a long barrier delay).
+    pub stall_samples: u32,
+}
+
+impl Default for WatchdogOpts {
+    fn default() -> Self {
+        // 100 ms × 20 = a 2 s stall horizon: far past any dispatch
+        // round, short enough that CI hangs fail fast.
+        WatchdogOpts {
+            interval_ms: 100,
+            stall_samples: 20,
+        }
+    }
+}
+
+/// What a trip observed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StallReport {
+    /// Per-node progress counters at trip time (dispatch rounds).
+    pub progress: Vec<u64>,
+    /// Consecutive frozen samples that triggered the trip.
+    pub frozen_for: u32,
+}
+
+impl StallReport {
+    /// Nodes tied for the least progress — the likeliest culprits
+    /// (the node that stopped dispatching first starved the rest).
+    pub fn least_advanced(&self) -> Vec<usize> {
+        let min = self.progress.iter().copied().min().unwrap_or(0);
+        self.progress
+            .iter()
+            .enumerate()
+            .filter(|(_, &p)| p == min)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// One-line human rendering for stderr.
+    pub fn summary(&self) -> String {
+        format!(
+            "stall: no progress for {} samples; per-node dispatch rounds {:?}; least advanced {:?}",
+            self.frozen_for,
+            self.progress,
+            self.least_advanced()
+        )
+    }
+}
+
+/// Pure stall detection over a progress-counter vector. Feed it one
+/// sample per interval; it answers `Some(report)` on the sample that
+/// crosses the stall threshold, then re-arms (a still-frozen run
+/// trips again a full window later, not every sample).
+#[derive(Debug)]
+pub struct StallDetector {
+    last: Option<Vec<u64>>,
+    frozen: u32,
+    stall_samples: u32,
+}
+
+impl StallDetector {
+    /// A detector tripping after `stall_samples` consecutive frozen
+    /// observations (clamped to ≥ 1).
+    pub fn new(stall_samples: u32) -> Self {
+        StallDetector {
+            last: None,
+            frozen: 0,
+            stall_samples: stall_samples.max(1),
+        }
+    }
+
+    /// Consecutive frozen samples seen so far.
+    pub fn frozen(&self) -> u32 {
+        self.frozen
+    }
+
+    /// Observes one progress sample (any monotone per-node counters).
+    pub fn observe(&mut self, progress: &[u64]) -> Option<StallReport> {
+        match &self.last {
+            Some(prev) if prev.as_slice() == progress => {
+                self.frozen += 1;
+            }
+            _ => {
+                self.last = Some(progress.to_vec());
+                self.frozen = 0;
+                return None;
+            }
+        }
+        if self.frozen >= self.stall_samples {
+            self.frozen = 0; // re-arm
+            return Some(StallReport {
+                progress: progress.to_vec(),
+                frozen_for: self.stall_samples,
+            });
+        }
+        None
+    }
+}
+
+/// The sampling thread around a [`StallDetector`]. Spawn it before
+/// the node threads start, stop it after they join; the run itself is
+/// never killed — a trip calls the handler (dump diagnostics) and
+/// bumps [`Counter::WatchdogTrips`], leaving the hang observable and
+/// debuggable rather than fatal.
+pub struct Watchdog {
+    stop: Arc<AtomicBool>,
+    trips: Arc<AtomicU64>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Watchdog {
+    /// Spawns the watchdog over `reg`'s per-shard
+    /// [`Counter::DispatchRounds`], calling `on_trip` from the
+    /// watchdog thread on every trip.
+    pub fn spawn(
+        reg: Arc<MetricsRegistry>,
+        opts: WatchdogOpts,
+        on_trip: impl Fn(&StallReport) + Send + 'static,
+    ) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let trips = Arc::new(AtomicU64::new(0));
+        let stop_t = Arc::clone(&stop);
+        let trips_t = Arc::clone(&trips);
+        let handle = std::thread::Builder::new()
+            .name("rips-watchdog".into())
+            .spawn(move || {
+                let mut det = StallDetector::new(opts.stall_samples);
+                let slice = Duration::from_millis(opts.interval_ms.clamp(1, 1000).min(25));
+                let mut elapsed_ms = 0u64;
+                while !stop_t.load(Ordering::Acquire) {
+                    // Sleep in short slices so stop() returns promptly
+                    // even with a long sampling interval.
+                    std::thread::sleep(slice);
+                    elapsed_ms += slice.as_millis() as u64;
+                    if elapsed_ms < opts.interval_ms {
+                        continue;
+                    }
+                    elapsed_ms = 0;
+                    let progress = reg.counter_per_shard(Counter::DispatchRounds);
+                    if let Some(report) = det.observe(&progress) {
+                        trips_t.fetch_add(1, Ordering::Release);
+                        reg.add(0, Counter::WatchdogTrips, 1);
+                        on_trip(&report);
+                    }
+                }
+            })
+            .expect("spawn watchdog thread");
+        Watchdog {
+            stop,
+            trips,
+            handle: Some(handle),
+        }
+    }
+
+    /// Trips observed so far.
+    pub fn trips(&self) -> u64 {
+        self.trips.load(Ordering::Acquire)
+    }
+
+    /// Stops the sampling thread and returns the total trip count.
+    pub fn stop(mut self) -> u64 {
+        self.shutdown();
+        self.trips()
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advancing_progress_never_trips() {
+        let mut det = StallDetector::new(3);
+        for step in 0..50u64 {
+            assert_eq!(det.observe(&[step, step * 2, 1]), None);
+        }
+        assert_eq!(det.frozen(), 0);
+    }
+
+    #[test]
+    fn single_stalled_node_does_not_trip_while_others_advance() {
+        // Node 1 is frozen (injected stall) but nodes 0 and 2 keep
+        // dispatching: healthy idleness, not a machine stall.
+        let mut det = StallDetector::new(3);
+        for step in 0..50u64 {
+            assert_eq!(det.observe(&[step, 7, step]), None);
+        }
+    }
+
+    #[test]
+    fn global_freeze_trips_at_threshold_and_rearms() {
+        let mut det = StallDetector::new(3);
+        assert_eq!(det.observe(&[5, 9]), None, "baseline sample");
+        assert_eq!(det.observe(&[5, 9]), None, "frozen 1");
+        assert_eq!(det.observe(&[5, 9]), None, "frozen 2");
+        let report = det.observe(&[5, 9]).expect("frozen 3 trips");
+        assert_eq!(report.progress, vec![5, 9]);
+        assert_eq!(report.frozen_for, 3);
+        assert_eq!(report.least_advanced(), vec![0], "node 0 stopped first");
+        // Re-armed: needs a full window again.
+        assert_eq!(det.observe(&[5, 9]), None);
+        assert_eq!(det.observe(&[5, 9]), None);
+        assert!(det.observe(&[5, 9]).is_some(), "still frozen: trips again");
+    }
+
+    #[test]
+    fn progress_resets_the_freeze_window() {
+        let mut det = StallDetector::new(3);
+        det.observe(&[1]);
+        det.observe(&[1]);
+        det.observe(&[1]);
+        assert_eq!(det.observe(&[2]), None, "progress resets");
+        assert_eq!(det.frozen(), 0);
+        det.observe(&[2]);
+        det.observe(&[2]);
+        assert!(det.observe(&[2]).is_some());
+    }
+
+    #[test]
+    fn watchdog_thread_trips_on_injected_stall_and_stops_clean() {
+        // Registry with two shards and no writers: globally frozen
+        // from the first sample, so the watchdog must trip quickly.
+        let reg = MetricsRegistry::new(2);
+        let seen: Arc<std::sync::Mutex<Vec<StallReport>>> = Arc::default();
+        let seen_t = Arc::clone(&seen);
+        let wd = Watchdog::spawn(
+            Arc::clone(&reg),
+            WatchdogOpts {
+                interval_ms: 5,
+                stall_samples: 2,
+            },
+            move |r| seen_t.lock().unwrap().push(r.clone()),
+        );
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while wd.trips() == 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let trips = wd.stop();
+        assert!(trips >= 1, "frozen counters must trip the watchdog");
+        assert_eq!(reg.counter_total(Counter::WatchdogTrips), trips);
+        let seen = seen.lock().unwrap();
+        assert_eq!(seen.len() as u64, trips);
+        assert_eq!(seen[0].progress, vec![0, 0]);
+    }
+}

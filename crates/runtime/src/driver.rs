@@ -53,6 +53,7 @@ use rand::rngs::SmallRng;
 use rips_desim::{Ctx, Engine, LatencyModel, Time, WorkKind};
 use rips_taskgraph::Workload;
 use rips_topology::{NodeId, Topology};
+use rips_trace::metrics_rt::{Counter, Gauge};
 use rips_trace::TraceEvent;
 
 use crate::{Costs, NodeExec, Oracle, RunOutcome, TaskInstance};
@@ -179,11 +180,15 @@ pub struct Kernel {
     /// `true` while an EXEC timer is pending, so task arrivals don't
     /// double-schedule the loop.
     exec_scheduled: bool,
+    /// The run's metrics handle, bound to this node's shard. One dead
+    /// branch per call when no registry is installed.
+    pub meter: rips_trace::Meter,
 }
 
 impl Kernel {
     /// Fresh kernel state for node `me`.
     pub fn new(me: NodeId, oracle: Oracle) -> Self {
+        let meter = oracle.meter.for_shard(me);
         Kernel {
             me,
             oracle,
@@ -192,6 +197,7 @@ impl Kernel {
             expected_in: 0,
             received_in: 0,
             exec_scheduled: false,
+            meter,
         }
     }
 
@@ -224,6 +230,7 @@ impl Kernel {
             self.oracle.costs.spawn_us * seeds.len() as Time,
             WorkKind::Overhead,
         );
+        self.meter.add(Counter::TasksSpawned, seeds.len() as u64);
         if self.oracle.tracer.enabled() && !seeds.is_empty() {
             let (t, count) = (ctx.now(), seeds.len() as u32);
             self.oracle
@@ -416,6 +423,7 @@ pub fn exec_step<P: BalancerPolicy>(
     ctx.compute(k.oracle.costs.dispatch_us, WorkKind::Overhead);
     ctx.execute_grain(&inst);
     k.exec.record(&inst, k.me);
+    k.meter.inc(Counter::TasksExecuted);
     if traced {
         // Stamped at the grain's start (dispatch already charged), so
         // exporters draw the execution as a span of `grain_us`.
@@ -433,11 +441,14 @@ pub fn exec_step<P: BalancerPolicy>(
             });
     }
     let children = k.oracle.children_of(&inst, k.me);
-    if traced && !children.is_empty() {
-        let (t, round, count) = (ctx.now(), inst.round, children.len() as u32);
-        k.oracle
-            .tracer
-            .emit(t, k.me, || TraceEvent::Spawn { round, count });
+    if !children.is_empty() {
+        k.meter.add(Counter::TasksSpawned, children.len() as u64);
+        if traced {
+            let (t, round, count) = (ctx.now(), inst.round, children.len() as u32);
+            k.oracle
+                .tracer
+                .emit(t, k.me, || TraceEvent::Spawn { round, count });
+        }
     }
     policy.place_children(k, &mut *ctx, children);
     // The round counter must drop for every execution; only the node
@@ -445,6 +456,8 @@ pub fn exec_step<P: BalancerPolicy>(
     if k.oracle.task_done() && policy.announces_rounds() {
         k.announce_round(ctx);
     }
+    k.meter
+        .set_gauge(Gauge::QueueDepth, k.exec.queue.len() as u64);
     if traced {
         let (t, depth) = (ctx.now(), k.exec.queue.len() as u32);
         k.oracle
@@ -484,6 +497,9 @@ pub fn dispatch_message<P: BalancerPolicy>(
                 WorkKind::Overhead,
             );
             k.exec.queue.extend(tasks);
+            k.meter.add(Counter::TasksMigratedIn, count as u64);
+            k.meter
+                .set_gauge(Gauge::QueueDepth, k.exec.queue.len() as u64);
             if k.oracle.tracer.enabled() {
                 let (t, depth) = (ctx.now(), k.exec.queue.len() as u32);
                 k.oracle
@@ -591,12 +607,14 @@ where
     }
     let oracle = Oracle::new(Arc::clone(&workload), Arc::clone(&topo), costs);
     let tracer = oracle.tracer.clone();
+    let meter = oracle.meter.clone();
     let mut make = make;
     let mut engine = Engine::new(topo, latency, seed, move |me| NodeDriver {
         kernel: Kernel::new(me, oracle.clone()),
         policy: make(me),
     });
     engine.set_tracer(tracer);
+    engine.set_meter(meter);
     engine.record_timeline(costs.record_timeline);
     engine.enable_contention(costs.contention);
     let (drivers, stats) = engine.run();

@@ -124,6 +124,11 @@ pub struct Oracle {
     /// sink ([`rips_trace::with_sink`]) at construction; disabled
     /// otherwise. The kernel and policies emit through it.
     pub tracer: rips_trace::Tracer,
+    /// Metrics handle for the run, captured from the thread's
+    /// installed registry ([`rips_trace::with_metrics`]) at
+    /// construction; disabled (one dead branch per call) otherwise.
+    /// Kernels re-shard it per node via [`rips_trace::Meter::for_shard`].
+    pub meter: rips_trace::Meter,
     /// The machine topology, for task-locality trace annotations.
     /// Distances are computed on the fly — an `n × n` table here would
     /// be 2 TB at a million nodes, and every provided topology answers
@@ -166,6 +171,7 @@ impl Clone for Oracle {
             workload: Arc::clone(&self.workload),
             costs: self.costs,
             tracer: self.tracer.clone(),
+            meter: self.meter.clone(),
             topo: Arc::clone(&self.topo),
             n: self.n,
             diameter: self.diameter,
@@ -178,6 +184,7 @@ impl Oracle {
     pub fn new(workload: Arc<Workload>, topo: Arc<dyn Topology>, costs: Costs) -> Self {
         let first_round = workload.rounds.first().map_or(0, |r| r.len() as u64);
         let tracer = rips_trace::Tracer::current();
+        let meter = rips_trace::Meter::current();
         let n = topo.len();
         Oracle {
             shared: Arc::new(OracleShared {
@@ -189,6 +196,7 @@ impl Oracle {
             workload,
             costs,
             tracer,
+            meter,
             diameter: topo.diameter(),
             topo,
             n,

@@ -3,7 +3,9 @@
 //! The output follows the Trace Event Format's JSON-object form:
 //! `{"traceEvents": [...], "displayTimeUnit": "ms"}`. One process
 //! (`pid` 1) represents the run; each simulated node gets one thread
-//! track (`tid` = node id). Phases and sub-stages become nested `B`/`E`
+//! track (`tid` = node id) up to [`MAX_THREAD_TRACKS`] nodes, beyond
+//! which contiguous node ranges share a track (see [`Tracks`]).
+//! Phases and sub-stages become nested `B`/`E`
 //! duration spans, task executions become `X` complete spans, queue
 //! depth and reported load become `C` counter series, and lifecycle
 //! markers (spawns, migrations, barriers, message sends) become `i`
@@ -14,6 +16,62 @@ use crate::{PhaseKind, Time, TraceBuffer, TraceEvent};
 
 /// One process for the whole run.
 const PID: usize = 1;
+
+/// Most thread tracks the exporter will emit. Below this, every node
+/// gets its own named track (the historical layout, byte-identical).
+/// Above it, contiguous node ranges share a track: a 1M-node trace
+/// would otherwise emit 1M `thread_name` + `thread_sort_index`
+/// descriptor pairs before the first real event, which Perfetto
+/// loads painfully or not at all. Grouped tracks are an aggregate
+/// overview — spans from the nodes of a group interleave on one
+/// track — which is the only readable rendering at that scale anyway.
+pub const MAX_THREAD_TRACKS: usize = 512;
+
+/// Node → track mapping: identity below [`MAX_THREAD_TRACKS`] nodes,
+/// contiguous buckets above.
+struct Tracks {
+    /// Nodes per track (1 = historical per-node layout).
+    group: usize,
+    /// Total node count.
+    n: usize,
+}
+
+impl Tracks {
+    fn new(n: usize) -> Self {
+        Tracks {
+            group: n.div_ceil(MAX_THREAD_TRACKS).max(1),
+            n,
+        }
+    }
+
+    #[inline]
+    fn tid(&self, node: usize) -> usize {
+        node / self.group
+    }
+
+    fn count(&self) -> usize {
+        self.n.div_ceil(self.group)
+    }
+
+    fn label(&self, tid: usize) -> String {
+        if self.group == 1 {
+            format!("node {tid}")
+        } else {
+            let lo = tid * self.group;
+            let hi = (lo + self.group - 1).min(self.n - 1);
+            format!("nodes {lo}-{hi}")
+        }
+    }
+
+    /// Counter-series suffix: per node below the cap, per track above.
+    fn counter_tag(&self, node: usize) -> String {
+        if self.group == 1 {
+            format!("n{node}")
+        } else {
+            format!("t{}", self.tid(node))
+        }
+    }
+}
 
 fn esc(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
@@ -38,30 +96,33 @@ fn phase_name(kind: PhaseKind, index: u32) -> String {
 /// phase) so every `B` has a matching `E`.
 pub fn chrome_trace_json(buf: &TraceBuffer, label: &str, end_time: Time) -> String {
     let n = buf.num_nodes();
+    let tracks = Tracks::new(n);
     let mut out = String::with_capacity(buf.records.len() * 96 + 1024);
     out.push_str("{\"traceEvents\":[");
 
-    // Metadata: process name and one named, ordered thread per node.
+    // Metadata: process name and one named, ordered thread track per
+    // node — or per contiguous node group above MAX_THREAD_TRACKS.
     out.push_str(&format!(
         "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{PID},\"tid\":0,\
          \"args\":{{\"name\":\"{}\"}}}},",
         esc(label)
     ));
-    for node in 0..n {
+    for tid in 0..tracks.count() {
         out.push_str(&format!(
-            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{PID},\"tid\":{node},\
-             \"args\":{{\"name\":\"node {node}\"}}}},",
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{PID},\"tid\":{tid},\
+             \"args\":{{\"name\":\"{}\"}}}},",
+            esc(&tracks.label(tid))
         ));
         out.push_str(&format!(
-            "{{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":{PID},\"tid\":{node},\
-             \"args\":{{\"sort_index\":{node}}}}},",
+            "{{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":{PID},\"tid\":{tid},\
+             \"args\":{{\"sort_index\":{tid}}}}},",
         ));
     }
 
     // Per-node stack of open span names, for auto-closing at end_time.
     let mut open: Vec<Vec<String>> = vec![Vec::new(); n];
     for r in &buf.records {
-        let (t, node) = (r.time, r.node);
+        let (t, node, raw) = (r.time, tracks.tid(r.node), r.node);
         match &r.event {
             TraceEvent::PhaseBegin { kind, index } => {
                 let name = phase_name(*kind, *index);
@@ -120,7 +181,7 @@ pub fn chrome_trace_json(buf: &TraceBuffer, label: &str, end_time: Time) -> Stri
                 push_event(
                     &mut out,
                     'C',
-                    &format!("queue depth n{node}"),
+                    &format!("queue depth {}", tracks.counter_tag(raw)),
                     t,
                     node,
                     &extra,
@@ -128,7 +189,14 @@ pub fn chrome_trace_json(buf: &TraceBuffer, label: &str, end_time: Time) -> Stri
             }
             TraceEvent::LoadSample { load } => {
                 let extra = format!(",\"args\":{{\"load\":{load}}}");
-                push_event(&mut out, 'C', &format!("load n{node}"), t, node, &extra);
+                push_event(
+                    &mut out,
+                    'C',
+                    &format!("load {}", tracks.counter_tag(raw)),
+                    t,
+                    node,
+                    &extra,
+                );
             }
             TraceEvent::MsgSend { to, bytes, hops } => {
                 let extra = format!(
@@ -145,7 +213,7 @@ pub fn chrome_trace_json(buf: &TraceBuffer, label: &str, end_time: Time) -> Stri
                 push_event(
                     &mut out,
                     'C',
-                    &format!("ring depth n{node}"),
+                    &format!("ring depth {}", tracks.counter_tag(raw)),
                     t,
                     node,
                     &extra,
@@ -244,6 +312,76 @@ mod tests {
         let b = TraceBuffer::new();
         let json = chrome_trace_json(&b, "a\"b\\c", 0);
         assert!(json.contains("a\\\"b\\\\c"));
+    }
+
+    #[test]
+    fn per_node_tracks_below_threshold() {
+        // At small n the layout is the historical one: tid == node,
+        // one named track per node.
+        let json = chrome_trace_json(&sample(), "small", 500);
+        assert!(json.contains("\"args\":{\"name\":\"node 0\"}"));
+        assert_eq!(json.matches("\"name\":\"thread_name\"").count(), 1);
+        assert!(json.contains("queue depth n0"));
+    }
+
+    #[test]
+    fn track_descriptors_capped_at_large_n() {
+        // 100k distinct node ids: one instant each, far apart.
+        let mut b = TraceBuffer::new();
+        let n = 100_000;
+        for node in 0..n {
+            b.record(node as Time, node, TraceEvent::QueueDepth { depth: 1 });
+        }
+        let json = chrome_trace_json(&b, "large", n as Time);
+        let descriptors = json.matches("\"name\":\"thread_name\"").count();
+        assert!(
+            descriptors <= MAX_THREAD_TRACKS,
+            "expected <= {MAX_THREAD_TRACKS} track descriptors, got {descriptors}"
+        );
+        assert_eq!(
+            descriptors,
+            json.matches("\"name\":\"thread_sort_index\"").count()
+        );
+        // Grouped tracks carry range labels and events land on them.
+        let group = n.div_ceil(MAX_THREAD_TRACKS);
+        assert!(json.contains(&format!("\"args\":{{\"name\":\"nodes 0-{}\"}}", group - 1)));
+        assert!(json.contains("queue depth t0"));
+        let max_tid = (n - 1) / group;
+        assert!(json.contains(&format!("\"tid\":{max_tid}")));
+        assert!(!json.contains(&format!("\"tid\":{}", max_tid + 1)));
+    }
+
+    #[test]
+    fn grouped_spans_still_balance() {
+        let mut b = TraceBuffer::new();
+        let n = 2000; // above MAX_THREAD_TRACKS
+        for node in 0..n {
+            b.record(
+                node as Time,
+                node,
+                TraceEvent::PhaseBegin {
+                    kind: PhaseKind::User,
+                    index: 0,
+                },
+            );
+        }
+        // Half the nodes end their phase; the rest are closed at end.
+        for node in 0..n / 2 {
+            b.record(
+                (n + node) as Time,
+                node,
+                TraceEvent::PhaseEnd {
+                    kind: PhaseKind::User,
+                    index: 0,
+                },
+            );
+        }
+        let json = chrome_trace_json(&b, "grouped", 10_000);
+        assert_eq!(
+            json.matches("\"ph\":\"B\"").count(),
+            json.matches("\"ph\":\"E\"").count(),
+            "B/E spans must balance even on shared tracks"
+        );
     }
 
     #[test]

@@ -37,9 +37,13 @@
 #![warn(missing_docs)]
 
 mod chrome;
+pub mod flight;
+pub mod metrics_rt;
 mod report;
 
 pub use chrome::chrome_trace_json;
+pub use flight::{FlightRecorder, SharedFlight};
+pub use metrics_rt::{with_metrics, with_metrics_clocked, CycleClock, Meter, MetricsRegistry};
 pub use report::{PhaseReport, PhaseRow};
 
 use std::cell::RefCell;
@@ -461,6 +465,11 @@ pub fn with_sink_clocked<S: TraceSink + Send + 'static, R>(
 #[derive(Clone, Default)]
 pub struct Tracer {
     installed: Option<Installed>,
+    /// Captured alongside the sink so trace emission can profile
+    /// itself ([`metrics_rt::Histo::TraceEmitNs`]) and count
+    /// ([`metrics_rt::Counter::TraceEvents`]) when a metrics registry
+    /// is installed too. Off (a single dead branch) otherwise.
+    meter: Meter,
 }
 
 impl std::fmt::Debug for Tracer {
@@ -474,14 +483,20 @@ impl std::fmt::Debug for Tracer {
 impl Tracer {
     /// A disabled tracer (no sink).
     pub fn off() -> Self {
-        Tracer { installed: None }
+        Tracer {
+            installed: None,
+            meter: Meter::off(),
+        }
     }
 
     /// The thread's current tracer: attached to the sink installed by
     /// the innermost [`with_sink`], or disabled if none is installed.
+    /// Also captures the current [`Meter`] so emission self-profiles
+    /// when a metrics registry is installed.
     pub fn current() -> Self {
         CURRENT.with(|c| Tracer {
             installed: c.borrow().clone(),
+            meter: Meter::current(),
         })
     }
 
@@ -512,7 +527,19 @@ impl Tracer {
     #[inline(always)]
     pub fn emit(&self, time_us: Time, node: NodeId, f: impl FnOnce() -> TraceEvent) {
         if let Some(installed) = &self.installed {
-            lock_sink(&installed.sink).record(time_us, node, f());
+            // When a clocked metrics registry rides along, time the
+            // emission itself — payload construction, sink lock, and
+            // record — so "trace overhead" is a measured histogram
+            // (`rips_trace_emit_ns`), not a guess.
+            if let Some(t0) = self.meter.now_ns() {
+                lock_sink(&installed.sink).record(time_us, node, f());
+                let dt = self.meter.now_ns().unwrap_or(t0).saturating_sub(t0);
+                self.meter
+                    .observe_at(node, metrics_rt::Histo::TraceEmitNs, dt);
+            } else {
+                lock_sink(&installed.sink).record(time_us, node, f());
+            }
+            self.meter.add_at(node, metrics_rt::Counter::TraceEvents, 1);
         }
     }
 }

@@ -2,8 +2,10 @@
 //!
 //! ```text
 //! rips run    --app queens13 --scheduler rips --nodes 32 [--policy any-lazy] [--seed 1]
+//!             [--metrics-out m.txt]
 //! rips live   [<scheduler>] <app> --threads 4 [--mode compute|timed] [--transport ring|mpsc]
-//!             [--audit] [--trace-out f]
+//!             [--audit] [--trace-out f] [--metrics-out m.txt]
+//! rips stats  [<scheduler>] <app> [--backend sim|live] [--nodes 32|--threads 4] [--out m.txt]
 //! rips trace  <scheduler> <app> [--nodes 32] [--seed 1] [--out trace.json] [--check]
 //! rips report <scheduler> <app> [--nodes 32] [--seed 1] [--jsonl]
 //! rips audit  <scheduler> <app> [--nodes 32] [--seed 1]   # check paper invariants
@@ -30,6 +32,13 @@
 //! count and execution checksum against the sequential reference.
 //! `--audit` additionally streams the live trace through the same
 //! [`Auditor`] the simulator uses (DESIGN §8).
+//!
+//! Live runs carry always-on telemetry (DESIGN §10): a per-thread
+//! metrics registry, a flight recorder holding each node's recent
+//! trace events, and a stall watchdog that dumps the flight recorder
+//! instead of hanging silently. `--metrics-out` (and the dedicated
+//! `stats` subcommand, which also covers the simulator backend)
+//! export the registry as OpenMetrics text.
 
 use std::sync::Arc;
 
@@ -40,11 +49,15 @@ use rips_repro::bench::{registry_with, RegistryTuning};
 use rips_repro::core::{GlobalPolicy, LocalPolicy, RipsConfig};
 use rips_repro::desim::LatencyModel;
 use rips_repro::live::{GrainMode, TransportKind, WallClock};
+use rips_repro::live::{Watchdog, WatchdogOpts};
 use rips_repro::runtime::{Costs, RunSpec, SchedulerRegistry};
 use rips_repro::sched::{min_nonlocal_tasks, mwa};
 use rips_repro::taskgraph::Workload;
 use rips_repro::topology::{Mesh2D, Topology};
-use rips_repro::trace::{validate, Clock, Tee, TraceBuffer};
+use rips_repro::trace::{
+    metrics_rt, validate, with_metrics, with_metrics_clocked, Clock, CycleClock, MetricsRegistry,
+    SharedFlight, Tee, TraceBuffer,
+};
 
 fn arg(name: &str) -> Option<String> {
     let mut args = std::env::args();
@@ -55,6 +68,11 @@ fn arg(name: &str) -> Option<String> {
     }
     None
 }
+
+/// Flight-recorder depth: recent trace events retained per node for
+/// post-mortem dumps (watchdog trip, audit failure, checksum
+/// mismatch). 256 events ≈ the last few dispatch rounds per node.
+const FLIGHT_EVENTS_PER_NODE: usize = 256;
 
 const APPS: &[&str] = &[
     "queens9", "queens10", "queens11", "queens12", "queens13", "queens14", "queens15", "ida1",
@@ -135,6 +153,26 @@ fn resolve_scheduler(scheduler: &str, policy: &str) -> (SchedulerRegistry, Strin
     (reg, name)
 }
 
+/// Renders the registry as OpenMetrics text and writes it to `path`
+/// (`-` means stdout). The text is validated before it leaves the
+/// process so a malformed exposition is a bug here, not downstream.
+fn write_metrics(reg: &MetricsRegistry, path: &str) {
+    let text = reg.snapshot().render_openmetrics();
+    if let Err(e) = metrics_rt::validate_openmetrics(&text) {
+        eprintln!("internal error: OpenMetrics render invalid: {e}");
+        std::process::exit(1);
+    }
+    if path == "-" {
+        print!("{text}");
+    } else {
+        std::fs::write(path, &text).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("wrote {path}: {} bytes of OpenMetrics text", text.len());
+    }
+}
+
 fn paper_spec(workload: &Arc<Workload>, nodes: usize, seed: u64) -> RunSpec {
     RunSpec {
         workload: Arc::clone(workload),
@@ -170,7 +208,10 @@ fn cmd_run() {
 
     let (reg, name) = resolve_scheduler(&scheduler, &policy);
     let spec = paper_spec(&workload, nodes, seed);
-    let run = reg.run(&name, &spec);
+    // One registry shard per simulated node; the simulator's virtual
+    // clock means counters fill but the ns histograms stay empty.
+    let metrics = MetricsRegistry::new(nodes);
+    let run = with_metrics(&metrics, || reg.run(&name, &spec));
     let outcome = run.outcome;
     let phases = outcome.system_phases;
     outcome
@@ -198,6 +239,9 @@ fn cmd_run() {
     let truth = table.static_totals();
     println!("  solutions       : {}", truth.solutions);
     println!("  grain checksum  : {:#018x}", truth.checksum);
+    if let Some(path) = arg("--metrics-out") {
+        write_metrics(&metrics, &path);
+    }
 }
 
 fn cmd_live() {
@@ -251,6 +295,7 @@ fn cmd_live() {
     };
     let audit = arg_flag("--audit");
     let trace_out = arg("--trace-out");
+    let metrics_out = arg("--metrics-out");
 
     eprintln!("building workload '{app}' ...");
     let (workload, table) = build_app_live(&app);
@@ -287,38 +332,72 @@ fn cmd_live() {
         mode,
         transport.name()
     );
-    let (out, audit_ok) = if audit || trace_out.is_some() {
-        // One install feeds both consumers: the invariant auditor
-        // rides beside the buffer destined for the Perfetto export.
-        let sink = Tee(Auditor::new(threads), TraceBuffer::new());
-        let (Tee(auditor, buf), out) = rips_repro::trace::with_sink_clocked(
-            sink,
-            Arc::clone(&clock) as Arc<dyn Clock>,
-            || run(&clock),
-        );
-        let mut ok = true;
-        if audit {
-            let report = auditor.finish();
-            print!("{}", report.render_human());
-            ok = report.is_ok();
-        }
-        if let Some(path) = trace_out {
-            let label = format!("{name} · {app} · {threads} threads (live) · seed {seed}");
-            let json = buf.chrome_json(&label, out.wall_us);
-            std::fs::write(&path, &json).unwrap_or_else(|e| {
-                eprintln!("cannot write {path}: {e}");
-                std::process::exit(1);
-            });
-            eprintln!(
-                "wrote {path}: {} events ({} bytes)",
-                buf.records.len(),
-                json.len()
-            );
-        }
-        (out, ok)
-    } else {
-        (run(&clock), true)
-    };
+
+    // Always-on telemetry (DESIGN §10): every live run carries the
+    // metrics registry (one shard per node thread), a flight recorder
+    // of each node's recent trace events, and a stall watchdog
+    // sampling per-node dispatch-round progress. A wedged run becomes
+    // a stderr dump of who stalled and what each node last did
+    // instead of a silent hang.
+    let metrics = MetricsRegistry::new(threads);
+    let flight = SharedFlight::new(threads, FLIGHT_EVENTS_PER_NODE);
+    let wd_flight = flight.clone();
+    let watchdog = Watchdog::spawn(
+        Arc::clone(&metrics),
+        WatchdogOpts::default(),
+        move |report| {
+            eprintln!("rips-watchdog: {}", report.summary());
+            wd_flight.dump_to_stderr("watchdog stall");
+        },
+    );
+
+    let (out, audit_ok) =
+        with_metrics_clocked(&metrics, Arc::clone(&clock) as Arc<dyn CycleClock>, || {
+            if audit || trace_out.is_some() {
+                // One install feeds all three consumers: the flight
+                // recorder rides beside the invariant auditor and the
+                // buffer destined for the Perfetto export.
+                let sink = Tee(
+                    flight.clone(),
+                    Tee(Auditor::new(threads), TraceBuffer::new()),
+                );
+                let (Tee(_, Tee(auditor, buf)), out) = rips_repro::trace::with_sink_clocked(
+                    sink,
+                    Arc::clone(&clock) as Arc<dyn Clock>,
+                    || run(&clock),
+                );
+                let mut ok = true;
+                if audit {
+                    let report = auditor.finish();
+                    print!("{}", report.render_human());
+                    ok = report.is_ok();
+                }
+                if let Some(path) = trace_out {
+                    let label = format!("{name} · {app} · {threads} threads (live) · seed {seed}");
+                    let json = buf.chrome_json(&label, out.wall_us);
+                    std::fs::write(&path, &json).unwrap_or_else(|e| {
+                        eprintln!("cannot write {path}: {e}");
+                        std::process::exit(1);
+                    });
+                    eprintln!(
+                        "wrote {path}: {} events ({} bytes)",
+                        buf.records.len(),
+                        json.len()
+                    );
+                }
+                (out, ok)
+            } else {
+                // No auditor or export requested: the flight recorder
+                // alone taps the trace stream.
+                let (_flight, out) = rips_repro::trace::with_sink_clocked(
+                    flight.clone(),
+                    Arc::clone(&clock) as Arc<dyn Clock>,
+                    || run(&clock),
+                );
+                (out, true)
+            }
+        });
+    let trips = watchdog.stop();
 
     println!("\nlive results ({name}, {threads} threads):");
     println!("  wall clock      : {:.3} s", out.wall_us as f64 / 1e6);
@@ -342,17 +421,134 @@ fn cmd_live() {
             "MISMATCH"
         }
     );
+    let snap = metrics.snapshot();
+    println!(
+        "  dispatch rounds : {}",
+        snap.counter(metrics_rt::Counter::DispatchRounds)
+    );
+    let round = snap.histo(metrics_rt::Histo::DispatchRoundNs);
+    if round.count > 0 {
+        println!(
+            "  round mean      : {:.0} ns (p95 ≤ {} ns)",
+            round.mean(),
+            round.quantile_ub(0.95)
+        );
+    }
+    if trips > 0 {
+        println!("  watchdog trips  : {trips}");
+    }
+    if let Some(path) = metrics_out {
+        write_metrics(&metrics, &path);
+    }
     if !matches {
         eprintln!(
             "cross-validation FAILED: expected {} solutions / {:#018x}",
             truth.solutions, truth.checksum
         );
+        flight.dump_to_stderr("cross-validation mismatch");
         std::process::exit(1);
     }
     if !audit_ok {
         eprintln!("audit FAILED on the live trace");
+        flight.dump_to_stderr("audit failure");
         std::process::exit(1);
     }
+}
+
+/// `rips stats`: run one cell on either backend with the metrics
+/// registry installed and emit the resulting OpenMetrics text (stdout
+/// by default, `--out` for a file). The simulator backend fills the
+/// event/task/message counters (its virtual clock leaves the ns
+/// histograms empty); the live backend additionally fills the
+/// per-dispatch timing histograms via the wall cycle clock.
+fn cmd_stats() {
+    let mut positionals = Vec::new();
+    let mut args = std::env::args().skip(2);
+    while let Some(a) = args.next() {
+        if a.starts_with("--") {
+            args.next(); // every stats flag takes a value
+        } else {
+            positionals.push(a);
+        }
+    }
+    let mut pos = positionals.into_iter();
+    let (scheduler, app) = match (pos.next(), pos.next()) {
+        (Some(s), Some(a)) => (s, a),
+        (Some(a), None) => ("rips".to_string(), a),
+        _ => {
+            eprintln!(
+                "usage: rips stats [<scheduler>] <app> [--backend sim|live] [--nodes N] \
+                 [--threads N] [--seed S] [--policy P] [--out m.txt]"
+            );
+            std::process::exit(2);
+        }
+    };
+    let backend = arg("--backend").unwrap_or_else(|| "sim".into());
+    let seed: u64 = arg("--seed").and_then(|v| v.parse().ok()).unwrap_or(1);
+    let policy = arg("--policy").unwrap_or_else(|| "any-lazy".into());
+    let out_path = arg("--out").unwrap_or_else(|| "-".into());
+
+    eprintln!("building workload '{app}' ...");
+    let (workload, table) = build_app_live(&app);
+    let workload = Arc::new(workload);
+
+    let metrics = match backend.as_str() {
+        "sim" => {
+            let nodes: usize = arg("--nodes").and_then(|v| v.parse().ok()).unwrap_or(32);
+            let (reg, name) = resolve_scheduler(&scheduler, &policy);
+            let spec = paper_spec(&workload, nodes, seed);
+            eprintln!("sim run: {name} on {nodes} nodes (seed {seed}) ...");
+            let metrics = MetricsRegistry::new(nodes);
+            let run = with_metrics(&metrics, || reg.run(&name, &spec));
+            run.outcome
+                .verify_complete(&workload)
+                .expect("scheduler lost tasks");
+            metrics
+        }
+        "live" => {
+            let threads: usize = arg("--threads").and_then(|v| v.parse().ok()).unwrap_or(4);
+            let table = Arc::new(table);
+            let (_, name) = resolve_scheduler(&scheduler, &policy);
+            eprintln!("live run: {name} on {threads} threads (seed {seed}) ...");
+            let clock: Arc<WallClock> = Arc::new(WallClock::new());
+            let metrics = MetricsRegistry::new(threads);
+            let out =
+                with_metrics_clocked(&metrics, Arc::clone(&clock) as Arc<dyn CycleClock>, || {
+                    let mut opts = live_opts(&table, GrainMode::Compute, 1.0);
+                    opts.clock = Some(Arc::clone(&clock) as Arc<dyn Clock>);
+                    if name == "RIPS" {
+                        let (local, global) = match policy.as_str() {
+                            "any-lazy" => (LocalPolicy::Lazy, GlobalPolicy::Any),
+                            "any-eager" => (LocalPolicy::Eager, GlobalPolicy::Any),
+                            "all-lazy" => (LocalPolicy::Lazy, GlobalPolicy::All),
+                            _ => (LocalPolicy::Eager, GlobalPolicy::All),
+                        };
+                        let cfg = RipsConfig {
+                            local,
+                            global,
+                            ..RipsConfig::default()
+                        };
+                        live_run_rips(&workload, threads, cfg, seed, opts)
+                    } else {
+                        live_run(&name, &workload, threads, 0.4, seed, opts)
+                    }
+                });
+            let truth = table.static_totals();
+            if out.solutions != truth.solutions || out.checksum != truth.checksum {
+                eprintln!(
+                    "cross-validation FAILED: expected {} solutions / {:#018x}",
+                    truth.solutions, truth.checksum
+                );
+                std::process::exit(1);
+            }
+            metrics
+        }
+        other => {
+            eprintln!("unknown --backend '{other}' (sim|live)");
+            std::process::exit(2);
+        }
+    };
+    write_metrics(&metrics, &out_path);
 }
 
 /// Shared front half of `trace` and `report`: parse the positional
@@ -564,6 +760,7 @@ fn main() {
     match std::env::args().nth(1).as_deref() {
         Some("run") => cmd_run(),
         Some("live") => cmd_live(),
+        Some("stats") => cmd_stats(),
         Some("trace") => cmd_trace(),
         Some("report") => cmd_report(),
         Some("audit") => cmd_audit(),
@@ -581,14 +778,19 @@ fn main() {
         }
         _ => {
             eprintln!(
-                "usage: rips <run|live|trace|report|audit|plan|lint|apps|schedulers> [flags]"
+                "usage: rips <run|live|stats|trace|report|audit|plan|lint|apps|schedulers> [flags]"
             );
             eprintln!(
-                "  run    --app queens13 --scheduler rips|random|gradient|rid|sid --nodes 32"
+                "  run    --app queens13 --scheduler rips|random|gradient|rid|sid --nodes 32 \
+                 [--metrics-out m.txt]"
             );
             eprintln!(
                 "  live   [<scheduler>] <app> [--threads N] [--mode compute|timed] \
-                 [--transport ring|mpsc] [--audit] [--trace-out f]"
+                 [--transport ring|mpsc] [--audit] [--trace-out f] [--metrics-out m.txt]"
+            );
+            eprintln!(
+                "  stats  [<scheduler>] <app> [--backend sim|live] [--nodes N] [--threads N] \
+                 [--out m.txt]"
             );
             eprintln!(
                 "  trace  <scheduler> <app> [--nodes N] [--seed S] [--out trace.json] [--check]"
