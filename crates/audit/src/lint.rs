@@ -11,6 +11,7 @@
 //! | RIPS-L003 | no `unwrap`/`expect`/`panic!`/`unreachable!` in the desim engine hot path (`crates/desim/src/engine.rs`) without a reasoned suppression |
 //! | RIPS-L004 | `unsafe` is forbidden outside the reasoned [`UNSAFE_ALLOWLIST`] (exactly two files: the live backend's SPSC ring and the runtime's RCU cell) |
 //! | RIPS-L005 | public items in `#![warn(missing_docs)]` crates must carry a doc comment |
+//! | RIPS-L006 | no raw `std::sync::atomic` types (`Ordering` excepted) or `std::thread` park-family calls (`park`, `park_timeout`, `current`, `yield_now`) in `crates/live` + `crates/runtime`: lock-free code there must go through the `rips_verify::sync` / `vthread` seam so the bounded model checker can explore it |
 //!
 //! # Suppressions
 //!
@@ -33,7 +34,7 @@ use crate::lexer::{tokenize, Tok, TokKind};
 /// One lint finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
-    /// Stable rule id (`RIPS-L001` … `RIPS-L005`, `RIPS-L000` for a
+    /// Stable rule id (`RIPS-L001` … `RIPS-L006`, `RIPS-L000` for a
     /// malformed suppression).
     pub rule: &'static str,
     /// Workspace-relative path, `/`-separated.
@@ -156,6 +157,19 @@ pub const TIMING_PATHS: &[(&str, &str)] = &[
 /// The desim engine hot path (RIPS-L003 scope).
 const ENGINE_HOT_PATH: &str = "crates/desim/src/engine.rs";
 
+/// Crates whose lock-free code must route atomics and park/unpark
+/// through the `rips_verify::sync` / `vthread` seam (RIPS-L006), so
+/// the bounded model checker can instrument and explore it. Raw
+/// `std::sync::atomic` types (`Ordering` excepted — it is plain data)
+/// and `std::thread` park-family calls there evade the checker.
+const VERIFY_SEAM_CRATES: &[&str] = &["crates/live/", "crates/runtime/"];
+
+/// `std::thread` functions with a `rips_verify::vthread` equivalent
+/// (RIPS-L006): calling the raw version makes the schedule invisible
+/// to the checker. `spawn`/`sleep`/`scope`/`panicking` stay legal —
+/// real-thread plumbing is not part of a modelled protocol.
+const PARK_FAMILY: &[&str] = &["park", "park_timeout", "current", "yield_now", "Thread"];
+
 /// Files allowed to contain `unsafe` (RIPS-L004), pinned to exact file
 /// paths with a mandatory reason (same contract as [`TIMING_PATHS`]).
 /// Everything else is safe Rust, and the safe crates additionally carry
@@ -248,6 +262,7 @@ pub fn lint_source(path: &str, src: &str, missing_docs: bool) -> (Vec<Finding>, 
     let l002 = !TIMING_PATHS.iter().any(|(p, _)| path.starts_with(p));
     let l003 = path == ENGINE_HOT_PATH;
     let l004 = !UNSAFE_ALLOWLIST.iter().any(|(p, _)| *p == path);
+    let l006 = VERIFY_SEAM_CRATES.iter().any(|p| path.starts_with(p));
 
     for (i, t) in toks.iter().enumerate() {
         if t.kind != TokKind::Ident {
@@ -323,6 +338,55 @@ pub fn lint_source(path: &str, src: &str, missing_docs: bool) -> (Vec<Finding>, 
                           UNSAFE_ALLOWLIST); the workspace is safe Rust"
                     .into(),
             }),
+            "std" if l006 => {
+                // Path-shaped lookahead over significant tokens:
+                // `std :: sync :: atomic [:: Tail]` / `std :: thread :: f`.
+                let sig: Vec<(TokKind, &str)> = toks[i + 1..]
+                    .iter()
+                    .filter(|n| {
+                        !matches!(
+                            n.kind,
+                            TokKind::LineComment | TokKind::BlockComment | TokKind::DocComment
+                        )
+                    })
+                    .take(9)
+                    .map(|n| (n.kind, n.text))
+                    .collect();
+                let colon2 = |k: usize| {
+                    sig.get(k) == Some(&(TokKind::Punct, ":"))
+                        && sig.get(k + 1) == Some(&(TokKind::Punct, ":"))
+                };
+                let ident = |k: usize, s: &str| sig.get(k) == Some(&(TokKind::Ident, s));
+                if colon2(0) && ident(2, "sync") && colon2(3) && ident(5, "atomic") {
+                    if !(colon2(6) && ident(8, "Ordering")) {
+                        raw.push(Finding {
+                            rule: "RIPS-L006",
+                            path: path.to_string(),
+                            line: t.line,
+                            message: "raw `std::sync::atomic` in a model-checked crate: \
+                                      import atomic types from `rips_verify::sync::atomic` \
+                                      so the bounded checker can instrument them \
+                                      (`std::sync::atomic::Ordering` alone is exempt)"
+                                .into(),
+                        });
+                    }
+                } else if colon2(0) && ident(2, "thread") && colon2(3) {
+                    if let Some(&(TokKind::Ident, f)) = sig.get(5) {
+                        if PARK_FAMILY.contains(&f) {
+                            raw.push(Finding {
+                                rule: "RIPS-L006",
+                                path: path.to_string(),
+                                line: t.line,
+                                message: format!(
+                                    "`std::thread::{f}` in a model-checked crate: use \
+                                     `rips_verify::vthread::{f}` so park/wake protocols \
+                                     run under the bounded checker's scheduler"
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
             _ => {}
         }
     }
@@ -360,7 +424,7 @@ fn normalize_rule_id(id: &str) -> Option<String> {
     let ok = t.len() == 4
         && t.starts_with('L')
         && t[1..].chars().all(|c| c.is_ascii_digit())
-        && ("L001"..="L005").contains(&t.as_str());
+        && ("L001"..="L006").contains(&t.as_str());
     ok.then(|| format!("RIPS-{t}"))
 }
 
@@ -720,11 +784,82 @@ mod tests {
                 "UNSAFE_ALLOWLIST entry {path:?} carries no reason"
             );
         }
+        // The allowlist is *exactly* the SPSC ring and the RCU cell —
+        // not a prefix, not a third file. The rips_verify seam refactor
+        // kept both files' `unsafe` in place (the instrumented cells in
+        // crates/verify are `#![forbid(unsafe_code)]` and need no
+        // entry); any growth needs its own safety audit and DESIGN §7
+        // note.
+        let paths: Vec<&str> = UNSAFE_ALLOWLIST.iter().map(|(p, _)| *p).collect();
         assert_eq!(
-            UNSAFE_ALLOWLIST.len(),
-            2,
-            "a new unsafe file needs its own safety audit and DESIGN §7 note"
+            paths,
+            ["crates/live/src/ring.rs", "crates/runtime/src/rcu.rs"],
+            "UNSAFE_ALLOWLIST must stay pinned to exactly ring.rs + rcu.rs"
         );
+        assert_eq!(
+            lint_one("crates/verify/src/rt.rs", src)[0].rule,
+            "RIPS-L004",
+            "the verify crate itself is not exempt"
+        );
+    }
+
+    #[test]
+    fn l006_flags_raw_atomics_in_model_checked_crates_only() {
+        let src = "use std::sync::atomic::AtomicU64;\n";
+        for flagged in ["crates/live/src/x.rs", "crates/runtime/src/x.rs"] {
+            let f = lint_one(flagged, src);
+            assert_eq!(f.len(), 1, "{flagged} escaped L006");
+            assert_eq!(f[0].rule, "RIPS-L006", "{flagged}");
+        }
+        // Outside the model-checked crates raw atomics are fine — the
+        // checker seam is a live/runtime contract, not a global one.
+        assert!(lint_one("crates/trace/src/x.rs", src).is_empty());
+        assert!(lint_one("crates/verify/src/rt.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l006_exempts_ordering_but_not_brace_imports() {
+        // `Ordering` is plain data (no instrumentation needed), so the
+        // idiomatic `use std::sync::atomic::Ordering;` stays legal —
+        // but a brace import smuggling atomic types does not.
+        assert!(lint_one(
+            "crates/live/src/x.rs",
+            "use std::sync::atomic::Ordering;\nfn f(o: std::sync::atomic::Ordering) {}\n"
+        )
+        .is_empty());
+        let f = lint_one(
+            "crates/live/src/x.rs",
+            "use std::sync::atomic::{AtomicBool, Ordering};\n",
+        );
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "RIPS-L006");
+    }
+
+    #[test]
+    fn l006_flags_park_family_but_not_thread_plumbing() {
+        for call in ["park()", "park_timeout(d)", "current()", "yield_now()"] {
+            let src = format!("fn f() {{ std::thread::{call}; }}\n");
+            let f = lint_one("crates/live/src/x.rs", &src);
+            assert_eq!(f.len(), 1, "std::thread::{call} escaped L006");
+            assert_eq!(f[0].rule, "RIPS-L006");
+            assert!(f[0].message.contains("vthread"), "{}", f[0].message);
+        }
+        // Real-thread plumbing has no vthread equivalent and stays
+        // legal: spawning, sleeping, scoped threads, panic checks.
+        let src = "fn f() { std::thread::sleep(d); std::thread::spawn(g); \
+                   std::thread::scope(h); std::thread::panicking(); }\n";
+        assert!(lint_one("crates/live/src/x.rs", src).is_empty());
+        // The seam's own calls are what the rule pushes toward.
+        assert!(lint_one("crates/live/src/x.rs", "fn f() { vthread::park(); }\n").is_empty());
+    }
+
+    #[test]
+    fn l006_reasoned_suppression_works_like_the_others() {
+        let src = "// rips-lint: allow(L006, watchdog thread is real-time by design)\n\
+                   use std::sync::atomic::AtomicBool;\n";
+        let (f, suppressed) = lint_source("crates/live/src/x.rs", src, false);
+        assert!(f.is_empty(), "{f:?}");
+        assert_eq!(suppressed, 1);
     }
 
     #[test]

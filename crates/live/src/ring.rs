@@ -17,17 +17,30 @@
 //! producer and consumer don't false-share a line and ping-pong it
 //! between cores on every operation — the classic SPSC pitfall.
 //!
-//! This module is the one place in `rips-live` that uses `unsafe`
-//! (slot storage is `UnsafeCell<MaybeUninit<T>>`); the audit lint
-//! RIPS-L004 pins the allowlist to exactly this file, and the safety
-//! argument is spelled out on each `unsafe` block.
+//! All synchronization goes through the `rips_verify::sync` seam: in a
+//! normal build that is a zero-cost re-export of `std::sync::atomic`
+//! plus a transparent `UnsafeCell` wrapper, while under
+//! `--cfg rips_verify` every access becomes a scheduling point of the
+//! bounded model checker (`verify_model` below explores the protocol
+//! and proves each `ord(..)` site is load-bearing via the mutation
+//! sweep). Slot accesses avoid creating references entirely — raw
+//! pointer reads/writes through `MaybeUninit`'s transparent layout —
+//! so the aliasing story is Miri-clean.
+//!
+//! This module is one of the two places in the workspace that use
+//! `unsafe` (slot storage is `UnsafeCellWrap<MaybeUninit<T>>`); the
+//! audit lint RIPS-L004 pins the allowlist to exactly this file plus
+//! the RCU cell, and the safety argument is spelled out on each
+//! `unsafe` block.
 
 // rips-lint: allow(L004, SPSC slot access is proven exclusive by the
 // head/tail protocol; see module docs and per-block safety comments)
-use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+
+use rips_verify::sync::atomic::{AtomicUsize, Ordering};
+use rips_verify::sync::cell::UnsafeCellWrap;
+use rips_verify::sync::ord;
 
 /// Pads (and aligns) a value to a 64-byte cache line so two frequently
 /// written atomics never share a line.
@@ -42,7 +55,7 @@ struct RingInner<T> {
     /// `tail`: next slot the producer will write. Written only by the
     /// producer, read by the consumer to detect "empty".
     tail: CachePadded<AtomicUsize>,
-    buf: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    buf: Box<[UnsafeCellWrap<MaybeUninit<T>>]>,
 }
 
 // SAFETY: the ring is shared between exactly two threads (one RingTx,
@@ -63,7 +76,10 @@ impl<T> Drop for RingInner<T> {
         while head != tail {
             // SAFETY: slots in [head, tail) were fully written by the
             // producer and never consumed; we have exclusive access.
-            unsafe { (*self.buf[head & self.mask].get()).assume_init_drop() };
+            // `MaybeUninit<T>` is `repr(transparent)`, so the cast is
+            // layout-correct and no reference is ever materialized.
+            self.buf[head & self.mask]
+                .with_mut(|p| unsafe { std::ptr::drop_in_place(p.cast::<T>()) });
             head = head.wrapping_add(1);
         }
     }
@@ -80,7 +96,7 @@ pub struct RingRx<T>(Arc<RingInner<T>>);
 pub fn spsc<T>(capacity: usize) -> (RingTx<T>, RingRx<T>) {
     let cap = capacity.max(2).next_power_of_two();
     let buf = (0..cap)
-        .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+        .map(|_| UnsafeCellWrap::new(MaybeUninit::uninit()))
         .collect::<Vec<_>>()
         .into_boxed_slice();
     let inner = Arc::new(RingInner {
@@ -97,15 +113,23 @@ impl<T> RingTx<T> {
     pub fn push(&mut self, v: T) -> Result<(), T> {
         let inner = &*self.0;
         let tail = inner.tail.0.load(Ordering::Relaxed);
-        let head = inner.head.0.load(Ordering::Acquire);
+        let head = inner
+            .head
+            .0
+            .load(ord("ring.push.head.acquire", Ordering::Acquire));
         if tail.wrapping_sub(head) > inner.mask {
             return Err(v);
         }
         // SAFETY: slot `tail` is outside [head, tail), i.e. not yet
         // published, so the consumer will not touch it until the
         // Release store below; we are the only producer (&mut self).
-        unsafe { (*inner.buf[tail & inner.mask].get()).write(v) };
-        inner.tail.0.store(tail.wrapping_add(1), Ordering::Release);
+        // Raw `ptr::write` through the transparent `MaybeUninit`
+        // layout — no reference is created.
+        inner.buf[tail & inner.mask].with_mut(|p| unsafe { p.cast::<T>().write(v) });
+        inner.tail.0.store(
+            tail.wrapping_add(1),
+            ord("ring.push.tail.publish", Ordering::Release),
+        );
         Ok(())
     }
 }
@@ -115,15 +139,23 @@ impl<T> RingRx<T> {
     pub fn pop(&mut self) -> Option<T> {
         let inner = &*self.0;
         let head = inner.head.0.load(Ordering::Relaxed);
-        let tail = inner.tail.0.load(Ordering::Acquire);
+        let tail = inner
+            .tail
+            .0
+            .load(ord("ring.pop.tail.acquire", Ordering::Acquire));
         if head == tail {
             return None;
         }
         // SAFETY: the Acquire load of `tail` observed the producer's
         // Release store publishing slot `head`, so the write to the
         // slot happened-before this read; we are the only consumer.
-        let v = unsafe { (*inner.buf[head & inner.mask].get()).assume_init_read() };
-        inner.head.0.store(head.wrapping_add(1), Ordering::Release);
+        // Raw `ptr::read` — the slot is treated as uninitialized again
+        // after this returns.
+        let v = inner.buf[head & inner.mask].with_mut(|p| unsafe { p.cast::<T>().read() });
+        inner.head.0.store(
+            head.wrapping_add(1),
+            ord("ring.pop.head.publish", Ordering::Release),
+        );
         Some(v)
     }
 
@@ -146,6 +178,7 @@ impl<T> RingRx<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rips_verify::vthread;
 
     #[test]
     fn fifo_order_and_wraparound() {
@@ -192,6 +225,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore)] // 200k items × 2 threads: minutes under Miri
     fn cross_thread_stress_preserves_sequence() {
         let (mut tx, mut rx) = spsc::<u64>(64);
         const N: u64 = 200_000;
@@ -204,7 +238,7 @@ mod tests {
                             Ok(()) => break,
                             Err(back) => {
                                 v = back;
-                                std::thread::yield_now();
+                                vthread::yield_now();
                             }
                         }
                     }
@@ -216,7 +250,7 @@ mod tests {
                     assert_eq!(v, expect);
                     expect += 1;
                 } else {
-                    std::thread::yield_now();
+                    vthread::yield_now();
                 }
             }
             assert_eq!(rx.pop(), None);
@@ -236,5 +270,89 @@ mod tests {
             drop(rx);
         }
         assert_eq!(Arc::strong_count(&marker), 1);
+    }
+}
+
+/// Bounded-model-checker suite: explores producer/consumer
+/// interleavings of the real `push`/`pop` code and proves each named
+/// ordering is load-bearing. Compiled only under
+/// `RUSTFLAGS="--cfg rips_verify"` (`cargo test -p rips-live` then runs
+/// it; see `rips verify`).
+#[cfg(all(test, rips_verify))]
+mod verify_model {
+    use super::*;
+    use rips_verify::{vthread, Checker, Mutation, MutationKind, ViolationKind};
+
+    /// Three items through a 2-slot ring: exercises the full-ring wait,
+    /// the empty-ring wait, wraparound, and slot reuse.
+    fn ring_model() -> impl Fn() + Send + Sync + 'static {
+        || {
+            let (tx, rx) = spsc::<u64>(2);
+            let h = vthread::spawn_named("producer", move || {
+                let mut tx = tx;
+                for i in 0..3u64 {
+                    let mut v = i;
+                    loop {
+                        match tx.push(v) {
+                            Ok(()) => break,
+                            Err(back) => {
+                                v = back;
+                                vthread::yield_now();
+                            }
+                        }
+                    }
+                }
+            });
+            let mut rx = rx;
+            for expect in 0..3u64 {
+                loop {
+                    match rx.pop() {
+                        Some(v) => {
+                            assert_eq!(v, expect, "SPSC must preserve FIFO order");
+                            break;
+                        }
+                        None => vthread::yield_now(),
+                    }
+                }
+            }
+            assert_eq!(rx.pop(), None);
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn model_spsc_is_clean() {
+        let stats = Checker::from_env("live.ring.spsc")
+            .check(ring_model())
+            .expect("shipped SPSC protocol must be violation-free");
+        assert!(stats.executions > 1);
+    }
+
+    #[test]
+    fn sweep_each_weakened_ordering_is_caught() {
+        for site in [
+            "ring.push.head.acquire",
+            "ring.push.tail.publish",
+            "ring.pop.tail.acquire",
+            "ring.pop.head.publish",
+        ] {
+            let v = Checker::from_env(&format!("live.ring.sweep.{site}"))
+                .mutation(Mutation {
+                    site,
+                    kind: MutationKind::WeakenToRelaxed,
+                })
+                .check(ring_model())
+                .unwrap_err();
+            assert_eq!(
+                v.kind,
+                ViolationKind::DataRace,
+                "weakening {site} must produce a slot data race, got:\n{}",
+                v.replay
+            );
+            assert!(
+                !v.schedule.is_empty(),
+                "violation must carry a replay schedule"
+            );
+        }
     }
 }

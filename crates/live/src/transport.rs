@@ -31,11 +31,14 @@
 //! (halt is only decided once the final round's outstanding count hit
 //! zero), so only protocol chatter is lost.
 
-use std::sync::atomic::{fence, AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::sync::{Arc, Mutex};
-use std::thread::Thread;
 use std::time::Duration;
+
+use rips_verify::sync::atomic::{AtomicBool, Ordering};
+use rips_verify::sync::{fence_at, ord};
+use rips_verify::vthread;
+use rips_verify::vthread::Thread;
 
 use rips_desim::Time;
 use rips_topology::NodeId;
@@ -183,14 +186,14 @@ impl<M> NodeTx<M> {
                                 return; // machine is shutting down: drop
                             }
                             item = back;
-                            std::thread::yield_now();
+                            vthread::yield_now();
                         }
                     }
                 }
                 // Dekker-style wakeup: the push's Release store, then a
                 // SeqCst fence, then the parked check — pairs with the
                 // receiver's store-fence-repoll sequence in recv_wait.
-                fence(Ordering::SeqCst);
+                fence_at("transport.wake.sender", Ordering::SeqCst);
                 if ctl.peers[to].parked.load(Ordering::Relaxed) {
                     ctl.wake(to);
                 }
@@ -209,7 +212,8 @@ impl<M> NodeTx<M> {
                 }
             }
             NodeTx::Ring { ctl, .. } => {
-                ctl.halt.store(true, Ordering::SeqCst);
+                ctl.halt
+                    .store(true, ord("transport.halt.publish", Ordering::SeqCst));
                 ctl.wake_all();
             }
         }
@@ -240,7 +244,7 @@ impl<M> NodeRx<M> {
                 *ctl.peers[*me]
                     .thread
                     .lock()
-                    .unwrap_or_else(|p| p.into_inner()) = Some(std::thread::current());
+                    .unwrap_or_else(|p| p.into_inner()) = Some(vthread::current());
                 ExitGuard {
                     ctl: Some(Arc::clone(ctl)),
                     me: *me,
@@ -311,8 +315,10 @@ impl<M> NodeRx<M> {
             NodeRx::Ring { me, ctl, .. } => (*me, Arc::clone(ctl)),
             NodeRx::Mpsc { .. } => unreachable!("handled above"),
         };
-        ctl.peers[me].parked.store(true, Ordering::SeqCst);
-        fence(Ordering::SeqCst);
+        ctl.peers[me]
+            .parked
+            .store(true, ord("transport.park.advertise", Ordering::SeqCst));
+        fence_at("transport.park.receiver", Ordering::SeqCst);
         match self.try_recv() {
             Recv::Empty => {}
             found => {
@@ -324,10 +330,10 @@ impl<M> NodeRx<M> {
             Some(d) => {
                 let now = clock.now_us();
                 if d > now {
-                    std::thread::park_timeout(Duration::from_micros(d - now));
+                    vthread::park_timeout(Duration::from_micros(d - now));
                 }
             }
-            None => std::thread::park(),
+            None => vthread::park(),
         }
         ctl.peers[me].parked.store(false, Ordering::Relaxed);
         Recv::Empty
@@ -470,6 +476,118 @@ impl<M> Outbox<M> {
             let msgs = std::mem::take(&mut self.bins[to]);
             on_batch(to, msgs.len());
             tx.send(to, Packet { from, msgs });
+        }
+    }
+}
+
+/// Bounded model checking of the park/unpark wakeup protocol (PR 9):
+/// the checker's stale-read machinery can make the receiver's re-poll
+/// miss a published push and the sender's `parked` check miss the
+/// receiver's advertisement — exactly the lost wakeup the SeqCst fence
+/// pair forbids. Deleting either fence turns the model into a
+/// replayable deadlock. Compiled only under `--cfg rips_verify`.
+#[cfg(all(test, rips_verify))]
+mod verify_model {
+    use super::*;
+    use rips_trace::ClockKind;
+    use rips_verify::{Checker, Mutation, MutationKind, ViolationKind};
+
+    struct ZeroClock;
+    impl Clock for ZeroClock {
+        fn now_us(&self) -> Time {
+            0
+        }
+        fn kind(&self) -> ClockKind {
+            ClockKind::Virtual
+        }
+    }
+
+    /// One packet from node 0 to a receiver that parks (deadline-free)
+    /// until it arrives: the full advertise-fence-repoll-park dance on
+    /// the receiver against push-fence-check-wake on the sender.
+    fn wakeup_model() -> impl Fn() + Send + Sync + 'static {
+        || {
+            let mut fabric = build::<u32>(TransportKind::Ring, 2);
+            let (mut tx0, _rx0) = fabric.remove(0);
+            let (_tx1, mut rx1) = fabric.remove(0);
+            let h = vthread::spawn_named("receiver", move || {
+                let _guard = rx1.register();
+                loop {
+                    match rx1.recv_wait(None, &ZeroClock) {
+                        Recv::Packet(p) => return p.msgs,
+                        Recv::Halt => panic!("unexpected halt"),
+                        Recv::Empty => continue,
+                    }
+                }
+            });
+            tx0.send(
+                1,
+                Packet {
+                    from: 0,
+                    msgs: vec![7],
+                },
+            );
+            assert_eq!(h.join().expect("receiver"), vec![7]);
+        }
+    }
+
+    /// Halt must reach a parked receiver: `broadcast_halt` raises the
+    /// flag and unparks everyone.
+    fn halt_model() -> impl Fn() + Send + Sync + 'static {
+        || {
+            let mut fabric = build::<u32>(TransportKind::Ring, 2);
+            let (mut tx0, _rx0) = fabric.remove(0);
+            let (_tx1, mut rx1) = fabric.remove(0);
+            let h = vthread::spawn_named("receiver", move || {
+                let _guard = rx1.register();
+                loop {
+                    match rx1.recv_wait(None, &ZeroClock) {
+                        Recv::Halt => return,
+                        Recv::Packet(_) => panic!("unexpected packet"),
+                        Recv::Empty => continue,
+                    }
+                }
+            });
+            tx0.broadcast_halt();
+            h.join().expect("receiver");
+        }
+    }
+
+    #[test]
+    fn model_wakeup_protocol_is_clean() {
+        let stats = Checker::from_env("live.transport.wakeup")
+            .check(wakeup_model())
+            .expect("shipped wakeup protocol must be violation-free");
+        assert!(stats.executions > 1);
+    }
+
+    #[test]
+    fn model_halt_reaches_parked_receiver() {
+        Checker::from_env("live.transport.halt")
+            .check(halt_model())
+            .expect("halt broadcast must terminate the receiver");
+    }
+
+    #[test]
+    fn sweep_deleting_either_fence_loses_the_wakeup() {
+        for site in ["transport.wake.sender", "transport.park.receiver"] {
+            let v = Checker::from_env(&format!("live.transport.sweep.{site}"))
+                .mutation(Mutation {
+                    site,
+                    kind: MutationKind::DeleteFence,
+                })
+                .check(wakeup_model())
+                .unwrap_err();
+            assert_eq!(
+                v.kind,
+                ViolationKind::Deadlock,
+                "deleting {site} must lose the wakeup, got:\n{}",
+                v.replay
+            );
+            assert!(
+                !v.schedule.is_empty(),
+                "violation must carry a replay schedule"
+            );
         }
     }
 }

@@ -25,7 +25,8 @@
 
 use rips_trace::metrics_rt::Counter;
 use rips_trace::MetricsRegistry;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use rips_verify::sync::atomic::{AtomicBool, AtomicU64};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -215,9 +216,103 @@ impl Drop for Watchdog {
     }
 }
 
+/// Adversarial checks of the watchdog's concurrent edges under the
+/// model checker's scheduler (PR 9): the sampler reads progress
+/// counters other threads bump with relaxed atomics, so the detector
+/// must tolerate *stale but coherent* samples, and the stop flag must
+/// terminate the sampling loop under every interleaving (including
+/// bounded-stale reads). Compiled only under `--cfg rips_verify`.
+#[cfg(all(test, rips_verify))]
+mod verify_model {
+    use super::*;
+    use rips_verify::{vthread, Checker};
+    use std::sync::atomic::Ordering::{Acquire, Relaxed, Release};
+
+    /// A sampler feeding [`StallDetector`] from relaxed per-node
+    /// counters a worker is concurrently bumping. Coherence (a thread
+    /// never reads a counter going backwards) is what keeps the frozen
+    /// window meaningful; with genuine progress and a window larger
+    /// than the bounded staleness, no schedule may trip.
+    #[test]
+    fn model_sampler_tolerates_stale_but_coherent_counters() {
+        let stats = Checker::from_env("live.watchdog.sampler")
+            .check(|| {
+                let c = Arc::new(AtomicU64::new(0));
+                let writer = {
+                    let c = Arc::clone(&c);
+                    vthread::spawn_named("worker", move || {
+                        for v in 1..=2u64 {
+                            c.store(v, Relaxed);
+                        }
+                    })
+                };
+                let mut det = StallDetector::new(3);
+                let mut prev = 0u64;
+                for _ in 0..3 {
+                    let sample = c.load(Relaxed);
+                    assert!(sample >= prev, "progress went backwards: {sample} < {prev}");
+                    prev = sample;
+                    assert_eq!(
+                        det.observe(&[sample]),
+                        None,
+                        "three samples cannot cross a window of three"
+                    );
+                    vthread::yield_now();
+                }
+                writer.join().unwrap();
+            })
+            .expect("stale-tolerant sampling must be violation-free");
+        assert!(stats.executions > 1);
+    }
+
+    /// The `stop` store(Release)/load(Acquire) pair shuts the sampling
+    /// loop down under every interleaving — bounded staleness means the
+    /// loop always observes the flag eventually (no livelock).
+    #[test]
+    fn model_stop_flag_terminates_sampler() {
+        Checker::from_env("live.watchdog.stop")
+            .check(|| {
+                let stop = Arc::new(AtomicBool::new(false));
+                let trips = Arc::new(AtomicU64::new(0));
+                let sampler = {
+                    let (stop, trips) = (Arc::clone(&stop), Arc::clone(&trips));
+                    vthread::spawn_named("watchdog", move || {
+                        let mut det = StallDetector::new(1);
+                        while !stop.load(Acquire) {
+                            if det.observe(&[0]).is_some() {
+                                trips.fetch_add(1, Relaxed);
+                            }
+                            vthread::yield_now();
+                        }
+                    })
+                };
+                stop.store(true, Release);
+                sampler.join().unwrap();
+            })
+            .expect("stop protocol must terminate the sampler in every schedule");
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn rearm_race_progress_on_the_trip_sample_restarts_the_window() {
+        // The adversarial re-arm schedule: progress resumes on the very
+        // next sample after a trip. The detector must treat that as a
+        // fresh baseline (full window again), not as a frozen sample of
+        // the old one — and a subsequent freeze must need the whole
+        // window before tripping again.
+        let mut det = StallDetector::new(2);
+        assert_eq!(det.observe(&[5]), None, "baseline");
+        assert_eq!(det.observe(&[5]), None, "frozen 1");
+        assert!(det.observe(&[5]).is_some(), "frozen 2 trips");
+        assert_eq!(det.observe(&[6]), None, "progress right after trip");
+        assert_eq!(det.frozen(), 0, "window restarted");
+        assert_eq!(det.observe(&[6]), None, "frozen 1 of new window");
+        assert!(det.observe(&[6]).is_some(), "full new window trips again");
+    }
 
     #[test]
     fn advancing_progress_never_trips() {

@@ -239,6 +239,52 @@ mod tests {
     }
 
     #[test]
+    fn lap_wrap_at_slot_255_releases_and_keeps_across_the_seam() {
+        // The adversarial bucket: slot 255, the last before the cursor
+        // wraps to slot 0. Three timers hash there — one due this lap,
+        // one a full lap later, one two laps later — plus one in slot 0
+        // just across the seam. Sweeping the cursor over the wrap must
+        // release exactly the matured entry each lap and never drop or
+        // early-fire the laggards sharing the bucket.
+        let lap = (WHEEL_SLOTS as u64) << GRAN_SHIFT;
+        let slot255 = 255u64 << GRAN_SHIFT; // tick 255 → slot 255
+        let mut w = TimerWheel::new(0);
+        w.set(0, slot255, 1);
+        w.set(0, slot255 + lap, 2);
+        w.set(0, slot255 + 2 * lap, 3);
+        w.set(0, slot255 + (1 << GRAN_SHIFT), 4); // tick 256 → slot 0
+        assert_eq!(w.pending(), 4);
+        // Stop the cursor exactly on slot 255: only timer 1 matures.
+        assert_eq!(w.pop_due(slot255), Some(1));
+        assert_eq!(w.pop_due(slot255), None);
+        // One tick across the wrap: slot 0 releases timer 4; the
+        // laggards in slot 255 stay parked.
+        assert_eq!(w.pop_due(slot255 + (1 << GRAN_SHIFT)), Some(4));
+        assert_eq!(w.pop_due(lap + slot255 - 1), None, "one µs early");
+        assert_eq!(w.pop_due(lap + slot255), Some(2));
+        // A jump of several laps still only releases what matured.
+        assert_eq!(w.pop_due(2 * lap + slot255), Some(3));
+        assert_eq!(w.pop_due(u64::MAX >> 8), None);
+        assert_eq!(w.pending(), 0);
+    }
+
+    #[test]
+    fn cursor_parked_on_slot_255_accepts_next_lap_arms() {
+        // Arm while the cursor itself sits on slot 255: a delay that
+        // hashes back into slot 255 one lap ahead must wait a full lap,
+        // and a one-tick delay must land in slot 0, not fire at once.
+        let lap = (WHEEL_SLOTS as u64) << GRAN_SHIFT;
+        let slot255 = 255u64 << GRAN_SHIFT;
+        let mut w = TimerWheel::new(slot255);
+        w.set(slot255, lap, 5); // same slot, next lap
+        w.set(slot255, 1 << GRAN_SHIFT, 6); // slot 0, next tick
+        assert_eq!(w.pop_due(slot255), None);
+        assert_eq!(w.pop_due(slot255 + (1 << GRAN_SHIFT)), Some(6));
+        assert_eq!(w.pop_due(slot255 + lap - 1), None);
+        assert_eq!(w.pop_due(slot255 + lap), Some(5));
+    }
+
+    #[test]
     fn next_deadline_sees_immediate_and_bucketed() {
         let mut w = TimerWheel::new(0);
         assert_eq!(w.next_deadline(), None);

@@ -44,8 +44,11 @@ pub use driver::{
 pub use registry::{RunSpec, ScheduledRun, SchedulerCtor, SchedulerRegistry};
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex};
+
+use rips_verify::sync::atomic::{AtomicBool, AtomicU32, AtomicU64};
+use rips_verify::sync::{ord, swap_bool};
 
 use rips_desim::Time;
 use rips_taskgraph::{TaskId, Workload};
@@ -259,9 +262,24 @@ impl Oracle {
     /// announcement token is claimed with a `swap` so concurrent
     /// finishers of the last two tasks cannot both win.
     pub fn task_done(&self) -> bool {
-        let prev = self.shared.outstanding.fetch_sub(1, Ordering::AcqRel);
+        let prev = self
+            .shared
+            .outstanding
+            .fetch_sub(1, ord("oracle.retire", Ordering::AcqRel));
         assert!(prev > 0, "task_done underflow");
-        prev == 1 && !self.shared.round_announced.swap(true, Ordering::AcqRel)
+        prev == 1 && self.claim_announce()
+    }
+
+    /// Claims the round's announcement token: `true` for the single
+    /// winner. The `swap` is what keeps the barrier announcement unique
+    /// when a finisher and a saw-zero observer race for it.
+    fn claim_announce(&self) -> bool {
+        !swap_bool(
+            "oracle.announce",
+            &self.shared.round_announced,
+            true,
+            Ordering::AcqRel,
+        )
     }
 
     /// Child instances generated by completing `inst` on `node`.
@@ -478,6 +496,103 @@ impl RunOutcome {
             std::cmp::Ordering::Equal => Ok(()),
             std::cmp::Ordering::Less => Err(VerifyError::TasksLost { executed, expected }),
             std::cmp::Ordering::Greater => Err(VerifyError::DoubleExecution { executed, expected }),
+        }
+    }
+}
+
+/// Bounded model checking of the round-barrier announce protocol
+/// (PR 9): two workers retire the round's last two tasks while each
+/// also watches for the count to hit zero — the last finisher and a
+/// saw-zero observer race for the announcement token. The `AcqRel`
+/// retire chain orders every worker's round results before the
+/// announcer reads them, and the `swap` elects exactly one announcer.
+/// Compiled only under `--cfg rips_verify`.
+#[cfg(all(test, rips_verify))]
+mod verify_model {
+    use super::*;
+    use rips_taskgraph::flat_uniform;
+    use rips_topology::Mesh2D;
+    use rips_verify::sync::atomic::AtomicUsize;
+    use rips_verify::sync::cell::UnsafeCellWrap;
+    use rips_verify::{vthread, Checker, Mutation, MutationKind, ViolationKind};
+
+    fn barrier_model() -> impl Fn() + Send + Sync + 'static {
+        || {
+            let w = Arc::new(flat_uniform(2, 1, 1, 0));
+            let o = Arc::new(Oracle::new(
+                w,
+                Arc::new(Mesh2D::new(1, 2)),
+                Costs::default(),
+            ));
+            // One result slot per worker, written before its retire;
+            // the announcer reads both (the barrier's rendezvous). The
+            // accesses carry no data — the checker races the *accesses*
+            // themselves, so no `unsafe` deref is needed and the L004
+            // allowlist stays pinned to ring.rs + rcu.rs.
+            let results = Arc::new([UnsafeCellWrap::new(0u64), UnsafeCellWrap::new(0u64)]);
+            let wins = Arc::new(AtomicUsize::new(0));
+            let worker = {
+                let (o, results, wins) = (Arc::clone(&o), Arc::clone(&results), Arc::clone(&wins));
+                move |idx: usize| {
+                    results[idx].with_mut(|_| ());
+                    let mut won = o.task_done();
+                    if !won && o.outstanding() == 0 {
+                        won = o.claim_announce();
+                    }
+                    if won {
+                        results[0].with(|_| ());
+                        results[1].with(|_| ());
+                        wins.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            };
+            let rival = {
+                let worker = worker.clone();
+                vthread::spawn_named("rival", move || worker(1))
+            };
+            worker(0);
+            rival.join().unwrap();
+            assert_eq!(
+                wins.load(Ordering::Relaxed),
+                1,
+                "exactly one barrier announcer"
+            );
+        }
+    }
+
+    #[test]
+    fn model_single_barrier_announcer() {
+        let stats = Checker::from_env("runtime.oracle.announce")
+            .check(barrier_model())
+            .expect("shipped announce protocol must be violation-free");
+        assert!(stats.executions > 1);
+    }
+
+    /// `swap` → load+store admits a double announcement; `AcqRel` →
+    /// `Relaxed` on the retire unorders the results from the announcer.
+    #[test]
+    fn sweep_announce_token_and_retire_ordering_are_load_bearing() {
+        for (site, kind, expect) in [
+            (
+                "oracle.announce",
+                MutationKind::SplitRmw,
+                ViolationKind::AssertionFailure,
+            ),
+            (
+                "oracle.retire",
+                MutationKind::WeakenToRelaxed,
+                ViolationKind::DataRace,
+            ),
+        ] {
+            let v = Checker::from_env(&format!("runtime.oracle.sweep.{site}"))
+                .mutation(Mutation { site, kind })
+                .check(barrier_model())
+                .unwrap_err();
+            assert_eq!(v.kind, expect, "mutating {site}, got:\n{}", v.replay);
+            assert!(
+                !v.schedule.is_empty(),
+                "violation must carry a replay schedule"
+            );
         }
     }
 }

@@ -25,8 +25,10 @@
 
 // rips-lint: allow(L004, deferred reclamation makes every published
 // snapshot outlive every reader borrow; see module docs)
-use std::sync::atomic::{AtomicPtr, Ordering};
 use std::sync::Mutex;
+
+use rips_verify::sync::atomic::{AtomicPtr, Ordering};
+use rips_verify::sync::ord;
 
 /// A read-mostly cell whose readers pay one atomic load and whose
 /// writers swap in a fresh heap-allocated version.
@@ -63,14 +65,14 @@ impl<T> RcuCell<T> {
         // is either still current or parked in the graveyard, which is
         // drained only in Drop (which takes &mut self, so no &T from
         // read() can outlive it).
-        unsafe { &*self.cur.load(Ordering::Acquire) }
+        unsafe { &*self.cur.load(ord("rcu.read.acquire", Ordering::Acquire)) }
     }
 
     /// Publishes a new version. Readers that already loaded the old
     /// pointer keep a valid reference; new reads see `value`.
     pub fn publish(&self, value: T) {
         let fresh = Box::into_raw(Box::new(value));
-        let old = self.cur.swap(fresh, Ordering::AcqRel);
+        let old = self.cur.swap(fresh, ord("rcu.publish", Ordering::AcqRel));
         self.graveyard
             .lock()
             .unwrap_or_else(|p| p.into_inner())
@@ -117,10 +119,89 @@ impl<T: std::fmt::Debug> std::fmt::Debug for RcuCell<T> {
     }
 }
 
+/// Bounded model checking of the publish/read protocol (PR 9): the
+/// payload is an instrumented cell so the checker sees the non-atomic
+/// version-contents write that `rcu.publish` must order before the
+/// pointer swap, and the sweep proves both `ord(..)` sites are
+/// load-bearing. Compiled only under `--cfg rips_verify`.
+#[cfg(all(test, rips_verify))]
+mod verify_model {
+    use super::*;
+    use rips_verify::sync::cell::UnsafeCellWrap;
+    use rips_verify::{vthread, Checker, Mutation, MutationKind, ViolationKind};
+    use std::sync::Arc;
+
+    /// A writer publishes two versions whose contents are written
+    /// through an instrumented cell *before* the pointer swap; the
+    /// reader snapshots and dereferences concurrently. With the
+    /// shipped orderings the swap's Release edge plus the reader's
+    /// Acquire load order every contents-write before every
+    /// contents-read of the same version.
+    fn rcu_model() -> impl Fn() + Send + Sync + 'static {
+        || {
+            // The payload cell is boxed so its tracked address is
+            // stable when `publish` moves the value into its own Box.
+            let cell = Arc::new(RcuCell::new(Box::new(UnsafeCellWrap::new(0u64))));
+            let writer = {
+                let cell = Arc::clone(&cell);
+                vthread::spawn_named("writer", move || {
+                    for v in 1..=2u64 {
+                        let fresh = Box::new(UnsafeCellWrap::new(0u64));
+                        // SAFETY: `fresh` is not yet published; this
+                        // thread has exclusive access.
+                        fresh.with_mut(|p| unsafe { p.write(v) });
+                        cell.publish(fresh);
+                    }
+                })
+            };
+            for _ in 0..3 {
+                let snap = cell.read();
+                // SAFETY: published snapshots are never written again
+                // (the race the checker verifies is exactly this).
+                let v = snap.with(|p| unsafe { p.read() });
+                assert!(v <= 2, "version out of range: {v}");
+                vthread::yield_now();
+            }
+            writer.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn model_rcu_publish_is_clean() {
+        let stats = Checker::from_env("runtime.rcu.publish")
+            .check(rcu_model())
+            .expect("shipped RCU protocol must be violation-free");
+        assert!(stats.executions > 1);
+    }
+
+    #[test]
+    fn sweep_each_weakened_ordering_is_caught() {
+        for site in ["rcu.publish", "rcu.read.acquire"] {
+            let v = Checker::from_env(&format!("runtime.rcu.sweep.{site}"))
+                .mutation(Mutation {
+                    site,
+                    kind: MutationKind::WeakenToRelaxed,
+                })
+                .check(rcu_model())
+                .unwrap_err();
+            assert_eq!(
+                v.kind,
+                ViolationKind::DataRace,
+                "weakening {site} must produce a version-contents race, got:\n{}",
+                v.replay
+            );
+            assert!(
+                !v.schedule.is_empty(),
+                "violation must carry a replay schedule"
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicUsize;
+    use rips_verify::sync::atomic::AtomicUsize;
     use std::sync::Arc;
 
     #[test]

@@ -1,0 +1,78 @@
+//! The mutation seam for the ordering sweep.
+//!
+//! The ported hot paths name every ordering-sensitive program point with
+//! a `&'static str` site label (`sync::ord("ring.tail.publish", Release)`,
+//! `sync::fence_at("transport.park.sender", SeqCst)`). In normal builds
+//! those helpers are identity functions; under the model checker they
+//! consult the process-global [`Mutation`] installed by the sweep
+//! harness, so a single test can weaken one ordering, delete one fence,
+//! or split one RMW — and prove the checker catches the seeded bug.
+//!
+//! Exactly one mutation is active at a time; [`crate::Checker`] installs
+//! it under the global model lock so concurrently running `cargo test`
+//! threads cannot observe each other's mutations.
+
+use std::sync::atomic::Ordering;
+use std::sync::Mutex;
+
+/// What to do to the single mutated site.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MutationKind {
+    /// Replace the ordering passed to `sync::ord(site, ..)` with `Relaxed`.
+    WeakenToRelaxed,
+    /// Turn the `sync::fence_at(site, ..)` at this site into a no-op.
+    DeleteFence,
+    /// Split the atomic RMW at this site (e.g. `swap`) into a separate
+    /// load and store with a scheduling point in between — the classic
+    /// lost-update bug.
+    SplitRmw,
+}
+
+/// A single seeded bug: one site, one transformation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Mutation {
+    /// The site label as written at the program point.
+    pub site: &'static str,
+    /// The transformation to apply there.
+    pub kind: MutationKind,
+}
+
+static PLAN: Mutex<Option<Mutation>> = Mutex::new(None);
+
+/// Install (or clear) the active mutation. Called by the checker only,
+/// under the global model lock.
+pub(crate) fn set(m: Option<Mutation>) {
+    *PLAN.lock().unwrap() = m;
+}
+
+/// The currently active mutation, if any.
+pub fn current() -> Option<Mutation> {
+    *PLAN.lock().unwrap()
+}
+
+/// Instrumented `ord`: the ordering actually used at `site`, after
+/// applying the active mutation.
+pub fn apply_ord(site: &'static str, ord: Ordering) -> Ordering {
+    match current() {
+        Some(m) if m.site == site && m.kind == MutationKind::WeakenToRelaxed => Ordering::Relaxed,
+        _ => ord,
+    }
+}
+
+/// Instrumented fence predicate: false when the active mutation deletes
+/// the fence at `site`.
+pub fn fence_survives(site: &'static str) -> bool {
+    !matches!(
+        current(),
+        Some(m) if m.site == site && m.kind == MutationKind::DeleteFence
+    )
+}
+
+/// Instrumented RMW predicate: true when the active mutation splits the
+/// read-modify-write at `site` into a load + store.
+pub fn rmw_is_split(site: &'static str) -> bool {
+    matches!(
+        current(),
+        Some(m) if m.site == site && m.kind == MutationKind::SplitRmw
+    )
+}

@@ -1,0 +1,47 @@
+//! The cfg-switched thread seam: `current`/`park`/`unpark`/`yield_now`
+//! for the live transport's Dekker-style sleep protocol.
+//!
+//! Normal builds re-export `std::thread`; under `--cfg rips_verify` the
+//! same names resolve to the model scheduler's cooperative threads
+//! ([`crate::rt::thread`]), where `park` is a blocking scheduling point
+//! with the std park-token semantics and `unpark` is a wake-up edge the
+//! happens-before tracker knows about.
+//!
+//! `unpark` is deliberately *not* a scheduling point in the model: the
+//! transport calls it while holding a std `Mutex`, and preempting there
+//! would deadlock the checker harness rather than model anything real.
+
+#[cfg(not(rips_verify))]
+mod imp {
+    pub use std::thread::{current, park, park_timeout, yield_now, JoinHandle, Thread};
+
+    /// Spawn a thread (plain `std::thread::spawn` in normal builds).
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        std::thread::spawn(f)
+    }
+
+    /// [`spawn`] with a thread name.
+    pub fn spawn_named<F, T>(name: &'static str, f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        std::thread::Builder::new()
+            .name(name.to_string())
+            .spawn(f)
+            .expect("spawn thread")
+    }
+}
+
+#[cfg(rips_verify)]
+mod imp {
+    pub use crate::rt::thread::{
+        current, park, park_timeout, spawn, spawn_named, yield_now, JoinHandle, Thread,
+    };
+}
+
+pub use imp::*;

@@ -12,6 +12,7 @@
 //! rips audit  --all [--nodes 32] [--seed 1]               # ... across the roster
 //! rips plan   --rows 8 --cols 4 --loads 25,0,3,...   # one-shot MWA on a load vector
 //! rips lint   [--root .] [--format json] [--out report.json]
+//! rips verify [--bound 3] [--mode dfs|random] [--seed 1] [--out replays/]
 //! rips apps                                          # list available workloads
 //! ```
 //!
@@ -23,7 +24,9 @@
 //! `audit` runs with the invariant [`Auditor`] attached and fails if
 //! any paper invariant (Theorem 1/2, conservation, barrier pairing) is
 //! violated. `lint` runs the rips-lint static analysis pass over the
-//! workspace source (rules RIPS-L001…L005; see DESIGN §7).
+//! workspace source (rules RIPS-L001…L006; see DESIGN §7). `verify`
+//! rebuilds the workspace with `--cfg rips_verify` and runs the
+//! bounded model checker over the lock-free live paths (DESIGN §11).
 //!
 //! `live` runs the scheduler on the *live* backend — one OS thread per
 //! node, batched packets over sharded SPSC rings (`--transport mpsc`
@@ -725,6 +728,78 @@ fn cmd_lint() {
     }
 }
 
+/// `rips verify` — recompile the workspace with `--cfg rips_verify`
+/// (swapping the `rips_verify::sync` seam from std re-exports to the
+/// instrumented cells) and run the bounded model checker's test suites:
+/// the checker's own litmus selftests plus the `verify_model` modules
+/// embedded in `rips-live` (SPSC ring, transport wakeup/halt, watchdog)
+/// and `rips-runtime` (RCU cell, Oracle barrier counter).
+///
+/// Flags map onto the `RIPS_VERIFY_*` environment knobs that
+/// `Checker::from_env` reads, so CI and local runs can trade coverage
+/// for wall clock without editing any test.
+fn cmd_verify() {
+    let mut cargo =
+        std::process::Command::new(std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string()));
+    cargo.args(["test", "-q"]);
+    for pkg in ["rips-verify", "rips-live", "rips-runtime"] {
+        cargo.args(["-p", pkg]);
+    }
+    cargo.arg("--lib");
+    if let Some(filter) = arg("--filter") {
+        cargo.arg(filter);
+    }
+
+    // Merge the cfg into whatever RUSTFLAGS the caller already has so
+    // `rips verify` composes with sanitizer wrappers and custom flags.
+    let mut rustflags = std::env::var("RUSTFLAGS").unwrap_or_default();
+    if !rustflags.contains("--cfg rips_verify") {
+        if !rustflags.is_empty() {
+            rustflags.push(' ');
+        }
+        rustflags.push_str("--cfg rips_verify");
+    }
+    cargo.env("RUSTFLAGS", &rustflags);
+    // Instrumented builds land in their own target dir so they don't
+    // evict the normal build's cache (the cfg changes every crate).
+    if std::env::var_os("CARGO_TARGET_DIR").is_none() {
+        cargo.env("CARGO_TARGET_DIR", "target/verify");
+    }
+
+    for (flag, knob) in [
+        ("--bound", "RIPS_VERIFY_BOUND"),
+        ("--max-iters", "RIPS_VERIFY_MAX_ITERS"),
+        ("--mode", "RIPS_VERIFY_MODE"),
+        ("--seed", "RIPS_VERIFY_SEED"),
+        ("--random-iters", "RIPS_VERIFY_RANDOM_ITERS"),
+        ("--out", "RIPS_VERIFY_OUT"),
+    ] {
+        if let Some(v) = arg(flag) {
+            cargo.env(knob, v);
+        }
+    }
+    if let Some(dir) = arg("--out").or_else(|| std::env::var("RIPS_VERIFY_OUT").ok()) {
+        // Pre-create the replay directory so CI's artifact-upload step
+        // always has a path to point at, even on a clean run.
+        let _ = std::fs::create_dir_all(&dir);
+    }
+
+    eprintln!("rips verify: {cargo:?}");
+    let status = cargo.status().unwrap_or_else(|e| {
+        eprintln!("cannot spawn cargo: {e}");
+        std::process::exit(2);
+    });
+    if !status.success() {
+        eprintln!(
+            "rips verify: model checking FAILED — replay schedules (if any) are under \
+             the RIPS_VERIFY_OUT directory; re-run a single schedule with the printed \
+             RIPS_VERIFY_* knobs to reproduce deterministically"
+        );
+        std::process::exit(status.code().unwrap_or(1));
+    }
+    eprintln!("rips verify: all model suites clean");
+}
+
 fn cmd_plan() {
     let rows: usize = arg("--rows").and_then(|v| v.parse().ok()).unwrap_or(4);
     let cols: usize = arg("--cols").and_then(|v| v.parse().ok()).unwrap_or(4);
@@ -766,6 +841,7 @@ fn main() {
         Some("audit") => cmd_audit(),
         Some("plan") => cmd_plan(),
         Some("lint") => cmd_lint(),
+        Some("verify") => cmd_verify(),
         Some("apps") => {
             for a in APPS {
                 println!("{a}");
@@ -778,7 +854,8 @@ fn main() {
         }
         _ => {
             eprintln!(
-                "usage: rips <run|live|stats|trace|report|audit|plan|lint|apps|schedulers> [flags]"
+                "usage: rips <run|live|stats|trace|report|audit|plan|lint|verify|apps|schedulers> \
+                 [flags]"
             );
             eprintln!(
                 "  run    --app queens13 --scheduler rips|random|gradient|rid|sid --nodes 32 \
@@ -799,6 +876,10 @@ fn main() {
             eprintln!("  audit  <scheduler> <app> | --all  [--nodes N] [--seed S]");
             eprintln!("  plan   --rows 8 --cols 4 --loads 25,0,3,...");
             eprintln!("  lint   [--root .] [--format human|json] [--out report.json]");
+            eprintln!(
+                "  verify [--bound N] [--mode dfs|random] [--seed S] [--max-iters N] \
+                 [--random-iters N] [--out replay-dir] [--filter test-name]"
+            );
             std::process::exit(2);
         }
     }
