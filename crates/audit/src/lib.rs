@@ -13,7 +13,11 @@
 //!   Lemma 1 (non-local-task minimality), task and migration
 //!   conservation, barrier pairing, and phase monotonicity against any
 //!   traced scheduler run. Run it via `rips audit`; the golden and
-//!   property tests run it across the whole roster.
+//!   property tests run it across the whole roster. [`serve`] extends
+//!   it to multi-job serve runs: each dispatch window feeds a fresh
+//!   inner auditor, plus job-lifecycle invariants (per-job
+//!   conservation, no overlapping windows, no work outside a window,
+//!   shed jobs never dispatch).
 //!
 //! The crate is dependency-free apart from `rips-trace` (whose sink
 //! interface the auditor implements), in keeping with the offline
@@ -26,6 +30,8 @@
 pub mod auditor;
 pub mod lexer;
 pub mod lint;
+pub mod serve;
 
 pub use auditor::{min_nonlocal_lower_bound, quotas, AuditReport, Auditor};
 pub use lint::{lint_files, lint_source, lint_workspace, Finding, LintReport};
+pub use serve::{ServeAuditReport, ServeAuditor};

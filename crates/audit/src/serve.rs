@@ -1,0 +1,447 @@
+//! Multi-job audit for serve runs (DESIGN §12).
+//!
+//! A serve run is a sequence of per-job fleet runs stitched onto one
+//! timeline, bracketed by [`TraceEvent::JobDispatch`] /
+//! [`TraceEvent::JobComplete`] and preceded by
+//! [`TraceEvent::JobSubmit`] (with [`TraceEvent::JobShed`] for
+//! rejected jobs). The [`ServeAuditor`] extends the single-run
+//! [`Auditor`] to this regime:
+//!
+//! * **Job state machine** — every job id moves submit → (shed |
+//!   dispatch → complete); a shed job must never dispatch, dispatch
+//!   windows must never overlap (the fleet serves one job at a time),
+//!   and every dispatched job must complete.
+//! * **Per-job invariants** — each dispatch window feeds a *fresh*
+//!   inner [`Auditor`], so Theorem 1 (post-schedule spread ≤ 1),
+//!   conservation, and barrier pairing are re-checked per job exactly
+//!   as `rips audit` checks a batch run.
+//! * **Per-job conservation** — the tasks announced at dispatch must
+//!   equal the tasks the backend reports at completion, and (when the
+//!   window carries an inner trace) the tasks the inner auditor
+//!   counted.
+//! * **No cross-tenant leakage** — task work (exec, spawn, migration)
+//!   outside any dispatch window belongs to no job, hence to no
+//!   tenant, and is flagged.
+
+use std::collections::BTreeMap;
+
+use rips_trace::{NodeId, Time, TraceEvent, TraceSink};
+
+use crate::auditor::Auditor;
+
+/// Lifecycle position of one job id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum JobState {
+    Submitted,
+    Shed,
+    Dispatched,
+    Completed,
+}
+
+/// What the serve audit concluded. Produced by
+/// [`ServeAuditor::finish`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServeAuditReport {
+    /// Jobs offered (JobSubmit events).
+    pub jobs_submitted: u64,
+    /// Jobs admission rejected.
+    pub jobs_shed: u64,
+    /// Jobs dispatched onto the fleet.
+    pub jobs_dispatched: u64,
+    /// Jobs completed.
+    pub jobs_completed: u64,
+    /// Dispatch windows that carried an inner fleet trace (0 when the
+    /// backend replays memoized service outcomes).
+    pub jobs_with_inner_trace: u64,
+    /// Largest post-schedule load spread over every audited window
+    /// (Theorem 1 requires ≤ 1).
+    pub max_spread: i64,
+    /// System phases checked across all windows.
+    pub phases_checked: usize,
+    /// Violations, in detection order. Empty ⇔ every invariant held.
+    pub errors: Vec<String>,
+}
+
+impl ServeAuditReport {
+    /// `true` when no invariant was violated.
+    pub fn is_ok(&self) -> bool {
+        self.errors.is_empty()
+    }
+
+    /// Human-readable rendering for the `rips serve --audit` output.
+    pub fn render_human(&self) -> String {
+        let mut out = format!(
+            "jobs             {} submitted / {} shed / {} dispatched / {} completed\n\
+             inner traces     {} windows\n\
+             phases checked   {}\n\
+             max load spread  {} (Theorem 1 bound: 1)\n",
+            self.jobs_submitted,
+            self.jobs_shed,
+            self.jobs_dispatched,
+            self.jobs_completed,
+            self.jobs_with_inner_trace,
+            self.phases_checked,
+            self.max_spread,
+        );
+        if self.errors.is_empty() {
+            out.push_str("serve audit      OK\n");
+        } else {
+            for e in &self.errors {
+                out.push_str(&format!("VIOLATION: {e}\n"));
+            }
+        }
+        out
+    }
+}
+
+/// One open dispatch window.
+#[derive(Debug)]
+struct OpenWindow {
+    job: u64,
+    tenant: u32,
+    tasks: u64,
+    inner: Option<Auditor>,
+    saw_inner_events: bool,
+}
+
+/// A [`TraceSink`] auditing a multi-job serve run. Install it with
+/// [`rips_trace::with_sink`] around [`run_serve`] — job lifecycle
+/// events drive the state machine, and everything else is forwarded
+/// to the current window's inner [`Auditor`].
+///
+/// [`run_serve`]: ../../rips_serve/fn.run_serve.html
+#[derive(Debug)]
+pub struct ServeAuditor {
+    nodes: usize,
+    state: BTreeMap<u64, JobState>,
+    open: Option<OpenWindow>,
+    report: ServeAuditReport,
+}
+
+impl ServeAuditor {
+    /// An auditor for a fleet of `nodes` processors (the inner
+    /// per-job auditors are sized to this).
+    pub fn new(nodes: usize) -> Self {
+        ServeAuditor {
+            nodes,
+            state: BTreeMap::new(),
+            open: None,
+            report: ServeAuditReport::default(),
+        }
+    }
+
+    fn err(&mut self, msg: String) {
+        self.report.errors.push(msg);
+    }
+
+    fn close_window(&mut self, executed_reported: u64) {
+        let w = self.open.take().expect("window open");
+        if let Some(inner) = w.inner {
+            let r = inner.finish();
+            self.report.max_spread = self.report.max_spread.max(r.max_spread);
+            self.report.phases_checked += r.phases_checked;
+            if w.saw_inner_events {
+                self.report.jobs_with_inner_trace += 1;
+                if r.executed != w.tasks {
+                    self.err(format!(
+                        "job {}: inner trace executed {} tasks, dispatch announced {}",
+                        w.job, r.executed, w.tasks
+                    ));
+                }
+                for e in r.errors {
+                    self.err(format!("job {}: {e}", w.job));
+                }
+            }
+        }
+        if executed_reported != w.tasks {
+            self.err(format!(
+                "job {}: completion reports {} tasks executed, dispatch announced {}",
+                w.job, executed_reported, w.tasks
+            ));
+        }
+        self.state.insert(w.job, JobState::Completed);
+        self.report.jobs_completed += 1;
+    }
+
+    /// Closes the stream, checks end-of-run consistency (no window
+    /// left open, every admitted job served), and returns the report.
+    pub fn finish(mut self) -> ServeAuditReport {
+        if let Some(w) = &self.open {
+            let job = w.job;
+            self.err(format!("job {job}: dispatch window still open at halt"));
+        }
+        let stuck: Vec<(u64, JobState)> = self
+            .state
+            .iter()
+            .filter(|(_, s)| matches!(s, JobState::Submitted | JobState::Dispatched))
+            .map(|(j, s)| (*j, *s))
+            .collect();
+        for (job, s) in stuck {
+            match s {
+                JobState::Submitted => {
+                    self.err(format!("job {job}: admitted but never dispatched"))
+                }
+                JobState::Dispatched => {
+                    self.err(format!("job {job}: dispatched but never completed"))
+                }
+                _ => unreachable!(),
+            }
+        }
+        self.report
+    }
+}
+
+impl TraceSink for ServeAuditor {
+    fn record(&mut self, time_us: Time, node: NodeId, event: TraceEvent) {
+        match event {
+            TraceEvent::JobSubmit { tenant: _, job } => {
+                if self.state.insert(job, JobState::Submitted).is_some() {
+                    self.err(format!("job {job}: submitted twice"));
+                }
+                self.report.jobs_submitted += 1;
+            }
+            TraceEvent::JobShed { tenant: _, job } => match self.state.get(&job) {
+                Some(JobState::Submitted) => {
+                    self.state.insert(job, JobState::Shed);
+                    self.report.jobs_shed += 1;
+                }
+                other => self.err(format!("job {job}: shed from state {other:?}")),
+            },
+            TraceEvent::JobDispatch { tenant, job, tasks } => {
+                match self.state.get(&job) {
+                    Some(JobState::Submitted) => {}
+                    other => self.err(format!("job {job}: dispatched from state {other:?}")),
+                }
+                if let Some(w) = &self.open {
+                    let open = w.job;
+                    self.err(format!(
+                        "job {job}: dispatched while job {open}'s window is still open"
+                    ));
+                }
+                self.state.insert(job, JobState::Dispatched);
+                self.report.jobs_dispatched += 1;
+                self.open = Some(OpenWindow {
+                    job,
+                    tenant,
+                    tasks,
+                    inner: Some(Auditor::new(self.nodes)),
+                    saw_inner_events: false,
+                });
+            }
+            TraceEvent::JobComplete {
+                tenant,
+                job,
+                executed,
+            } => match &self.open {
+                Some(w) if w.job == job => {
+                    if w.tenant != tenant {
+                        let wt = w.tenant;
+                        self.err(format!(
+                            "job {job}: dispatched for tenant {wt}, completed for {tenant}"
+                        ));
+                    }
+                    self.close_window(executed);
+                }
+                _ => self.err(format!("job {job}: completion without an open window")),
+            },
+            other => {
+                let is_work = matches!(
+                    other,
+                    TraceEvent::TaskExec { .. }
+                        | TraceEvent::Spawn { .. }
+                        | TraceEvent::MigrateOut { .. }
+                        | TraceEvent::MigrateIn { .. }
+                        | TraceEvent::Barrier { .. }
+                );
+                match &mut self.open {
+                    Some(w) => {
+                        w.saw_inner_events = true;
+                        if let Some(inner) = &mut w.inner {
+                            inner.record(time_us, node, other);
+                        }
+                    }
+                    None if is_work => self.err(format!(
+                        "task work outside any job window (cross-tenant leakage): \
+                         {other:?} on node {node}"
+                    )),
+                    None => {}
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn submit(a: &mut ServeAuditor, job: u64) {
+        a.record(0, 0, TraceEvent::JobSubmit { tenant: 0, job });
+    }
+
+    #[test]
+    fn clean_two_job_run_passes() {
+        let mut a = ServeAuditor::new(2);
+        for job in 0..2u64 {
+            submit(&mut a, job);
+        }
+        for job in 0..2u64 {
+            a.record(
+                10 * job,
+                0,
+                TraceEvent::JobDispatch {
+                    tenant: 0,
+                    job,
+                    tasks: 3,
+                },
+            );
+            for t in 0..3u64 {
+                a.record(10 * job + t, 0, TraceEvent::Spawn { round: 0, count: 1 });
+                a.record(
+                    10 * job + t,
+                    (t % 2) as usize,
+                    TraceEvent::TaskExec {
+                        task: t,
+                        round: 0,
+                        origin: 0,
+                        hops: 0,
+                        grain_us: 1,
+                        dispatch_us: 0,
+                    },
+                );
+            }
+            a.record(
+                10 * job + 9,
+                0,
+                TraceEvent::JobComplete {
+                    tenant: 0,
+                    job,
+                    executed: 3,
+                },
+            );
+        }
+        let r = a.finish();
+        assert!(r.is_ok(), "{:?}", r.errors);
+        assert_eq!(r.jobs_submitted, 2);
+        assert_eq!(r.jobs_completed, 2);
+        assert_eq!(r.jobs_with_inner_trace, 2);
+    }
+
+    #[test]
+    fn shed_job_must_not_dispatch() {
+        let mut a = ServeAuditor::new(2);
+        submit(&mut a, 0);
+        a.record(1, 0, TraceEvent::JobShed { tenant: 0, job: 0 });
+        a.record(
+            2,
+            0,
+            TraceEvent::JobDispatch {
+                tenant: 0,
+                job: 0,
+                tasks: 1,
+            },
+        );
+        a.record(
+            3,
+            0,
+            TraceEvent::JobComplete {
+                tenant: 0,
+                job: 0,
+                executed: 1,
+            },
+        );
+        let r = a.finish();
+        assert!(!r.is_ok());
+        assert!(
+            r.errors[0].contains("dispatched from state Some(Shed)"),
+            "{:?}",
+            r.errors
+        );
+    }
+
+    #[test]
+    fn overlapping_windows_are_flagged() {
+        let mut a = ServeAuditor::new(2);
+        submit(&mut a, 0);
+        submit(&mut a, 1);
+        a.record(
+            1,
+            0,
+            TraceEvent::JobDispatch {
+                tenant: 0,
+                job: 0,
+                tasks: 1,
+            },
+        );
+        a.record(
+            2,
+            0,
+            TraceEvent::JobDispatch {
+                tenant: 0,
+                job: 1,
+                tasks: 1,
+            },
+        );
+        let r = a.finish();
+        assert!(r
+            .errors
+            .iter()
+            .any(|e| e.contains("while job 0's window is still open")));
+    }
+
+    #[test]
+    fn per_job_conservation_mismatch_is_flagged() {
+        let mut a = ServeAuditor::new(2);
+        submit(&mut a, 0);
+        a.record(
+            1,
+            0,
+            TraceEvent::JobDispatch {
+                tenant: 0,
+                job: 0,
+                tasks: 5,
+            },
+        );
+        a.record(
+            2,
+            0,
+            TraceEvent::JobComplete {
+                tenant: 0,
+                job: 0,
+                executed: 4,
+            },
+        );
+        let r = a.finish();
+        assert!(r
+            .errors
+            .iter()
+            .any(|e| e.contains("completion reports 4 tasks executed, dispatch announced 5")));
+    }
+
+    #[test]
+    fn work_outside_any_window_is_leakage() {
+        let mut a = ServeAuditor::new(2);
+        a.record(
+            1,
+            0,
+            TraceEvent::TaskExec {
+                task: 0,
+                round: 0,
+                origin: 0,
+                hops: 0,
+                grain_us: 1,
+                dispatch_us: 0,
+            },
+        );
+        let r = a.finish();
+        assert!(r.errors.iter().any(|e| e.contains("cross-tenant leakage")));
+    }
+
+    #[test]
+    fn admitted_but_never_dispatched_is_flagged() {
+        let mut a = ServeAuditor::new(2);
+        submit(&mut a, 7);
+        let r = a.finish();
+        assert!(r.errors.iter().any(|e| e.contains("never dispatched")));
+    }
+}

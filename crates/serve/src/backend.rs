@@ -1,0 +1,257 @@
+//! The fleet seam: one job in, one measured service out.
+//!
+//! Serving is a queueing layer *above* the backends. The fleet runs
+//! one job at a time across all its nodes (jobs are whole task
+//! forests — they already parallelize internally), so the serve loop
+//! is a single-server queue whose service times come from whichever
+//! backend is plugged in:
+//!
+//! * [`DesimBackend`] — the registry's simulator constructors; the
+//!   service time is the run's virtual makespan (`stats.end_time`).
+//!   Fully deterministic, so serve runs are golden-testable.
+//! * [`LiveBackend`] — real OS threads executing real grains via
+//!   [`live_run`]; the service time is the measured wall clock. The
+//!   serve timeline stays virtual — measured service times are
+//!   *composed* on it rather than slept through, so an hour of
+//!   simulated traffic still finishes in the sum of its busy time.
+//! * [`ServiceTable`] — memoized outcomes from either backend, for
+//!   load sweeps that replay hundreds of jobs per point without
+//!   re-running the fleet per job.
+
+use std::collections::BTreeMap;
+
+use rips_bench::live::{live_opts, live_run};
+use rips_bench::registry;
+use rips_desim::LatencyModel;
+use rips_live::GrainMode;
+use rips_runtime::{Costs, RunSpec, SchedulerRegistry};
+
+use crate::catalog::JobApp;
+
+/// What serving one job produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceOutcome {
+    /// Fleet busy time for the job (µs): virtual makespan on desim,
+    /// measured wall clock on live.
+    pub service_us: u64,
+    /// Tasks the backend executed (must equal the app's task count —
+    /// per-job conservation).
+    pub executed: u64,
+    /// Grain checksum (live only; 0 on desim, which schedules grains
+    /// without running them).
+    pub checksum: u64,
+    /// Solutions found (live only).
+    pub solutions: u64,
+}
+
+/// A fleet that can serve catalog jobs.
+pub trait JobBackend {
+    /// Backend label for reports (`"desim"` / `"live"`).
+    fn name(&self) -> &'static str;
+
+    /// Fleet width (simulated nodes / live threads) — sizes the
+    /// auditors that watch this fleet's runs.
+    fn nodes(&self) -> usize;
+
+    /// Runs `app` under `scheduler` with the given policy seed and
+    /// returns the measured service.
+    ///
+    /// # Panics
+    /// If the run loses or duplicates tasks, or (live) the grain
+    /// totals disagree with the table's static ground truth.
+    fn service(&mut self, scheduler: &str, app: &JobApp, seed: u64) -> ServiceOutcome;
+}
+
+/// The deterministic simulator fleet.
+pub struct DesimBackend {
+    reg: SchedulerRegistry,
+    /// Simulated mesh size.
+    pub nodes: usize,
+}
+
+impl DesimBackend {
+    /// A fleet of `nodes` simulated processors running the canonical
+    /// roster.
+    pub fn new(nodes: usize) -> Self {
+        DesimBackend {
+            reg: registry(),
+            nodes,
+        }
+    }
+}
+
+impl JobBackend for DesimBackend {
+    fn name(&self) -> &'static str {
+        "desim"
+    }
+
+    fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    fn service(&mut self, scheduler: &str, app: &JobApp, seed: u64) -> ServiceOutcome {
+        let spec = RunSpec {
+            workload: std::sync::Arc::clone(&app.workload),
+            nodes: self.nodes,
+            latency: LatencyModel::paragon(),
+            costs: Costs::default(),
+            seed,
+            rid_u: app.rid_u,
+        };
+        let run = self.reg.run(scheduler, &spec);
+        run.outcome
+            .verify_complete(&app.workload)
+            .unwrap_or_else(|e| panic!("{scheduler} serving {}: {e}", app.name));
+        ServiceOutcome {
+            service_us: run.outcome.stats.end_time.max(1),
+            executed: run.outcome.executed.iter().sum(),
+            checksum: 0,
+            solutions: 0,
+        }
+    }
+}
+
+/// The live fleet: real threads, real grains, wall-clock service.
+pub struct LiveBackend {
+    /// OS threads (one per node).
+    pub threads: usize,
+}
+
+impl LiveBackend {
+    /// A fleet of `threads` node threads in compute mode.
+    pub fn new(threads: usize) -> Self {
+        LiveBackend { threads }
+    }
+}
+
+impl JobBackend for LiveBackend {
+    fn name(&self) -> &'static str {
+        "live"
+    }
+
+    fn nodes(&self) -> usize {
+        self.threads
+    }
+
+    fn service(&mut self, scheduler: &str, app: &JobApp, seed: u64) -> ServiceOutcome {
+        let opts = live_opts(&app.table, GrainMode::Compute, 1.0);
+        let out = live_run(
+            scheduler,
+            &app.workload,
+            self.threads,
+            app.rid_u,
+            seed,
+            opts,
+        );
+        let truth = app.table.static_totals();
+        assert_eq!(
+            (out.checksum, out.solutions),
+            (truth.checksum, truth.solutions),
+            "{scheduler} serving {}: grain totals diverged from ground truth",
+            app.name
+        );
+        ServiceOutcome {
+            service_us: out.wall_us.max(1),
+            executed: out.executed.iter().sum(),
+            checksum: out.checksum,
+            solutions: out.solutions,
+        }
+    }
+}
+
+/// Memoized service outcomes, keyed by `(scheduler, app, seed)`.
+///
+/// Load sweeps replay the same small set of (scheduler, app,
+/// seed-variant) cells across hundreds of arrivals; measuring each
+/// cell once (audited, see [`sweep`](crate::sweep)) and replaying the
+/// outcome keeps a whole sweep inside a CI budget. On desim this is
+/// exact — the cell *is* deterministic; on live it substitutes one
+/// measured sample per cell.
+pub struct ServiceTable {
+    label: &'static str,
+    cells: BTreeMap<(String, String, u64), ServiceOutcome>,
+    /// Fleet width the cells were measured on.
+    pub fleet_nodes: usize,
+    /// How many distinct policy seeds each (scheduler, app) pair was
+    /// measured under; lookups fold the job seed onto a variant.
+    pub seed_variants: u64,
+}
+
+impl ServiceTable {
+    /// An empty table labelled with the backend its cells came from
+    /// and the fleet width they were measured on.
+    pub fn new(label: &'static str, fleet_nodes: usize, seed_variants: u64) -> Self {
+        ServiceTable {
+            label,
+            cells: BTreeMap::new(),
+            fleet_nodes,
+            seed_variants: seed_variants.max(1),
+        }
+    }
+
+    /// The seed variant a job seed folds onto.
+    pub fn variant(&self, seed: u64) -> u64 {
+        seed % self.seed_variants
+    }
+
+    /// Stores one measured cell.
+    pub fn insert(&mut self, scheduler: &str, app: &str, variant: u64, out: ServiceOutcome) {
+        self.cells
+            .insert((scheduler.into(), app.into(), variant), out);
+    }
+}
+
+impl JobBackend for ServiceTable {
+    fn name(&self) -> &'static str {
+        self.label
+    }
+
+    fn nodes(&self) -> usize {
+        self.fleet_nodes
+    }
+
+    fn service(&mut self, scheduler: &str, app: &JobApp, seed: u64) -> ServiceOutcome {
+        let key = (
+            scheduler.to_string(),
+            app.name.to_string(),
+            self.variant(seed),
+        );
+        *self
+            .cells
+            .get(&key)
+            .unwrap_or_else(|| panic!("no measured cell for {key:?}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Catalog;
+
+    #[test]
+    fn desim_service_is_seed_deterministic() {
+        let cat = Catalog::tiny();
+        let app = &cat.apps()[0];
+        let mut b = DesimBackend::new(4);
+        let a1 = b.service("RIPS", app, 7);
+        let a2 = b.service("RIPS", app, 7);
+        assert_eq!(a1, a2);
+        assert_eq!(a1.executed, app.tasks);
+        assert!(a1.service_us > 0);
+    }
+
+    #[test]
+    fn service_table_replays_measured_cells() {
+        let cat = Catalog::tiny();
+        let app = &cat.apps()[0];
+        let mut t = ServiceTable::new("desim", 4, 2);
+        let out = ServiceOutcome {
+            service_us: 123,
+            executed: app.tasks,
+            checksum: 0,
+            solutions: 0,
+        };
+        t.insert("RIPS", app.name, 1, out);
+        assert_eq!(t.service("RIPS", app, 3), out); // 3 % 2 == 1
+    }
+}

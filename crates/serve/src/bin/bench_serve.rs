@@ -1,0 +1,177 @@
+//! Offered-load sweep across the roster on both backends.
+//!
+//! Writes `BENCH_SERVE.json`: one series per (scheduler, backend),
+//! each series a calibrated load sweep with per-level latency
+//! percentiles, throughput, shed rate, and the saturation knee. The
+//! checked-in copy at the repo root is the evidence artifact; CI's
+//! `serve-smoke` job regenerates a `--quick` version and
+//! schema-validates it.
+//!
+//! Usage:
+//!   bench_serve [--out BENCH_SERVE.json] [--quick] [--seed N]
+//!               [--schedulers RIPS,RIPS-H,RID] [--nodes 8]
+//!               [--threads 2] [--tenants 4] [--jobs 25]
+//!               [--loads 0.2,0.5,0.8,1.1,1.5,2.0] [--process poisson]
+
+use std::fmt::Write as _;
+
+use rips_serve::sweep::{sweep_one, SchedulerSeries, SweepConfig};
+use rips_serve::{ArrivalProcess, Catalog, DesimBackend, LiveBackend};
+
+fn arg(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+fn series_json(s: &SchedulerSeries) -> String {
+    let mut points = String::new();
+    for (i, p) in s.points.iter().enumerate() {
+        if i > 0 {
+            points.push(',');
+        }
+        let r = &p.report;
+        let _ = write!(
+            points,
+            "{{\"load\":{:.2},\"offered_jobs_per_s\":{:.4},\"jobs_per_s\":{:.4},\
+             \"p50_us\":{},\"p95_us\":{},\"p99_us\":{},\"mean_us\":{:.1},\
+             \"shed_rate\":{:.4},\"completed\":{},\"shed\":{},\"submitted\":{},\
+             \"peak_pending\":{},\"serve_audit_ok\":{}}}",
+            p.load,
+            p.offered_jobs_per_sec,
+            r.jobs_per_sec,
+            r.latency.p50_us,
+            r.latency.p95_us,
+            r.latency.p99_us,
+            r.latency.mean_us,
+            r.shed_rate,
+            r.completed,
+            r.shed,
+            r.submitted,
+            r.peak_pending,
+            p.serve_audit_ok,
+        );
+    }
+    format!(
+        "{{\"scheduler\":\"{}\",\"backend\":\"{}\",\"mean_service_us\":{},\
+         \"audited\":{},\"max_spread\":{},\"phases_checked\":{},\
+         \"knee_load\":{},\"points\":[{}]}}",
+        s.scheduler,
+        s.backend,
+        s.mean_service_us,
+        s.audited_ok,
+        s.max_spread,
+        s.phases_checked,
+        s.knee_load
+            .map(|k| format!("{k:.2}"))
+            .unwrap_or_else(|| "null".into()),
+        points,
+    )
+}
+
+fn report_series(s: &SchedulerSeries) {
+    let knee = s
+        .knee_load
+        .map(|k| format!("{k:.2}"))
+        .unwrap_or_else(|| "none".into());
+    eprintln!(
+        "  {} / {}: mean service {} us, audited {}, max spread {}, knee at load {}",
+        s.scheduler, s.backend, s.mean_service_us, s.audited_ok, s.max_spread, knee
+    );
+    for p in &s.points {
+        eprintln!(
+            "    load {:.2}: {:.1} jobs/s offered, {:.1} achieved, p99 {} us, shed {:.1}%",
+            p.load,
+            p.offered_jobs_per_sec,
+            p.report.jobs_per_sec,
+            p.report.latency.p99_us,
+            p.report.shed_rate * 100.0,
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = has_flag(&args, "--quick");
+    let out_path = arg(&args, "--out").unwrap_or_else(|| "BENCH_SERVE.json".into());
+    let seed: u64 = arg(&args, "--seed")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1);
+    let nodes: usize = arg(&args, "--nodes")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
+    let threads: usize = arg(&args, "--threads")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2);
+    let tenants: u32 = arg(&args, "--tenants")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+    let jobs: u32 = arg(&args, "--jobs")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(if quick { 8 } else { 25 });
+    let schedulers: Vec<String> = arg(&args, "--schedulers")
+        .unwrap_or_else(|| "RIPS,RIPS-H,RID".into())
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    let loads: Vec<f64> = arg(&args, "--loads")
+        .map(|s| s.split(',').filter_map(|x| x.trim().parse().ok()).collect())
+        .unwrap_or_else(|| {
+            if quick {
+                vec![0.3, 1.0, 2.5]
+            } else {
+                vec![0.2, 0.5, 0.8, 1.1, 1.5, 2.0]
+            }
+        });
+    let process = arg(&args, "--process")
+        .and_then(|s| ArrivalProcess::parse(&s))
+        .unwrap_or(ArrivalProcess::Poisson);
+
+    let catalog = if quick {
+        Catalog::tiny()
+    } else {
+        Catalog::standard()
+    };
+    let cfg = SweepConfig {
+        load_factors: loads,
+        tenants,
+        jobs_per_tenant: jobs,
+        process,
+        seed,
+        seed_variants: if quick { 1 } else { 2 },
+        ..SweepConfig::default()
+    };
+
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut series = Vec::new();
+    for sched in &schedulers {
+        eprintln!("sweep {sched} on desim ({nodes} nodes)...");
+        let s = sweep_one(&cfg, sched, &catalog, &mut DesimBackend::new(nodes));
+        report_series(&s);
+        series.push(series_json(&s));
+
+        eprintln!("sweep {sched} on live ({threads} threads)...");
+        let s = sweep_one(&cfg, sched, &catalog, &mut LiveBackend::new(threads));
+        report_series(&s);
+        series.push(series_json(&s));
+    }
+
+    let json = format!(
+        "{{\n  \"bench\": \"serve\",\n  \"seed\": {seed},\n  \"quick\": {quick},\n  \
+         \"tenants\": {tenants},\n  \"jobs_per_tenant\": {jobs},\n  \
+         \"process\": \"{}\",\n  \"desim_nodes\": {nodes},\n  \
+         \"live_threads\": {threads},\n  \"host_parallelism\": {host},\n  \
+         \"series\": [\n    {}\n  ]\n}}\n",
+        process.label(),
+        series.join(",\n    "),
+    );
+    std::fs::write(&out_path, &json).expect("write bench output");
+    eprintln!("wrote {out_path}");
+}

@@ -1,0 +1,150 @@
+//! The job catalog: the app specs tenants draw from.
+//!
+//! Each entry pairs a built [`Workload`] with its [`GrainTable`] and
+//! is shared by `Arc` across every submission of that spec — one
+//! build serves the whole run, and the table's memoized
+//! [`static_totals`](GrainTable::static_totals) gives every job
+//! instance its ground truth in O(1) after the first call.
+
+use std::sync::Arc;
+
+use rand::rngs::SmallRng;
+use rand::RngExt;
+use rips_apps::{
+    gromos_with_grains, nqueens_with_grains, puzzle_with_grains, GrainTable, GromosConfig,
+    NQueensConfig, PuzzleConfig,
+};
+use rips_taskgraph::Workload;
+
+/// One submittable app spec: the task forest, the real work behind it,
+/// and the scheduling inputs derived from both.
+#[derive(Debug)]
+pub struct JobApp {
+    /// Catalog name (stable across runs; used in reports and seeds).
+    pub name: &'static str,
+    /// The task structure every backend schedules.
+    pub workload: Arc<Workload>,
+    /// The real computation behind each task (live backend; ground
+    /// truth for both).
+    pub table: Arc<GrainTable>,
+    /// Task count — the DRR cost unit and the per-job conservation
+    /// ground truth announced at dispatch.
+    pub tasks: u64,
+    /// RID load-update factor for this app (paper tuning).
+    pub rid_u: f64,
+}
+
+fn job_app(name: &'static str, built: (Workload, GrainTable)) -> Arc<JobApp> {
+    let (w, t) = built;
+    let tasks = w.stats().tasks as u64;
+    Arc::new(JobApp {
+        name,
+        workload: Arc::new(w),
+        table: Arc::new(t),
+        tasks,
+        rid_u: 0.4,
+    })
+}
+
+/// Small N-Queens boards split shallowly, so task counts stay
+/// proportionate to the tiny boards (same shape `rips live` uses for
+/// its smoke sizes).
+fn small_queens(n: u32) -> NQueensConfig {
+    NQueensConfig {
+        n,
+        split_depth: 3,
+        root_depth: 2,
+        ns_per_node: 1800,
+    }
+}
+
+/// An app mix tenants sample uniformly.
+#[derive(Debug)]
+pub struct Catalog {
+    apps: Vec<Arc<JobApp>>,
+}
+
+impl Catalog {
+    /// The standard serving mix: queens/puzzle/MD forests of mixed
+    /// size (a few hundred µs to tens of ms of simulated work per
+    /// job), small enough that the live backend can execute the real
+    /// grains inside a CI smoke budget.
+    pub fn standard() -> Catalog {
+        Catalog {
+            apps: vec![
+                job_app("queens8", nqueens_with_grains(small_queens(8))),
+                job_app("queens9", nqueens_with_grains(small_queens(9))),
+                job_app("queens10", nqueens_with_grains(small_queens(10))),
+                job_app(
+                    "ida-mini",
+                    puzzle_with_grains(PuzzleConfig {
+                        scramble_len: 12,
+                        seed: 7,
+                        min_tasks: 8,
+                        ns_per_node: 500,
+                        split_divisor: 1024,
+                        split_floor_nodes: 20_000,
+                    }),
+                ),
+                job_app(
+                    "gromos-mini",
+                    gromos_with_grains(GromosConfig {
+                        atoms: 300,
+                        groups: 200,
+                        ..GromosConfig::paper(8.0)
+                    }),
+                ),
+            ],
+        }
+    }
+
+    /// A two-entry mix for tests and the CI smoke gate: one search
+    /// forest, one MD forest, both tiny.
+    pub fn tiny() -> Catalog {
+        Catalog {
+            apps: vec![
+                job_app("queens8", nqueens_with_grains(small_queens(8))),
+                job_app(
+                    "gromos-micro",
+                    gromos_with_grains(GromosConfig {
+                        atoms: 150,
+                        groups: 64,
+                        ..GromosConfig::paper(8.0)
+                    }),
+                ),
+            ],
+        }
+    }
+
+    /// The entries, in catalog order.
+    pub fn apps(&self) -> &[Arc<JobApp>] {
+        &self.apps
+    }
+
+    /// Uniform draw (tenant mix).
+    pub fn pick(&self, rng: &mut SmallRng) -> Arc<JobApp> {
+        Arc::clone(&self.apps[rng.random_range(0..self.apps.len())])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_entries_share_one_build_per_spec() {
+        let cat = Catalog::tiny();
+        assert_eq!(cat.apps().len(), 2);
+        for app in cat.apps() {
+            assert!(app.tasks > 0);
+            assert_eq!(
+                app.table.rounds(),
+                app.workload.rounds.len(),
+                "{}: table must cover the workload",
+                app.name
+            );
+            // Ground truth is memoized: two calls, one derivation.
+            assert_eq!(app.table.static_totals(), app.table.static_totals());
+        }
+    }
+}

@@ -1,0 +1,272 @@
+//! Offered-load sweeps: find each scheduler's saturation knee.
+//!
+//! For one (scheduler, backend) pair the sweep first *calibrates*:
+//! every catalog app is served once per policy-seed variant under a
+//! fresh [`Auditor`], giving audited, Theorem-1-checked service times
+//! and the fleet's mean service time `S̄`. The measured cells fill a
+//! [`ServiceTable`], and each load level then replays a full serve
+//! run against the table — hundreds of arrivals per point at O(1)
+//! fleet cost — under the [`ServeAuditor`], with the per-tenant mean
+//! interarrival set to `tenants · S̄ / ρ` so a load factor `ρ` of 1.0
+//! offers exactly the fleet's capacity.
+//!
+//! The knee is the first load level where the queue stops being
+//! stable in the observable sense: shed rate above 1 %, or aggregate
+//! p99 latency beyond 5× the lightest level's p99.
+
+use rips_audit::{Auditor, ServeAuditor};
+use rips_trace::with_sink;
+
+use crate::admission::AdmissionConfig;
+use crate::backend::{JobBackend, ServiceTable};
+use crate::catalog::Catalog;
+use crate::report::ServeReport;
+use crate::traffic::{ArrivalProcess, TrafficConfig};
+use crate::{run_serve, ServeConfig};
+
+/// Sweep shape shared by every series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepConfig {
+    /// Offered load factors relative to calibrated capacity
+    /// (ascending; 1.0 = the fleet's mean service rate).
+    pub load_factors: Vec<f64>,
+    /// Simulated tenants.
+    pub tenants: u32,
+    /// Jobs per tenant per load level.
+    pub jobs_per_tenant: u32,
+    /// Interarrival shape.
+    pub process: ArrivalProcess,
+    /// Admission bounds.
+    pub admission: AdmissionConfig,
+    /// DRR quantum.
+    pub quantum: u64,
+    /// Base seed (traffic and policy streams derive from it).
+    pub seed: u64,
+    /// Distinct policy seeds measured per (scheduler, app) cell.
+    pub seed_variants: u64,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            load_factors: vec![0.2, 0.5, 0.8, 1.1, 1.5, 2.0],
+            tenants: 4,
+            jobs_per_tenant: 25,
+            process: ArrivalProcess::Poisson,
+            admission: AdmissionConfig::default(),
+            quantum: 64,
+            seed: 1,
+            seed_variants: 2,
+        }
+    }
+}
+
+/// One load level's outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadPoint {
+    /// Offered load factor (1.0 = calibrated capacity).
+    pub load: f64,
+    /// Offered arrival rate implied by the factor (jobs/s).
+    pub offered_jobs_per_sec: f64,
+    /// Whether the [`ServeAuditor`] passed on this run.
+    pub serve_audit_ok: bool,
+    /// The full serve report for the level.
+    pub report: ServeReport,
+}
+
+/// One (scheduler, backend) series across the load axis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchedulerSeries {
+    /// Roster scheduler.
+    pub scheduler: String,
+    /// Backend label.
+    pub backend: String,
+    /// Calibrated mean service time over the catalog (µs).
+    pub mean_service_us: u64,
+    /// Whether every calibration run passed its [`Auditor`] and
+    /// conserved its tasks.
+    pub audited_ok: bool,
+    /// Largest post-schedule spread over all calibration runs
+    /// (Theorem 1 bound: 1).
+    pub max_spread: i64,
+    /// System phases checked during calibration.
+    pub phases_checked: usize,
+    /// First load factor past the saturation knee, if the sweep
+    /// reached it.
+    pub knee_load: Option<f64>,
+    /// Points in `load_factors` order.
+    pub points: Vec<LoadPoint>,
+}
+
+/// What [`calibrate`] measured.
+pub struct Calibration {
+    /// Memoized audited service cells.
+    pub table: ServiceTable,
+    /// Every calibration run passed its auditor and conserved tasks.
+    pub audited_ok: bool,
+    /// Largest post-schedule spread over all calibration runs.
+    pub max_spread: i64,
+    /// System phases checked across all calibration runs.
+    pub phases_checked: usize,
+    /// Mean service time over the measured cells (µs).
+    pub mean_service_us: u64,
+}
+
+/// Calibrates `scheduler` on `backend` over the catalog: one audited
+/// run per (app, seed variant).
+pub fn calibrate(
+    scheduler: &str,
+    catalog: &Catalog,
+    backend: &mut dyn JobBackend,
+    seed: u64,
+    seed_variants: u64,
+) -> Calibration {
+    let label = backend.name();
+    let mut table = ServiceTable::new(
+        if label == "live" { "live" } else { "desim" },
+        backend.nodes(),
+        seed_variants,
+    );
+    let (mut ok, mut max_spread, mut phases) = (true, 0i64, 0usize);
+    let mut total_us = 0u64;
+    let mut cells = 0u64;
+    for app in catalog.apps() {
+        for v in 0..seed_variants.max(1) {
+            let (auditor, out) = with_sink(Auditor::new(backend.nodes()), || {
+                backend.service(scheduler, app, seed ^ v)
+            });
+            let r = auditor.finish();
+            ok &= r.is_ok() && out.executed == app.tasks;
+            max_spread = max_spread.max(r.max_spread);
+            phases += r.phases_checked;
+            total_us += out.service_us;
+            cells += 1;
+            table.insert(scheduler, app.name, v, out);
+        }
+    }
+    Calibration {
+        table,
+        audited_ok: ok,
+        max_spread,
+        phases_checked: phases,
+        mean_service_us: (total_us / cells.max(1)).max(1),
+    }
+}
+
+/// Sweeps one (scheduler, backend) pair across `cfg.load_factors`:
+/// calibrate, then replay one serve run per level against the
+/// measured table under the [`ServeAuditor`].
+pub fn sweep_one(
+    cfg: &SweepConfig,
+    scheduler: &str,
+    catalog: &Catalog,
+    backend: &mut dyn JobBackend,
+) -> SchedulerSeries {
+    let backend_label = backend.name().to_string();
+    let mut cal = calibrate(scheduler, catalog, backend, cfg.seed, cfg.seed_variants);
+    let mut points = Vec::new();
+    for (i, &load) in cfg.load_factors.iter().enumerate() {
+        // ρ = tenants · (S̄ / interarrival)  ⇒  interarrival = tenants·S̄/ρ.
+        let mean_interarrival_us =
+            ((cfg.tenants as f64 * cal.mean_service_us as f64 / load) as u64).max(1);
+        let serve_cfg = ServeConfig {
+            scheduler: scheduler.to_string(),
+            traffic: TrafficConfig {
+                tenants: cfg.tenants,
+                jobs_per_tenant: cfg.jobs_per_tenant,
+                mean_interarrival_us,
+                process: cfg.process,
+                // Decorrelate levels so a level's arrival pattern is
+                // not a time-scaled copy of its neighbour's.
+                seed: cfg.seed.wrapping_add(1 + i as u64),
+            },
+            admission: cfg.admission,
+            quantum: cfg.quantum,
+            service_seed: cfg.seed,
+        };
+        let nodes = cal.table.fleet_nodes;
+        let table = &mut cal.table;
+        let (auditor, report) = with_sink(ServeAuditor::new(nodes), || {
+            run_serve(&serve_cfg, catalog, table)
+        });
+        let audit = auditor.finish();
+        points.push(LoadPoint {
+            load,
+            offered_jobs_per_sec: cfg.tenants as f64 * 1e6 / mean_interarrival_us as f64,
+            serve_audit_ok: audit.is_ok(),
+            report,
+        });
+    }
+    let knee_load = find_knee(&points);
+    SchedulerSeries {
+        scheduler: scheduler.to_string(),
+        backend: backend_label,
+        mean_service_us: cal.mean_service_us,
+        audited_ok: cal.audited_ok,
+        max_spread: cal.max_spread,
+        phases_checked: cal.phases_checked,
+        knee_load,
+        points,
+    }
+}
+
+/// The first load level where the queue observably saturates: shed
+/// rate above 1 %, or aggregate p99 latency beyond 5× the lightest
+/// level's p99.
+pub fn find_knee(points: &[LoadPoint]) -> Option<f64> {
+    let base_p99 = points.first().map(|p| p.report.latency.p99_us.max(1))?;
+    points
+        .iter()
+        .find(|p| p.report.shed_rate > 0.01 || p.report.latency.p99_us > 5 * base_p99)
+        .map(|p| p.load)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::DesimBackend;
+
+    #[test]
+    fn sweep_finds_a_knee_on_the_simulator() {
+        let cfg = SweepConfig {
+            load_factors: vec![0.3, 1.6, 3.0],
+            tenants: 3,
+            jobs_per_tenant: 10,
+            seed_variants: 1,
+            ..SweepConfig::default()
+        };
+        let cat = Catalog::tiny();
+        let mut backend = DesimBackend::new(4);
+        let s = sweep_one(&cfg, "RIPS", &cat, &mut backend);
+        assert!(s.audited_ok, "calibration must audit clean");
+        assert!(s.max_spread <= 1, "Theorem 1 must hold per job");
+        assert!(s.phases_checked > 0, "RIPS runs system phases");
+        assert_eq!(s.points.len(), 3);
+        assert!(s.points.iter().all(|p| p.serve_audit_ok));
+        // Light load completes everything; heavy load saturates.
+        assert_eq!(s.points[0].report.shed, 0);
+        assert!(s.knee_load.is_some(), "3× capacity must show a knee");
+        // Latency is monotone-ish: the heaviest level is worse than
+        // the lightest.
+        assert!(
+            s.points[2].report.latency.p99_us >= s.points[0].report.latency.p99_us,
+            "p99 should not improve under overload"
+        );
+    }
+
+    #[test]
+    fn sweep_is_deterministic() {
+        let cfg = SweepConfig {
+            load_factors: vec![0.5, 1.5],
+            tenants: 2,
+            jobs_per_tenant: 6,
+            seed_variants: 1,
+            ..SweepConfig::default()
+        };
+        let cat = Catalog::tiny();
+        let a = sweep_one(&cfg, "RID", &cat, &mut DesimBackend::new(4));
+        let b = sweep_one(&cfg, "RID", &cat, &mut DesimBackend::new(4));
+        assert_eq!(a.points, b.points);
+        assert_eq!(a.mean_service_us, b.mean_service_us);
+    }
+}

@@ -219,6 +219,31 @@ pub fn chrome_trace_json(buf: &TraceBuffer, label: &str, end_time: Time) -> Stri
                     &extra,
                 );
             }
+            TraceEvent::JobSubmit { tenant, job } => {
+                let extra = format!(",\"s\":\"p\",\"args\":{{\"tenant\":{tenant},\"job\":{job}}}");
+                push_event(&mut out, 'i', "job-submit", t, node, &extra);
+            }
+            TraceEvent::JobShed { tenant, job } => {
+                let extra = format!(",\"s\":\"p\",\"args\":{{\"tenant\":{tenant},\"job\":{job}}}");
+                push_event(&mut out, 'i', "job-shed", t, node, &extra);
+            }
+            TraceEvent::JobDispatch { tenant, job, tasks } => {
+                let extra = format!(
+                    ",\"s\":\"p\",\"args\":{{\"tenant\":{tenant},\"job\":{job},\"tasks\":{tasks}}}"
+                );
+                push_event(&mut out, 'i', "job-dispatch", t, node, &extra);
+            }
+            TraceEvent::JobComplete {
+                tenant,
+                job,
+                executed,
+            } => {
+                let extra = format!(
+                    ",\"s\":\"p\",\"args\":{{\"tenant\":{tenant},\"job\":{job},\
+                     \"executed\":{executed}}}"
+                );
+                push_event(&mut out, 'i', "job-complete", t, node, &extra);
+            }
         }
     }
 

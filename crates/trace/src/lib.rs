@@ -293,6 +293,44 @@ pub enum TraceEvent {
         /// Packets queued across this node's receive rings.
         depth: u32,
     },
+    /// A tenant handed one job to the serve layer's admission
+    /// controller (serve timeline; emitted on node 0).
+    JobSubmit {
+        /// Submitting tenant.
+        tenant: u32,
+        /// Serve-wide job id (submission order).
+        job: u64,
+    },
+    /// Admission rejected the job — pending bound or tenant quota
+    /// exceeded. A shed job must never later dispatch.
+    JobShed {
+        /// Submitting tenant.
+        tenant: u32,
+        /// Serve-wide job id.
+        job: u64,
+    },
+    /// The fairness layer handed the job to the fleet. Until the
+    /// matching [`TraceEvent::JobComplete`], every task event belongs
+    /// to this job — windows never overlap.
+    JobDispatch {
+        /// Owning tenant.
+        tenant: u32,
+        /// Serve-wide job id.
+        job: u64,
+        /// Tasks the job's workload announces (the per-job
+        /// conservation ground truth).
+        tasks: u64,
+    },
+    /// The fleet finished the job and the serve layer recorded its
+    /// latency.
+    JobComplete {
+        /// Owning tenant.
+        tenant: u32,
+        /// Serve-wide job id.
+        job: u64,
+        /// Tasks the backend reports having executed.
+        executed: u64,
+    },
 }
 
 /// Receiver of trace records.

@@ -107,6 +107,13 @@ metric_enum! {
         TraceEvents => ("rips_trace_events", "Trace events recorded to the installed sink."),
         /// Stall-watchdog trips (global progress frozen past threshold).
         WatchdogTrips => ("rips_watchdog_trips", "Stall watchdog trips observed."),
+        /// Jobs tenants offered to the serve layer's admission
+        /// controller (admitted + shed).
+        JobsSubmitted => ("rips_jobs_submitted", "Jobs offered to the serve admission controller."),
+        /// Jobs admission rejected (pending bound or tenant quota).
+        JobsShed => ("rips_jobs_shed", "Jobs rejected by serve admission (bound or quota)."),
+        /// Jobs the fleet finished serving.
+        JobsCompleted => ("rips_jobs_completed", "Jobs completed by the serve fleet."),
     }
 }
 
@@ -119,6 +126,9 @@ metric_enum! {
         QueueDepth => ("rips_queue_depth", "Per-node ready-queue depth at last dispatch."),
         /// Transport ring occupancy at the latest flush.
         RingDepth => ("rips_ring_depth", "Queued transport packets at last flush."),
+        /// Serve-layer admitted-but-not-dispatched jobs at the latest
+        /// admission decision.
+        PendingJobs => ("rips_pending_jobs", "Admitted jobs awaiting dispatch in the serve layer."),
     }
 }
 

@@ -10,6 +10,13 @@
 //! rips report <scheduler> <app> [--nodes 32] [--seed 1] [--jsonl]
 //! rips audit  <scheduler> <app> [--nodes 32] [--seed 1]   # check paper invariants
 //! rips audit  --all [--nodes 32] [--seed 1]               # ... across the roster
+//! rips serve  [--backend sim|live] [--scheduler rips] [--nodes 8|--threads 2]
+//!             [--tenants 4] [--jobs 8] [--mean-interarrival-us 50000|--rate jobs/s]
+//!             [--process poisson|bursty[:N]] [--max-pending 64] [--quota 16]
+//!             [--quantum 64] [--seed 1] [--tiny] [--audit] [--json|--out r.json]
+//!             [--metrics-out m.txt]
+//! rips bench-serve [--schedulers rips,rips-h,rid] [--nodes 8] [--threads 2]
+//!             [--loads 0.3,1.0,2.5] [--tenants 4] [--jobs 8] [--seed 1]
 //! rips plan   --rows 8 --cols 4 --loads 25,0,3,...   # one-shot MWA on a load vector
 //! rips lint   [--root .] [--format json] [--out report.json]
 //! rips verify [--bound 3] [--mode dfs|random] [--seed 1] [--out replays/]
@@ -27,6 +34,14 @@
 //! workspace source (rules RIPS-L001…L006; see DESIGN §7). `verify`
 //! rebuilds the workspace with `--cfg rips_verify` and runs the
 //! bounded model checker over the lock-free live paths (DESIGN §11).
+//!
+//! `serve` runs the open-loop multi-tenant service (DESIGN §12): N
+//! tenants submit seeded streams of catalog jobs through admission
+//! control and deficit-round-robin fairness into a single-fleet queue
+//! on either backend, reporting per-tenant and aggregate p50/p95/p99
+//! job latency, sustained jobs/s, and shed rate. `bench-serve` sweeps
+//! offered load to locate each scheduler's saturation knee (the JSON
+//! artifact comes from the `bench_serve` bin in rips-serve).
 //!
 //! `live` runs the scheduler on the *live* backend — one OS thread per
 //! node, batched packets over sharded SPSC rings (`--transport mpsc`
@@ -831,6 +846,209 @@ fn cmd_plan() {
     }
 }
 
+/// Resolves a case-insensitive scheduler name against the canonical
+/// roster (serve runs use the stock registry; `--policy` tuning is a
+/// batch-run concern).
+fn resolve_roster_name(scheduler: &str) -> String {
+    for n in rips_repro::bench::registry().names() {
+        if n.eq_ignore_ascii_case(scheduler) {
+            return n.to_string();
+        }
+    }
+    eprintln!(
+        "unknown scheduler '{scheduler}'; roster: {:?}",
+        rips_repro::bench::registry().names()
+    );
+    std::process::exit(2);
+}
+
+/// Builds the serve backend named by `--backend` (sim: `--nodes`
+/// simulated processors; live: `--threads` OS threads running real
+/// grains).
+fn serve_backend(kind: &str) -> Box<dyn rips_repro::serve::JobBackend> {
+    use rips_repro::serve::{DesimBackend, LiveBackend};
+    match kind {
+        "sim" => {
+            let nodes: usize = arg("--nodes").and_then(|v| v.parse().ok()).unwrap_or(8);
+            Box::new(DesimBackend::new(nodes))
+        }
+        "live" => {
+            let threads: usize = arg("--threads").and_then(|v| v.parse().ok()).unwrap_or(2);
+            Box::new(LiveBackend::new(threads))
+        }
+        other => {
+            eprintln!("unknown backend '{other}' (sim|live)");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn cmd_serve() {
+    use rips_repro::audit::ServeAuditor;
+    use rips_repro::serve::{
+        run_serve, AdmissionConfig, ArrivalProcess, Catalog, ServeConfig, TrafficConfig,
+    };
+
+    let scheduler = resolve_roster_name(&arg("--scheduler").unwrap_or_else(|| "rips".into()));
+    let backend_kind = arg("--backend").unwrap_or_else(|| "sim".into());
+    let tenants: u32 = arg("--tenants").and_then(|v| v.parse().ok()).unwrap_or(4);
+    let jobs: u32 = arg("--jobs").and_then(|v| v.parse().ok()).unwrap_or(8);
+    let seed: u64 = arg("--seed").and_then(|v| v.parse().ok()).unwrap_or(1);
+    // `--rate` is the aggregate offered rate (jobs/s across all
+    // tenants); `--mean-interarrival-us` sets the per-tenant gap
+    // directly and wins when both are given.
+    let mean_interarrival_us: u64 = arg("--mean-interarrival-us")
+        .and_then(|v| v.parse().ok())
+        .or_else(|| {
+            arg("--rate")
+                .and_then(|v| v.parse::<f64>().ok())
+                .filter(|r| *r > 0.0)
+                .map(|r| (tenants as f64 * 1e6 / r) as u64)
+        })
+        .unwrap_or(50_000)
+        .max(1);
+    let process = match arg("--process") {
+        None => ArrivalProcess::Poisson,
+        Some(p) => ArrivalProcess::parse(&p).unwrap_or_else(|| {
+            eprintln!("unknown process '{p}' (poisson|bursty[:N])");
+            std::process::exit(2);
+        }),
+    };
+    let cfg = ServeConfig {
+        scheduler,
+        traffic: TrafficConfig {
+            tenants,
+            jobs_per_tenant: jobs,
+            mean_interarrival_us,
+            process,
+            seed,
+        },
+        admission: AdmissionConfig {
+            max_pending: arg("--max-pending")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(64),
+            tenant_quota: arg("--quota").and_then(|v| v.parse().ok()).unwrap_or(16),
+        },
+        quantum: arg("--quantum").and_then(|v| v.parse().ok()).unwrap_or(64),
+        service_seed: seed,
+    };
+    let catalog = if arg_flag("--tiny") {
+        Catalog::tiny()
+    } else {
+        Catalog::standard()
+    };
+    let mut backend = serve_backend(&backend_kind);
+    let nodes = backend.nodes();
+    eprintln!(
+        "serving {} tenants x {} jobs ({}, mean gap {} µs) on {} ...",
+        tenants,
+        jobs,
+        process.label(),
+        mean_interarrival_us,
+        backend.name(),
+    );
+
+    let metrics = MetricsRegistry::new(1);
+    let (audit, rep) = with_metrics(&metrics, || {
+        if arg_flag("--audit") {
+            let (auditor, rep) = rips_repro::trace::with_sink(ServeAuditor::new(nodes), || {
+                run_serve(&cfg, &catalog, backend.as_mut())
+            });
+            (Some(auditor.finish()), rep)
+        } else {
+            (None, run_serve(&cfg, &catalog, backend.as_mut()))
+        }
+    });
+
+    if arg_flag("--json") {
+        println!("{}", rep.to_json());
+    } else {
+        print!("{}", rep.render_human());
+    }
+    if let Some(path) = arg("--out") {
+        std::fs::write(&path, rep.to_json()).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = arg("--metrics-out") {
+        write_metrics(&metrics, &path);
+    }
+    if let Some(report) = audit {
+        print!("{}", report.render_human());
+        if !report.is_ok() {
+            eprintln!("SERVE AUDIT FAILED");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn cmd_bench_serve() {
+    use rips_repro::serve::sweep::{sweep_one, SweepConfig};
+    use rips_repro::serve::{Catalog, DesimBackend, LiveBackend};
+
+    let schedulers: Vec<String> = arg("--schedulers")
+        .unwrap_or_else(|| "rips,rips-h,rid".into())
+        .split(',')
+        .map(resolve_roster_name)
+        .collect();
+    let nodes: usize = arg("--nodes").and_then(|v| v.parse().ok()).unwrap_or(8);
+    let threads: usize = arg("--threads").and_then(|v| v.parse().ok()).unwrap_or(2);
+    let cfg = SweepConfig {
+        load_factors: arg("--loads")
+            .map(|s| s.split(',').filter_map(|x| x.trim().parse().ok()).collect())
+            .unwrap_or_else(|| vec![0.3, 1.0, 2.5]),
+        tenants: arg("--tenants").and_then(|v| v.parse().ok()).unwrap_or(4),
+        jobs_per_tenant: arg("--jobs").and_then(|v| v.parse().ok()).unwrap_or(8),
+        seed: arg("--seed").and_then(|v| v.parse().ok()).unwrap_or(1),
+        seed_variants: 1,
+        ..SweepConfig::default()
+    };
+    let catalog = Catalog::tiny();
+    let mut all_ok = true;
+    for sched in &schedulers {
+        for backend_kind in ["sim", "live"] {
+            let series = match backend_kind {
+                "sim" => sweep_one(&cfg, sched, &catalog, &mut DesimBackend::new(nodes)),
+                _ => sweep_one(&cfg, sched, &catalog, &mut LiveBackend::new(threads)),
+            };
+            let knee = series
+                .knee_load
+                .map(|k| format!("{k:.2}"))
+                .unwrap_or_else(|| "none".into());
+            println!(
+                "── {} · {} · S̄ {} µs · audited {} · spread {} · knee {} ──",
+                series.scheduler,
+                series.backend,
+                series.mean_service_us,
+                series.audited_ok,
+                series.max_spread,
+                knee,
+            );
+            for p in &series.points {
+                println!(
+                    "  load {:.2}: offered {:>8.1} jobs/s, achieved {:>8.1}, p50 {} µs, \
+                     p99 {} µs, shed {:.1}%",
+                    p.load,
+                    p.offered_jobs_per_sec,
+                    p.report.jobs_per_sec,
+                    p.report.latency.p50_us,
+                    p.report.latency.p99_us,
+                    p.report.shed_rate * 100.0,
+                );
+                all_ok &= p.serve_audit_ok;
+            }
+            all_ok &= series.audited_ok;
+        }
+    }
+    if !all_ok {
+        eprintln!("BENCH-SERVE AUDIT FAILED");
+        std::process::exit(1);
+    }
+    println!("all series audited clean (per-job conservation + Theorem 1 spread)");
+}
+
 fn main() {
     match std::env::args().nth(1).as_deref() {
         Some("run") => cmd_run(),
@@ -839,6 +1057,8 @@ fn main() {
         Some("trace") => cmd_trace(),
         Some("report") => cmd_report(),
         Some("audit") => cmd_audit(),
+        Some("serve") => cmd_serve(),
+        Some("bench-serve") => cmd_bench_serve(),
         Some("plan") => cmd_plan(),
         Some("lint") => cmd_lint(),
         Some("verify") => cmd_verify(),
@@ -854,8 +1074,8 @@ fn main() {
         }
         _ => {
             eprintln!(
-                "usage: rips <run|live|stats|trace|report|audit|plan|lint|verify|apps|schedulers> \
-                 [flags]"
+                "usage: rips <run|live|stats|trace|report|audit|serve|bench-serve|plan|lint|\
+                 verify|apps|schedulers> [flags]"
             );
             eprintln!(
                 "  run    --app queens13 --scheduler rips|random|gradient|rid|sid --nodes 32 \
@@ -874,6 +1094,15 @@ fn main() {
             );
             eprintln!("  report <scheduler> <app> [--nodes N] [--seed S] [--jsonl]");
             eprintln!("  audit  <scheduler> <app> | --all  [--nodes N] [--seed S]");
+            eprintln!(
+                "  serve  [--backend sim|live] [--scheduler rips] [--tenants N] [--jobs N] \
+                 [--rate jobs/s] [--process poisson|bursty[:N]] [--audit] [--json|--out f] \
+                 [--metrics-out m.txt]"
+            );
+            eprintln!(
+                "  bench-serve [--schedulers rips,rips-h,rid] [--loads 0.3,1.0,2.5] \
+                 [--nodes N] [--threads N]"
+            );
             eprintln!("  plan   --rows 8 --cols 4 --loads 25,0,3,...");
             eprintln!("  lint   [--root .] [--format human|json] [--out report.json]");
             eprintln!(

@@ -15,6 +15,7 @@ pub use rips_live as live;
 pub use rips_metrics as metrics;
 pub use rips_runtime as runtime;
 pub use rips_sched as sched;
+pub use rips_serve as serve;
 pub use rips_taskgraph as taskgraph;
 pub use rips_topology as topology;
 pub use rips_trace as trace;
